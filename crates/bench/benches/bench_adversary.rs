@@ -1,0 +1,76 @@
+//! Benchmarks for the worst-case (kernel) adversary: twin construction and
+//! leader-state observation.
+
+use anonet_multigraph::adversary::TwinBuilder;
+use anonet_multigraph::{transform, LeaderState, Observations};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_twin_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("twin_build");
+    g.sample_size(10);
+    for n in [13u64, 121, 1093, 9841, 88_573] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| TwinBuilder::new().build(black_box(n)).expect("twins build"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_leader_observe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("leader_state_observe");
+    g.sample_size(10);
+    for n in [13u64, 121, 1093] {
+        let pair = TwinBuilder::new().build(n).expect("twins build");
+        let rounds = pair.horizon as usize + 2;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(pair, rounds),
+            |b, (pair, rounds)| b.iter(|| LeaderState::observe(&pair.smaller, *rounds)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_dense_observe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense_observations_observe");
+    g.sample_size(10);
+    for n in [121u64, 1093, 9841] {
+        let pair = TwinBuilder::new().build(n).expect("twins build");
+        let rounds = pair.horizon as usize + 2;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(pair, rounds),
+            |b, (pair, rounds)| {
+                b.iter(|| Observations::observe(&pair.smaller, *rounds).expect("k = 2"))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_pd2_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pd2_transform");
+    g.sample_size(10);
+    for n in [121u64, 1093] {
+        let pair = TwinBuilder::new().build(n).expect("twins build");
+        let rounds = pair.horizon as usize + 2;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(pair, rounds),
+            |b, (pair, rounds)| {
+                b.iter(|| transform::to_pd2(&pair.smaller, *rounds).expect("transforms"))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_twin_build,
+    bench_leader_observe,
+    bench_dense_observe,
+    bench_pd2_transform
+);
+criterion_main!(benches);

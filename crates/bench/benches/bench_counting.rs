@@ -1,0 +1,52 @@
+//! Benchmarks for the counting algorithms: the optimal kernel algorithm
+//! against the worst-case adversary, and the O(1) degree-oracle protocol.
+
+use anonet_core::algorithms::{run_degree_oracle, KernelCounting};
+use anonet_graph::pd::{Pd2Layout, RandomPd2};
+use anonet_multigraph::adversary::TwinBuilder;
+use anonet_multigraph::DblMultigraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn worst_case(n: u64) -> DblMultigraph {
+    TwinBuilder::new().build(n).expect("twins build").smaller
+}
+
+fn bench_kernel_counting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_counting_worst_case");
+    g.sample_size(10);
+    for n in [13u64, 121, 1093, 9841] {
+        let m = worst_case(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                let out = KernelCounting::new().run(m, 32).expect("decides");
+                assert_eq!(out.count, n);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_degree_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("degree_oracle_counting");
+    g.sample_size(10);
+    for leaves in [100usize, 1000, 10_000] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(leaves),
+            &leaves,
+            |b, &leaves| {
+                b.iter(|| {
+                    let layout = Pd2Layout { relays: 4, leaves };
+                    let net = RandomPd2::new(layout, StdRng::seed_from_u64(5));
+                    let out = run_degree_oracle(net).expect("counts");
+                    assert_eq!(out.count as usize, layout.order());
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel_counting, bench_degree_oracle);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Benchmarks for the exact linear-algebra substrate.
+
+use anonet_linalg::{gauss, Matrix, Ratio};
+use anonet_multigraph::system;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn dense_m_r(r: usize) -> Matrix {
+    system::observation_matrix(r)
+        .expect("matrix builds")
+        .to_dense()
+        .expect("densifies")
+}
+
+fn bench_rref(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rational_rref_M_r");
+    g.sample_size(10);
+    for r in [0usize, 1, 2, 3] {
+        let m = dense_m_r(r);
+        g.bench_with_input(BenchmarkId::from_parameter(r), &m, |b, m| {
+            b.iter(|| gauss::rref(black_box(m)).expect("exact"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernel_basis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rational_kernel_basis_M_r");
+    g.sample_size(10);
+    for r in [1usize, 2, 3] {
+        let m = dense_m_r(r);
+        g.bench_with_input(BenchmarkId::from_parameter(r), &m, |b, m| {
+            b.iter(|| gauss::kernel_basis(black_box(m)).expect("exact"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse_product(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_Mr_times_kr");
+    g.sample_size(10);
+    for r in [4usize, 6, 8] {
+        let m = system::observation_matrix(r).expect("matrix builds");
+        let k = system::kernel_vector(r);
+        g.bench_with_input(BenchmarkId::from_parameter(r), &(m, k), |b, (m, k)| {
+            b.iter(|| m.mul_vec(black_box(k)).expect("exact"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ratio_ops(c: &mut Criterion) {
+    let xs: Vec<Ratio> = (1..200)
+        .map(|i| Ratio::new(i, (i % 17) + 1).expect("valid"))
+        .collect();
+    c.bench_function("ratio_sum_200", |b| {
+        b.iter(|| black_box(&xs).iter().copied().sum::<Ratio>())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rref,
+    bench_kernel_basis,
+    bench_sparse_product,
+    bench_ratio_ops
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks for the synchronous simulator: rounds/second under flooding
+//! on static, random-dynamic and `G(PD)_2` topologies.
+
+use anonet_graph::generators::RandomDynamic;
+use anonet_graph::pd::{Pd2Layout, RandomPd2};
+use anonet_graph::{Graph, GraphSequence};
+use anonet_netsim::protocols::FloodingProcess;
+use anonet_netsim::Simulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_flood_static(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flood_static_star");
+    g.sample_size(10);
+    for n in [100usize, 1000, 5000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let net = GraphSequence::constant(Graph::star(n).expect("star builds"));
+                let mut sim = Simulator::new(net);
+                let mut procs = FloodingProcess::population(n);
+                sim.run(&mut procs, 4);
+                assert!(procs.iter().all(FloodingProcess::is_informed));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_flood_random_dynamic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flood_random_dynamic");
+    g.sample_size(10);
+    for n in [50usize, 200, 800] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let net = RandomDynamic::new(n, n / 4, StdRng::seed_from_u64(7));
+                let mut sim = Simulator::new(net);
+                let mut procs = FloodingProcess::population(n);
+                sim.run(&mut procs, 32);
+                assert!(procs.iter().all(FloodingProcess::is_informed));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_flood_pd2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flood_random_pd2");
+    g.sample_size(10);
+    for leaves in [100usize, 1000] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(leaves),
+            &leaves,
+            |b, &leaves| {
+                b.iter(|| {
+                    let layout = Pd2Layout { relays: 3, leaves };
+                    let net = RandomPd2::new(layout, StdRng::seed_from_u64(3));
+                    let n = layout.order();
+                    let mut sim = Simulator::new(net);
+                    let mut procs = FloodingProcess::population_from(n, n - 1);
+                    sim.run(&mut procs, 8);
+                    assert!(procs.iter().all(FloodingProcess::is_informed));
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flood_static,
+    bench_flood_random_dynamic,
+    bench_flood_pd2
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Benchmarks for the observation system: `M_r` construction, closed-form
+//! kernels, streaming verification and the tree solver.
+
+use anonet_multigraph::adversary::TwinBuilder;
+use anonet_multigraph::{system, Observations};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_matrix_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("observation_matrix_build");
+    g.sample_size(10);
+    for r in [2usize, 4, 6, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| system::observation_matrix(black_box(r)).expect("builds"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernel_vector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_vector");
+    g.sample_size(10);
+    for r in [6usize, 9, 12] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| system::kernel_vector(black_box(r)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming_verification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verify_kernel_product");
+    g.sample_size(10);
+    for r in [4usize, 6, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                assert!(system::verify_kernel_product(black_box(r)).is_none());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_solver(c: &mut Criterion) {
+    // Solve the leader inference problem on worst-case instances of
+    // growing size: the O(3^r) structure-aware solver.
+    let mut g = c.benchmark_group("solve_census_worst_case");
+    g.sample_size(10);
+    for n in [13u64, 121, 1093, 9841] {
+        let pair = TwinBuilder::new().build(n).expect("twins build");
+        let rounds = pair.horizon as usize + 2;
+        let obs = Observations::observe(&pair.smaller, rounds).expect("k = 2");
+        g.bench_with_input(BenchmarkId::from_parameter(n), &obs, |b, obs| {
+            b.iter(|| {
+                let sol = system::solve_census(black_box(obs)).expect("solves");
+                assert_eq!(sol.unique_population(), Some(n as i64));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental_solver(c: &mut Criterion) {
+    // Incremental vs batch solving over a full worst-case execution.
+    use anonet_multigraph::system::IncrementalSolver;
+    use anonet_multigraph::ternary_count;
+
+    let mut g = c.benchmark_group("incremental_vs_batch_solver");
+    g.sample_size(10);
+    for n in [121u64, 1093, 9841] {
+        let pair = TwinBuilder::new().build(n).expect("twins build");
+        let rounds = pair.horizon as usize + 2;
+        let obs = Observations::observe(&pair.smaller, rounds).expect("k = 2");
+        g.bench_with_input(BenchmarkId::new("batch_per_round", n), &obs, |b, obs| {
+            b.iter(|| {
+                // Re-solve from scratch every round (what a naive
+                // leader would do).
+                for r in 1..=rounds {
+                    let prefix = obs.prefix(r);
+                    let _ = system::solve_census(black_box(&prefix)).expect("solves");
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", n), &obs, |b, obs| {
+            b.iter(|| {
+                let mut solver = IncrementalSolver::new();
+                for level in 0..rounds {
+                    let width = ternary_count(level);
+                    let a: Vec<i64> = (0..width).map(|p| obs.label1(level, p)).collect();
+                    let bb: Vec<i64> = (0..width).map(|p| obs.label2(level, p)).collect();
+                    let _ = solver.push_level(&a, &bb).expect("widths match");
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matrix_build,
+    bench_kernel_vector,
+    bench_streaming_verification,
+    bench_tree_solver,
+    bench_incremental_solver
+);
+criterion_main!(benches);

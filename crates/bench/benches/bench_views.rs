@@ -1,0 +1,65 @@
+//! Benchmarks for hash-consed full-information views: the cost of the
+//! information-theoretic envelope on twin `G(PD)_2` networks.
+
+use anonet_graph::pd::{Pd2Layout, RandomPd2};
+use anonet_multigraph::adversary::TwinBuilder;
+use anonet_multigraph::transform;
+use anonet_netsim::{run_full_information, ViewInterner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_full_info_random_pd2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_info_random_pd2");
+    g.sample_size(10);
+    for leaves in [50usize, 200, 800] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(leaves),
+            &leaves,
+            |b, &leaves| {
+                b.iter(|| {
+                    let layout = Pd2Layout { relays: 3, leaves };
+                    let mut net = RandomPd2::new(layout, StdRng::seed_from_u64(9));
+                    let mut interner = ViewInterner::new();
+                    let run = run_full_information(&mut net, 10, &mut interner);
+                    assert_eq!(run.rounds(), 10);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_twin_view_agreement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("twin_view_agreement");
+    g.sample_size(10);
+    for n in [13u64, 121, 1093] {
+        let pair = TwinBuilder::new().build(n).expect("twins build");
+        let rounds = pair.horizon as usize + 2;
+        let small = transform::to_pd2(&pair.smaller, rounds).expect("transforms");
+        let large = transform::to_pd2(&pair.larger, rounds).expect("transforms");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(small, large, pair.horizon),
+            |b, (small, large, horizon)| {
+                b.iter(|| {
+                    let mut interner = ViewInterner::new();
+                    let mut s = small.clone();
+                    let mut l = large.clone();
+                    let a = run_full_information(&mut s, horizon + 6, &mut interner);
+                    let bb = run_full_information(&mut l, horizon + 6, &mut interner);
+                    let agree = a.leader_agreement(&bb, (horizon + 6) as usize);
+                    assert!(agree as u32 > *horizon);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_info_random_pd2,
+    bench_twin_view_agreement
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the extension experiment `adversary_ablation`.
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_adversary_ablation [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::adversary_ablation()]);
+}

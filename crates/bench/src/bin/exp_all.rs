@@ -1,0 +1,9 @@
+//! Runs the complete experiment suite (every figure, lemma, theorem,
+//! corollary and baseline) and prints the paper-style tables.
+//!
+//! Usage: `cargo run --release -p anonet-bench --bin exp_all [--quick] [--json]`
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    anonet_bench::emit(&anonet_bench::experiments::all(quick));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Corollary 1 (D + Omega(log |V|) via the chain construction).
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_cor1 [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::cor1()]);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the Discussion (degree-oracle O(1) counting).
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_discussion [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::discussion()]);
+}

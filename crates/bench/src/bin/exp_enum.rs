@@ -1,0 +1,7 @@
+//! Regenerates the exhaustive enumeration baseline \[12\]/\[13\].
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_enum [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::enumeration()]);
+}

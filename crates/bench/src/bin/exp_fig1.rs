@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 1 (G(PD)_2 example, D = 4).
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_fig1 [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::fig1()]);
+}

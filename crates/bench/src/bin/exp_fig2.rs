@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 2 (M(DBL_3) -> G(PD)_2 transformation).
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_fig2 [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::fig2()]);
+}

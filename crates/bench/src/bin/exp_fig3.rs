@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 3 (round-0 indistinguishable twins).
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_fig3 [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::fig3()]);
+}

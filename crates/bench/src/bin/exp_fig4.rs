@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 4 (round-1 indistinguishable twins).
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_fig4 [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::fig4()]);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the section-5 dissemination-vs-counting gap.
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_gap [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::gap()]);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the extension experiment `general_k`.
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_general_k [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::general_k()]);
+}

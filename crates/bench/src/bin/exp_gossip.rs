@@ -1,0 +1,7 @@
+//! Regenerates the push-sum gossip baseline \[8\].
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_gossip [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::gossip()]);
+}

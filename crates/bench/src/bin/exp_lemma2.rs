@@ -1,0 +1,7 @@
+//! Regenerates Lemma 2 (dim ker M_r = 1).
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_lemma2 [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::lemma2()]);
+}

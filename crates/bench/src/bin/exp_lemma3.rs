@@ -1,0 +1,7 @@
+//! Regenerates Lemma 3 (closed-form kernel of M_r).
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_lemma3 [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::lemma3(11)]);
+}

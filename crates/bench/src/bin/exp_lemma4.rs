@@ -1,0 +1,7 @@
+//! Regenerates Lemma 4 (kernel component sums).
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_lemma4 [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::lemma4(12)]);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the degree-bounded mass-drain baseline \[15\]/\[12\].
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_massdrain [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::mass_drain()]);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the extension experiment `pd2_view_counting`.
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_pd2views [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::pd2_view_counting()]);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the extension experiment `placement_ablation`.
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_placement [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::placement_ablation()]);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the extension experiment `state_growth`.
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_stategrowth [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::state_growth()]);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Theorem 1 (indistinguishability horizon).
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_thm1 [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::thm1()]);
+}

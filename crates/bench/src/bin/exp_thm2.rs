@@ -1,0 +1,7 @@
+//! Regenerates Theorem 2 (the Omega(log |V|) counting cost curve).
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_thm2 [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::thm2(false)]);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the section-2 token-dissemination benchmark.
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_tokens [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::token_dissemination()]);
+}

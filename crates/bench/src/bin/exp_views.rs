@@ -1,0 +1,7 @@
+//! Regenerates the view-complexity (hash-consing) measurement.
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_views [--json]`
+
+fn main() {
+    anonet_bench::emit(&[anonet_bench::experiments::view_complexity()]);
+}

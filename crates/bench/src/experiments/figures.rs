@@ -1,0 +1,184 @@
+//! Figures 1–4: the paper's worked examples, regenerated.
+
+use anonet_core::experiment::Table;
+use anonet_graph::{metrics, pd, DynamicNetwork};
+use anonet_multigraph::adversary::TwinBuilder;
+use anonet_multigraph::{transform, Census, DblMultigraph, LabelSet, LeaderState};
+
+/// E1 (Figure 1): the example `G(PD)_2` network — persistent distances,
+/// the flood from `v0` reaching `v3` at round 3, and `D = 4`.
+pub fn fig1() -> Table {
+    let mut t = Table::new(
+        "E1 (Figure 1)",
+        "G(PD)_2 example: flood from v0 at round 0; dynamic diameter D = 4",
+        &["node", "persistent distance", "received flood at round"],
+    );
+    let mut net = pd::figure1();
+    let (_, v0, _) = pd::figure1_nodes();
+    let dists = metrics::persistent_distances(&mut net, 6).expect("figure 1 is PD");
+    let flood = metrics::flood(&mut net, v0, 0, 16);
+    #[allow(clippy::needless_range_loop)] // index used in error paths/labels
+    for v in 0..net.order() {
+        let name = match v {
+            0 => "v_l (leader)".to_string(),
+            1 | 2 => format!("relay {v} (V1)"),
+            _ => format!("leaf {v} (V2)"),
+        };
+        let received = flood
+            .received_round(v)
+            .map_or("-".to_string(), |r| r.to_string());
+        t.push_row(vec![name, dists[v].to_string(), received]);
+    }
+    t.push_row(vec![
+        "dynamic diameter D".into(),
+        "-".into(),
+        metrics::dynamic_diameter(&mut net, 4, 16)
+            .expect("figure 1 floods complete")
+            .to_string(),
+    ]);
+    t
+}
+
+/// E2 (Figure 2): the `M(DBL_3) → G(PD)_2` transformation at one round —
+/// multigraph label sets against induced relay edges.
+pub fn fig2() -> Table {
+    let l = |labels: &[u8]| LabelSet::from_labels(labels, 3).expect("valid labels");
+    let m = DblMultigraph::new(
+        3,
+        vec![
+            vec![l(&[1, 2, 3]), l(&[1]), l(&[2, 3]), l(&[2])],
+            vec![l(&[1, 2]), l(&[3]), l(&[1]), l(&[2, 3])],
+        ],
+    )
+    .expect("figure 2 multigraph is valid");
+    let layout = transform::layout_for(&m);
+    let mut net = transform::to_pd2(&m, 2).expect("transformation succeeds");
+
+    let mut t = Table::new(
+        "E2 (Figure 2)",
+        "M(DBL_3) -> G(PD)_2: multigraph labels vs induced relay edges",
+        &[
+            "round",
+            "node w in W",
+            "edge labels L(w,r)",
+            "G(PD)_2 relay edges",
+        ],
+    );
+    for r in 0..2u32 {
+        let g = net.graph(r);
+        for (i, set) in m.round(r as usize).iter().enumerate() {
+            let relays: Vec<String> = (0..layout.relays)
+                .filter(|&j| g.has_edge(layout.relay(j), layout.leaf(i)))
+                .map(|j| format!("relay{}", j + 1))
+                .collect();
+            t.push_row(vec![
+                r.to_string(),
+                format!("w{i}"),
+                set.to_string(),
+                relays.join(","),
+            ]);
+        }
+    }
+    let pd_ok = metrics::is_pd_h(&mut net, 2, 6);
+    t.push_row(vec![
+        "-".into(),
+        "PD_2 check".into(),
+        "-".into(),
+        if pd_ok {
+            "all distances persistent, max 2"
+        } else {
+            "FAILED"
+        }
+        .into(),
+    ]);
+    t
+}
+
+/// E3 (Figure 3): sizes 2 and 4 indistinguishable at round 0
+/// (`s_0 = [0,0,2]`, `s'_0 = s_0 + 2k_0 = [2,2,0]`).
+pub fn fig3() -> Table {
+    let s = Census::from_counts(vec![0, 0, 2]).expect("valid census");
+    let sp = Census::from_counts(vec![2, 2, 0]).expect("valid census");
+    let m = s.realize().expect("realizable");
+    let mp = sp.realize().expect("realizable");
+
+    let mut t = Table::new(
+        "E3 (Figure 3)",
+        "round-0 indistinguishability: s_0 and s'_0 = s_0 + 2 k_0",
+        &[
+            "multigraph",
+            "census [|{1}|,|{2}|,|{1,2}|]",
+            "|W|",
+            "leader state round 0",
+        ],
+    );
+    let describe = |m: &DblMultigraph| {
+        let st = LeaderState::observe(m, 1);
+        let h = anonet_multigraph::History::empty();
+        format!(
+            "(1,[⊥])x{}, (2,[⊥])x{}",
+            st.count(0, 1, &h),
+            st.count(0, 2, &h)
+        )
+    };
+    t.push_row(vec!["M".into(), "[0,0,2]".into(), "2".into(), describe(&m)]);
+    t.push_row(vec![
+        "M'".into(),
+        "[2,2,0]".into(),
+        "4".into(),
+        describe(&mp),
+    ]);
+    let equal = LeaderState::observe(&m, 1) == LeaderState::observe(&mp, 1);
+    t.push_row(vec![
+        "equal?".into(),
+        "-".into(),
+        "-".into(),
+        if equal {
+            "yes — leader cannot count at round 0"
+        } else {
+            "NO"
+        }
+        .into(),
+    ]);
+    t
+}
+
+/// E4 (Figure 4): sizes 4 and 5 indistinguishable at round 1
+/// (`s_1` and `s_1 + k_1`).
+pub fn fig4() -> Table {
+    let pair = TwinBuilder::new().build(4).expect("n = 4 twins");
+    let mut t = Table::new(
+        "E4 (Figure 4)",
+        "round-1 indistinguishability: s_1 and s_1 + k_1 (n = 4 vs 5)",
+        &["multigraph", "census (depth 2)", "|W|", "leader states"],
+    );
+    let c = Census::of_multigraph(&pair.smaller, 2);
+    let cp = Census::of_multigraph(&pair.larger, 2);
+    t.push_row(vec![
+        "M".into(),
+        format!("{:?}", c.counts()),
+        pair.smaller.nodes().to_string(),
+        "-".into(),
+    ]);
+    t.push_row(vec![
+        "M'".into(),
+        format!("{:?}", cp.counts()),
+        pair.larger.nodes().to_string(),
+        "-".into(),
+    ]);
+    for rounds in 1..=3usize {
+        let eq = LeaderState::observe(&pair.smaller, rounds)
+            == LeaderState::observe(&pair.larger, rounds);
+        t.push_row(vec![
+            format!("after round {}", rounds - 1),
+            "-".into(),
+            "-".into(),
+            if eq {
+                "identical".into()
+            } else {
+                "different — twins separated".to_string()
+            },
+        ]);
+    }
+    t
+}

@@ -1,0 +1,51 @@
+//! One module per group of paper artifacts.
+
+mod baselines;
+mod extensions;
+mod figures;
+mod lemmas;
+mod theorems;
+
+pub use baselines::{discussion, enumeration, gossip, mass_drain};
+pub use extensions::{
+    adversary_ablation, general_k, general_k_ambiguity, pd2_view_counting, placement_ablation,
+    state_growth, view_complexity,
+};
+pub use figures::{fig1, fig2, fig3, fig4};
+pub use lemmas::{lemma2, lemma3, lemma4};
+pub use theorems::{cor1, gap, thm1, thm2, token_dissemination};
+
+use anonet_core::experiment::Table;
+
+/// Runs the complete experiment suite in paper order.
+pub fn all(quick: bool) -> Vec<Table> {
+    let mut tables = vec![
+        fig1(),
+        fig2(),
+        fig3(),
+        fig4(),
+        lemma2(),
+        lemma3(if quick { 8 } else { 11 }),
+        lemma4(if quick { 9 } else { 12 }),
+        thm1(),
+        thm2(quick),
+        cor1(),
+        discussion(),
+        gap(),
+        token_dissemination(),
+        gossip(),
+        mass_drain(),
+        enumeration(),
+        general_k(),
+        general_k_ambiguity(),
+        adversary_ablation(),
+        placement_ablation(),
+        state_growth(),
+        view_complexity(),
+        pd2_view_counting(),
+    ];
+    for t in &mut tables {
+        assert!(!t.rows.is_empty(), "experiment {} produced no rows", t.id);
+    }
+    tables
+}

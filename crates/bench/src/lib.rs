@@ -1,0 +1,34 @@
+//! Experiment implementations for the reproduction binaries.
+//!
+//! Each function regenerates one artifact of the paper (figure, lemma,
+//! theorem, corollary, or related-work comparison) as one or more
+//! [`Table`](anonet_core::experiment::Table)s. The `exp_*` binaries are
+//! thin wrappers; `exp_all` runs the whole suite and is the source of
+//! `EXPERIMENTS.md`.
+
+pub mod experiments;
+
+use anonet_core::experiment::Table;
+
+/// Prints tables as markdown, as JSON when `--json` is among the args, or
+/// as CSV blocks when `--csv` is.
+pub fn emit(tables: &[Table]) {
+    let json = std::env::args().any(|a| a == "--json");
+    let csv = std::env::args().any(|a| a == "--csv");
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(tables).expect("tables serialize")
+        );
+    } else if csv {
+        for t in tables {
+            println!("# {} — {}", t.id, t.title);
+            print!("{}", t.to_csv());
+            println!();
+        }
+    } else {
+        for t in tables {
+            println!("{t}");
+        }
+    }
+}

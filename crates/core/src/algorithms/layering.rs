@@ -1,0 +1,131 @@
+//! Beacon layering: anonymous nodes learn their persistent distance.
+//!
+//! In a persistent-distance network (`G(PD)_h`), a node's leader-distance
+//! never changes, so it can be *learned once and kept*: the leader floods a
+//! beacon, and the round in which a node first receives it is exactly its
+//! persistent distance. This is the primitive behind the Discussion's
+//! degree-oracle algorithm (relays must know they are `V_1`) and a
+//! reusable building block for any layered protocol on `G(PD)_h`.
+
+use anonet_graph::DynamicNetwork;
+use anonet_netsim::{Process, RecvContext, Role, SendContext, Simulator};
+
+/// One node's state in the layering protocol.
+#[derive(Debug, Clone)]
+pub struct LayeringProcess {
+    role: Role,
+    layer: Option<u32>,
+}
+
+impl LayeringProcess {
+    /// A population of `n` processes (node 0 the leader, layer 0).
+    pub fn population(n: usize) -> Vec<LayeringProcess> {
+        (0..n)
+            .map(|v| LayeringProcess {
+                role: if v == 0 {
+                    Role::Leader
+                } else {
+                    Role::Anonymous
+                },
+                layer: (v == 0).then_some(0),
+            })
+            .collect()
+    }
+
+    /// The learned layer (persistent distance), if known yet.
+    pub fn layer(&self) -> Option<u32> {
+        self.layer
+    }
+}
+
+impl Process for LayeringProcess {
+    /// The beacon carries the hop distance travelled so far.
+    type Msg = Option<u32>;
+
+    fn send(&mut self, _ctx: &SendContext) -> Option<u32> {
+        self.layer
+    }
+
+    fn receive(&mut self, ctx: RecvContext<'_, Option<u32>>) {
+        if self.role == Role::Leader || self.layer.is_some() {
+            return;
+        }
+        if let Some(best) = ctx.inbox.iter().flatten().min() {
+            self.layer = Some(best + 1);
+        }
+    }
+}
+
+/// Runs the layering protocol for `rounds` rounds and returns each node's
+/// learned layer (`None` if the beacon never arrived).
+pub fn learn_layers<N: DynamicNetwork>(net: N, rounds: u32) -> Vec<Option<u32>> {
+    let n = net.order();
+    let mut sim = Simulator::new(net);
+    let mut procs = LayeringProcess::population(n);
+    sim.run(&mut procs, rounds);
+    procs.iter().map(LayeringProcess::layer).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::pd::{Pd2Layout, RandomPd2};
+    use anonet_graph::{metrics, ChainExtended, Graph, GraphSequence};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_pd2_layers_in_two_rounds() {
+        let layout = Pd2Layout {
+            relays: 3,
+            leaves: 10,
+        };
+        let net = RandomPd2::new(layout, StdRng::seed_from_u64(1));
+        let layers = learn_layers(net, 2);
+        assert_eq!(layers[0], Some(0));
+        for j in 0..3 {
+            assert_eq!(layers[layout.relay(j)], Some(1));
+        }
+        for i in 0..10 {
+            assert_eq!(layers[layout.leaf(i)], Some(2));
+        }
+    }
+
+    #[test]
+    fn layers_match_persistent_distances() {
+        let layout = Pd2Layout {
+            relays: 2,
+            leaves: 6,
+        };
+        let inner = RandomPd2::new(layout, StdRng::seed_from_u64(2));
+        let mut net = ChainExtended::new(inner, 4);
+        let expected = metrics::persistent_distances(&mut net, 8).unwrap();
+        let layers = learn_layers(net, 16);
+        for (v, d) in expected.iter().enumerate() {
+            assert_eq!(layers[v], Some(*d), "node {v}");
+        }
+    }
+
+    #[test]
+    fn insufficient_rounds_leave_layers_unknown() {
+        let net = GraphSequence::constant(Graph::path(5).unwrap());
+        let layers = learn_layers(net, 2);
+        assert_eq!(layers[1], Some(1));
+        assert_eq!(layers[2], Some(2));
+        assert_eq!(layers[3], None, "beacon has not arrived yet");
+        assert_eq!(layers[4], None);
+    }
+
+    #[test]
+    fn rewiring_networks_learn_first_beacon_distance() {
+        // In a non-PD network the learned value is the beacon distance at
+        // first arrival — only persistent distances make it THE distance.
+        // Node 2 starts at distance 2 but is rewired next to the leader at
+        // round 1, before any round-0 beacon could reach it: it learns 1.
+        let g0 = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let g1 = Graph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        let net = GraphSequence::new(vec![g0, g1]).unwrap();
+        let layers = learn_layers(net, 4);
+        assert_eq!(layers[2], Some(1), "beacon arrived over the new edge");
+    }
+}

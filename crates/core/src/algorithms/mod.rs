@@ -1,0 +1,27 @@
+//! Counting algorithms.
+//!
+//! * [`KernelCounting`] — the optimal leader algorithm in `M(DBL)_2`
+//!   (decides exactly when the observation system has a unique
+//!   non-negative solution); tight against the worst-case adversary.
+//! * [`run_degree_oracle`] — the O(1) algorithm of the paper's Discussion
+//!   for restricted `G(PD)_2` networks with a local degree detector.
+//! * [`learn_layers`] — beacon layering: nodes of a persistent-distance
+//!   network learn their exact layer (the primitive behind the oracle
+//!   algorithm's role discovery).
+//! * [`run_pd2_view_counting`] — the exact (exponential) counting rule on
+//!   anonymous `G(PD)_2` graphs, decoding the leader's full-information
+//!   view into a class system.
+
+mod degree_oracle;
+mod general_k_counting;
+mod kernel_counting;
+mod layering;
+mod pd2_view_counting;
+
+pub use degree_oracle::{run_degree_oracle, DegreeMsg, DegreeOracleProcess};
+pub use general_k_counting::{GeneralKCounting, GeneralKError};
+pub use kernel_counting::{CountingError, CountingOutcome, CountingTrace, KernelCounting};
+pub use layering::{learn_layers, LayeringProcess};
+pub use pd2_view_counting::{
+    consistent_populations, decode_pd2, run_pd2_view_counting, DecodedPd2, Pd2ViewError,
+};

@@ -1,0 +1,533 @@
+//! Counting in anonymous `G(PD)_2` networks from full-information views.
+//!
+//! This is the information-theoretically exact counting rule for the
+//! *graph* side of Lemma 1 — strictly harder than the `M(DBL)_2` side,
+//! because the leader cannot name the relays. The leader:
+//!
+//! 1. runs the full-information protocol and *decodes* its own view:
+//!    it recovers the two relay view streams (linked by `own` pointers)
+//!    and, for every round `t`, the multiset `L_X(t)` of leaf views
+//!    attached to relay stream `X` at round `t`;
+//! 2. observes that a leaf's label history is only visible *up to view
+//!    equivalence* — when both relays broadcast equal views in round `t`,
+//!    a leaf touching exactly one of them cannot be attributed (this is
+//!    precisely the information the anonymous graph destroys relative to
+//!    the labeled multigraph; e.g. round 0 always has equal relay views);
+//! 3. builds an exact linear system over *leaf-view classes* (one
+//!    unknown per class × final-round attachment × resolution of each
+//!    ambiguous round) whose constraints are the observed `L_X(t)`
+//!    multisets, and enumerates its non-negative integer solutions;
+//! 4. outputs the population as soon as all solutions agree on it.
+//!
+//! The candidate-population set this produces is exactly the set of sizes
+//! consistent with the leader's view, so the rule is optimal — and, like
+//! every exact rule on anonymous graphs, exponential in the worst case.
+//! Use it for small networks; the `M(DBL)_2` kernel algorithm covers the
+//! asymptotics.
+
+use anonet_graph::DynamicNetwork;
+use anonet_linalg::enumerate::enumerate_nonnegative_solutions;
+use anonet_linalg::SparseIntMatrix;
+use anonet_netsim::{run_full_information, Role, ViewId, ViewInterner, ViewRef};
+use core::fmt;
+use std::collections::BTreeMap;
+
+use super::kernel_counting::CountingOutcome;
+
+/// Errors of the `G(PD)_2` view decoder/counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Pd2ViewError {
+    /// The execution does not look like a 2-relay `G(PD)_2` run (wrong
+    /// leader degree, broken `own` chains, foreign views in an inbox, …).
+    NotPd2 {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The class system grew past the enumeration budget.
+    TooComplex,
+    /// The horizon elapsed with more than one consistent population.
+    Undecided {
+        /// Rounds observed.
+        rounds: u32,
+        /// The consistent populations at the horizon (of `|V_2|`).
+        candidates: Vec<i64>,
+    },
+}
+
+impl fmt::Display for Pd2ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pd2ViewError::NotPd2 { detail } => write!(f, "not a G(PD)_2 execution: {detail}"),
+            Pd2ViewError::TooComplex => write!(f, "class system exceeds the enumeration budget"),
+            Pd2ViewError::Undecided { rounds, candidates } => {
+                write!(
+                    f,
+                    "undecided after {rounds} rounds: |V_2| in {candidates:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Pd2ViewError {}
+
+fn not_pd2(detail: impl Into<String>) -> Pd2ViewError {
+    Pd2ViewError::NotPd2 {
+        detail: detail.into(),
+    }
+}
+
+/// The decoded skeleton of a `G(PD)_2` execution, from the leader's view.
+#[derive(Debug, Clone)]
+pub struct DecodedPd2 {
+    /// `relay[x][t]`: relay stream `x ∈ {0, 1}`'s view after `t` rounds.
+    pub relay: [Vec<ViewId>; 2],
+    /// `attached[x][t]`: multiset (sorted `(view, count)`) of leaf views
+    /// after `t` rounds attached to stream `x` in round `t`.
+    pub attached: [Vec<Vec<(ViewId, u32)>>; 2],
+}
+
+impl DecodedPd2 {
+    /// Number of decoded attachment levels.
+    pub fn levels(&self) -> usize {
+        self.attached[0].len()
+    }
+}
+
+/// Decodes the leader's per-round views (`leader_views[t]` = view after
+/// `t` rounds) into relay streams and attachment multisets.
+///
+/// # Errors
+///
+/// Returns [`Pd2ViewError::NotPd2`] if the view structure is inconsistent
+/// with a 2-relay `G(PD)_2` execution.
+pub fn decode_pd2(
+    interner: &ViewInterner,
+    leader_views: &[ViewId],
+) -> Result<DecodedPd2, Pd2ViewError> {
+    let rounds = leader_views.len().saturating_sub(1);
+    if rounds == 0 {
+        return Err(not_pd2("need at least one observed round"));
+    }
+    // Relay views after t rounds, received by the leader in round t.
+    let mut relay: [Vec<ViewId>; 2] = [Vec::new(), Vec::new()];
+    for t in 0..rounds {
+        let ViewRef::Step { own, received } = interner.resolve(leader_views[t + 1]) else {
+            return Err(not_pd2("leader view chain ends early"));
+        };
+        if own != leader_views[t] {
+            return Err(not_pd2("leader own-chain mismatch"));
+        }
+        let mut flat = Vec::new();
+        for &(v, c) in received {
+            for _ in 0..c {
+                flat.push(v);
+            }
+        }
+        if flat.len() != 2 {
+            return Err(not_pd2(format!(
+                "leader degree {} at round {t}, expected 2 relays",
+                flat.len()
+            )));
+        }
+        let (v1, v2) = (flat[0], flat[1]);
+        if t == 0 {
+            relay[0].push(v1);
+            relay[1].push(v2);
+            continue;
+        }
+        let own_of = |v: ViewId| interner.resolve(v).own();
+        let (o1, o2) = (own_of(v1), own_of(v2));
+        let (pa, pb) = (relay[0][t - 1], relay[1][t - 1]);
+        let assign = if o1 == Some(pa) && o2 == Some(pb) {
+            (v1, v2)
+        } else if o1 == Some(pb) && o2 == Some(pa) {
+            (v2, v1)
+        } else {
+            return Err(not_pd2(format!("relay own-chains broken at round {t}")));
+        };
+        relay[0].push(assign.0);
+        relay[1].push(assign.1);
+    }
+
+    // Attachment multisets: L_x(t) comes from relay view at t+1.
+    let levels = rounds - 1;
+    let mut attached: [Vec<Vec<(ViewId, u32)>>; 2] = [Vec::new(), Vec::new()];
+    for t in 0..levels {
+        for x in 0..2 {
+            let ViewRef::Step { own, received } = interner.resolve(relay[x][t + 1]) else {
+                return Err(not_pd2("relay view chain ends early"));
+            };
+            if own != relay[x][t] {
+                return Err(not_pd2("relay own-chain mismatch"));
+            }
+            // Remove exactly one occurrence of the leader's view at t.
+            let mut leaves: Vec<(ViewId, u32)> = Vec::new();
+            let mut removed_leader = false;
+            for &(v, c) in received {
+                if v == leader_views[t] && !removed_leader {
+                    removed_leader = true;
+                    if c > 1 {
+                        leaves.push((v, c - 1));
+                    }
+                } else {
+                    leaves.push((v, c));
+                }
+            }
+            if !removed_leader {
+                return Err(not_pd2(format!(
+                    "relay at round {t} never heard the leader"
+                )));
+            }
+            attached[x].push(leaves);
+        }
+    }
+    Ok(DecodedPd2 { relay, attached })
+}
+
+/// One unknown of the class system: a leaf-view class together with the
+/// resolution of everything its view leaves open.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ClassVariable {
+    /// The class's view chain, deepest first (`chain[t]` = view after `t`
+    /// rounds).
+    chain: Vec<ViewId>,
+    /// For each level `t < levels`: which streams the leaf attached to
+    /// (`0b01` = stream 0, `0b10` = stream 1, `0b11` = both).
+    attachments: Vec<u8>,
+}
+
+/// Expands the attachment possibilities of a leaf-view class.
+///
+/// For each level, the class view dictates the received relay multiset;
+/// when both relay views coincide and only one was received the stream is
+/// ambiguous, producing one variable per resolution.
+fn class_variables(
+    interner: &ViewInterner,
+    decoded: &DecodedPd2,
+    deepest: ViewId,
+    levels: usize,
+) -> Result<Vec<ClassVariable>, Pd2ViewError> {
+    // Reconstruct the view chain from the deepest view down.
+    let mut chain = vec![deepest];
+    let mut cur = deepest;
+    while let Some(own) = interner.resolve(cur).own() {
+        chain.push(own);
+        cur = own;
+    }
+    if interner.resolve(cur) != ViewRef::Leaf(Role::Anonymous) {
+        return Err(not_pd2("leaf chain does not end in an anonymous leaf"));
+    }
+    chain.reverse();
+    if chain.len() != levels + 1 {
+        return Err(not_pd2("leaf view depth mismatch"));
+    }
+
+    // Per level, the possible attachment masks.
+    let mut options: Vec<Vec<u8>> = Vec::with_capacity(levels);
+    for t in 0..levels {
+        let step = interner.resolve(chain[t + 1]);
+        let (a, b) = (decoded.relay[0][t], decoded.relay[1][t]);
+        let total = step.received_count();
+        let opts: Vec<u8> = if a == b {
+            match total {
+                2 if step.multiplicity(a) == 2 => vec![0b11],
+                1 if step.multiplicity(a) == 1 => vec![0b01, 0b10],
+                _ => {
+                    return Err(not_pd2(format!(
+                        "leaf inbox at level {t} incompatible with equal relay views"
+                    )))
+                }
+            }
+        } else {
+            let ma = step.multiplicity(a).min(1) as u8;
+            let mb = step.multiplicity(b).min(1) as u8;
+            let mask = ma | (mb << 1);
+            if mask == 0 || step.multiplicity(a) > 1 || step.multiplicity(b) > 1 {
+                return Err(not_pd2(format!("leaf inbox at level {t} malformed")));
+            }
+            if (step.multiplicity(a) + step.multiplicity(b)) != total {
+                return Err(not_pd2(format!(
+                    "leaf inbox at level {t} contains foreign views"
+                )));
+            }
+            vec![mask]
+        };
+        options.push(opts);
+    }
+
+    // Cartesian product of the per-level options.
+    let mut vars = vec![ClassVariable {
+        chain: chain.clone(),
+        attachments: Vec::new(),
+    }];
+    for opts in options {
+        let mut next = Vec::with_capacity(vars.len() * opts.len());
+        for v in &vars {
+            for &o in &opts {
+                let mut w = v.clone();
+                w.attachments.push(o);
+                next.push(w);
+            }
+        }
+        vars = next;
+        if vars.len() > 4096 {
+            return Err(Pd2ViewError::TooComplex);
+        }
+    }
+    Ok(vars)
+}
+
+/// The populations of `V_2` consistent with the leader's view after
+/// `leader_views.len() - 1` rounds, by exact class-system enumeration.
+///
+/// # Errors
+///
+/// Returns [`Pd2ViewError::NotPd2`] for malformed executions and
+/// [`Pd2ViewError::TooComplex`] past the enumeration budget.
+pub fn consistent_populations(
+    interner: &ViewInterner,
+    leader_views: &[ViewId],
+    max_solutions: usize,
+) -> Result<Vec<i64>, Pd2ViewError> {
+    let decoded = decode_pd2(interner, leader_views)?;
+    let levels = decoded.levels();
+    if levels == 0 {
+        return Err(not_pd2("need at least two observed rounds"));
+    }
+
+    // Unknowns: every deepest-level class, expanded by its ambiguity and
+    // its final-round attachment (which IS observed per stream, so the
+    // final attachment is part of the constraint structure instead).
+    // Deepest classes: leaf views at level `levels - 1` seen on either
+    // stream.
+    let deepest_level = levels - 1;
+    let mut deepest: Vec<ViewId> = Vec::new();
+    for x in 0..2 {
+        for &(v, _) in &decoded.attached[x][deepest_level] {
+            if !deepest.contains(&v) {
+                deepest.push(v);
+            }
+        }
+    }
+    deepest.sort_unstable();
+
+    let mut variables: Vec<ClassVariable> = Vec::new();
+    for &v in &deepest {
+        variables.extend(class_variables(interner, &decoded, v, deepest_level)?);
+    }
+    // Final-round attachment expansion: each variable may attach to
+    // stream 0, 1 or both at `deepest_level`; which options are possible
+    // is constrained by membership of its deepest view in the L multisets,
+    // but the true constraint is the count equations below — expand all
+    // three options and let the equations cut them down.
+    let mut expanded: Vec<ClassVariable> = Vec::new();
+    for v in &variables {
+        for mask in [0b01u8, 0b10, 0b11] {
+            let mut w = v.clone();
+            w.attachments.push(mask);
+            expanded.push(w);
+        }
+    }
+    let variables = expanded;
+    if variables.len() > 4096 {
+        return Err(Pd2ViewError::TooComplex);
+    }
+
+    // Constraints: for each level t and stream x, for each class c present
+    // in L_x(t): sum of variables with chain[t] = c attaching to x at t
+    // equals the observed count. Additionally, classes NOT present must
+    // sum to zero — encode via rows with rhs 0.
+    let mut rows: Vec<(Vec<u32>, i64)> = Vec::new();
+    for t in 0..levels {
+        for x in 0..2usize {
+            // Observed counts per class at this level/stream.
+            let observed: BTreeMap<ViewId, i64> = decoded.attached[x][t]
+                .iter()
+                .map(|&(v, c)| (v, c as i64))
+                .collect();
+            // Classes appearing among variables at this level.
+            let mut classes: Vec<ViewId> = variables.iter().map(|v| v.chain[t]).collect();
+            classes.sort_unstable();
+            classes.dedup();
+            for c in classes {
+                let cols: Vec<u32> = variables
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.chain[t] == c && v.attachments[t] & (1 << x) != 0)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                let rhs = observed.get(&c).copied().unwrap_or(0);
+                rows.push((cols, rhs));
+            }
+            // Observed classes that no variable can produce make the
+            // system infeasible (should not happen for honest runs).
+            for (&c, &count) in &observed {
+                if count > 0 && !variables.iter().any(|v| v.chain[t] == c) {
+                    return Err(not_pd2(format!(
+                        "observed class at level {t} not derivable from deepest classes"
+                    )));
+                }
+            }
+        }
+    }
+
+    let mut matrix = SparseIntMatrix::new(variables.len());
+    let mut rhs = Vec::with_capacity(rows.len());
+    for (cols, b) in rows {
+        let entries: Vec<(u32, i64)> = cols.into_iter().map(|c| (c, 1)).collect();
+        matrix
+            .push_row(entries)
+            .map_err(|_| Pd2ViewError::TooComplex)?;
+        rhs.push(b);
+    }
+    let cap = rhs.iter().copied().max().unwrap_or(0);
+    let solutions = enumerate_nonnegative_solutions(&matrix, &rhs, cap, max_solutions)
+        .map_err(|_| Pd2ViewError::TooComplex)?;
+    let mut pops: Vec<i64> = solutions.iter().map(|s| s.iter().sum()).collect();
+    pops.sort_unstable();
+    pops.dedup();
+    Ok(pops)
+}
+
+/// Runs the exact view-counting rule on an anonymous `G(PD)_2` network:
+/// collects rounds until exactly one population of `V_2` is consistent
+/// with the leader's view, then outputs `|V| = population + 3`.
+///
+/// # Errors
+///
+/// Returns [`Pd2ViewError`] if the execution is not `G(PD)_2`, the system
+/// is too complex, or the horizon elapses without a decision.
+pub fn run_pd2_view_counting<N: DynamicNetwork>(
+    mut net: N,
+    max_rounds: u32,
+    max_solutions: usize,
+) -> Result<CountingOutcome, Pd2ViewError> {
+    let mut interner = ViewInterner::new();
+    let run = run_full_information(&mut net, max_rounds, &mut interner);
+    let mut last = Vec::new();
+    for rounds in 2..=max_rounds as usize {
+        let views: Vec<ViewId> = (0..=rounds).map(|r| run.leader_view(r)).collect();
+        let pops = consistent_populations(&interner, &views, max_solutions)?;
+        if pops.len() == 1 {
+            return Ok(CountingOutcome {
+                count: pops[0] as u64 + 3,
+                rounds: rounds as u32,
+            });
+        }
+        last = pops;
+    }
+    Err(Pd2ViewError::Undecided {
+        rounds: max_rounds,
+        candidates: last,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_multigraph::adversary::{RandomDblAdversary, TwinBuilder};
+    use anonet_multigraph::{transform, Census, DblMultigraph, LabelSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn views_of(m: &DblMultigraph, rounds: u32) -> (ViewInterner, Vec<ViewId>) {
+        let mut net = transform::to_pd2(m, rounds as usize).expect("transforms");
+        let mut interner = ViewInterner::new();
+        let run = run_full_information(&mut net, rounds, &mut interner);
+        let views = (0..=rounds as usize).map(|r| run.leader_view(r)).collect();
+        (interner, views)
+    }
+
+    #[test]
+    fn decode_recovers_structure() {
+        let m = DblMultigraph::new(
+            2,
+            vec![
+                vec![LabelSet::L1, LabelSet::L12, LabelSet::L2],
+                vec![LabelSet::L12, LabelSet::L1, LabelSet::L2],
+            ],
+        )
+        .unwrap();
+        let (interner, views) = views_of(&m, 4);
+        let d = decode_pd2(&interner, &views).unwrap();
+        assert_eq!(d.levels(), 3);
+        // Level-0 attachment counts match label-1/label-2 edge counts (up
+        // to the arbitrary stream naming).
+        let count = |x: usize, t: usize| -> u32 { d.attached[x][t].iter().map(|&(_, c)| c).sum() };
+        let mut observed = [count(0, 0), count(1, 0)];
+        observed.sort_unstable();
+        assert_eq!(observed, [2, 2]); // 2 edges with label 1, 2 with label 2
+    }
+
+    #[test]
+    fn truth_always_consistent() {
+        let mut adv = RandomDblAdversary::new(StdRng::seed_from_u64(11));
+        for n in [1u64, 2, 3, 4, 5, 6, 3, 5] {
+            let m = adv.generate(n, 4).unwrap();
+            let (interner, views) = views_of(&m, 4);
+            let pops = consistent_populations(&interner, &views, 2_000_000).unwrap();
+            assert!(
+                pops.contains(&(m.nodes() as i64)),
+                "truth {} in {pops:?}",
+                m.nodes()
+            );
+        }
+    }
+
+    #[test]
+    fn counts_small_networks_exactly() {
+        let mut adv = RandomDblAdversary::new(StdRng::seed_from_u64(21));
+        let mut counted = 0;
+        for _ in 0..6 {
+            let m = adv.generate(4, 8).unwrap();
+            let net = transform::to_pd2(&m, 8).expect("transforms");
+            match run_pd2_view_counting(net, 8, 2_000_000) {
+                Ok(out) => {
+                    assert_eq!(out.count as usize, m.nodes() + 3);
+                    counted += 1;
+                }
+                Err(Pd2ViewError::Undecided { candidates, .. }) => {
+                    assert!(candidates.contains(&(m.nodes() as i64)));
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(counted >= 3, "most random instances decide, got {counted}");
+    }
+
+    #[test]
+    fn twins_remain_ambiguous_through_horizon() {
+        // The view-counting rule, being exact, cannot decide between the
+        // Lemma 5 twins within the horizon — the graph-level form of
+        // Theorem 2.
+        let pair = TwinBuilder::new().build(4).unwrap();
+        let rounds = pair.horizon + 2; // = 3 observed rounds
+        let (interner, views) = views_of(&pair.smaller, rounds);
+        let pops = consistent_populations(&interner, &views, 2_000_000).unwrap();
+        assert!(
+            pops.contains(&4) && pops.contains(&5),
+            "both twin sizes consistent: {pops:?}"
+        );
+    }
+
+    #[test]
+    fn all_pairs_network_decides() {
+        // Every node on {1,2} every round: no ambiguity, quick decision.
+        let m = Census::from_counts(vec![0, 0, 5])
+            .unwrap()
+            .realize()
+            .unwrap();
+        let net = transform::to_pd2(&m, 6).expect("transforms");
+        let out = run_pd2_view_counting(net, 6, 1_000_000).unwrap();
+        assert_eq!(out.count, 5 + 3);
+    }
+
+    #[test]
+    fn rejects_non_pd2_networks() {
+        let net = anonet_graph::GraphSequence::constant(anonet_graph::Graph::path(5).unwrap());
+        let err = run_pd2_view_counting(net, 4, 10_000).unwrap_err();
+        assert!(matches!(err, Pd2ViewError::NotPd2 { .. }), "{err}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Exhaustive view-consistent counting (the exponential baseline).
+//!
+//! The generic deterministic algorithm on an anonymous dynamic network:
+//! the leader runs the full-information protocol and, at each round,
+//! enumerates *every* candidate execution — every size `m` and every
+//! sequence of connected graphs on `m` nodes — whose leader view matches
+//! what it saw. It can output exactly when all consistent candidates agree
+//! on the size. This is the information-theoretically optimal decision
+//! rule for arbitrary 1-interval-connected anonymous networks, and it is
+//! brutally expensive (the algorithms of [12, 13] tame variants of it with
+//! extra assumptions but still pay exponentially many rounds in general).
+//!
+//! Tractable only for tiny sizes and horizons; the experiment `exp_enum`
+//! uses it to cross-check the kernel machinery from first principles.
+
+use anonet_graph::{DynamicNetwork, Graph};
+use anonet_netsim::{run_full_information, ViewId, ViewInterner};
+
+/// All connected graphs on `order` nodes (by brute force over edge
+/// subsets). For `order = 0, 1` returns the single empty graph.
+///
+/// # Panics
+///
+/// Panics if `order > 6` (the enumeration would be astronomically large).
+pub fn connected_graphs(order: usize) -> Vec<Graph> {
+    assert!(order <= 6, "connected_graphs is for tiny orders");
+    let pairs: Vec<(usize, usize)> = (0..order)
+        .flat_map(|u| ((u + 1)..order).map(move |v| (u, v)))
+        .collect();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << pairs.len()) {
+        let edges = pairs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &e)| e);
+        let g = Graph::from_edges(order, edges).expect("enumerated edges are valid");
+        if g.is_connected() {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// The sizes in `sizes` that admit at least one dynamic graph (sequence of
+/// connected per-round graphs) whose leader view equals `target` after
+/// every round `1..=rounds`.
+///
+/// `target[r]` must be the observed leader view after `r + 1` rounds, all
+/// interned in `interner`. Depth-first search over per-round graphs with
+/// early pruning on leader-view mismatch.
+pub fn consistent_sizes(
+    target: &[ViewId],
+    sizes: &[usize],
+    interner: &mut ViewInterner,
+) -> Vec<usize> {
+    let rounds = target.len();
+    let mut ok = Vec::new();
+    for &m in sizes {
+        if m >= 1 && search(m, target, rounds, interner) {
+            ok.push(m);
+        }
+    }
+    ok
+}
+
+fn search(order: usize, target: &[ViewId], rounds: usize, interner: &mut ViewInterner) -> bool {
+    let graphs = connected_graphs(order);
+    let leader = interner.leaf(anonet_netsim::Role::Leader);
+    let anon = interner.leaf(anonet_netsim::Role::Anonymous);
+    let initial: Vec<ViewId> = (0..order)
+        .map(|v| if v == 0 { leader } else { anon })
+        .collect();
+    dfs(&initial, 0, target, rounds, &graphs, interner)
+}
+
+fn dfs(
+    views: &[ViewId],
+    depth: usize,
+    target: &[ViewId],
+    rounds: usize,
+    graphs: &[Graph],
+    interner: &mut ViewInterner,
+) -> bool {
+    if depth == rounds {
+        return true;
+    }
+    for g in graphs {
+        let next: Vec<ViewId> = (0..views.len())
+            .map(|v| {
+                let received = g.neighbors(v).iter().map(|&u| views[u]);
+                interner.step(views[v], received)
+            })
+            .collect();
+        if next[0] == target[depth] && dfs(&next, depth + 1, target, rounds, graphs, interner) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The outcome of the enumeration counting rule on an observed network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumerationOutcome {
+    /// For each observed round `r` (1-based), the sizes consistent with
+    /// the leader's view after `r` rounds.
+    pub candidates_per_round: Vec<Vec<usize>>,
+    /// The first round after which exactly one size remained, if any.
+    pub decision_round: Option<u32>,
+}
+
+/// Runs the enumeration counting rule on `net` for up to `max_rounds`
+/// rounds, considering candidate sizes `1..=max_size`.
+///
+/// # Panics
+///
+/// Panics if `max_size > 6`.
+pub fn run_enumeration_counting<N: DynamicNetwork>(
+    mut net: N,
+    max_rounds: u32,
+    max_size: usize,
+) -> EnumerationOutcome {
+    let mut interner = ViewInterner::new();
+    let run = run_full_information(&mut net, max_rounds, &mut interner);
+    let sizes: Vec<usize> = (1..=max_size).collect();
+    let mut candidates_per_round = Vec::new();
+    let mut decision_round = None;
+    for r in 1..=max_rounds as usize {
+        let target: Vec<ViewId> = (1..=r).map(|i| run.leader_view(i)).collect();
+        let cands = consistent_sizes(&target, &sizes, &mut interner);
+        if cands.len() == 1 && decision_round.is_none() {
+            decision_round = Some(r as u32);
+        }
+        candidates_per_round.push(cands);
+    }
+    EnumerationOutcome {
+        candidates_per_round,
+        decision_round,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::GraphSequence;
+
+    #[test]
+    fn connected_graph_counts() {
+        // Known counts of connected labeled graphs: 1, 1, 1, 4, 38.
+        assert_eq!(connected_graphs(0).len(), 1);
+        assert_eq!(connected_graphs(1).len(), 1);
+        assert_eq!(connected_graphs(2).len(), 1);
+        assert_eq!(connected_graphs(3).len(), 4);
+        assert_eq!(connected_graphs(4).len(), 38);
+    }
+
+    #[test]
+    fn star_network_counted_by_enumeration() {
+        // A static star on 3 nodes. After round 1 the leader only knows it
+        // has two anonymous neighbours — a 4-node network could fake that.
+        // After round 2 the neighbours' echoed views (each "I saw exactly
+        // the leader") rule out any extra hidden node.
+        let net = GraphSequence::constant(Graph::star(3).unwrap());
+        let out = run_enumeration_counting(net, 2, 4);
+        let round1 = &out.candidates_per_round[0];
+        assert!(round1.contains(&3) && round1.contains(&4), "{round1:?}");
+        assert_eq!(out.candidates_per_round[1], vec![3]);
+        assert_eq!(out.decision_round, Some(2));
+    }
+
+    #[test]
+    fn true_size_always_consistent() {
+        for order in 2usize..=4 {
+            let net = GraphSequence::constant(Graph::cycle(order.max(3)).unwrap());
+            let n = order.max(3);
+            let out = run_enumeration_counting(net, 2, 5);
+            for cands in &out.candidates_per_round {
+                assert!(cands.contains(&n), "n={n} must stay consistent");
+            }
+        }
+    }
+
+    #[test]
+    fn path_ambiguity_resolves_with_rounds() {
+        // A path 0-1-2: at round 1 the leader (an endpoint) sees one
+        // message — consistent with many sizes. More rounds narrow it.
+        let net = GraphSequence::constant(Graph::path(3).unwrap());
+        let out = run_enumeration_counting(net, 3, 4);
+        let first = &out.candidates_per_round[0];
+        assert!(first.len() > 1, "one round is ambiguous: {first:?}");
+        assert!(first.contains(&3));
+    }
+}

@@ -1,0 +1,13 @@
+//! Baseline algorithms from the related work (§2).
+//!
+//! * [`pushsum`] — mass-conserving gossip under a fair adversary
+//!   (Kempe et al. \[8\]): converges, because fair adversaries are easy.
+//! * [`mass_drain`] — degree-bounded anonymous counting in the spirit of
+//!   Michail et al. \[15\] / Di Luna et al. \[12\]: correct but slow.
+//! * [`enumeration`] — the exhaustive view-consistent decision rule: the
+//!   information-theoretic optimum for arbitrary anonymous dynamic
+//!   networks, at exponential cost.
+
+pub mod enumeration;
+pub mod mass_drain;
+pub mod pushsum;

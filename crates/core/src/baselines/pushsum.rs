@@ -1,0 +1,188 @@
+//! Push-sum gossip size estimation (Kempe, Dobra & Gehrke \[8\]).
+//!
+//! The classic *fair adversary* baseline: mass-conserving gossip converges
+//! to the network size under random rewiring, in sharp contrast to the
+//! worst-case adversary of §4. Every node holds a pair `(s, w)`; initially
+//! `s = 1` everywhere and `w = 1` only at the leader. Each round a node
+//! splits its pair uniformly over itself and its neighbours (using the
+//! degree oracle) and sums what it receives; mass conservation (`Σs = n`,
+//! `Σw = 1`) makes every local ratio `s/w` converge to `n`.
+//!
+//! Estimates use `f64` — this baseline is about convergence behaviour, not
+//! exactness, and is *not* on any proof path.
+
+use anonet_graph::DynamicNetwork;
+use anonet_netsim::{Process, RecvContext, SendContext, Simulator};
+
+/// One node's state in the push-sum protocol.
+#[derive(Debug, Clone)]
+pub struct PushSumProcess {
+    s: f64,
+    w: f64,
+    share_s: f64,
+    share_w: f64,
+    estimate: Option<f64>,
+}
+
+impl PushSumProcess {
+    /// A population of `n` processes (node 0 the leader).
+    pub fn population(n: usize) -> Vec<PushSumProcess> {
+        (0..n)
+            .map(|v| PushSumProcess {
+                s: 1.0,
+                w: if v == 0 { 1.0 } else { 0.0 },
+                share_s: 0.0,
+                share_w: 0.0,
+                estimate: None,
+            })
+            .collect()
+    }
+
+    /// The node's current size estimate `s / w`, if `w > 0`.
+    pub fn estimate(&self) -> Option<f64> {
+        self.estimate
+    }
+}
+
+impl Process for PushSumProcess {
+    type Msg = (f64, f64);
+
+    fn send(&mut self, ctx: &SendContext) -> (f64, f64) {
+        let degree = ctx.degree.expect("push-sum requires the degree oracle") as f64;
+        let parts = degree + 1.0;
+        self.share_s = self.s / parts;
+        self.share_w = self.w / parts;
+        // Keep one share for ourselves; the rest is broadcast (each of the
+        // `degree` neighbours receives one share).
+        (self.share_s, self.share_w)
+    }
+
+    fn receive(&mut self, ctx: RecvContext<'_, (f64, f64)>) {
+        let mut s = self.share_s;
+        let mut w = self.share_w;
+        for &(ms, mw) in ctx.inbox {
+            s += ms;
+            w += mw;
+        }
+        self.s = s;
+        self.w = w;
+        if self.w > f64::EPSILON {
+            self.estimate = Some(self.s / self.w);
+        }
+    }
+}
+
+/// The trajectory of the leader's push-sum estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushSumRun {
+    /// `estimates[r]` is the leader's estimate after round `r` (`NaN`
+    /// before the leader's weight becomes positive — never happens for the
+    /// leader itself, which starts with `w = 1`).
+    pub estimates: Vec<f64>,
+    /// The true network size.
+    pub true_size: usize,
+}
+
+impl PushSumRun {
+    /// The first round at which the leader's estimate is within
+    /// `tolerance` (relative) of the true size and stays there for the
+    /// rest of the run.
+    pub fn convergence_round(&self, tolerance: f64) -> Option<u32> {
+        let n = self.true_size as f64;
+        let ok = |e: f64| (e - n).abs() <= tolerance * n;
+        let mut candidate = None;
+        for (r, &e) in self.estimates.iter().enumerate() {
+            if ok(e) {
+                if candidate.is_none() {
+                    candidate = Some(r as u32);
+                }
+            } else {
+                candidate = None;
+            }
+        }
+        candidate
+    }
+
+    /// Relative error after the final round.
+    pub fn final_error(&self) -> f64 {
+        let n = self.true_size as f64;
+        match self.estimates.last() {
+            Some(&e) => (e - n).abs() / n,
+            None => f64::INFINITY,
+        }
+    }
+}
+
+/// Runs push-sum on `net` for `rounds` rounds and records the leader's
+/// estimate trajectory.
+pub fn run_pushsum<N: DynamicNetwork>(net: N, rounds: u32) -> PushSumRun {
+    let n = net.order();
+    let mut sim = Simulator::new(net).with_degree_oracle();
+    let mut procs = PushSumProcess::population(n);
+
+    // Drive round by round to record the trajectory (the simulator stops on
+    // leader output, which push-sum never produces — estimates are polled).
+    let mut estimates = Vec::with_capacity(rounds as usize);
+    for _ in 0..rounds {
+        sim.run(&mut procs[..], 1);
+        estimates.push(procs[0].estimate().unwrap_or(f64::NAN));
+    }
+    PushSumRun {
+        estimates,
+        true_size: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::generators::RandomDynamic;
+    use anonet_graph::{Graph, GraphSequence};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn converges_on_static_complete_graph() {
+        let net = GraphSequence::constant(Graph::complete(8));
+        let run = run_pushsum(net, 60);
+        assert!(run.final_error() < 1e-6, "error {}", run.final_error());
+        assert!(run.convergence_round(0.01).is_some());
+    }
+
+    #[test]
+    fn converges_under_fair_random_adversary() {
+        let net = RandomDynamic::new(20, 10, StdRng::seed_from_u64(7));
+        let run = run_pushsum(net, 200);
+        assert!(
+            run.final_error() < 1e-3,
+            "fair adversary allows convergence, error {}",
+            run.final_error()
+        );
+    }
+
+    #[test]
+    fn estimates_eventually_stabilize_on_star() {
+        let net = GraphSequence::constant(Graph::star(10).unwrap());
+        let run = run_pushsum(net, 300);
+        assert!(run.final_error() < 1e-3, "error {}", run.final_error());
+    }
+
+    #[test]
+    fn convergence_round_semantics() {
+        let run = PushSumRun {
+            estimates: vec![1.0, 9.0, 10.0, 10.0, 10.1],
+            true_size: 10,
+        };
+        // Within 5% from round 2 onwards.
+        assert_eq!(run.convergence_round(0.05), Some(2));
+        // Within 0.1%: never stays.
+        assert_eq!(run.convergence_round(0.001), None);
+    }
+
+    #[test]
+    fn single_node_network() {
+        let net = GraphSequence::constant(Graph::empty(1));
+        let run = run_pushsum(net, 5);
+        assert!(run.final_error() < 1e-12);
+    }
+}

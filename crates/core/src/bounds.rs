@@ -1,0 +1,193 @@
+//! Closed-form bounds from the paper.
+//!
+//! All bounds are exact integer formulas; "rounds" counts *observed*
+//! rounds (a leader that decides after seeing rounds `0..=r` used `r + 1`
+//! rounds).
+
+use anonet_multigraph::adversary::indistinguishability_horizon;
+
+/// `⌊log₃ x⌋` for `x ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn log3_floor(x: u128) -> u32 {
+    assert!(x > 0, "log3 of zero");
+    let mut pow = 1u128;
+    let mut e = 0u32;
+    while pow <= x / 3 {
+        pow *= 3;
+        e += 1;
+    }
+    e
+}
+
+/// The last round through which the worst-case adversary keeps sizes `n`
+/// and `n + 1` leader-indistinguishable: `⌊log₃(2n+1)⌋ - 1`
+/// (Lemma 5 / Theorem 1). `None` for `n = 0`.
+pub fn ambiguity_horizon(n: u64) -> Option<u32> {
+    indistinguishability_horizon(n)
+}
+
+/// Minimum number of observed rounds any counting algorithm needs on a
+/// worst-case `M(DBL)_k` (hence `G(PD)_2`) instance of size `n`:
+/// `⌊log₃(2n+1)⌋ + 1` (one round past the ambiguity horizon, which spans
+/// rounds `0..=⌊log₃(2n+1)⌋ - 1`).
+///
+/// This is also exactly the number of rounds after which the optimal
+/// (affine-solver) leader decides against the kernel adversary, so the
+/// bound is tight for that adversary.
+pub fn counting_rounds_lower_bound(n: u64) -> u32 {
+    match ambiguity_horizon(n) {
+        None => 0,
+        Some(h) => h + 2,
+    }
+}
+
+/// The `Θ(log n)` additive cost of anonymity over dissemination for a
+/// constant-`D` network (§5): counting needs `D + Ω(log |V|)` rounds while
+/// flooding completes in `D`.
+pub fn anonymity_gap(n: u64) -> u32 {
+    counting_rounds_lower_bound(n)
+}
+
+/// Corollary 1 lower bound: on the chain-augmented construction with
+/// dynamic diameter `D`, counting needs at least `(D - 2) + Ω(log n)`
+/// rounds (the chain adds `D - 2` rounds of pure propagation before the
+/// `G(PD)_2` core's ambiguity even reaches the leader).
+pub fn corollary_rounds_lower_bound(d: u32, n: u64) -> u32 {
+    d.saturating_sub(2) + counting_rounds_lower_bound(n)
+}
+
+/// The largest network size guaranteed countable within `rounds` observed
+/// rounds under the worst-case adversary — the inverse of
+/// [`counting_rounds_lower_bound`]: `(3^rounds - 3) / 2` (0 for fewer than
+/// 2 rounds; no network is countable in a single round).
+pub fn max_countable_size(rounds: u32) -> u64 {
+    if rounds < 2 {
+        return 0;
+    }
+    (3u64.pow(rounds) - 3) / 2
+}
+
+/// Number of negative components of the kernel `k_r` (Lemma 4):
+/// `(3^{r+1} - 1) / 2`. The adversary can sustain ambiguity at round `r`
+/// iff the network has at least this many nodes.
+pub fn ambiguity_node_threshold(r: u32) -> u64 {
+    (3u64.pow(r + 1) - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_multigraph::system::kernel_sums;
+
+    #[test]
+    fn log3_floor_values() {
+        assert_eq!(log3_floor(1), 0);
+        assert_eq!(log3_floor(2), 0);
+        assert_eq!(log3_floor(3), 1);
+        assert_eq!(log3_floor(8), 1);
+        assert_eq!(log3_floor(9), 2);
+        assert_eq!(log3_floor(26), 2);
+        assert_eq!(log3_floor(27), 3);
+        assert_eq!(log3_floor(3u128.pow(20)), 20);
+        assert_eq!(log3_floor(3u128.pow(20) - 1), 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "log3 of zero")]
+    fn log3_zero_panics() {
+        log3_floor(0);
+    }
+
+    #[test]
+    fn horizon_equals_formula() {
+        for n in 1..2000u64 {
+            assert_eq!(
+                ambiguity_horizon(n).unwrap(),
+                log3_floor(2 * n as u128 + 1) - 1,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn counting_bound_is_logarithmic() {
+        assert_eq!(counting_rounds_lower_bound(0), 0);
+        assert_eq!(counting_rounds_lower_bound(1), 2); // paper: n <= 3 countable in 2 rounds
+        assert_eq!(counting_rounds_lower_bound(3), 2);
+        assert_eq!(counting_rounds_lower_bound(4), 3); // n >= 4 needs a 3rd round
+        assert_eq!(counting_rounds_lower_bound(12), 3);
+        assert_eq!(counting_rounds_lower_bound(13), 4);
+        // Growth is Θ(log n): doubling n adds at most one round.
+        for n in 1..5000u64 {
+            let a = counting_rounds_lower_bound(n);
+            let b = counting_rounds_lower_bound(2 * n);
+            assert!(b >= a && b <= a + 1, "n={n}: {a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn threshold_matches_kernel_sums() {
+        for r in 0..8u32 {
+            assert_eq!(
+                ambiguity_node_threshold(r),
+                kernel_sums(r as usize).negative as u64,
+                "Σ⁻ k_r at r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_and_horizon_are_inverse() {
+        for r in 0..8u32 {
+            let t = ambiguity_node_threshold(r);
+            // The smallest network sustaining ambiguity at round r has
+            // exactly t nodes.
+            assert_eq!(ambiguity_horizon(t).unwrap(), r);
+            if t > 1 {
+                assert_eq!(ambiguity_horizon(t - 1).unwrap(), r - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn max_countable_size_inverts_the_bound() {
+        assert_eq!(max_countable_size(0), 0);
+        assert_eq!(max_countable_size(1), 0);
+        assert_eq!(max_countable_size(2), 3); // the paper: n <= 3 in 2 rounds
+        assert_eq!(max_countable_size(3), 12);
+        assert_eq!(max_countable_size(4), 39);
+        for r in 2..=12u32 {
+            let m = max_countable_size(r);
+            assert_eq!(
+                counting_rounds_lower_bound(m),
+                r,
+                "n = {m} countable in {r}"
+            );
+            assert_eq!(
+                counting_rounds_lower_bound(m + 1),
+                r + 1,
+                "n = {} needs one more round",
+                m + 1
+            );
+        }
+    }
+
+    #[test]
+    fn corollary_bound() {
+        assert_eq!(
+            corollary_rounds_lower_bound(2, 10),
+            counting_rounds_lower_bound(10)
+        );
+        assert_eq!(
+            corollary_rounds_lower_bound(10, 10),
+            8 + counting_rounds_lower_bound(10)
+        );
+        assert_eq!(
+            corollary_rounds_lower_bound(0, 10),
+            counting_rounds_lower_bound(10)
+        );
+    }
+}

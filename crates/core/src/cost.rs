@@ -1,0 +1,366 @@
+//! Headline measurements: the empirical cost of anonymity.
+//!
+//! These functions produce the data behind the paper's results: counting
+//! time under the worst-case adversary versus the closed-form bounds
+//! (Theorems 1–2), the dissemination/counting gap (§5), the Corollary 1
+//! chain construction, and the network-level indistinguishability that
+//! Lemma 1 transfers from multigraphs to `G(PD)_2` graphs.
+
+use crate::algorithms::{CountingError, KernelCounting};
+use crate::bounds;
+use anonet_graph::{metrics, ChainExtended, DynamicNetwork};
+use anonet_multigraph::adversary::{TwinBuilder, TwinError};
+use anonet_multigraph::transform;
+use anonet_netsim::{run_full_information, ViewInterner};
+use core::fmt;
+
+/// Errors from the measurement harness.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CostError {
+    /// Twin construction failed.
+    Twin(TwinError),
+    /// The counting algorithm failed unexpectedly.
+    Counting(CountingError),
+    /// PD2 transformation failed.
+    Transform(anonet_graph::pd::PdError),
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::Twin(e) => write!(f, "twin construction failed: {e}"),
+            CostError::Counting(e) => write!(f, "counting failed: {e}"),
+            CostError::Transform(e) => write!(f, "pd2 transform failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+impl From<TwinError> for CostError {
+    fn from(e: TwinError) -> Self {
+        CostError::Twin(e)
+    }
+}
+
+impl From<CountingError> for CostError {
+    fn from(e: CountingError) -> Self {
+        CostError::Counting(e)
+    }
+}
+
+impl From<anonet_graph::pd::PdError> for CostError {
+    fn from(e: anonet_graph::pd::PdError) -> Self {
+        CostError::Transform(e)
+    }
+}
+
+/// One data point of the counting-cost curve (Theorem 2's headline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct CountingCost {
+    /// Network size `|W|`.
+    pub n: u64,
+    /// Rounds the optimal algorithm needed against the kernel adversary.
+    pub measured_rounds: u32,
+    /// The paper's lower bound `⌊log₃(2n+1)⌋ + 1`.
+    pub bound_rounds: u32,
+    /// The ambiguity horizon `⌊log₃(2n+1)⌋ - 1` sustained by the twins.
+    pub horizon: u32,
+}
+
+/// Measures the optimal counting time for size `n` under the worst-case
+/// (kernel) adversary, together with the matching bounds.
+///
+/// # Errors
+///
+/// Returns [`CostError`] if `n == 0` or the algorithm fails.
+pub fn measure_counting_cost(n: u64) -> Result<CountingCost, CostError> {
+    let pair = TwinBuilder::new().build(n)?;
+    let outcome = KernelCounting::new().run(&pair.smaller, pair.horizon + 8)?;
+    debug_assert_eq!(outcome.count, n);
+    Ok(CountingCost {
+        n,
+        measured_rounds: outcome.rounds,
+        bound_rounds: bounds::counting_rounds_lower_bound(n),
+        horizon: pair.horizon,
+    })
+}
+
+/// One data point of the dissemination-vs-counting gap (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct GapPoint {
+    /// Network size `|V|` of the `G(PD)_2` image (leader + 2 relays + n).
+    pub order: usize,
+    /// Multigraph size `n = |W|`.
+    pub n: u64,
+    /// Measured dynamic diameter of the worst-case `G(PD)_2` image
+    /// (dissemination completes within this many rounds).
+    pub dissemination_rounds: u32,
+    /// Rounds the optimal counting algorithm needed.
+    pub counting_rounds: u32,
+}
+
+/// Measures flooding time and counting time on the *same* worst-case
+/// `G(PD)_2` instance: dissemination stays `O(1)` (the dynamic diameter of
+/// any `G(PD)_2` graph is at most 4) while counting grows with `log n`.
+///
+/// # Errors
+///
+/// Returns [`CostError`] if the construction or counting fails.
+pub fn measure_gap(n: u64) -> Result<GapPoint, CostError> {
+    let pair = TwinBuilder::new().build(n)?;
+    let rounds = pair.horizon as usize + 2;
+    let mut net = transform::to_pd2(&pair.smaller, rounds)?;
+    let flood = metrics::flood(&mut net, 0, 0, 64)
+        .duration()
+        .expect("pd2 networks are connected");
+    let outcome = KernelCounting::new().run(&pair.smaller, pair.horizon + 8)?;
+    Ok(GapPoint {
+        order: net.order(),
+        n,
+        dissemination_rounds: flood,
+        counting_rounds: outcome.rounds,
+    })
+}
+
+/// One data point of the network-level indistinguishability measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct ViewAgreement {
+    /// Multigraph size `n`.
+    pub n: u64,
+    /// The multigraph-level ambiguity horizon (Lemma 5).
+    pub horizon: u32,
+    /// Rounds through which the `G(PD)_2` leaders' full-information views
+    /// agree — no algorithm whatsoever can separate the twins earlier.
+    pub agreement_rounds: u32,
+    /// Extra static-chain nodes spliced before the leader (0 = plain
+    /// `G(PD)_2`, Corollary 1 otherwise).
+    pub chain: u32,
+    /// Measured dynamic diameter of the (possibly chain-extended) network.
+    pub diameter: u32,
+}
+
+/// Measures, at the network level, how long the leader's full-information
+/// view fails to separate the size-`n` and size-`n+1` twins after the
+/// Lemma 1 transformation (and optional Corollary 1 chain extension).
+///
+/// This is the strongest possible empirical form of the lower bound: the
+/// full-information view majorizes every deterministic algorithm.
+///
+/// # Errors
+///
+/// Returns [`CostError`] on construction failure.
+pub fn measure_view_agreement(n: u64, chain: u32) -> Result<ViewAgreement, CostError> {
+    let pair = TwinBuilder::new().build(n)?;
+    let rounds = pair.horizon as usize + 2;
+    let small = transform::to_pd2(&pair.smaller, rounds)?;
+    let large = transform::to_pd2(&pair.larger, rounds)?;
+    let mut small = ChainExtended::new(small, chain as usize);
+    let mut large = ChainExtended::new(large, chain as usize);
+
+    let horizon_rounds = pair.horizon + 8 + 2 * chain;
+    let mut interner = ViewInterner::new();
+    let a = run_full_information(&mut small, horizon_rounds, &mut interner);
+    let b = run_full_information(&mut large, horizon_rounds, &mut interner);
+    let agreement = a.leader_agreement(&b, horizon_rounds as usize) as u32;
+
+    let diameter = metrics::dynamic_diameter(&mut small, pair.horizon + 2, 256)
+        .expect("pd2 networks are connected");
+
+    Ok(ViewAgreement {
+        n,
+        horizon: pair.horizon,
+        agreement_rounds: agreement,
+        chain,
+        diameter,
+    })
+}
+
+/// Rounds the optimal algorithm needs under each adversary class — the
+/// adversary ablation (worst-case vs fair-random vs static).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct AdversaryAblation {
+    /// Network size.
+    pub n: u64,
+    /// Rounds against the kernel (worst-case) adversary.
+    pub worst_case_rounds: u32,
+    /// Mean rounds against the fair random adversary (over `samples`).
+    pub random_rounds_mean_x100: u32,
+    /// Maximum rounds observed against the random adversary.
+    pub random_rounds_max: u32,
+    /// Rounds against the static (round-0-frozen) adversary.
+    pub static_rounds: u32,
+}
+
+/// Measures the adversary ablation for size `n` with `samples` random
+/// draws (deterministic in `seed`).
+///
+/// # Errors
+///
+/// Returns [`CostError`] on construction or counting failure.
+pub fn measure_adversary_ablation(
+    n: u64,
+    samples: u32,
+    seed: u64,
+) -> Result<AdversaryAblation, CostError> {
+    use anonet_multigraph::adversary::{RandomDblAdversary, StaticDblAdversary};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let worst = measure_counting_cost(n)?.measured_rounds;
+    let horizon_rounds = worst + 8;
+
+    let mut random_total = 0u64;
+    let mut random_max = 0u32;
+    let mut adv = RandomDblAdversary::new(StdRng::seed_from_u64(seed));
+    for _ in 0..samples.max(1) {
+        let m = adv.generate(n, horizon_rounds as usize)?;
+        let r = KernelCounting::new().run(&m, horizon_rounds)?.rounds;
+        random_total += r as u64;
+        random_max = random_max.max(r);
+    }
+
+    let m = StaticDblAdversary::new(StdRng::seed_from_u64(seed ^ 0xF00D)).generate(n)?;
+    let static_rounds = KernelCounting::new().run(&m, horizon_rounds)?.rounds;
+
+    Ok(AdversaryAblation {
+        n,
+        worst_case_rounds: worst,
+        random_rounds_mean_x100: (random_total * 100 / samples.max(1) as u64) as u32,
+        random_rounds_max: random_max,
+        static_rounds,
+    })
+}
+
+/// Per-round growth of the leader's knowledge under the worst-case
+/// adversary — why the model needs unlimited bandwidth.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct StateGrowth {
+    /// Network size.
+    pub n: u64,
+    /// Per round: messages delivered to the leader (edges).
+    pub deliveries: Vec<usize>,
+    /// Per round: distinct `(label, state)` pairs among them — the size of
+    /// `C(v_l, r)` as a set.
+    pub distinct_states: Vec<usize>,
+}
+
+/// Measures how the leader's per-round observation multiset grows on the
+/// kernel adversary's instance: the number of *distinct* node states grows
+/// geometrically up to the horizon, so any algorithm relaying full states
+/// (as the optimal one must, in the worst case) needs messages of
+/// unbounded size — the paper's unlimited-bandwidth assumption at work.
+///
+/// # Errors
+///
+/// Returns [`CostError`] for `n = 0`.
+pub fn measure_state_growth(n: u64) -> Result<StateGrowth, CostError> {
+    use anonet_multigraph::simulate::simulate;
+    let pair = TwinBuilder::new().build(n)?;
+    let rounds = pair.horizon as usize + 2;
+    let exec = simulate(&pair.smaller, rounds);
+    let deliveries = exec.rounds.iter().map(Vec::len).collect();
+    let distinct_states = exec
+        .rounds
+        .iter()
+        .map(|round| {
+            let mut sorted = round.clone();
+            sorted.dedup();
+            sorted.len()
+        })
+        .collect();
+    Ok(StateGrowth {
+        n,
+        deliveries,
+        distinct_states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_cost_matches_bound_exactly() {
+        for n in [1u64, 3, 4, 12, 13, 39, 40, 121, 365] {
+            let c = measure_counting_cost(n).unwrap();
+            assert_eq!(c.measured_rounds, c.bound_rounds, "tight at n={n}");
+            assert_eq!(c.bound_rounds, c.horizon + 2);
+        }
+    }
+
+    #[test]
+    fn counting_cost_is_logarithmic() {
+        let r10 = measure_counting_cost(10).unwrap().measured_rounds;
+        let r100 = measure_counting_cost(100).unwrap().measured_rounds;
+        let r1000 = measure_counting_cost(1000).unwrap().measured_rounds;
+        assert!(r100 <= r10 + 3 && r1000 <= r100 + 3, "log growth");
+        assert!(r1000 > r10, "but it does grow");
+    }
+
+    #[test]
+    fn gap_widens_with_n() {
+        let g10 = measure_gap(10).unwrap();
+        let g400 = measure_gap(400).unwrap();
+        assert!(g10.dissemination_rounds <= 4);
+        assert!(g400.dissemination_rounds <= 4, "D is constant in n");
+        assert!(
+            g400.counting_rounds > g10.counting_rounds,
+            "counting grows while dissemination does not"
+        );
+        assert_eq!(g400.order as u64, 400 + 3);
+    }
+
+    #[test]
+    fn view_agreement_covers_horizon() {
+        for n in [4u64, 13] {
+            let v = measure_view_agreement(n, 0).unwrap();
+            assert!(
+                v.agreement_rounds > v.horizon,
+                "network-level ambiguity lasts at least as long as the \
+                 multigraph horizon (Lemma 1): n={n}, {v:?}"
+            );
+            assert!(v.agreement_rounds < v.horizon + 8, "but not forever: {v:?}");
+        }
+    }
+
+    #[test]
+    fn adversary_ablation_orders_adversaries() {
+        let a = measure_adversary_ablation(40, 10, 7).unwrap();
+        assert_eq!(a.worst_case_rounds, 5);
+        assert!(a.random_rounds_max <= a.worst_case_rounds);
+        assert!(a.random_rounds_mean_x100 <= a.worst_case_rounds * 100);
+        assert!(a.static_rounds <= a.worst_case_rounds);
+        assert!(a.random_rounds_mean_x100 >= 100, "at least one round");
+    }
+
+    #[test]
+    fn state_growth_is_geometric_until_horizon() {
+        let g = measure_state_growth(121).unwrap();
+        // Distinct states per round: 1, then growing roughly 3x per round
+        // until bounded by n and the history population.
+        assert_eq!(g.distinct_states[0], 2, "two labels at round 0");
+        for w in g.distinct_states.windows(2) {
+            assert!(w[1] >= w[0], "distinct states never shrink: {g:?}");
+        }
+        let last = *g.distinct_states.last().unwrap();
+        assert!(last >= 13, "wide state spectrum at the horizon: {g:?}");
+        // Deliveries stay between n and 2n (1..=2 edges per node).
+        for &d in &g.deliveries {
+            assert!((121..=242).contains(&d));
+        }
+    }
+
+    #[test]
+    fn chain_extends_agreement_and_diameter() {
+        let base = measure_view_agreement(4, 0).unwrap();
+        let chained = measure_view_agreement(4, 5).unwrap();
+        assert!(chained.diameter > base.diameter, "{base:?} vs {chained:?}");
+        assert!(
+            chained.agreement_rounds >= base.agreement_rounds + 5,
+            "every chain hop delays the distinguishing information: \
+             {base:?} vs {chained:?}"
+        );
+    }
+}

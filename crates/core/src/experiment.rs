@@ -1,0 +1,157 @@
+//! Experiment harness: structured tables for the reproduction binaries.
+//!
+//! Every experiment binary produces one or more [`Table`]s that are both
+//! printed as aligned markdown (for `EXPERIMENTS.md`) and serializable to
+//! JSON (`--json`).
+
+use core::fmt;
+use serde::Serialize;
+
+/// A table of experiment results.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Table {
+    /// Experiment identifier, e.g. `"E8 (Theorem 1)"`.
+    pub id: String,
+    /// Human-readable caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells, one string per column.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given id, title and headers.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a row of displayable values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_display_row<T: fmt::Display>(&mut self, cells: &[T]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quoting cells containing
+    /// commas, quotes or newlines), headers first.
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let render = |row: &[String]| -> String {
+            row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",")
+        };
+        out.push_str(&render(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as aligned GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("E0", "demo", &["n", "rounds"]);
+        t.push_display_row(&[4, 3]);
+        t.push_display_row(&[100, 5]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### E0 — demo"));
+        assert!(md.contains("| n   | rounds |"));
+        assert!(md.contains("| 100 | 5      |"));
+        assert!(md.contains("|-----|--------|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.push_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn csv_rendering_with_quoting() {
+        let mut t = Table::new("E0", "demo", &["name", "value"]);
+        t.push_row(vec!["plain".into(), "1".into()]);
+        t.push_row(vec!["with, comma".into(), "quo\"te".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with, comma\",\"quo\"\"te\"");
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut t = Table::new("E1", "json", &["x"]);
+        t.push_row(vec!["1".into()]);
+        let js = serde_json::to_string(&t).unwrap();
+        assert!(js.contains("\"id\":\"E1\""));
+        assert!(js.contains("\"rows\":[[\"1\"]]"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the counting algorithms and bounds.
+
+use anonet_core::algorithms::{run_degree_oracle, KernelCounting};
+use anonet_core::baselines::mass_drain::run_mass_drain;
+use anonet_core::bounds;
+use anonet_core::cost::measure_counting_cost;
+use anonet_graph::pd::{Pd2Layout, RandomPd2};
+use anonet_multigraph::adversary::{RandomDblAdversary, TwinBuilder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernel_counting_is_correct_and_tight(n in 1u64..500) {
+        let c = measure_counting_cost(n).unwrap();
+        prop_assert_eq!(c.measured_rounds, c.bound_rounds);
+        prop_assert_eq!(c.bound_rounds, bounds::counting_rounds_lower_bound(n));
+        prop_assert_eq!(c.horizon + 2, c.bound_rounds);
+    }
+
+    #[test]
+    fn kernel_counting_correct_on_random_instances(n in 1u64..80, rounds in 4usize..10, seed in any::<u64>()) {
+        let mut adv = RandomDblAdversary::new(StdRng::seed_from_u64(seed));
+        let m = adv.generate(n, rounds).unwrap();
+        match KernelCounting::new().run(&m, rounds as u32 + 4) {
+            Ok(out) => prop_assert_eq!(out.count, n),
+            Err(_) => {
+                // Undecided is only possible when the horizon covers the
+                // ambiguity: the bound says this cannot happen past it.
+                prop_assert!((rounds as u32 + 4) < bounds::counting_rounds_lower_bound(n));
+            }
+        }
+    }
+
+    #[test]
+    fn counting_never_decides_before_the_bound_on_twins(n in 1u64..300) {
+        let pair = TwinBuilder::new().build(n).unwrap();
+        let early = bounds::counting_rounds_lower_bound(n) - 1;
+        if early > 0 {
+            prop_assert!(KernelCounting::new().run(&pair.smaller, early).is_err());
+        }
+    }
+
+    #[test]
+    fn degree_oracle_always_three_rounds(relays in 1usize..5, leaves in 1usize..40, seed in any::<u64>()) {
+        let layout = Pd2Layout { relays, leaves };
+        let net = RandomPd2::new(layout, StdRng::seed_from_u64(seed));
+        let out = run_degree_oracle(net).unwrap();
+        prop_assert_eq!(out.count as usize, layout.order());
+        prop_assert_eq!(out.rounds, 3);
+    }
+
+    #[test]
+    fn bounds_are_monotone(n in 1u64..100_000) {
+        prop_assert!(bounds::counting_rounds_lower_bound(n + 1) >= bounds::counting_rounds_lower_bound(n));
+        prop_assert!(bounds::corollary_rounds_lower_bound(5, n) >= bounds::counting_rounds_lower_bound(n));
+        let h = bounds::ambiguity_horizon(n).unwrap();
+        prop_assert_eq!(bounds::ambiguity_node_threshold(h) <= n, true);
+    }
+
+    #[test]
+    fn mass_drain_monotone_and_bounded(n in 3usize..10, d_extra in 0u32..6, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = anonet_graph::generators::random_connected(n, 2, &mut rng);
+        let d = g.max_degree() as u32 + d_extra;
+        let net = anonet_graph::GraphSequence::constant(g);
+        let run = run_mass_drain(net, d.max(1), 300, 0.5);
+        // Collected mass is monotone and never exceeds n - 1.
+        let mut last = 0.0f64;
+        for &c in &run.collected {
+            prop_assert!(c + 1e-9 >= last);
+            prop_assert!(c <= n as f64 - 1.0 + 1e-9);
+            last = c;
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz DOT export.
+//!
+//! Renders per-round graphs (and short dynamic prefixes) as DOT for
+//! papers, debugging and teaching. The layout distinguishes the leader
+//! and, when persistent distances exist, colours the `G(PD)_h` layers.
+
+use crate::dynamic::DynamicNetwork;
+use crate::graph::Graph;
+use crate::metrics;
+use core::fmt::Write as _;
+
+/// Renders a single graph as an undirected DOT graph.
+///
+/// Node 0 is drawn as the leader (doublecircle); if `layers` is given,
+/// node fill colours encode the leader-distance layer.
+pub fn graph_to_dot(g: &Graph, name: &str, layers: Option<&[u32]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  layout=neato; overlap=false;");
+    for v in 0..g.order() {
+        let shape = if v == 0 { "doublecircle" } else { "circle" };
+        let label = if v == 0 {
+            "v_l".to_string()
+        } else {
+            format!("v{v}")
+        };
+        let color = match layers.and_then(|l| l.get(v)) {
+            Some(0) => "gold",
+            Some(1) => "lightblue",
+            Some(2) => "lightgreen",
+            Some(_) => "lightgray",
+            None => "white",
+        };
+        let _ = writeln!(
+            out,
+            "  n{v} [label=\"{label}\", shape={shape}, style=filled, fillcolor={color}];"
+        );
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  n{u} -- n{v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the first `rounds` rounds of a dynamic network as a sequence
+/// of DOT graphs (one per round, named `<name>_r<round>`), colouring
+/// persistent-distance layers when they exist over the window.
+pub fn dynamic_to_dot(net: &mut dyn DynamicNetwork, name: &str, rounds: u32) -> String {
+    let layers = metrics::persistent_distances(net, rounds);
+    let mut out = String::new();
+    for r in 0..rounds {
+        let g = net.graph(r);
+        out.push_str(&graph_to_dot(
+            &g,
+            &format!("{name}_r{r}"),
+            layers.as_deref(),
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pd;
+
+    #[test]
+    fn single_graph_dot() {
+        let g = Graph::star(4).unwrap();
+        let dot = graph_to_dot(&g, "star", None);
+        assert!(dot.starts_with("graph star {"));
+        assert!(dot.contains("n0 [label=\"v_l\", shape=doublecircle"));
+        assert!(dot.contains("n0 -- n1;"));
+        assert!(dot.contains("n0 -- n3;"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 4 nodes + 3 edges + header/footer lines.
+        assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn layers_colour_pd2() {
+        let mut net = pd::figure1();
+        let dot = dynamic_to_dot(&mut net, "fig1", 3);
+        assert_eq!(dot.matches("graph fig1_r").count(), 3);
+        assert!(dot.contains("fillcolor=gold"), "leader layer");
+        assert!(dot.contains("fillcolor=lightblue"), "relay layer");
+        assert!(dot.contains("fillcolor=lightgreen"), "leaf layer");
+    }
+
+    #[test]
+    fn non_pd_networks_render_uncoloured() {
+        let g0 = Graph::path(3).unwrap();
+        let g1 = Graph::star(3).unwrap();
+        let mut net = crate::dynamic::GraphSequence::new(vec![g0, g1]).unwrap();
+        let dot = dynamic_to_dot(&mut net, "seq", 2);
+        assert!(dot.contains("fillcolor=white"));
+        assert!(!dot.contains("fillcolor=gold"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Dynamic graphs: infinite sequences of per-round topologies.
+//!
+//! Definition 1 of the paper: a dynamic graph `G = {G_0, G_1, …}` is an
+//! infinite sequence of graphs over a fixed node set, one per synchronous
+//! round. [`DynamicNetwork`] is the trait every topology source implements —
+//! precomputed sequences, random generators and worst-case adversaries
+//! alike. Implementors may be stateful (`&mut self`) because adaptive
+//! adversaries choose `G_r` on the fly.
+
+use crate::graph::Graph;
+
+/// A source of per-round communication graphs over a fixed node set.
+///
+/// Node `0` is the leader. Implementations must return graphs of constant
+/// [`order`](DynamicNetwork::order) and should keep every round connected
+/// (1-interval connectivity); [`check_interval_connectivity`] verifies this
+/// on a window.
+pub trait DynamicNetwork {
+    /// Number of nodes `|V|` (constant across rounds).
+    fn order(&self) -> usize;
+
+    /// The communication graph `G_r` for round `round`.
+    ///
+    /// Calls are made with non-decreasing `round` values by the simulator,
+    /// but implementations should be pure functions of `round` where
+    /// possible so that experiments can replay rounds.
+    fn graph(&mut self, round: u32) -> Graph;
+}
+
+impl<T: DynamicNetwork + ?Sized> DynamicNetwork for Box<T> {
+    fn order(&self) -> usize {
+        (**self).order()
+    }
+    fn graph(&mut self, round: u32) -> Graph {
+        (**self).graph(round)
+    }
+}
+
+/// A dynamic graph given by an explicit finite prefix; the last graph is
+/// held forever afterwards ("the adversary goes static").
+///
+/// # Examples
+///
+/// ```
+/// use anonet_graph::{DynamicNetwork, Graph, GraphSequence};
+///
+/// let seq = GraphSequence::new(vec![Graph::star(3)?, Graph::path(3)?])?;
+/// let mut seq = seq;
+/// assert_eq!(seq.graph(0).degree(0), 2);
+/// assert_eq!(seq.graph(5).degree(0), 1); // holds the last graph
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphSequence {
+    rounds: Vec<Graph>,
+}
+
+/// Error returned when a [`GraphSequence`] is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceError {
+    detail: String,
+}
+
+impl core::fmt::Display for SequenceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid graph sequence: {}", self.detail)
+    }
+}
+
+impl std::error::Error for SequenceError {}
+
+impl GraphSequence {
+    /// Creates a sequence from a non-empty list of graphs of equal order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SequenceError`] if the list is empty or the orders differ.
+    pub fn new(rounds: Vec<Graph>) -> Result<GraphSequence, SequenceError> {
+        let Some(first) = rounds.first() else {
+            return Err(SequenceError {
+                detail: "sequence must contain at least one graph".into(),
+            });
+        };
+        let order = first.order();
+        if let Some((i, g)) = rounds.iter().enumerate().find(|(_, g)| g.order() != order) {
+            return Err(SequenceError {
+                detail: format!(
+                    "graph at round {i} has order {} but round 0 has order {order}",
+                    g.order()
+                ),
+            });
+        }
+        Ok(GraphSequence { rounds })
+    }
+
+    /// A static network: the same graph at every round.
+    pub fn constant(g: Graph) -> GraphSequence {
+        GraphSequence { rounds: vec![g] }
+    }
+
+    /// Length of the explicit prefix.
+    pub fn prefix_len(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
+impl DynamicNetwork for GraphSequence {
+    fn order(&self) -> usize {
+        self.rounds[0].order()
+    }
+
+    fn graph(&mut self, round: u32) -> Graph {
+        let idx = (round as usize).min(self.rounds.len() - 1);
+        self.rounds[idx].clone()
+    }
+}
+
+/// Adapts a closure `fn(round) -> Graph` into a [`DynamicNetwork`].
+pub struct FnNetwork<F> {
+    order: usize,
+    f: F,
+}
+
+impl<F: FnMut(u32) -> Graph> FnNetwork<F> {
+    /// Wraps `f`, which must return graphs of the given `order`.
+    pub fn new(order: usize, f: F) -> FnNetwork<F> {
+        FnNetwork { order, f }
+    }
+}
+
+impl<F: FnMut(u32) -> Graph> DynamicNetwork for FnNetwork<F> {
+    fn order(&self) -> usize {
+        self.order
+    }
+
+    fn graph(&mut self, round: u32) -> Graph {
+        let g = (self.f)(round);
+        debug_assert_eq!(g.order(), self.order, "FnNetwork closure changed order");
+        g
+    }
+}
+
+impl<F> core::fmt::Debug for FnNetwork<F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "FnNetwork(order={})", self.order)
+    }
+}
+
+/// Checks 1-interval connectivity on rounds `0..window`: every per-round
+/// graph must be connected (§1, constraint on the worst-case adversary).
+///
+/// Returns the first disconnected round, if any.
+pub fn check_interval_connectivity(net: &mut dyn DynamicNetwork, window: u32) -> Option<u32> {
+    (0..window).find(|&r| !net.graph(r).is_connected())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphError;
+
+    fn star3() -> Graph {
+        Graph::star(3).unwrap()
+    }
+
+    #[test]
+    fn sequence_holds_last() {
+        let mut s = GraphSequence::new(vec![star3(), Graph::path(3).unwrap()]).unwrap();
+        assert_eq!(s.prefix_len(), 2);
+        assert_eq!(s.graph(0), star3());
+        assert_eq!(s.graph(1), Graph::path(3).unwrap());
+        assert_eq!(s.graph(100), Graph::path(3).unwrap());
+    }
+
+    #[test]
+    fn sequence_validation() {
+        assert!(GraphSequence::new(vec![]).is_err());
+        let err = GraphSequence::new(vec![star3(), Graph::star(4).unwrap()]).unwrap_err();
+        assert!(err.to_string().contains("order 4"));
+    }
+
+    #[test]
+    fn constant_network() {
+        let mut c = GraphSequence::constant(star3());
+        assert_eq!(c.order(), 3);
+        assert_eq!(c.graph(7), star3());
+    }
+
+    #[test]
+    fn fn_network() {
+        let mut f = FnNetwork::new(4, |r| {
+            if r % 2 == 0 {
+                Graph::star(4).unwrap()
+            } else {
+                Graph::path(4).unwrap()
+            }
+        });
+        assert_eq!(f.order(), 4);
+        assert_eq!(f.graph(0).degree(0), 3);
+        assert_eq!(f.graph(1).degree(0), 1);
+    }
+
+    #[test]
+    fn interval_connectivity() {
+        let disconnected = Graph::from_edges(3, [(0, 1)])
+            .map_err(|_: GraphError| ())
+            .unwrap();
+        let mut s = GraphSequence::new(vec![star3(), disconnected, star3()]).unwrap();
+        assert_eq!(check_interval_connectivity(&mut s, 5), Some(1));
+        let mut ok = GraphSequence::constant(star3());
+        assert_eq!(check_interval_connectivity(&mut ok, 5), None);
+    }
+
+    #[test]
+    fn boxed_dispatch() {
+        let mut b: Box<dyn DynamicNetwork> = Box::new(GraphSequence::constant(star3()));
+        assert_eq!(b.order(), 3);
+        assert_eq!(b.graph(0), star3());
+    }
+}

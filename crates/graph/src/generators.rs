@@ -1,0 +1,122 @@
+//! Random graph and random dynamic-network generators.
+//!
+//! These provide the "fair adversary" side of the paper's dichotomy (§1): a
+//! fair adversary rewires the network without trying to defeat the
+//! algorithm (peer-to-peer style churn), in contrast to the worst-case
+//! adversary of §4. All generators are deterministic given the seed of the
+//! supplied RNG.
+
+use crate::dynamic::DynamicNetwork;
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random connected graph: a random spanning tree (random
+/// Prüfer-free attachment) plus `extra_edges` additional distinct random
+/// edges (clamped to the complete graph).
+///
+/// # Panics
+///
+/// Panics if `order == 0`.
+pub fn random_connected(order: usize, extra_edges: usize, rng: &mut impl Rng) -> Graph {
+    assert!(order > 0, "random_connected requires at least one node");
+    let mut g = Graph::empty(order);
+    // Random attachment order yields a uniform-ish random tree; each new
+    // node connects to a uniformly chosen existing node.
+    let mut perm: Vec<usize> = (0..order).collect();
+    perm.shuffle(rng);
+    for i in 1..order {
+        let parent = perm[rng.gen_range(0..i)];
+        g.add_edge(perm[i], parent).expect("tree edges valid");
+    }
+    let max_edges = order * (order.saturating_sub(1)) / 2;
+    let target = (order - 1 + extra_edges).min(max_edges);
+    let mut guard = 0usize;
+    while g.size() < target && guard < 64 * target + 64 {
+        guard += 1;
+        let u = rng.gen_range(0..order);
+        let v = rng.gen_range(0..order);
+        if u != v {
+            g.add_edge(u, v).expect("random edge valid");
+        }
+    }
+    g
+}
+
+/// A dynamic network that draws a fresh random connected graph every round —
+/// an oblivious fair adversary satisfying 1-interval connectivity.
+#[derive(Debug)]
+pub struct RandomDynamic<R> {
+    order: usize,
+    extra_edges: usize,
+    rng: R,
+}
+
+impl<R: Rng> RandomDynamic<R> {
+    /// Creates the generator; every round's graph is connected with
+    /// `order - 1 + extra_edges` edges (clamped to complete).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`.
+    pub fn new(order: usize, extra_edges: usize, rng: R) -> RandomDynamic<R> {
+        assert!(order > 0, "RandomDynamic requires at least one node");
+        RandomDynamic {
+            order,
+            extra_edges,
+            rng,
+        }
+    }
+}
+
+impl<R: Rng> DynamicNetwork for RandomDynamic<R> {
+    fn order(&self) -> usize {
+        self.order
+    }
+
+    fn graph(&mut self, _round: u32) -> Graph {
+        random_connected(self.order, self.extra_edges, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::check_interval_connectivity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for order in [1, 2, 3, 10, 40] {
+            for extra in [0, 3, 100] {
+                let g = random_connected(order, extra, &mut rng);
+                assert!(g.is_connected(), "order={order} extra={extra}");
+                assert!(g.size() >= order.saturating_sub(1));
+                assert!(g.size() <= order * order.saturating_sub(1) / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn extra_edges_clamped_to_complete() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_connected(4, 1000, &mut rng);
+        assert_eq!(g.size(), 6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_connected(12, 5, &mut StdRng::seed_from_u64(7));
+        let b = random_connected(12, 5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_dynamic_interval_connected() {
+        let mut net = RandomDynamic::new(15, 4, StdRng::seed_from_u64(3));
+        assert_eq!(net.order(), 15);
+        assert_eq!(check_interval_connectivity(&mut net, 25), None);
+    }
+}

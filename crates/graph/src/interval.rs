@@ -1,0 +1,219 @@
+//! `T`-interval connectivity (Kuhn, Lynch & Oshman \[9\]).
+//!
+//! The paper's adversary is constrained to 1-interval connectivity: every
+//! round's graph is connected. The stronger `T`-interval condition demands
+//! a *stable connected spanning subgraph* across every window of `T`
+//! consecutive rounds. This module provides the checker, the stable
+//! (intersection) subgraph, and a random adversary that guarantees
+//! `T`-interval connectivity by construction — substrate for exploring how
+//! adversary stability interacts with the counting bound (all `G(PD)_2`
+//! worst-case instances here are 1-interval connected, and the star inside
+//! them — leader plus relays — is in fact stable forever).
+
+use crate::dynamic::DynamicNetwork;
+use crate::generators::random_connected;
+use crate::graph::Graph;
+use rand::Rng;
+
+/// The intersection of the graphs at rounds `start..start + window`: the
+/// edges present in *every* round of the window.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn stable_subgraph(net: &mut dyn DynamicNetwork, start: u32, window: u32) -> Graph {
+    assert!(window > 0, "window must be positive");
+    let mut result = net.graph(start);
+    for r in start + 1..start + window {
+        result = result
+            .intersection(&net.graph(r))
+            .expect("dynamic networks have constant order");
+    }
+    result
+}
+
+/// Whether `net` is `T`-interval connected over rounds `0..horizon`:
+/// every window of `t` consecutive rounds has a connected intersection.
+///
+/// Returns the first violating window start, or `None` if the property
+/// holds on the examined prefix.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+pub fn check_t_interval_connectivity(
+    net: &mut dyn DynamicNetwork,
+    t: u32,
+    horizon: u32,
+) -> Option<u32> {
+    assert!(t > 0, "t must be positive");
+    (0..horizon.saturating_sub(t - 1)).find(|&start| !stable_subgraph(net, start, t).is_connected())
+}
+
+/// A random adversary that is `T`-interval connected by construction.
+///
+/// It draws one random spanning tree per *period* of `T` rounds and, for
+/// the first `T - 1` rounds of each period, also keeps the previous
+/// period's tree alive. Any window of `T` consecutive rounds then contains
+/// at most `T - 1` rounds past a period boundary, so the boundary-crossing
+/// period's *previous* tree (still present there) spans the whole window —
+/// the standard overlap construction for `T`-interval connectivity.
+/// Each round additionally gets fresh random extra edges.
+///
+/// The topology is a pure function of the round (derived from the seed),
+/// so replaying rounds is safe.
+#[derive(Debug, Clone)]
+pub struct TIntervalAdversary {
+    order: usize,
+    t: u32,
+    extra_edges: usize,
+    seed: u64,
+}
+
+impl TIntervalAdversary {
+    /// Creates the adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0` or `t == 0`.
+    pub fn new(order: usize, t: u32, extra_edges: usize, seed: u64) -> TIntervalAdversary {
+        assert!(order > 0, "order must be positive");
+        assert!(t > 0, "t must be positive");
+        TIntervalAdversary {
+            order,
+            t,
+            extra_edges,
+            seed,
+        }
+    }
+
+    /// The stability parameter `T`.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    fn period_tree(&self, period: u32) -> Graph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.seed ^ (period as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        random_connected(self.order, 0, &mut rng)
+    }
+}
+
+use rand::SeedableRng;
+
+impl DynamicNetwork for TIntervalAdversary {
+    fn order(&self) -> usize {
+        self.order
+    }
+
+    fn graph(&mut self, round: u32) -> Graph {
+        let period = round / self.t;
+        let mut g = self.period_tree(period);
+        // Overlap: the previous tree persists through the first T-1 rounds
+        // of the new period.
+        if period > 0 && round % self.t < self.t - 1 {
+            g = g
+                .union(&self.period_tree(period - 1))
+                .expect("trees share one order");
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.seed ^ 0xDEAD_BEEF ^ (round as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        );
+        let mut added = 0usize;
+        let mut guard = 0usize;
+        while added < self.extra_edges && guard < 64 * (self.extra_edges + 1) {
+            guard += 1;
+            let u = rng.gen_range(0..self.order);
+            let v = rng.gen_range(0..self.order);
+            if u != v && !g.has_edge(u, v) {
+                g.add_edge(u, v).expect("random edge valid");
+                added += 1;
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::GraphSequence;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stable_subgraph_intersects() {
+        let g0 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let g1 = Graph::from_edges(4, [(0, 1), (1, 2), (0, 3)]).unwrap();
+        let g2 = Graph::from_edges(4, [(0, 1), (2, 3), (0, 3), (1, 2)]).unwrap();
+        let mut net = GraphSequence::new(vec![g0, g1, g2]).unwrap();
+        let stable = stable_subgraph(&mut net, 0, 3);
+        let mut edges: Vec<_> = stable.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+        // Window of 1 is just the round graph.
+        assert_eq!(stable_subgraph(&mut net, 1, 1), net.graph(1));
+    }
+
+    #[test]
+    fn one_interval_is_per_round_connectivity() {
+        let connected = Graph::star(4).unwrap();
+        let mut net = GraphSequence::constant(connected);
+        assert_eq!(check_t_interval_connectivity(&mut net, 1, 10), None);
+    }
+
+    #[test]
+    fn detects_unstable_windows() {
+        // Each round is connected, but consecutive rounds share no edges:
+        // 1-interval holds, 2-interval fails at window 0.
+        let g0 = Graph::star(4).unwrap();
+        let g1 = Graph::from_edges(4, [(1, 2), (2, 3), (3, 0)]).unwrap();
+        let mut net = GraphSequence::new(vec![g0, g1]).unwrap();
+        assert_eq!(check_t_interval_connectivity(&mut net, 1, 2), None);
+        assert_eq!(check_t_interval_connectivity(&mut net, 2, 4), Some(0));
+    }
+
+    #[test]
+    fn t_interval_adversary_satisfies_its_contract() {
+        for t in [1u32, 2, 3, 5] {
+            for seed in 0..4u64 {
+                let mut adv = TIntervalAdversary::new(12, t, 4, seed);
+                assert_eq!(adv.t(), t);
+                assert_eq!(
+                    check_t_interval_connectivity(&mut adv, t, 6 * t),
+                    None,
+                    "T = {t}, seed = {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversary_rewires_across_periods() {
+        let mut adv = TIntervalAdversary::new(20, 3, 0, 8);
+        // Last round of period 0 carries only tree 0; last round of period
+        // 1 carries only tree 1 — they differ.
+        let g_p0 = adv.graph(2);
+        let g_p1 = adv.graph(5);
+        assert_ne!(g_p0, g_p1, "tree redrawn across periods");
+        // Replaying a round is deterministic.
+        assert_eq!(adv.graph(2), g_p0);
+    }
+
+    #[test]
+    fn pd2_star_core_is_stable_forever() {
+        // In every G(PD)_2 network the leader-relay star never changes:
+        // it is T-interval connected for all T restricted to V_0 ∪ V_1.
+        use crate::pd::{Pd2Layout, RandomPd2};
+        let layout = Pd2Layout {
+            relays: 3,
+            leaves: 8,
+        };
+        let mut net = RandomPd2::new(layout, StdRng::seed_from_u64(1));
+        let stable = stable_subgraph(&mut net, 0, 12);
+        for j in 0..3 {
+            assert!(stable.has_edge(0, layout.relay(j)));
+        }
+    }
+}

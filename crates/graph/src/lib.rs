@@ -1,0 +1,45 @@
+//! Static and dynamic graphs for anonymous dynamic networks.
+//!
+//! This crate implements the topological substrate of the reproduction of
+//! *"Investigating the Cost of Anonymity on Dynamic Networks"* (Di Luna &
+//! Baldoni, PODC 2015):
+//!
+//! * [`Graph`] — a per-round simple undirected topology `G_r` (§3);
+//! * [`DynamicNetwork`] — the dynamic graph `G = {G_0, G_1, …}`
+//!   (Definition 1), implemented by explicit [`GraphSequence`]s, closures,
+//!   random generators and the persistent-distance families;
+//! * [`metrics`] — flooding, the dynamic diameter `D` and persistent
+//!   distances (Definitions 3–4);
+//! * [`pd`] — the `G(PD)_2` family at the heart of the lower bound,
+//!   including the paper's Figure 1 instance;
+//! * [`generators`] — fair random adversaries;
+//! * [`ChainExtended`] — the Corollary 1 chain construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use anonet_graph::{metrics, pd};
+//!
+//! // The paper's Figure 1 network has dynamic diameter 4.
+//! let mut net = pd::figure1();
+//! assert_eq!(metrics::dynamic_diameter(&mut net, 4, 16), Some(4));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corollary;
+pub mod dot;
+mod dynamic;
+pub mod generators;
+#[allow(clippy::module_inception)]
+mod graph;
+pub mod interval;
+pub mod metrics;
+pub mod pd;
+
+pub use corollary::ChainExtended;
+pub use dynamic::{
+    check_interval_connectivity, DynamicNetwork, FnNetwork, GraphSequence, SequenceError,
+};
+pub use graph::{Graph, GraphError, NodeId};

@@ -1,0 +1,250 @@
+//! Metrics over dynamic graphs: flooding time and the dynamic diameter `D`.
+//!
+//! The paper (§3) defines the dynamic diameter through flooding: a network
+//! has dynamic diameter `D` if a flood started by any node `v` at any round
+//! `r` has been received by every node at most by round `r + D`. We measure
+//! floods by *duration in rounds*: a flood started at round `r` whose last
+//! delivery happens in round `r'` has duration `r' - r + 1` (the paper's
+//! Figure 1 flood starts at round 0, reaches the last node at round 3 and
+//! witnesses `D = 4`).
+
+use crate::dynamic::DynamicNetwork;
+use crate::graph::NodeId;
+
+/// Result of simulating a flood on a dynamic graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flood {
+    /// Round at which the flood started.
+    pub start_round: u32,
+    /// For each node, the round in which it first held the message
+    /// (`start_round` for the source; delivery happens in the receive phase
+    /// of the recorded round).
+    pub received_at: Vec<Option<u32>>,
+}
+
+impl Flood {
+    /// Whether every node received the message.
+    pub fn is_complete(&self) -> bool {
+        self.received_at.iter().all(Option::is_some)
+    }
+
+    /// Duration of the flood in rounds (`last delivery - start + 1`), or
+    /// `None` if it never completed within the simulated horizon.
+    pub fn duration(&self) -> Option<u32> {
+        let mut last = self.start_round;
+        for r in &self.received_at {
+            last = last.max((*r)?);
+        }
+        Some(last - self.start_round + 1)
+    }
+
+    /// The round at which a specific node first received the message.
+    pub fn received_round(&self, v: NodeId) -> Option<u32> {
+        self.received_at.get(v).copied().flatten()
+    }
+}
+
+/// Simulates a flood of a single token from `src` starting at round
+/// `start_round`, for at most `max_rounds` rounds.
+///
+/// In each round, every informed node broadcasts; every neighbour of an
+/// informed node becomes informed in that round's receive phase.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range for the network's order.
+pub fn flood(
+    net: &mut dyn DynamicNetwork,
+    src: NodeId,
+    start_round: u32,
+    max_rounds: u32,
+) -> Flood {
+    let n = net.order();
+    assert!(src < n, "flood source {src} out of range for order {n}");
+    let mut received_at: Vec<Option<u32>> = vec![None; n];
+    received_at[src] = Some(start_round);
+    let mut informed = vec![false; n];
+    informed[src] = true;
+    let mut informed_count = 1usize;
+
+    for round in start_round..start_round.saturating_add(max_rounds) {
+        if informed_count == n {
+            break;
+        }
+        let g = net.graph(round);
+        debug_assert_eq!(g.order(), n);
+        let mut newly = Vec::new();
+        for u in 0..n {
+            if !informed[u] {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                if !informed[v] && !newly.contains(&v) {
+                    newly.push(v);
+                }
+            }
+        }
+        for v in newly {
+            informed[v] = true;
+            informed_count += 1;
+            received_at[v] = Some(round);
+        }
+    }
+
+    Flood {
+        start_round,
+        received_at,
+    }
+}
+
+/// Measures the dynamic diameter of `net` empirically over start rounds
+/// `0..=max_start` (every source), bounding each flood by `max_rounds`.
+///
+/// Returns `None` if some flood failed to complete within `max_rounds` —
+/// i.e. only a lower bound on `D` was observed. Otherwise returns the
+/// maximum flood duration, which equals `D` when the supplied window
+/// captures the adversary's worst behaviour (for periodic or eventually
+/// static networks a window covering the period suffices).
+pub fn dynamic_diameter(
+    net: &mut dyn DynamicNetwork,
+    max_start: u32,
+    max_rounds: u32,
+) -> Option<u32> {
+    let n = net.order();
+    let mut worst = 0u32;
+    for start in 0..=max_start {
+        for src in 0..n {
+            let f = flood(net, src, start, max_rounds);
+            worst = worst.max(f.duration()?);
+        }
+    }
+    Some(worst)
+}
+
+/// The per-node persistent distances from the leader (Definition 3), if
+/// they exist over the window `0..window`.
+///
+/// Returns `Some(dists)` with `dists[v] = D(v, v_l)` iff every node keeps
+/// the same leader-distance in every examined round (and is connected to
+/// the leader in all of them); returns `None` as soon as any node's
+/// distance changes or becomes infinite.
+pub fn persistent_distances(net: &mut dyn DynamicNetwork, window: u32) -> Option<Vec<u32>> {
+    let n = net.order();
+    let mut dists: Option<Vec<u32>> = None;
+    for r in 0..window {
+        let g = net.graph(r);
+        let from_leader = g.distances_from(0);
+        let mut now = Vec::with_capacity(n);
+        for d in from_leader {
+            now.push(d?);
+        }
+        match &dists {
+            None => dists = Some(now),
+            Some(prev) => {
+                if *prev != now {
+                    return None;
+                }
+            }
+        }
+    }
+    dists
+}
+
+/// Whether `net` belongs to `G(PD)_h` on the examined window: every node
+/// has a persistent leader-distance and the maximum distance is at most
+/// `h` (Definition 4 and the `G(PD)_h` refinement).
+pub fn is_pd_h(net: &mut dyn DynamicNetwork, h: u32, window: u32) -> bool {
+    match persistent_distances(net, window) {
+        Some(d) => d.iter().all(|&x| x <= h),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::GraphSequence;
+    use crate::graph::Graph;
+
+    #[test]
+    fn flood_on_static_star_takes_two_rounds() {
+        let mut net = GraphSequence::constant(Graph::star(5).unwrap());
+        // From a leaf: leaf -> center in round 0, center -> leaves round 1.
+        let f = flood(&mut net, 1, 0, 10);
+        assert!(f.is_complete());
+        assert_eq!(f.duration(), Some(2));
+        assert_eq!(f.received_round(0), Some(0));
+        assert_eq!(f.received_round(4), Some(1));
+        // From the center: one round.
+        let f = flood(&mut net, 0, 0, 10);
+        assert_eq!(f.duration(), Some(1));
+    }
+
+    #[test]
+    fn flood_on_path_is_linear() {
+        let mut net = GraphSequence::constant(Graph::path(6).unwrap());
+        let f = flood(&mut net, 0, 0, 10);
+        assert_eq!(f.duration(), Some(5));
+        assert_eq!(f.received_round(5), Some(4));
+    }
+
+    #[test]
+    fn flood_respects_start_round() {
+        let mut net = GraphSequence::constant(Graph::path(3).unwrap());
+        let f = flood(&mut net, 0, 7, 10);
+        assert_eq!(f.received_round(2), Some(8));
+        assert_eq!(f.duration(), Some(2));
+    }
+
+    #[test]
+    fn incomplete_flood_reported() {
+        let disconnected = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let mut net = GraphSequence::constant(disconnected);
+        let f = flood(&mut net, 0, 0, 5);
+        assert!(!f.is_complete());
+        assert_eq!(f.duration(), None);
+        assert_eq!(f.received_round(2), None);
+    }
+
+    #[test]
+    fn dynamic_diameter_of_star_is_two() {
+        let mut net = GraphSequence::constant(Graph::star(6).unwrap());
+        assert_eq!(dynamic_diameter(&mut net, 3, 20), Some(2));
+    }
+
+    #[test]
+    fn dynamic_diameter_of_path() {
+        let mut net = GraphSequence::constant(Graph::path(4).unwrap());
+        assert_eq!(dynamic_diameter(&mut net, 2, 20), Some(3));
+    }
+
+    #[test]
+    fn persistent_distances_on_static_pd2() {
+        // leader 0; relays 1,2; leaves 3,4 attached to relays.
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 4)]).unwrap();
+        let mut net = GraphSequence::constant(g);
+        let d = persistent_distances(&mut net, 5).unwrap();
+        assert_eq!(d, vec![0, 1, 1, 2, 2]);
+        assert!(is_pd_h(&mut net, 2, 5));
+        assert!(!is_pd_h(&mut net, 1, 5));
+    }
+
+    #[test]
+    fn changing_distance_is_not_persistent() {
+        let g0 = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let g1 = Graph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        let mut net = GraphSequence::new(vec![g0, g1]).unwrap();
+        assert_eq!(persistent_distances(&mut net, 2), None);
+        assert!(!is_pd_h(&mut net, 2, 2));
+    }
+
+    #[test]
+    fn rewiring_pd2_keeps_persistence() {
+        // Leaves switch relays between rounds but stay at distance 2.
+        let g0 = Graph::from_edges(5, [(0, 1), (0, 2), (1, 3), (1, 4)]).unwrap();
+        let g1 = Graph::from_edges(5, [(0, 1), (0, 2), (2, 3), (2, 4)]).unwrap();
+        let mut net = GraphSequence::new(vec![g0, g1]).unwrap();
+        assert_eq!(persistent_distances(&mut net, 2), Some(vec![0, 1, 1, 2, 2]));
+        assert!(is_pd_h(&mut net, 2, 2));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for graphs, dynamic networks and metrics.
+
+use anonet_graph::{generators, metrics, pd, ChainExtended, DynamicNetwork, Graph, GraphSequence};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_edges(order: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..order, 0..order), 0..order * 2)
+        .prop_map(|es| es.into_iter().filter(|(u, v)| u != v).collect())
+}
+
+proptest! {
+    #[test]
+    fn graph_invariants(order in 1usize..12, seed in arb_edges(11)) {
+        let edges: Vec<_> = seed.into_iter().filter(|&(u, v)| u < order && v < order).collect();
+        let g = Graph::from_edges(order, edges.clone()).unwrap();
+        // Symmetry and degree sum.
+        let degree_sum: usize = (0..order).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.size());
+        for (u, v) in g.edges() {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(v, u));
+        }
+        // BFS distances satisfy the triangle step: adjacent nodes differ by <= 1.
+        let d = g.distances_from(0);
+        for (u, v) in g.edges() {
+            if let (Some(du), Some(dv)) = (d[u], d[v]) {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn random_connected_always_connected(order in 1usize..30, extra in 0usize..20, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(order, extra, &mut rng);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.order(), order);
+    }
+
+    #[test]
+    fn flood_duration_bounded_by_order(order in 2usize..15, extra in 0usize..5, seed in any::<u64>()) {
+        // On any connected static graph a flood completes within order-1 rounds.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(order, extra, &mut rng);
+        let mut net = GraphSequence::constant(g);
+        let f = metrics::flood(&mut net, 0, 0, order as u32);
+        prop_assert!(f.is_complete());
+        prop_assert!(f.duration().unwrap() < order as u32 || order == 2);
+    }
+
+    #[test]
+    fn flood_monotone_in_start_round_for_static(order in 2usize..10, seed in any::<u64>(), start in 0u32..5) {
+        // Static networks: duration independent of the start round.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(order, 2, &mut rng);
+        let mut net = GraphSequence::constant(g);
+        let d0 = metrics::flood(&mut net, 1, 0, 64).duration();
+        let ds = metrics::flood(&mut net, 1, start, 64).duration();
+        prop_assert_eq!(d0, ds);
+    }
+
+    #[test]
+    fn random_pd2_distances(relays in 1usize..6, leaves in 1usize..12, seed in any::<u64>()) {
+        let layout = pd::Pd2Layout { relays, leaves };
+        let mut net = pd::RandomPd2::new(layout, StdRng::seed_from_u64(seed));
+        let d = metrics::persistent_distances(&mut net, 8).unwrap();
+        prop_assert_eq!(d[0], 0);
+        for j in 0..relays { prop_assert_eq!(d[layout.relay(j)], 1); }
+        for i in 0..leaves { prop_assert_eq!(d[layout.leaf(i)], 2); }
+    }
+
+    #[test]
+    fn chain_extension_shifts_distances(chain in 0usize..6, leaves in 1usize..6, seed in any::<u64>()) {
+        let layout = pd::Pd2Layout { relays: 2, leaves };
+        let inner = pd::RandomPd2::new(layout, StdRng::seed_from_u64(seed));
+        let mut net = ChainExtended::new(inner, chain);
+        prop_assert_eq!(net.order(), layout.order() + chain);
+        let d = metrics::persistent_distances(&mut net, 6).unwrap();
+        // Chain nodes at distance = index; inner nodes shifted by chain.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..=chain { prop_assert_eq!(d[i], i as u32); }
+        for j in 0..2 { prop_assert_eq!(d[chain + 1 + j], chain as u32 + 1); }
+        for l in 0..leaves { prop_assert_eq!(d[chain + 3 + l], chain as u32 + 2); }
+    }
+}

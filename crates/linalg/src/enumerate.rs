@@ -1,0 +1,206 @@
+//! Bounded enumeration of non-negative integer solutions.
+//!
+//! The `k = 2` observation system has a one-dimensional kernel, so its
+//! non-negative solutions form an interval and need no search. For `k ≥ 3`
+//! (and for cross-checking the tree solver from first principles) the
+//! solution set is a higher-dimensional lattice polytope;
+//! [`enumerate_nonnegative_solutions`] walks it by depth-first search with
+//! residual pruning. Exponential in general — intended for the small
+//! instances of the extension experiments.
+
+use crate::error::{LinalgError, Result};
+use crate::sparse::SparseIntMatrix;
+
+/// All non-negative integer vectors `x` with `m · x = rhs` and
+/// `x[i] <= cap` for every component, in lexicographic order.
+///
+/// Pruning: for every row, the partial sum over decided columns must stay
+/// `<= rhs[row]`, and once every column intersecting a row is decided the
+/// row must be met exactly. Columns not covered by any row are bounded
+/// only by `cap`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if `rhs.len() != m.rows()`
+/// and [`LinalgError::Overflow`] if the search space exceeds
+/// `max_solutions` (use a larger cap to acknowledge a big enumeration).
+pub fn enumerate_nonnegative_solutions(
+    m: &SparseIntMatrix,
+    rhs: &[i64],
+    cap: i64,
+    max_solutions: usize,
+) -> Result<Vec<Vec<i64>>> {
+    if rhs.len() != m.rows() {
+        return Err(LinalgError::dims(format!(
+            "enumerate: {} rows vs rhs of length {}",
+            m.rows(),
+            rhs.len()
+        )));
+    }
+    if rhs.iter().any(|&b| b < 0) {
+        return Ok(Vec::new());
+    }
+    let cols = m.cols();
+    // Column-major view: for each column, the (row, coefficient) pairs.
+    let mut col_entries: Vec<Vec<(usize, i64)>> = vec![Vec::new(); cols];
+    // Last column touching each row, to know when a row must close.
+    let mut row_last_col = vec![0usize; m.rows()];
+    #[allow(clippy::needless_range_loop)] // index used in error paths/labels
+    for r in 0..m.rows() {
+        for &(c, v) in m.row(r) {
+            col_entries[c as usize].push((r, v));
+            row_last_col[r] = row_last_col[r].max(c as usize);
+        }
+    }
+
+    let mut residual: Vec<i64> = rhs.to_vec();
+    let mut x = vec![0i64; cols];
+    let mut out = Vec::new();
+    dfs(
+        0,
+        cap,
+        max_solutions,
+        &col_entries,
+        &row_last_col,
+        &mut residual,
+        &mut x,
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    col: usize,
+    cap: i64,
+    max_solutions: usize,
+    col_entries: &[Vec<(usize, i64)>],
+    row_last_col: &[usize],
+    residual: &mut Vec<i64>,
+    x: &mut Vec<i64>,
+    out: &mut Vec<Vec<i64>>,
+) -> Result<()> {
+    if out.len() > max_solutions {
+        return Err(LinalgError::Overflow);
+    }
+    if col == col_entries.len() {
+        if residual.iter().all(|&r| r == 0) {
+            out.push(x.clone());
+        }
+        return Ok(());
+    }
+    // Upper bound for this column: min over touched rows of residual/coef.
+    let mut hi = cap;
+    for &(r, v) in &col_entries[col] {
+        if v > 0 {
+            hi = hi.min(residual[r] / v);
+        }
+    }
+    for val in 0..=hi.max(-1) {
+        x[col] = val;
+        let mut feasible = true;
+        for &(r, v) in &col_entries[col] {
+            residual[r] -= v * val;
+            if residual[r] < 0 {
+                feasible = false;
+            }
+        }
+        // Rows whose last column this is must now be exactly satisfied.
+        if feasible {
+            for &(r, _) in &col_entries[col] {
+                if row_last_col[r] == col && residual[r] != 0 {
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if feasible {
+            dfs(
+                col + 1,
+                cap,
+                max_solutions,
+                col_entries,
+                row_last_col,
+                residual,
+                x,
+                out,
+            )?;
+        }
+        for &(r, v) in &col_entries[col] {
+            residual[r] += v * val;
+        }
+    }
+    x[col] = 0;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: &[&[(u32, i64)]], cols: usize) -> SparseIntMatrix {
+        let mut m = SparseIntMatrix::new(cols);
+        for row in rows {
+            m.push_row(row.to_vec()).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn paper_round_zero_system() {
+        // x1 + x3 = 2, x2 + x3 = 2 (the Figure 3 system): solutions
+        // [0,0,2], [1,1,1], [2,2,0].
+        let m = matrix(&[&[(0, 1), (2, 1)], &[(1, 1), (2, 1)]], 3);
+        let sols = enumerate_nonnegative_solutions(&m, &[2, 2], 10, 100).unwrap();
+        assert_eq!(sols, vec![vec![0, 0, 2], vec![1, 1, 1], vec![2, 2, 0]]);
+    }
+
+    #[test]
+    fn infeasible_rhs() {
+        let m = matrix(&[&[(0, 1)]], 1);
+        assert!(enumerate_nonnegative_solutions(&m, &[-1], 5, 10)
+            .unwrap()
+            .is_empty());
+        // x0 = 3 with cap 2: no solution.
+        assert!(enumerate_nonnegative_solutions(&m, &[3], 2, 10)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn unique_solution() {
+        // x0 = 1, x0 + x1 = 3 → [1, 2].
+        let m = matrix(&[&[(0, 1)], &[(0, 1), (1, 1)]], 2);
+        let sols = enumerate_nonnegative_solutions(&m, &[1, 3], 10, 10).unwrap();
+        assert_eq!(sols, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn free_columns_bounded_by_cap() {
+        // No constraints at all on column 1.
+        let m = matrix(&[&[(0, 1)]], 2);
+        let sols = enumerate_nonnegative_solutions(&m, &[1], 2, 100).unwrap();
+        assert_eq!(sols.len(), 3, "x1 in 0..=2");
+        assert!(sols.iter().all(|s| s[0] == 1));
+    }
+
+    #[test]
+    fn dimension_check_and_limit() {
+        let m = matrix(&[&[(0, 1)]], 1);
+        assert!(enumerate_nonnegative_solutions(&m, &[1, 2], 5, 10).is_err());
+        // Explosion guard: a free 3-column system with cap 100.
+        let m = matrix(&[&[(0, 1)]], 3);
+        assert_eq!(
+            enumerate_nonnegative_solutions(&m, &[1], 100, 50),
+            Err(LinalgError::Overflow)
+        );
+    }
+
+    #[test]
+    fn coefficients_above_one() {
+        // 2x0 + x1 = 4.
+        let m = matrix(&[&[(0, 2), (1, 1)]], 2);
+        let sols = enumerate_nonnegative_solutions(&m, &[4], 10, 10).unwrap();
+        assert_eq!(sols, vec![vec![0, 4], vec![1, 2], vec![2, 0]]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error types for exact linear-algebra operations.
+
+use core::fmt;
+
+/// Errors produced by exact arithmetic and matrix routines.
+///
+/// All arithmetic in this crate is *exact*: integer or rational with checked
+/// `i128` kernels. Overflow is therefore a reportable condition, never a
+/// silent wraparound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// An intermediate `i128` computation overflowed.
+    Overflow,
+    /// A rational with a zero denominator was requested.
+    ZeroDenominator,
+    /// Division by zero (integer or rational).
+    DivisionByZero,
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch, e.g. `"3x2 * 4"`.
+        detail: String,
+    },
+    /// A linear system had no solution.
+    Inconsistent,
+}
+
+impl LinalgError {
+    /// Convenience constructor for [`LinalgError::DimensionMismatch`].
+    pub fn dims(detail: impl Into<String>) -> Self {
+        LinalgError::DimensionMismatch {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Overflow => write!(f, "exact arithmetic overflowed i128"),
+            LinalgError::ZeroDenominator => write!(f, "rational denominator is zero"),
+            LinalgError::DivisionByZero => write!(f, "division by zero"),
+            LinalgError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            LinalgError::Inconsistent => write!(f, "linear system is inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let msgs = [
+            LinalgError::Overflow.to_string(),
+            LinalgError::ZeroDenominator.to_string(),
+            LinalgError::DivisionByZero.to_string(),
+            LinalgError::dims("3x2 * 4").to_string(),
+            LinalgError::Inconsistent.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'), "no trailing period: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error + Send + Sync> = Box::new(LinalgError::Overflow);
+        assert_eq!(e.to_string(), "exact arithmetic overflowed i128");
+    }
+}

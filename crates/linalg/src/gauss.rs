@@ -1,0 +1,401 @@
+//! Exact Gaussian elimination over the rationals.
+//!
+//! Provides reduced row echelon form, rank, kernel bases and particular
+//! solutions, all with exact [`Ratio`] arithmetic. These routines verify the
+//! paper's Lemma 2 (`dim ker(M_r) = 1`) and cross-check the closed-form
+//! kernel of Lemma 3 for small rounds.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::ratio::Ratio;
+
+/// The outcome of reducing a matrix to reduced row echelon form.
+#[derive(Debug, Clone)]
+pub struct Echelon {
+    /// The reduced row echelon form of the input.
+    pub rref: Matrix,
+    /// Column index of the pivot in each non-zero row, in order.
+    pub pivots: Vec<usize>,
+}
+
+impl Echelon {
+    /// Rank of the original matrix.
+    pub fn rank(&self) -> usize {
+        self.pivots.len()
+    }
+
+    /// Nullity (dimension of the kernel) of the original matrix.
+    pub fn nullity(&self) -> usize {
+        self.rref.cols() - self.rank()
+    }
+}
+
+/// Computes the reduced row echelon form of `m`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] if exact arithmetic overflows `i128`.
+pub fn rref(m: &Matrix) -> Result<Echelon> {
+    let mut a = m.clone();
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut pivots = Vec::new();
+    let mut pivot_row = 0usize;
+
+    for col in 0..cols {
+        if pivot_row == rows {
+            break;
+        }
+        // Find a row at or below `pivot_row` with a non-zero entry in `col`.
+        let Some(src) = (pivot_row..rows).find(|&r| !a.get(r, col).is_zero()) else {
+            continue;
+        };
+        a.swap_rows(pivot_row, src);
+
+        // Normalize the pivot row.
+        let inv = a.get(pivot_row, col).checked_recip()?;
+        for c in col..cols {
+            let v = a.get(pivot_row, c).checked_mul(&inv)?;
+            a.set(pivot_row, c, v);
+        }
+
+        // Eliminate the column everywhere else.
+        for r in 0..rows {
+            if r == pivot_row {
+                continue;
+            }
+            let factor = a.get(r, col);
+            if factor.is_zero() {
+                continue;
+            }
+            for c in col..cols {
+                let sub = a.get(pivot_row, c).checked_mul(&factor)?;
+                let v = a.get(r, c).checked_sub(&sub)?;
+                a.set(r, c, v);
+            }
+        }
+
+        pivots.push(col);
+        pivot_row += 1;
+    }
+
+    Ok(Echelon { rref: a, pivots })
+}
+
+/// Rank of `m` over the rationals.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] if exact arithmetic overflows `i128`.
+pub fn rank(m: &Matrix) -> Result<usize> {
+    Ok(rref(m)?.rank())
+}
+
+/// A basis of the kernel (null space) of `m`, one rational vector per free
+/// column.
+///
+/// The basis follows the standard free-variable construction: for each
+/// non-pivot column `f`, the vector has `1` in position `f`, the negated
+/// rref entries in the pivot positions, and `0` elsewhere.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] if exact arithmetic overflows `i128`.
+pub fn kernel_basis(m: &Matrix) -> Result<Vec<Vec<Ratio>>> {
+    let ech = rref(m)?;
+    let cols = m.cols();
+    let pivot_of_col: Vec<Option<usize>> = {
+        let mut v = vec![None; cols];
+        for (row, &col) in ech.pivots.iter().enumerate() {
+            v[col] = Some(row);
+        }
+        v
+    };
+
+    let mut basis = Vec::new();
+    for free in 0..cols {
+        if pivot_of_col[free].is_some() {
+            continue;
+        }
+        let mut vec = vec![Ratio::ZERO; cols];
+        vec[free] = Ratio::ONE;
+        for (col, pr) in pivot_of_col.iter().enumerate() {
+            if let Some(row) = pr {
+                vec[col] = ech.rref.get(*row, free).checked_neg()?;
+            }
+        }
+        basis.push(vec);
+    }
+    Ok(basis)
+}
+
+/// Scales a rational vector to the smallest integer vector with the same
+/// direction (positive leading denominator lcm, gcd 1).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] if the lcm of denominators overflows.
+pub fn to_integer_vector(v: &[Ratio]) -> Result<Vec<i128>> {
+    let mut lcm: i128 = 1;
+    for x in v {
+        let d = x.denom();
+        let g = crate::ratio::gcd_i128(lcm, d);
+        lcm = (lcm / g).checked_mul(d).ok_or(LinalgError::Overflow)?;
+    }
+    let mut out = Vec::with_capacity(v.len());
+    for x in v {
+        let scaled = x
+            .numer()
+            .checked_mul(lcm / x.denom())
+            .ok_or(LinalgError::Overflow)?;
+        out.push(scaled);
+    }
+    // Reduce by the gcd of all entries so the representative is primitive.
+    let mut g = 0i128;
+    for &x in &out {
+        if x == i128::MIN {
+            return Err(LinalgError::Overflow);
+        }
+        g = crate::ratio::gcd_i128(g, x.abs());
+    }
+    if g > 1 {
+        for x in &mut out {
+            *x /= g;
+        }
+    }
+    Ok(out)
+}
+
+/// Determinant of a square matrix, computed exactly by fraction-tracking
+/// Gaussian elimination.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] for non-square matrices and
+/// [`LinalgError::Overflow`] on `i128` overflow.
+pub fn determinant(m: &Matrix) -> Result<Ratio> {
+    if m.rows() != m.cols() {
+        return Err(LinalgError::dims(format!(
+            "determinant of {}x{} matrix",
+            m.rows(),
+            m.cols()
+        )));
+    }
+    let n = m.rows();
+    let mut a = m.clone();
+    let mut det = Ratio::ONE;
+    for col in 0..n {
+        let Some(src) = (col..n).find(|&r| !a.get(r, col).is_zero()) else {
+            return Ok(Ratio::ZERO);
+        };
+        if src != col {
+            a.swap_rows(col, src);
+            det = det.checked_neg()?;
+        }
+        let pivot = a.get(col, col);
+        det = det.checked_mul(&pivot)?;
+        let inv = pivot.checked_recip()?;
+        for r in (col + 1)..n {
+            let factor = a.get(r, col).checked_mul(&inv)?;
+            if factor.is_zero() {
+                continue;
+            }
+            for c in col..n {
+                let sub = a.get(col, c).checked_mul(&factor)?;
+                let v = a.get(r, c).checked_sub(&sub)?;
+                a.set(r, c, v);
+            }
+        }
+    }
+    Ok(det)
+}
+
+/// Solves `m * x = b` for one particular rational solution.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Inconsistent`] if no solution exists,
+/// [`LinalgError::DimensionMismatch`] if `b.len() != m.rows()`, and
+/// [`LinalgError::Overflow`] on arithmetic overflow.
+pub fn solve(m: &Matrix, b: &[Ratio]) -> Result<Vec<Ratio>> {
+    if b.len() != m.rows() {
+        return Err(LinalgError::dims(format!(
+            "solve: {}x{} with rhs of length {}",
+            m.rows(),
+            m.cols(),
+            b.len()
+        )));
+    }
+    // Reduce the augmented matrix [m | b].
+    let mut rows: Vec<Vec<Ratio>> = Vec::with_capacity(m.rows());
+    #[allow(clippy::needless_range_loop)] // index used in error paths/labels
+    for r in 0..m.rows() {
+        let mut row = m.row(r).to_vec();
+        row.push(b[r]);
+        rows.push(row);
+    }
+    let aug = Matrix::from_rows(rows)?;
+    let ech = rref(&aug)?;
+
+    // Inconsistent iff some pivot sits in the augmented column.
+    if ech.pivots.last().copied() == Some(m.cols()) {
+        return Err(LinalgError::Inconsistent);
+    }
+
+    let mut x = vec![Ratio::ZERO; m.cols()];
+    for (row, &col) in ech.pivots.iter().enumerate() {
+        x[col] = ech.rref.get(row, m.cols());
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratio(n: i128, d: i128) -> Ratio {
+        Ratio::new(n, d).unwrap()
+    }
+
+    fn m0() -> Matrix {
+        Matrix::from_i64_rows(&[&[1, 0, 1], &[0, 1, 1]]).unwrap()
+    }
+
+    /// The paper's `M_1` (Eq. 5): 8 x 9, rank 8, nullity 1.
+    fn m1() -> Matrix {
+        Matrix::from_i64_rows(&[
+            &[1, 1, 1, 0, 0, 0, 1, 1, 1],
+            &[0, 0, 0, 1, 1, 1, 1, 1, 1],
+            &[1, 0, 1, 0, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 1, 0, 1, 0, 0, 0],
+            &[0, 0, 0, 0, 0, 0, 1, 0, 1],
+            &[0, 1, 1, 0, 0, 0, 0, 0, 0],
+            &[0, 0, 0, 0, 1, 1, 0, 0, 0],
+            &[0, 0, 0, 0, 0, 0, 0, 1, 1],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rank_of_paper_matrices() {
+        assert_eq!(rank(&m0()).unwrap(), 2);
+        assert_eq!(rank(&m1()).unwrap(), 8);
+        assert_eq!(rank(&Matrix::identity(4)).unwrap(), 4);
+        assert_eq!(rank(&Matrix::zeros(3, 5)).unwrap(), 0);
+    }
+
+    #[test]
+    fn kernel_of_m0_is_paper_k0() {
+        let basis = kernel_basis(&m0()).unwrap();
+        assert_eq!(basis.len(), 1);
+        let k = to_integer_vector(&basis[0]).unwrap();
+        // Up to global sign, k_0 = [1, 1, -1].
+        let k = if k[0] < 0 {
+            k.iter().map(|x| -x).collect::<Vec<_>>()
+        } else {
+            k
+        };
+        assert_eq!(k, vec![1, 1, -1]);
+    }
+
+    #[test]
+    fn kernel_of_m1_is_paper_k1() {
+        let basis = kernel_basis(&m1()).unwrap();
+        assert_eq!(basis.len(), 1);
+        let mut k = to_integer_vector(&basis[0]).unwrap();
+        if k[0] < 0 {
+            for x in &mut k {
+                *x = -*x;
+            }
+        }
+        assert_eq!(k, vec![1, 1, -1, 1, 1, -1, -1, -1, 1]);
+    }
+
+    #[test]
+    fn kernel_vectors_are_in_kernel() {
+        for m in [m0(), m1()] {
+            for k in kernel_basis(&m).unwrap() {
+                let out = m.mul_vec(&k).unwrap();
+                assert!(out.iter().all(Ratio::is_zero));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_nullity_theorem() {
+        for m in [m0(), m1(), Matrix::identity(5), Matrix::zeros(2, 7)] {
+            let ech = rref(&m).unwrap();
+            assert_eq!(ech.rank() + ech.nullity(), m.cols());
+            assert_eq!(kernel_basis(&m).unwrap().len(), ech.nullity());
+        }
+    }
+
+    #[test]
+    fn solve_particular_and_general() {
+        // The paper's round-0 example (Eq. 3): m_0 = [2, 2]; solutions are
+        // s = [0,0,2] + t*[1,1,-1].
+        let b = vec![Ratio::from(2), Ratio::from(2)];
+        let x = solve(&m0(), &b).unwrap();
+        let back = m0().mul_vec(&x).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn solve_detects_inconsistency() {
+        // x + y = 0 and x + y = 1 cannot both hold.
+        let m = Matrix::from_i64_rows(&[&[1, 1], &[1, 1]]).unwrap();
+        let b = vec![Ratio::ZERO, Ratio::ONE];
+        assert_eq!(solve(&m, &b), Err(LinalgError::Inconsistent));
+    }
+
+    #[test]
+    fn solve_rectangular_with_fractions() {
+        let m = Matrix::from_i64_rows(&[&[2, 0], &[0, 4]]).unwrap();
+        let b = vec![Ratio::ONE, Ratio::ONE];
+        let x = solve(&m, &b).unwrap();
+        assert_eq!(x, vec![ratio(1, 2), ratio(1, 4)]);
+    }
+
+    #[test]
+    fn to_integer_vector_primitive() {
+        let v = vec![ratio(1, 2), ratio(-1, 3), Ratio::ZERO];
+        assert_eq!(to_integer_vector(&v).unwrap(), vec![3, -2, 0]);
+        let w = vec![Ratio::from(2), Ratio::from(4)];
+        assert_eq!(to_integer_vector(&w).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn determinant_values() {
+        // The paper's Lemma 2 base case: det M_0' = 1 for the leading 2x2
+        // block [[1,0],[0,1]] — and some classics.
+        assert_eq!(determinant(&Matrix::identity(4)).unwrap(), Ratio::ONE);
+        let m = Matrix::from_i64_rows(&[&[2, 1], &[1, 1]]).unwrap();
+        assert_eq!(determinant(&m).unwrap(), Ratio::ONE);
+        let swap = Matrix::from_i64_rows(&[&[0, 1], &[1, 0]]).unwrap();
+        assert_eq!(determinant(&swap).unwrap(), Ratio::from(-1));
+        let singular = Matrix::from_i64_rows(&[&[1, 2], &[2, 4]]).unwrap();
+        assert_eq!(determinant(&singular).unwrap(), Ratio::ZERO);
+        let vander = Matrix::from_i64_rows(&[&[1, 1, 1], &[1, 2, 4], &[1, 3, 9]]).unwrap();
+        assert_eq!(determinant(&vander).unwrap(), Ratio::from(2));
+        assert!(determinant(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn determinant_zero_iff_rank_deficient() {
+        for m in [
+            Matrix::identity(3),
+            Matrix::from_i64_rows(&[&[1, 2], &[2, 4]]).unwrap(),
+            Matrix::from_i64_rows(&[&[3, 1], &[0, 5]]).unwrap(),
+        ] {
+            let full_rank = rank(&m).unwrap() == m.rows();
+            assert_eq!(!determinant(&m).unwrap().is_zero(), full_rank);
+        }
+    }
+
+    #[test]
+    fn rref_idempotent() {
+        let e1 = rref(&m1()).unwrap();
+        let e2 = rref(&e1.rref).unwrap();
+        assert_eq!(e1.rref, e2.rref);
+        assert_eq!(e1.pivots, e2.pivots);
+    }
+}

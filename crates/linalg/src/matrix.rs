@@ -1,0 +1,314 @@
+//! Dense matrices over exact rationals.
+//!
+//! [`Matrix`] is a small, row-major dense matrix of [`Ratio`] entries. It is
+//! sized for the paper's verification workloads (full rational elimination
+//! of the observation matrix `M_r` for small rounds `r`); the big sparse 0/1
+//! matrices live in [`crate::sparse`].
+
+use crate::error::{LinalgError, Result};
+use crate::ratio::Ratio;
+use core::fmt;
+
+/// A dense, row-major matrix of exact rationals.
+///
+/// # Examples
+///
+/// ```
+/// use anonet_linalg::{Matrix, Ratio};
+///
+/// let m = Matrix::from_i64_rows(&[&[1, 0, 1], &[0, 1, 1]])?;
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m.get(0, 2), Ratio::ONE);
+/// # Ok::<(), anonet_linalg::LinalgError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Ratio>,
+}
+
+impl Matrix {
+    /// Creates an all-zero `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Ratio::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, Ratio::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from rows of `i64` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the rows have unequal
+    /// lengths or there are zero rows/columns.
+    pub fn from_i64_rows(rows: &[&[i64]]) -> Result<Matrix> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        if nrows == 0 || ncols == 0 {
+            return Err(LinalgError::dims("matrix must be non-empty"));
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != ncols {
+                return Err(LinalgError::dims(format!(
+                    "row {i} has {} entries, expected {ncols}",
+                    row.len()
+                )));
+            }
+            data.extend(row.iter().map(|&v| Ratio::from(v)));
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from an iterator of rational rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on ragged or empty input.
+    pub fn from_rows(rows: Vec<Vec<Ratio>>) -> Result<Matrix> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        if nrows == 0 || ncols == 0 {
+            return Err(LinalgError::dims("matrix must be non-empty"));
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, row) in rows.into_iter().enumerate() {
+            if row.len() != ncols {
+                return Err(LinalgError::dims(format!(
+                    "row {i} has {} entries, expected {ncols}",
+                    row.len()
+                )));
+            }
+            data.extend(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()` or `c >= cols()`.
+    pub fn get(&self, r: usize, c: usize) -> Ratio {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()` or `c >= cols()`.
+    pub fn set(&mut self, r: usize, c: usize, v: Ratio) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row(&self, r: usize) -> &[Ratio] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Swaps two rows in place.
+    pub(crate) fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * self.cols);
+        head[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != cols()` and
+    /// [`LinalgError::Overflow`] on arithmetic overflow.
+    pub fn mul_vec(&self, v: &[Ratio]) -> Result<Vec<Ratio>> {
+        if v.len() != self.cols {
+            return Err(LinalgError::dims(format!(
+                "{}x{} * vector of length {}",
+                self.rows,
+                self.cols,
+                v.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let mut acc = Ratio::ZERO;
+            for (a, b) in self.row(r).iter().zip(v) {
+                if !a.is_zero() && !b.is_zero() {
+                    acc = acc.checked_add(&a.checked_mul(b)?)?;
+                }
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Appends the rows of `other` below `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the column counts
+    /// differ.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::dims(format!(
+                "vstack {}x{} with {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.get(r, c))?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m0() -> Matrix {
+        // The paper's M_0 for M(DBL)_2 (Eq. 2).
+        Matrix::from_i64_rows(&[&[1, 0, 1], &[0, 1, 1]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = m0();
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m.get(0, 0), Ratio::ONE);
+        assert_eq!(m.get(1, 0), Ratio::ZERO);
+        assert_eq!(m.row(1), &[Ratio::ZERO, Ratio::ONE, Ratio::ONE]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(Matrix::from_i64_rows(&[&[1, 2], &[3]]).is_err());
+        assert!(Matrix::from_i64_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn identity_and_mul_vec() {
+        let id = Matrix::identity(3);
+        let v = vec![Ratio::from(3), Ratio::from(-1), Ratio::from(7)];
+        assert_eq!(id.mul_vec(&v).unwrap(), v);
+
+        // M_0 * kernel vector [1, 1, -1] = 0 (paper §4.2).
+        let k = vec![Ratio::ONE, Ratio::ONE, -Ratio::ONE];
+        assert_eq!(m0().mul_vec(&k).unwrap(), vec![Ratio::ZERO, Ratio::ZERO]);
+    }
+
+    #[test]
+    fn mul_vec_dimension_check() {
+        assert!(matches!(
+            m0().mul_vec(&[Ratio::ONE]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = m0();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), Ratio::ONE);
+    }
+
+    #[test]
+    fn vstack() {
+        let s = m0().vstack(&m0()).unwrap();
+        assert_eq!(s.rows(), 4);
+        assert_eq!(s.row(2), m0().row(0));
+        assert!(m0().vstack(&Matrix::identity(2)).is_err());
+    }
+
+    #[test]
+    fn swap_rows() {
+        let mut m = m0();
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), &[Ratio::ZERO, Ratio::ONE, Ratio::ONE]);
+        m.swap_rows(1, 1);
+        assert_eq!(m.row(1), &[Ratio::ONE, Ratio::ZERO, Ratio::ONE]);
+    }
+
+    #[test]
+    fn debug_render_is_nonempty() {
+        assert!(format!("{:?}", m0()).contains("Matrix 2x3"));
+    }
+}

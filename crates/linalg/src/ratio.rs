@@ -1,0 +1,457 @@
+//! Exact rational numbers over checked `i128`.
+//!
+//! [`Ratio`] is always kept in canonical form: the denominator is strictly
+//! positive and `gcd(|num|, den) == 1`. All arithmetic is checked; the
+//! operator impls (`+`, `-`, `*`, `/`) panic on overflow with a clear
+//! message, while the `checked_*` methods report [`LinalgError::Overflow`]
+//! instead. The lower-bound machinery of the paper only ever manipulates
+//! small rationals (entries of 0/±1 matrices and their elimination
+//! intermediates), so `i128` headroom is ample; the checks exist to make any
+//! violation loud.
+
+use crate::error::{LinalgError, Result};
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use core::str::FromStr;
+
+/// Greatest common divisor of two non-negative `i128` values.
+///
+/// `gcd_i128(0, 0) == 0` by convention.
+pub fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    debug_assert!(a >= 0 && b >= 0);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// An exact rational number with an `i128` numerator and denominator.
+///
+/// # Examples
+///
+/// ```
+/// use anonet_linalg::Ratio;
+///
+/// let a = Ratio::new(2, 4)?; // canonicalized to 1/2
+/// assert_eq!(a, Ratio::new(1, 2)?);
+/// assert_eq!((a + Ratio::from(1)).to_string(), "3/2");
+/// # Ok::<(), anonet_linalg::LinalgError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+impl Ratio {
+    /// The rational zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates a rational `num/den` in canonical form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ZeroDenominator`] if `den == 0` and
+    /// [`LinalgError::Overflow`] if negating `i128::MIN` would be required
+    /// to canonicalize the sign.
+    pub fn new(num: i128, den: i128) -> Result<Ratio> {
+        if den == 0 {
+            return Err(LinalgError::ZeroDenominator);
+        }
+        let (mut num, mut den) = (num, den);
+        if den < 0 {
+            num = num.checked_neg().ok_or(LinalgError::Overflow)?;
+            den = den.checked_neg().ok_or(LinalgError::Overflow)?;
+        }
+        // `|i128::MIN|` does not fit in i128; reject that case explicitly
+        // (it cannot be canonicalized).
+        if num == i128::MIN {
+            return Err(LinalgError::Overflow);
+        }
+        let g = gcd_i128(num.abs(), den);
+        let g = if g == 0 { 1 } else { g };
+        Ok(Ratio {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// Creates an integral rational `n/1`.
+    pub const fn from_integer(n: i128) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// The canonical numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The canonical denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether this rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this rational is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns the value as an integer if the denominator is 1.
+    pub fn to_integer(&self) -> Option<i128> {
+        self.is_integer().then_some(self.num)
+    }
+
+    /// Sign of the value: `-1`, `0` or `1`.
+    pub fn signum(&self) -> i128 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow (numerator `i128::MIN`, which canonical form
+    /// already excludes).
+    pub fn abs(&self) -> Ratio {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Checked addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Overflow`] when an intermediate product or sum
+    /// exceeds `i128`.
+    pub fn checked_add(&self, rhs: &Ratio) -> Result<Ratio> {
+        // a/b + c/d = (a*(d/g) + c*(b/g)) / (b/g*d) with g = gcd(b, d),
+        // reducing intermediate magnitude.
+        let g = gcd_i128(self.den, rhs.den);
+        let lcm_part = rhs.den / g;
+        let left = self
+            .num
+            .checked_mul(lcm_part)
+            .ok_or(LinalgError::Overflow)?;
+        let right = rhs
+            .num
+            .checked_mul(self.den / g)
+            .ok_or(LinalgError::Overflow)?;
+        let num = left.checked_add(right).ok_or(LinalgError::Overflow)?;
+        let den = self
+            .den
+            .checked_mul(lcm_part)
+            .ok_or(LinalgError::Overflow)?;
+        Ratio::new(num, den)
+    }
+
+    /// Checked subtraction. See [`Ratio::checked_add`] for error behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Overflow`] on `i128` overflow.
+    pub fn checked_sub(&self, rhs: &Ratio) -> Result<Ratio> {
+        self.checked_add(&rhs.checked_neg()?)
+    }
+
+    /// Checked negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Overflow`] only for the non-canonical
+    /// `i128::MIN` numerator, which cannot occur for values built through
+    /// this API.
+    pub fn checked_neg(&self) -> Result<Ratio> {
+        Ok(Ratio {
+            num: self.num.checked_neg().ok_or(LinalgError::Overflow)?,
+            den: self.den,
+        })
+    }
+
+    /// Checked multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Overflow`] on `i128` overflow.
+    pub fn checked_mul(&self, rhs: &Ratio) -> Result<Ratio> {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd_i128(self.num.unsigned_abs() as i128, rhs.den);
+        let g2 = gcd_i128(rhs.num.unsigned_abs() as i128, self.den);
+        let g1 = if g1 == 0 { 1 } else { g1 };
+        let g2 = if g2 == 0 { 1 } else { g2 };
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .ok_or(LinalgError::Overflow)?;
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .ok_or(LinalgError::Overflow)?;
+        Ratio::new(num, den)
+    }
+
+    /// Checked division.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DivisionByZero`] if `rhs` is zero and
+    /// [`LinalgError::Overflow`] on `i128` overflow.
+    pub fn checked_div(&self, rhs: &Ratio) -> Result<Ratio> {
+        if rhs.is_zero() {
+            return Err(LinalgError::DivisionByZero);
+        }
+        self.checked_mul(&Ratio::new(rhs.den, rhs.num)?)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DivisionByZero`] if the value is zero.
+    pub fn checked_recip(&self) -> Result<Ratio> {
+        if self.is_zero() {
+            return Err(LinalgError::DivisionByZero);
+        }
+        Ratio::new(self.den, self.num)
+    }
+
+    /// Approximate `f64` value (for reporting only; never used in proofs).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Default for Ratio {
+    fn default() -> Self {
+        Ratio::ZERO
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Ratio {
+        Ratio::from_integer(n as i128)
+    }
+}
+
+impl From<i32> for Ratio {
+    fn from(n: i32) -> Ratio {
+        Ratio::from_integer(n as i128)
+    }
+}
+
+impl From<u32> for Ratio {
+    fn from(n: u32) -> Ratio {
+        Ratio::from_integer(n as i128)
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ratio({self})")
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Parses `"a"` or `"a/b"`.
+impl FromStr for Ratio {
+    type Err = LinalgError;
+
+    fn from_str(s: &str) -> Result<Ratio> {
+        let mut parts = s.splitn(2, '/');
+        let num: i128 = parts
+            .next()
+            .unwrap_or("")
+            .trim()
+            .parse()
+            .map_err(|_| LinalgError::dims(format!("cannot parse rational from {s:?}")))?;
+        match parts.next() {
+            None => Ok(Ratio::from_integer(num)),
+            Some(d) => {
+                let den: i128 = d
+                    .trim()
+                    .parse()
+                    .map_err(|_| LinalgError::dims(format!("cannot parse rational from {s:?}")))?;
+                Ratio::new(num, den)
+            }
+        }
+    }
+}
+
+macro_rules! panicking_op {
+    ($trait:ident, $method:ident, $checked:ident, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: Ratio) -> Ratio {
+                self.$checked(&rhs)
+                    .unwrap_or_else(|e| panic!("Ratio::{}: {e}", stringify!($method)))
+            }
+        }
+        impl $trait<&Ratio> for Ratio {
+            type Output = Ratio;
+            fn $method(self, rhs: &Ratio) -> Ratio {
+                self.$checked(rhs)
+                    .unwrap_or_else(|e| panic!("Ratio::{}: {e}", stringify!($method)))
+            }
+        }
+        impl $assign_trait for Ratio {
+            fn $assign_method(&mut self, rhs: Ratio) {
+                *self = $trait::$method(*self, rhs);
+            }
+        }
+    };
+}
+
+panicking_op!(Add, add, checked_add, AddAssign, add_assign);
+panicking_op!(Sub, sub, checked_sub, SubAssign, sub_assign);
+panicking_op!(Mul, mul, checked_mul, MulAssign, mul_assign);
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        self.checked_div(&rhs)
+            .unwrap_or_else(|e| panic!("Ratio::div: {e}"))
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        self.checked_neg()
+            .unwrap_or_else(|e| panic!("Ratio::neg: {e}"))
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        // Compare a/b and c/d by the sign of a*d - c*b; reduce first so the
+        // products stay within range for all canonical inputs we produce.
+        let g = gcd_i128(self.den, other.den);
+        let left = self
+            .num
+            .checked_mul(other.den / g)
+            .expect("Ratio::cmp: overflow");
+        let right = other
+            .num
+            .checked_mul(self.den / g)
+            .expect("Ratio::cmp: overflow");
+        left.cmp(&right)
+    }
+}
+
+impl core::iter::Sum for Ratio {
+    fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
+        iter.fold(Ratio::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(Ratio::new(2, 4).unwrap(), Ratio::new(1, 2).unwrap());
+        assert_eq!(Ratio::new(-2, -4).unwrap(), Ratio::new(1, 2).unwrap());
+        assert_eq!(Ratio::new(2, -4).unwrap(), Ratio::new(-1, 2).unwrap());
+        assert_eq!(Ratio::new(0, 7).unwrap(), Ratio::ZERO);
+        assert_eq!(Ratio::new(0, -7).unwrap().denom(), 1);
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert_eq!(Ratio::new(1, 0), Err(LinalgError::ZeroDenominator));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let half = Ratio::new(1, 2).unwrap();
+        let third = Ratio::new(1, 3).unwrap();
+        assert_eq!(half + third, Ratio::new(5, 6).unwrap());
+        assert_eq!(half - third, Ratio::new(1, 6).unwrap());
+        assert_eq!(half * third, Ratio::new(1, 6).unwrap());
+        assert_eq!(half / third, Ratio::new(3, 2).unwrap());
+        assert_eq!(-half, Ratio::new(-1, 2).unwrap());
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert_eq!(
+            Ratio::ONE.checked_div(&Ratio::ZERO),
+            Err(LinalgError::DivisionByZero)
+        );
+        assert_eq!(
+            Ratio::ZERO.checked_recip(),
+            Err(LinalgError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Ratio::new(1, 3).unwrap();
+        let b = Ratio::new(1, 2).unwrap();
+        assert!(a < b);
+        assert!(Ratio::from(-1) < Ratio::ZERO);
+        assert_eq!(Ratio::new(2, 6).unwrap().cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "5", "-5", "1/2", "-7/3"] {
+            let r: Ratio = s.parse().unwrap();
+            assert_eq!(r.to_string(), s);
+        }
+        assert_eq!("2/4".parse::<Ratio>().unwrap().to_string(), "1/2");
+        assert!("abc".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn integer_checks() {
+        assert!(Ratio::from(3).is_integer());
+        assert_eq!(Ratio::from(3).to_integer(), Some(3));
+        assert_eq!(Ratio::new(1, 2).unwrap().to_integer(), None);
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let big = Ratio::from_integer(i128::MAX);
+        assert_eq!(big.checked_add(&Ratio::ONE), Err(LinalgError::Overflow));
+        assert_eq!(big.checked_mul(&Ratio::from(2)), Err(LinalgError::Overflow));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Ratio = (1..=4).map(|i| Ratio::new(1, i).unwrap()).sum();
+        assert_eq!(total, Ratio::new(25, 12).unwrap());
+    }
+
+    #[test]
+    fn signum_abs() {
+        assert_eq!(Ratio::new(-3, 4).unwrap().signum(), -1);
+        assert_eq!(Ratio::new(-3, 4).unwrap().abs(), Ratio::new(3, 4).unwrap());
+        assert_eq!(Ratio::ZERO.signum(), 0);
+    }
+}

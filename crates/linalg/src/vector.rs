@@ -1,0 +1,154 @@
+//! Integer-vector helpers matching the paper's notation.
+//!
+//! The lower-bound proofs use `Σa` (sum of components), `Σ⁺a` / `Σ⁻a`
+//! (sums of positive / negative components) and non-negativity tests on
+//! census vectors. These helpers operate on `&[i64]` with `i128`
+//! accumulators so they are exact for every vector the crate produces.
+
+use crate::error::{LinalgError, Result};
+
+/// Sum of all components (`Σa` in the paper).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] if the accumulation overflows `i128`.
+pub fn sum(v: &[i64]) -> Result<i128> {
+    let mut acc: i128 = 0;
+    for &x in v {
+        acc = acc.checked_add(x as i128).ok_or(LinalgError::Overflow)?;
+    }
+    Ok(acc)
+}
+
+/// Sum of the positive components (`Σ⁺a`).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] if the accumulation overflows `i128`.
+pub fn sum_positive(v: &[i64]) -> Result<i128> {
+    let mut acc: i128 = 0;
+    for &x in v {
+        if x > 0 {
+            acc = acc.checked_add(x as i128).ok_or(LinalgError::Overflow)?;
+        }
+    }
+    Ok(acc)
+}
+
+/// Absolute sum of the negative components (`Σ⁻a`, reported positive as in
+/// the paper's usage `min(Σ⁺, Σ⁻)`).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Overflow`] if the accumulation overflows `i128`.
+pub fn sum_negative(v: &[i64]) -> Result<i128> {
+    let mut acc: i128 = 0;
+    for &x in v {
+        if x < 0 {
+            acc = acc.checked_sub(x as i128).ok_or(LinalgError::Overflow)?;
+        }
+    }
+    Ok(acc)
+}
+
+/// Whether every component is non-negative (a vector representing a valid
+/// census of process states).
+pub fn is_nonnegative(v: &[i64]) -> bool {
+    v.iter().all(|&x| x >= 0)
+}
+
+/// Component-wise `a + t·b`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if lengths differ and
+/// [`LinalgError::Overflow`] if a component leaves `i64`.
+pub fn add_scaled(a: &[i64], t: i64, b: &[i64]) -> Result<Vec<i64>> {
+    if a.len() != b.len() {
+        return Err(LinalgError::dims(format!(
+            "add_scaled: {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            t.checked_mul(y)
+                .and_then(|ty| x.checked_add(ty))
+                .ok_or(LinalgError::Overflow)
+        })
+        .collect()
+}
+
+/// Exact dot product with an `i128` accumulator.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if lengths differ and
+/// [`LinalgError::Overflow`] on overflow.
+pub fn dot(a: &[i64], b: &[i64]) -> Result<i128> {
+    if a.len() != b.len() {
+        return Err(LinalgError::dims(format!(
+            "dot: {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    let mut acc: i128 = 0;
+    for (&x, &y) in a.iter().zip(b) {
+        let term = (x as i128)
+            .checked_mul(y as i128)
+            .ok_or(LinalgError::Overflow)?;
+        acc = acc.checked_add(term).ok_or(LinalgError::Overflow)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_match_paper_k1() {
+        // k_1 = [1,1,-1,1,1,-1,-1,-1,1]: Σ⁺ = 5, Σ⁻ = 4, Σ = 1 (paper §4.2).
+        let k1 = [1, 1, -1, 1, 1, -1, -1, -1, 1];
+        assert_eq!(sum_positive(&k1).unwrap(), 5);
+        assert_eq!(sum_negative(&k1).unwrap(), 4);
+        assert_eq!(sum(&k1).unwrap(), 1);
+    }
+
+    #[test]
+    fn nonnegativity() {
+        assert!(is_nonnegative(&[0, 1, 2]));
+        assert!(!is_nonnegative(&[0, -1]));
+        assert!(is_nonnegative(&[]));
+    }
+
+    #[test]
+    fn add_scaled_matches_kernel_shift() {
+        // s_1 + k_1 from the paper's Figure 4 example.
+        let s1 = [0, 0, 1, 0, 0, 1, 1, 1, 0];
+        let k1 = [1, 1, -1, 1, 1, -1, -1, -1, 1];
+        let s = add_scaled(&s1, 1, &k1).unwrap();
+        assert_eq!(s, vec![1, 1, 0, 1, 1, 0, 0, 0, 1]);
+        assert_eq!(sum(&s).unwrap(), sum(&s1).unwrap() + 1);
+        assert!(add_scaled(&s1, 1, &[1]).is_err());
+    }
+
+    #[test]
+    fn add_scaled_overflow() {
+        assert_eq!(add_scaled(&[i64::MAX], 1, &[1]), Err(LinalgError::Overflow));
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1, 2, 3], &[4, 5, 6]).unwrap(), 32);
+        assert!(dot(&[1], &[1, 2]).is_err());
+        // Large values stay exact in i128.
+        assert_eq!(
+            dot(&[i64::MAX, i64::MAX], &[1, 1]).unwrap(),
+            2 * (i64::MAX as i128)
+        );
+    }
+}

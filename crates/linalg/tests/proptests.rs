@@ -1,0 +1,156 @@
+//! Property-based tests for the exact linear-algebra substrate.
+
+use anonet_linalg::{gauss, vector, Matrix, Ratio, SparseIntMatrix};
+use proptest::prelude::*;
+
+fn small_ratio() -> impl Strategy<Value = Ratio> {
+    (-20i128..=20, 1i128..=9).prop_map(|(n, d)| Ratio::new(n, d).unwrap())
+}
+
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=5, 1usize..=6).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(small_ratio(), c), r)
+            .prop_map(|rows| Matrix::from_rows(rows).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn ratio_field_axioms(a in small_ratio(), b in small_ratio(), c in small_ratio()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a + Ratio::ZERO, a);
+        prop_assert_eq!(a * Ratio::ONE, a);
+        prop_assert_eq!(a - a, Ratio::ZERO);
+        if !b.is_zero() {
+            prop_assert_eq!((a / b) * b, a);
+        }
+    }
+
+    #[test]
+    fn ratio_ordering_total(a in small_ratio(), b in small_ratio()) {
+        // Exactly one of <, ==, > holds, and ordering agrees with subtraction sign.
+        let diff = a - b;
+        prop_assert_eq!(a.cmp(&b), diff.signum().cmp(&0));
+    }
+
+    #[test]
+    fn ratio_parse_roundtrip(a in small_ratio()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Ratio>().unwrap(), a);
+    }
+
+    #[test]
+    fn kernel_vectors_annihilate(m in small_matrix()) {
+        let basis = gauss::kernel_basis(&m).unwrap();
+        for k in &basis {
+            let out = m.mul_vec(k).unwrap();
+            prop_assert!(out.iter().all(Ratio::is_zero));
+        }
+        // Rank-nullity.
+        prop_assert_eq!(gauss::rank(&m).unwrap() + basis.len(), m.cols());
+    }
+
+    #[test]
+    fn solve_produces_solutions(m in small_matrix(), xs in proptest::collection::vec(-10i64..=10, 0..6)) {
+        // Construct a guaranteed-consistent rhs b = m * x, then check solve.
+        let mut x = vec![Ratio::ZERO; m.cols()];
+        for (i, v) in xs.iter().take(m.cols()).enumerate() {
+            x[i] = Ratio::from(*v);
+        }
+        let b = m.mul_vec(&x).unwrap();
+        let sol = gauss::solve(&m, &b).unwrap();
+        prop_assert_eq!(m.mul_vec(&sol).unwrap(), b);
+    }
+
+    #[test]
+    fn rref_is_idempotent_and_rank_bounded(m in small_matrix()) {
+        let e = gauss::rref(&m).unwrap();
+        prop_assert!(e.rank() <= m.rows().min(m.cols()));
+        let e2 = gauss::rref(&e.rref).unwrap();
+        prop_assert_eq!(e2.rref, e.rref);
+    }
+
+    #[test]
+    fn transpose_preserves_rank(m in small_matrix()) {
+        prop_assert_eq!(gauss::rank(&m).unwrap(), gauss::rank(&m.transpose()).unwrap());
+    }
+
+    #[test]
+    fn sparse_dense_mul_agree(
+        rows in proptest::collection::vec(proptest::collection::vec(-3i64..=3, 4), 1..5),
+        v in proptest::collection::vec(-5i64..=5, 4),
+    ) {
+        let mut sp = SparseIntMatrix::new(4);
+        for row in &rows {
+            let entries: Vec<(u32, i64)> = row
+                .iter()
+                .enumerate()
+                .map(|(c, &val)| (c as u32, val))
+                .collect();
+            sp.push_row(entries).unwrap();
+        }
+        let sparse_out = sp.mul_vec(&v).unwrap();
+        let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let dense = Matrix::from_i64_rows(&refs).unwrap();
+        let vr: Vec<Ratio> = v.iter().map(|&x| Ratio::from(x)).collect();
+        let dense_out = dense.mul_vec(&vr).unwrap();
+        for (s, d) in sparse_out.iter().zip(&dense_out) {
+            prop_assert_eq!(Ratio::from_integer(*s), *d);
+        }
+    }
+
+    #[test]
+    fn vector_sums_decompose(v in proptest::collection::vec(-50i64..=50, 0..20)) {
+        let total = vector::sum(&v).unwrap();
+        let pos = vector::sum_positive(&v).unwrap();
+        let neg = vector::sum_negative(&v).unwrap();
+        prop_assert_eq!(total, pos - neg);
+        prop_assert!(pos >= 0 && neg >= 0);
+        prop_assert_eq!(vector::is_nonnegative(&v), neg == 0);
+    }
+
+    #[test]
+    fn enumerate_finds_planted_solutions(
+        x in proptest::collection::vec(0i64..=3, 1..5),
+        row_masks in proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, 4), 1..4),
+    ) {
+        use anonet_linalg::enumerate::enumerate_nonnegative_solutions;
+        // Build a 0/1 system with planted solution x, then check that the
+        // enumeration (a) contains x and (b) only returns true solutions.
+        let cols = x.len();
+        let mut m = SparseIntMatrix::new(cols);
+        let mut rhs = Vec::new();
+        for mask in &row_masks {
+            let entries: Vec<(u32, i64)> = mask
+                .iter()
+                .take(cols)
+                .enumerate()
+                .filter(|(_, &on)| on)
+                .map(|(c, _)| (c as u32, 1i64))
+                .collect();
+            let b: i64 = entries.iter().map(|&(c, _)| x[c as usize]).sum();
+            m.push_row(entries).unwrap();
+            rhs.push(b);
+        }
+        let cap = 3;
+        if let Ok(sols) = enumerate_nonnegative_solutions(&m, &rhs, cap, 100_000) {
+            prop_assert!(sols.contains(&x), "planted {x:?} among {}", sols.len());
+            for s in &sols {
+                let check: Vec<i128> = m.mul_vec(s).unwrap();
+                let expect: Vec<i128> = rhs.iter().map(|&v| v as i128).collect();
+                prop_assert_eq!(check, expect);
+                prop_assert!(s.iter().all(|&v| (0..=cap).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_linear(v in proptest::collection::vec(-20i64..=20, 1..10), t in -5i64..=5) {
+        let w = vector::add_scaled(&v, t, &v).unwrap();
+        let expect: Vec<i64> = v.iter().map(|&x| x * (1 + t)).collect();
+        prop_assert_eq!(w, expect);
+    }
+}

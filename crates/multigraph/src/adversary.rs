@@ -1,0 +1,436 @@
+//! The worst-case (kernel) adversary: constructive Lemma 5.
+//!
+//! Lemma 5 proves that for every size `n` there are multigraphs `M` (size
+//! `n`) and `M'` (size `n + 1`) whose leader states coincide through round
+//! `⌊log₃(2n+1)⌋ - 1`. The proof places at least one node on every
+//! *negative* history (odd number of `{1,2}` entries) so that shifting the
+//! census by the kernel vector `k_r` stays non-negative. This module makes
+//! that existential argument executable: [`TwinBuilder`] produces the
+//! concrete twin multigraphs, and [`indistinguishability_horizon`] the
+//! closed-form round bound.
+
+use crate::census::{Census, CensusError};
+use crate::history::ternary_count;
+use crate::multigraph::DblMultigraph;
+use crate::system::kernel_vector;
+use core::fmt;
+
+/// Number of negative components of `k_r` — equivalently the number of
+/// length-`r+1` histories with an odd number of `{1,2}` entries:
+/// `(3^{r+1} - 1) / 2` (Lemma 4).
+pub fn negative_history_count(depth: usize) -> usize {
+    (ternary_count(depth) - 1) / 2
+}
+
+/// The largest round `r` such that a size-`n` network can cover every
+/// negative history of depth `r + 1` — the adversary's
+/// indistinguishability horizon. Equals `⌊log₃(2n+1)⌋ - 1`.
+///
+/// Through every round `r ≤` this horizon, the twins of [`TwinBuilder`]
+/// give the leader identical states; one round later the sizes `n` and
+/// `n+1` become separable (and Theorem 1 says no algorithm can output
+/// before round `⌊log₃(2|W|+1)⌋ - 1`).
+///
+/// Returns `None` for `n = 0` (no network).
+pub fn indistinguishability_horizon(n: u64) -> Option<u32> {
+    if n == 0 {
+        return None;
+    }
+    // Largest r with (3^{r+1} - 1)/2 <= n, i.e. 3^{r+1} <= 2n + 1.
+    let target = 2u128 * n as u128 + 1;
+    let mut pow = 3u128;
+    let mut r = 0u32;
+    while pow * 3 <= target {
+        pow *= 3;
+        r += 1;
+    }
+    Some(r)
+}
+
+/// Errors produced by the twin construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TwinError {
+    /// Twins require at least one node.
+    TooSmall,
+    /// Internal census construction failed (should be unreachable for
+    /// valid sizes).
+    Census(CensusError),
+}
+
+impl fmt::Display for TwinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwinError::TooSmall => write!(f, "twin construction requires n >= 1"),
+            TwinError::Census(e) => write!(f, "census construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TwinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TwinError::Census(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CensusError> for TwinError {
+    fn from(e: CensusError) -> Self {
+        TwinError::Census(e)
+    }
+}
+
+/// A pair of dynamic multigraphs of sizes `n` and `n + 1` that the leader
+/// cannot distinguish through [`TwinPair::horizon`] rounds.
+#[derive(Debug, Clone)]
+pub struct TwinPair {
+    /// The size-`n` multigraph.
+    pub smaller: DblMultigraph,
+    /// The size-`n+1` multigraph (census shifted by `k_r`).
+    pub larger: DblMultigraph,
+    /// The indistinguishability horizon round `r` (leader states agree
+    /// after observing rounds `0..=r`).
+    pub horizon: u32,
+}
+
+/// Where the twin construction places the nodes beyond the mandatory one
+/// per negative history (an ablation dimension for the adversary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SurplusPlacement {
+    /// Dump every surplus node on the first negative history (default).
+    #[default]
+    FirstNegative,
+    /// Spread the surplus round-robin over all negative histories.
+    Spread,
+}
+
+/// Builds Lemma 5 twin networks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwinBuilder {
+    placement: SurplusPlacement,
+}
+
+impl TwinBuilder {
+    /// Creates a builder with the default surplus placement.
+    pub fn new() -> TwinBuilder {
+        TwinBuilder::default()
+    }
+
+    /// Selects where surplus nodes are placed. Any placement supported
+    /// here keeps the Lemma 5 horizon — the construction only needs the
+    /// negative histories covered (verified by the ablation experiment).
+    pub fn with_placement(mut self, placement: SurplusPlacement) -> TwinBuilder {
+        self.placement = placement;
+        self
+    }
+
+    /// The census of the size-`n` twin at the horizon depth: one node on
+    /// every negative history, surplus placed per the configured
+    /// [`SurplusPlacement`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwinError::TooSmall`] for `n = 0`.
+    pub fn smaller_census(&self, n: u64) -> Result<Census, TwinError> {
+        let horizon = indistinguishability_horizon(n).ok_or(TwinError::TooSmall)?;
+        let depth = horizon as usize + 1;
+        let k = kernel_vector(horizon as usize);
+        let neg = negative_history_count(depth) as u64;
+        debug_assert!(neg <= n, "horizon guarantees coverage");
+        let mut counts = vec![0i64; ternary_count(depth)];
+        let mut negatives = Vec::new();
+        for (i, &kv) in k.iter().enumerate() {
+            if kv < 0 {
+                counts[i] = 1;
+                negatives.push(i);
+            }
+        }
+        let surplus = (n - neg) as i64;
+        match self.placement {
+            SurplusPlacement::FirstNegative => {
+                counts[negatives[0]] += surplus;
+            }
+            SurplusPlacement::Spread => {
+                for s in 0..surplus {
+                    counts[negatives[s as usize % negatives.len()]] += 1;
+                }
+            }
+        }
+        Ok(Census::from_counts(counts)?)
+    }
+
+    /// Builds the twin pair for size `n`: `smaller` realizes the census
+    /// above; `larger` realizes it shifted by `+k_r` (population `n + 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwinError::TooSmall`] for `n = 0`.
+    pub fn build(&self, n: u64) -> Result<TwinPair, TwinError> {
+        let horizon = indistinguishability_horizon(n).ok_or(TwinError::TooSmall)?;
+        let s = self.smaller_census(n)?;
+        let k = kernel_vector(horizon as usize);
+        let s_prime = s.shift(1, &k)?;
+        Ok(TwinPair {
+            smaller: s.realize()?,
+            larger: s_prime.realize()?,
+            horizon,
+        })
+    }
+}
+
+/// A *fair* `M(DBL)_2` adversary: every node draws a uniformly random
+/// label set each round. Used in ablations against the kernel adversary —
+/// random dynamics leak information much faster than the worst case.
+#[derive(Debug, Clone)]
+pub struct RandomDblAdversary<R> {
+    rng: R,
+}
+
+impl<R: rand::Rng> RandomDblAdversary<R> {
+    /// Creates the adversary with the given randomness source.
+    pub fn new(rng: R) -> RandomDblAdversary<R> {
+        RandomDblAdversary { rng }
+    }
+
+    /// Generates a size-`n` dynamic multigraph over `rounds` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwinError::TooSmall`] for `n = 0` or `rounds = 0`.
+    pub fn generate(&mut self, n: u64, rounds: usize) -> Result<DblMultigraph, TwinError> {
+        if n == 0 || rounds == 0 {
+            return Err(TwinError::TooSmall);
+        }
+        let sets = [
+            crate::label::LabelSet::L1,
+            crate::label::LabelSet::L2,
+            crate::label::LabelSet::L12,
+        ];
+        let rounds: Vec<Vec<crate::label::LabelSet>> = (0..rounds)
+            .map(|_| (0..n).map(|_| sets[self.rng.gen_range(0..3)]).collect())
+            .collect();
+        DblMultigraph::new(2, rounds).map_err(|_| TwinError::TooSmall)
+    }
+}
+
+/// A *lazy* adversary: assigns each node one random label set at round 0
+/// and never rewires. The weakest adversary in the ablation.
+#[derive(Debug, Clone)]
+pub struct StaticDblAdversary<R> {
+    rng: R,
+}
+
+impl<R: rand::Rng> StaticDblAdversary<R> {
+    /// Creates the adversary with the given randomness source.
+    pub fn new(rng: R) -> StaticDblAdversary<R> {
+        StaticDblAdversary { rng }
+    }
+
+    /// Generates a size-`n` static multigraph (one round, held forever).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwinError::TooSmall`] for `n = 0`.
+    pub fn generate(&mut self, n: u64) -> Result<DblMultigraph, TwinError> {
+        RandomDblAdversary::new(&mut self.rng).generate(n, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leader::{LeaderState, Observations};
+    use crate::system::solve_census;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn horizon_closed_form() {
+        // (3^{r+1}-1)/2 <= n: n=1..3 → r=0; n=4..12 → r=1; n=13..39 → r=2.
+        assert_eq!(indistinguishability_horizon(0), None);
+        for n in 1..=3 {
+            assert_eq!(indistinguishability_horizon(n), Some(0), "n={n}");
+        }
+        for n in 4..=12 {
+            assert_eq!(indistinguishability_horizon(n), Some(1), "n={n}");
+        }
+        for n in 13..=39 {
+            assert_eq!(indistinguishability_horizon(n), Some(2), "n={n}");
+        }
+        assert_eq!(indistinguishability_horizon(40), Some(3));
+        // Against the f64 logarithm for larger n.
+        for n in [100u64, 1_000, 12_345, 1_000_000] {
+            let expect = ((2.0 * n as f64 + 1.0).ln() / 3.0f64.ln()).floor() as u32 - 1;
+            assert_eq!(indistinguishability_horizon(n), Some(expect), "n={n}");
+        }
+    }
+
+    #[test]
+    fn negative_history_counts() {
+        assert_eq!(negative_history_count(1), 1);
+        assert_eq!(negative_history_count(2), 4);
+        assert_eq!(negative_history_count(3), 13);
+    }
+
+    #[test]
+    fn twin_sizes() {
+        let b = TwinBuilder::new();
+        for n in [1u64, 2, 3, 4, 7, 12, 13, 25, 40, 100] {
+            let pair = b.build(n).unwrap();
+            assert_eq!(pair.smaller.nodes() as u64, n);
+            assert_eq!(pair.larger.nodes() as u64, n + 1);
+            assert_eq!(pair.horizon, indistinguishability_horizon(n).unwrap());
+        }
+        assert!(matches!(b.build(0), Err(TwinError::TooSmall)));
+    }
+
+    #[test]
+    fn twins_indistinguishable_through_horizon() {
+        let b = TwinBuilder::new();
+        for n in [1u64, 3, 4, 9, 13, 27, 60] {
+            let pair = b.build(n).unwrap();
+            let rounds = pair.horizon as usize + 1;
+            let s = LeaderState::observe(&pair.smaller, rounds);
+            let sp = LeaderState::observe(&pair.larger, rounds);
+            assert_eq!(
+                s, sp,
+                "leader states agree through round {} for n={n}",
+                pair.horizon
+            );
+        }
+    }
+
+    #[test]
+    fn twins_distinguishable_one_round_later() {
+        let b = TwinBuilder::new();
+        for n in [1u64, 4, 13, 40] {
+            let pair = b.build(n).unwrap();
+            let rounds = pair.horizon as usize + 2;
+            let s = LeaderState::observe(&pair.smaller, rounds);
+            let sp = LeaderState::observe(&pair.larger, rounds);
+            assert_ne!(
+                s, sp,
+                "one extra round separates n={n} from n+1 under this adversary"
+            );
+        }
+    }
+
+    #[test]
+    fn solver_sees_both_twins_feasible() {
+        // At the horizon, the solver's feasible line contains both
+        // populations n and n+1 — the formal content of indistinguishability.
+        let b = TwinBuilder::new();
+        for n in [4u64, 13, 40] {
+            let pair = b.build(n).unwrap();
+            let rounds = pair.horizon as usize + 1;
+            let obs = Observations::observe(&pair.smaller, rounds).unwrap();
+            let sol = solve_census(&obs).unwrap();
+            let (lo, hi) = sol.population_range().unwrap();
+            assert!(lo <= n as i64 && (n as i64 + 1) <= hi, "n={n}: [{lo},{hi}]");
+            assert!(sol.unique_population().is_none());
+        }
+    }
+
+    #[test]
+    fn spread_placement_keeps_the_horizon() {
+        for n in [5u64, 20, 50, 200] {
+            let b = TwinBuilder::new().with_placement(SurplusPlacement::Spread);
+            let pair = b.build(n).unwrap();
+            assert_eq!(pair.smaller.nodes() as u64, n);
+            assert_eq!(pair.larger.nodes() as u64, n + 1);
+            let rounds = pair.horizon as usize + 1;
+            assert_eq!(
+                LeaderState::observe(&pair.smaller, rounds),
+                LeaderState::observe(&pair.larger, rounds),
+                "spread twins also agree through the horizon, n={n}"
+            );
+            // One round later they separate, like the default placement.
+            assert_ne!(
+                LeaderState::observe(&pair.smaller, rounds + 1),
+                LeaderState::observe(&pair.larger, rounds + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn placements_differ_only_in_census_shape() {
+        let a = TwinBuilder::new().smaller_census(30).unwrap();
+        let b = TwinBuilder::new()
+            .with_placement(SurplusPlacement::Spread)
+            .smaller_census(30)
+            .unwrap();
+        assert_eq!(a.population(), b.population());
+        assert_ne!(a, b, "placements produce different censuses for n=30");
+        // Maximum count under Spread is balanced.
+        let max_spread = b.counts().iter().max().copied().unwrap();
+        let max_dump = a.counts().iter().max().copied().unwrap();
+        assert!(max_spread < max_dump);
+    }
+
+    #[test]
+    fn random_adversary_generates_valid_multigraphs() {
+        let mut adv = RandomDblAdversary::new(StdRng::seed_from_u64(3));
+        let m = adv.generate(20, 5).unwrap();
+        assert_eq!(m.nodes(), 20);
+        assert_eq!(m.prefix_len(), 5);
+        assert!(adv.generate(0, 3).is_err());
+        assert!(adv.generate(3, 0).is_err());
+    }
+
+    #[test]
+    fn static_adversary_never_rewires() {
+        let mut adv = StaticDblAdversary::new(StdRng::seed_from_u64(4));
+        let m = adv.generate(10).unwrap();
+        assert_eq!(m.prefix_len(), 1);
+        assert_eq!(m.round(0), m.round(7));
+    }
+
+    #[test]
+    fn random_adversary_is_weaker_than_kernel_adversary() {
+        // The solver pins random instances at least as fast as (usually
+        // faster than) the worst case.
+        let n = 40u64;
+        let worst = {
+            let pair = TwinBuilder::new().build(n).unwrap();
+            let mut rounds = 0;
+            for r in 1..=12usize {
+                let obs = Observations::observe(&pair.smaller, r).unwrap();
+                if solve_census(&obs).unwrap().unique_population().is_some() {
+                    rounds = r;
+                    break;
+                }
+            }
+            rounds
+        };
+        let mut adv = RandomDblAdversary::new(StdRng::seed_from_u64(5));
+        for _ in 0..10 {
+            let m = adv.generate(n, 12).unwrap();
+            let mut rounds = 0;
+            for r in 1..=12usize {
+                let obs = Observations::observe(&m, r).unwrap();
+                if solve_census(&obs).unwrap().unique_population().is_some() {
+                    rounds = r;
+                    break;
+                }
+            }
+            assert!(
+                rounds > 0 && rounds <= worst,
+                "random {rounds} <= worst {worst}"
+            );
+        }
+    }
+
+    #[test]
+    fn figure4_is_the_n4_twin_shape() {
+        // For n = 4 the construction covers all four negative depth-2
+        // histories — the same shape as the paper's Figure 4 pair.
+        let b = TwinBuilder::new();
+        let s = b.smaller_census(4).unwrap();
+        assert_eq!(s.counts(), &[0, 0, 1, 0, 0, 1, 1, 1, 0]);
+        let pair = b.build(4).unwrap();
+        let larger_census = Census::of_multigraph(&pair.larger, 2);
+        assert_eq!(larger_census.counts(), &[1, 1, 0, 1, 1, 0, 0, 0, 1]);
+    }
+}

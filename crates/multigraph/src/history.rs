@@ -1,0 +1,319 @@
+//! Node state histories.
+//!
+//! The state of a non-leader node at round `r` is the ordered list of its
+//! edge-label sets in rounds `0..r` (Definition 6): `S(v, r) = [⊥, L(v,0),
+//! …, L(v,r-1)]`. We drop the uniform `⊥` prefix, as the paper does when
+//! convenient, and represent the state as a [`History`] — a sequence of
+//! [`LabelSet`]s.
+//!
+//! For `k = 2` the three possible label sets order as `{1} < {2} < {1,2}`,
+//! so a length-`L` history is a ternary string and histories biject with
+//! `0..3^L` via [`History::ternary_index`]. The *sign* of a history — the
+//! parity of its `{1,2}` entries — is exactly the sign of the corresponding
+//! component of the paper's kernel vector `k_r` (Lemma 3).
+
+use crate::label::LabelSet;
+use core::fmt;
+
+/// Number of length-`len` histories over `k = 2` label sets, i.e. `3^len`.
+///
+/// # Panics
+///
+/// Panics if `3^len` overflows `usize` (len ≥ 40 on 64-bit).
+pub fn ternary_count(len: usize) -> usize {
+    3usize
+        .checked_pow(len as u32)
+        .expect("3^len overflows usize")
+}
+
+/// A node state history: the list `[L(v,0), …, L(v,r-1)]` of per-round edge
+/// label sets.
+///
+/// # Examples
+///
+/// ```
+/// use anonet_multigraph::{History, LabelSet};
+///
+/// let h = History::new(vec![LabelSet::L1, LabelSet::L12]);
+/// assert_eq!(h.to_string(), "[{1},{1,2}]");
+/// assert_eq!(h.ternary_index(), 2); // digits (0, 2) → 0·3 + 2
+/// assert_eq!(h.sign(), -1);         // one {1,2} entry → negative
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct History(Vec<LabelSet>);
+
+impl History {
+    /// Creates a history from label sets (round 0 first).
+    pub fn new(sets: Vec<LabelSet>) -> History {
+        History(sets)
+    }
+
+    /// The empty history (`[⊥]` in paper notation: a node before round 0).
+    pub fn empty() -> History {
+        History(Vec::new())
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no rounds are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The label sets, round 0 first.
+    pub fn sets(&self) -> &[LabelSet] {
+        &self.0
+    }
+
+    /// The label set at round `r`.
+    pub fn get(&self, r: usize) -> Option<LabelSet> {
+        self.0.get(r).copied()
+    }
+
+    /// Returns the history extended by one more round.
+    pub fn child(&self, next: LabelSet) -> History {
+        let mut sets = self.0.clone();
+        sets.push(next);
+        History(sets)
+    }
+
+    /// The history truncated to its first `len` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    pub fn prefix(&self, len: usize) -> History {
+        assert!(len <= self.len(), "prefix longer than history");
+        History(self.0[..len].to_vec())
+    }
+
+    /// The parent history (all but the last round), or `None` if empty.
+    pub fn parent(&self) -> Option<History> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(History(self.0[..self.len() - 1].to_vec()))
+        }
+    }
+
+    /// For `k = 2`: the index of this history in the lexicographic
+    /// enumeration of all length-`len` ternary histories — the column index
+    /// of the paper's observation matrix `M_r` (§4.2 column ordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label set is not a `k = 2` set.
+    pub fn ternary_index(&self) -> usize {
+        self.0
+            .iter()
+            .fold(0usize, |acc, s| acc * 3 + s.ternary_digit())
+    }
+
+    /// Inverse of [`History::ternary_index`]: the `idx`-th length-`len`
+    /// history over `k = 2` label sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 3^len`.
+    pub fn from_ternary_index(len: usize, idx: usize) -> History {
+        assert!(idx < ternary_count(len), "ternary index out of range");
+        let mut digits = vec![0usize; len];
+        let mut rest = idx;
+        for d in digits.iter_mut().rev() {
+            *d = rest % 3;
+            rest /= 3;
+        }
+        History(
+            digits
+                .into_iter()
+                .map(LabelSet::from_ternary_digit)
+                .collect(),
+        )
+    }
+
+    /// For `k = 2`: the sign of the corresponding kernel component of
+    /// Lemma 3 — `+1` if the history contains an even number of `{1,2}`
+    /// entries, `-1` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label set is not a `k = 2` set.
+    pub fn sign(&self) -> i64 {
+        let twos = self.0.iter().filter(|s| s.ternary_digit() == 2).count();
+        if twos % 2 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl fmt::Debug for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "History{self}")
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<LabelSet> for History {
+    fn from_iter<I: IntoIterator<Item = LabelSet>>(iter: I) -> History {
+        History(iter.into_iter().collect())
+    }
+}
+
+/// Error parsing a [`History`] from its display form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHistoryError {
+    detail: String,
+}
+
+impl fmt::Display for ParseHistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse history: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ParseHistoryError {}
+
+/// Parses the display form, e.g. `"[{1},{1,2}]"` (labels up to 31).
+impl core::str::FromStr for History {
+    type Err = ParseHistoryError;
+
+    fn from_str(s: &str) -> Result<History, ParseHistoryError> {
+        let err = |d: &str| ParseHistoryError { detail: d.into() };
+        let inner = s
+            .trim()
+            .strip_prefix('[')
+            .and_then(|x| x.strip_suffix(']'))
+            .ok_or_else(|| err("missing [ ] delimiters"))?;
+        let mut sets = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            let body_start = rest.strip_prefix('{').ok_or_else(|| err("expected '{'"))?;
+            let close = body_start
+                .find('}')
+                .ok_or_else(|| err("unterminated '{'"))?;
+            let body = &body_start[..close];
+            let labels: Vec<u8> = body
+                .split(',')
+                .map(|x| x.trim().parse::<u8>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| err("labels must be integers"))?;
+            sets.push(
+                LabelSet::from_labels(&labels, crate::label::MAX_LABELS)
+                    .map_err(|e| err(&e.to_string()))?,
+            );
+            rest = body_start[close + 1..].trim();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim();
+                if rest.is_empty() {
+                    return Err(err("trailing comma"));
+                }
+            } else if !rest.is_empty() {
+                return Err(err("expected ',' between sets"));
+            }
+        }
+        Ok(History(sets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ternary_index_roundtrip() {
+        for len in 0..4 {
+            for idx in 0..ternary_count(len) {
+                let h = History::from_ternary_index(len, idx);
+                assert_eq!(h.len(), len);
+                assert_eq!(h.ternary_index(), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_column_order() {
+        // First column of M_r is [{1},…,{1}], last is [{1,2},…,{1,2}] (§4.2).
+        let first = History::from_ternary_index(3, 0);
+        assert!(first.sets().iter().all(|&s| s == LabelSet::L1));
+        let last = History::from_ternary_index(3, 26);
+        assert!(last.sets().iter().all(|&s| s == LabelSet::L12));
+        // Second column is [{1},{1},{2}].
+        let second = History::from_ternary_index(3, 1);
+        assert_eq!(second.sets(), &[LabelSet::L1, LabelSet::L1, LabelSet::L2]);
+    }
+
+    #[test]
+    fn sign_matches_k0_and_k1() {
+        // k_0 = [1, 1, -1].
+        let k0: Vec<i64> = (0..3)
+            .map(|i| History::from_ternary_index(1, i).sign())
+            .collect();
+        assert_eq!(k0, vec![1, 1, -1]);
+        // k_1 = [1, 1, -1, 1, 1, -1, -1, -1, 1] (§4.2).
+        let k1: Vec<i64> = (0..9)
+            .map(|i| History::from_ternary_index(2, i).sign())
+            .collect();
+        assert_eq!(k1, vec![1, 1, -1, 1, 1, -1, -1, -1, 1]);
+    }
+
+    #[test]
+    fn child_parent_prefix() {
+        let h = History::new(vec![LabelSet::L2, LabelSet::L12]);
+        assert_eq!(h.parent().unwrap(), History::new(vec![LabelSet::L2]));
+        assert_eq!(h.child(LabelSet::L1).len(), 3);
+        assert_eq!(h.prefix(1), History::new(vec![LabelSet::L2]));
+        assert_eq!(History::empty().parent(), None);
+        assert_eq!(h.get(1), Some(LabelSet::L12));
+        assert_eq!(h.get(2), None);
+    }
+
+    #[test]
+    fn display() {
+        let h = History::new(vec![LabelSet::L1, LabelSet::L12]);
+        assert_eq!(h.to_string(), "[{1},{1,2}]");
+        assert_eq!(History::empty().to_string(), "[]");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["[]", "[{1}]", "[{1},{1,2}]", "[{2},{2},{1,2}]", "[{3,5}]"] {
+            let h: History = s.parse().unwrap();
+            assert_eq!(h.to_string(), s, "roundtrip {s}");
+        }
+        // Whitespace tolerated.
+        let h: History = " [ {1} , {1 , 2} ] ".parse().unwrap();
+        assert_eq!(h.to_string(), "[{1},{1,2}]");
+    }
+
+    #[test]
+    fn parse_errors() {
+        for s in [
+            "", "{1}", "[{1}", "[{}]", "[{a}]", "[{1},]", "[{1}{2}]", "[{0}]",
+        ] {
+            assert!(s.parse::<History>().is_err(), "{s:?} must fail");
+        }
+    }
+
+    #[test]
+    fn from_iterator() {
+        let h: History = [LabelSet::L1, LabelSet::L2].into_iter().collect();
+        assert_eq!(h.ternary_index(), 1);
+    }
+}

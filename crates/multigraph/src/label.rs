@@ -1,0 +1,251 @@
+//! Edge-label sets for `M(DBL)_k` multigraphs.
+//!
+//! In a dynamic bipartite labeled multigraph, every non-leader node is
+//! connected to the leader by between 1 and `k` edges carrying *distinct*
+//! labels from `{1, …, k}` (§4.1). A node's per-round connection is
+//! therefore exactly a non-empty subset of labels — a [`LabelSet`].
+
+use core::fmt;
+
+/// Maximum number of labels supported by [`LabelSet`] (bitmask-backed).
+pub const MAX_LABELS: u8 = 31;
+
+/// Errors produced when constructing label sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LabelError {
+    /// A label set must contain at least one label (every node has at least
+    /// one edge to the leader in every round).
+    Empty,
+    /// A label exceeded the multigraph's `k`.
+    OutOfRange {
+        /// The offending 1-based label.
+        label: u8,
+        /// The multigraph's label budget `k`.
+        k: u8,
+    },
+}
+
+impl fmt::Display for LabelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelError::Empty => write!(f, "label set must be non-empty"),
+            LabelError::OutOfRange { label, k } => {
+                write!(f, "label {label} out of range for k = {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LabelError {}
+
+/// A non-empty set of edge labels drawn from `{1, …, k}`, `k ≤ 31`.
+///
+/// The natural order on the backing bitmask realizes the paper's
+/// lexicographic element order; for `k = 2` it is exactly
+/// `{1} < {2} < {1,2}` (§4.2).
+///
+/// # Examples
+///
+/// ```
+/// use anonet_multigraph::LabelSet;
+///
+/// let s = LabelSet::from_labels(&[1, 2], 2)?;
+/// assert_eq!(s.to_string(), "{1,2}");
+/// assert!(s.contains(1) && s.contains(2));
+/// assert_eq!(s.len(), 2);
+/// # Ok::<(), anonet_multigraph::LabelError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelSet(u32);
+
+impl LabelSet {
+    /// The singleton `{1}`.
+    pub const L1: LabelSet = LabelSet(0b01);
+    /// The singleton `{2}`.
+    pub const L2: LabelSet = LabelSet(0b10);
+    /// The pair `{1,2}`.
+    pub const L12: LabelSet = LabelSet(0b11);
+
+    /// Builds a label set from a raw bitmask (bit `i` ↔ label `i + 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LabelError::Empty`] for mask 0 and
+    /// [`LabelError::OutOfRange`] if a bit at or above `k` is set.
+    pub fn from_mask(mask: u32, k: u8) -> Result<LabelSet, LabelError> {
+        if mask == 0 {
+            return Err(LabelError::Empty);
+        }
+        let k = k.min(MAX_LABELS);
+        let allowed = (1u32 << k) - 1;
+        if mask & !allowed != 0 {
+            let label = (32 - (mask & !allowed).leading_zeros()) as u8;
+            return Err(LabelError::OutOfRange { label, k });
+        }
+        Ok(LabelSet(mask))
+    }
+
+    /// Builds a label set from 1-based labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LabelError::Empty`] for an empty slice and
+    /// [`LabelError::OutOfRange`] for labels outside `1..=k`.
+    pub fn from_labels(labels: &[u8], k: u8) -> Result<LabelSet, LabelError> {
+        let mut mask = 0u32;
+        for &l in labels {
+            if l == 0 || l > k || l > MAX_LABELS {
+                return Err(LabelError::OutOfRange { label: l, k });
+            }
+            mask |= 1 << (l - 1);
+        }
+        LabelSet::from_mask(mask, k)
+    }
+
+    /// The raw bitmask.
+    pub fn mask(&self) -> u32 {
+        self.0
+    }
+
+    /// Whether the 1-based `label` is in the set.
+    pub fn contains(&self, label: u8) -> bool {
+        (1..=MAX_LABELS).contains(&label) && self.0 & (1 << (label - 1)) != 0
+    }
+
+    /// Number of labels in the set (= number of parallel edges).
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Always false: label sets are non-empty by construction. Provided for
+    /// API symmetry with `len`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the 1-based labels in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        let mask = self.0;
+        (1..=MAX_LABELS).filter(move |&l| mask & (1 << (l - 1)) != 0)
+    }
+
+    /// For `k = 2`: the ternary digit of this set under the paper's order
+    /// (`{1} → 0`, `{2} → 1`, `{1,2} → 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is not one of the three `k = 2` sets.
+    pub fn ternary_digit(&self) -> usize {
+        match self.0 {
+            0b01 => 0,
+            0b10 => 1,
+            0b11 => 2,
+            m => panic!("label set {m:#b} is not a k=2 set"),
+        }
+    }
+
+    /// Inverse of [`LabelSet::ternary_digit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit > 2`.
+    pub fn from_ternary_digit(digit: usize) -> LabelSet {
+        match digit {
+            0 => LabelSet::L1,
+            1 => LabelSet::L2,
+            2 => LabelSet::L12,
+            d => panic!("{d} is not a ternary digit"),
+        }
+    }
+
+    /// All `2^k - 1` non-empty label sets in ascending (paper) order.
+    pub fn all(k: u8) -> Vec<LabelSet> {
+        let k = k.min(MAX_LABELS);
+        (1..(1u32 << k)).map(LabelSet).collect()
+    }
+}
+
+impl fmt::Debug for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LabelSet({self})")
+    }
+}
+
+impl fmt::Display for LabelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = LabelSet::from_labels(&[2, 1], 3).unwrap();
+        assert!(s.contains(1) && s.contains(2) && !s.contains(3));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_and_out_of_range_rejected() {
+        assert_eq!(LabelSet::from_labels(&[], 2), Err(LabelError::Empty));
+        assert_eq!(LabelSet::from_mask(0, 2), Err(LabelError::Empty));
+        assert_eq!(
+            LabelSet::from_labels(&[3], 2),
+            Err(LabelError::OutOfRange { label: 3, k: 2 })
+        );
+        assert!(matches!(
+            LabelSet::from_mask(0b100, 2),
+            Err(LabelError::OutOfRange { label: 3, k: 2 })
+        ));
+    }
+
+    #[test]
+    fn paper_order_for_k2() {
+        // {1} < {2} < {1,2} (§4.2 ordering).
+        assert!(LabelSet::L1 < LabelSet::L2);
+        assert!(LabelSet::L2 < LabelSet::L12);
+        assert_eq!(
+            LabelSet::all(2),
+            vec![LabelSet::L1, LabelSet::L2, LabelSet::L12]
+        );
+    }
+
+    #[test]
+    fn ternary_roundtrip() {
+        for d in 0..3 {
+            assert_eq!(LabelSet::from_ternary_digit(d).ternary_digit(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a k=2 set")]
+    fn ternary_digit_rejects_k3_sets() {
+        LabelSet::from_labels(&[3], 3).unwrap().ternary_digit();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(LabelSet::L12.to_string(), "{1,2}");
+        assert_eq!(LabelSet::from_labels(&[3], 3).unwrap().to_string(), "{3}");
+    }
+
+    #[test]
+    fn all_k3() {
+        let all = LabelSet::all(3);
+        assert_eq!(all.len(), 7);
+        assert_eq!(all[0], LabelSet::L1);
+        assert_eq!(all[6], LabelSet::from_labels(&[1, 2, 3], 3).unwrap());
+    }
+}

@@ -1,0 +1,415 @@
+//! The leader's observations.
+//!
+//! Definition 7: after round `r` the leader's state is
+//! `S(v_l, r) = [C(v_l, 0), …, C(v_l, r-1)]` where `C(v_l, i)` is the
+//! multiset of `(label, node-state)` pairs it observed in round `i` — for
+//! every edge with label `j` from a node whose state (history) was
+//! `S(v, i)`, the pair `(j, S(v, i))` with multiplicity.
+//!
+//! [`LeaderState`] is the general-`k` representation (an explicit counted
+//! multiset per round). [`Observations`] is the dense `k = 2` form indexed
+//! by ternary history indices, consumed by the
+//! [`solver`](crate::system::solve_census) and equal to the paper's
+//! constant-terms vector `m_r`.
+
+use crate::history::{ternary_count, History};
+use crate::multigraph::DblMultigraph;
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// The leader's accumulated observations after some number of rounds, for
+/// any label budget `k`.
+///
+/// Two dynamic multigraphs are *leader-indistinguishable* through round `r`
+/// iff their leader states after `r + 1` rounds are equal — the paper's
+/// indistinguishability relation (Lemma 5 / Figures 3–4).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct LeaderState {
+    /// `rounds[i]` is `C(v_l, i)`: multiplicity of each `(label, history)`.
+    rounds: Vec<BTreeMap<(u8, History), u64>>,
+}
+
+impl LeaderState {
+    /// Computes the leader state of `m` after observing rounds `0..rounds`.
+    pub fn observe(m: &DblMultigraph, rounds: usize) -> LeaderState {
+        let mut out = Vec::with_capacity(rounds);
+        for r in 0..rounds {
+            let mut c: BTreeMap<(u8, History), u64> = BTreeMap::new();
+            for node in 0..m.nodes() {
+                let history = m.node_history(node, r);
+                for label in m.label_set(r, node).iter() {
+                    *c.entry((label, history.clone())).or_insert(0) += 1;
+                }
+            }
+            out.push(c);
+        }
+        LeaderState { rounds: out }
+    }
+
+    /// Appends one round of raw `(label, state)` observations — the
+    /// message-level path used by [`crate::simulate`]; equivalent to what
+    /// [`LeaderState::observe`] derives from the multigraph directly.
+    pub fn push_observation_round(&mut self, items: impl IntoIterator<Item = (u8, History)>) {
+        let mut c: BTreeMap<(u8, History), u64> = BTreeMap::new();
+        for (label, history) in items {
+            *c.entry((label, history)).or_insert(0) += 1;
+        }
+        self.rounds.push(c);
+    }
+
+    /// Number of observed rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Multiplicity of the pair `(label, history)` in `C(v_l, round)`.
+    pub fn count(&self, round: usize, label: u8, history: &History) -> u64 {
+        self.rounds
+            .get(round)
+            .and_then(|c| c.get(&(label, history.clone())))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Iterates over `C(v_l, round)` as `((label, history), multiplicity)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round >= rounds()`.
+    pub fn connections(&self, round: usize) -> impl Iterator<Item = (&(u8, History), &u64)> + '_ {
+        self.rounds[round].iter()
+    }
+
+    /// The prefix of this state covering only the first `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds > rounds()`.
+    pub fn prefix(&self, rounds: usize) -> LeaderState {
+        assert!(rounds <= self.rounds.len(), "prefix longer than state");
+        LeaderState {
+            rounds: self.rounds[..rounds].to_vec(),
+        }
+    }
+
+    /// The largest `T ≤ max_rounds` such that the two states agree on all
+    /// rounds `0..T` — i.e. the states are indistinguishable through round
+    /// `T - 1`.
+    pub fn agreement_rounds(&self, other: &LeaderState, max_rounds: usize) -> usize {
+        let lim = max_rounds.min(self.rounds.len()).min(other.rounds.len());
+        (0..lim)
+            .take_while(|&r| self.rounds[r] == other.rounds[r])
+            .count()
+    }
+}
+
+impl fmt::Debug for LeaderState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "LeaderState({} rounds) [", self.rounds.len())?;
+        for (r, c) in self.rounds.iter().enumerate() {
+            write!(f, "  C(v_l,{r}): {{")?;
+            for (i, ((label, history), mult)) in c.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "({label},{history})x{mult}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Dense `k = 2` leader observations — the per-level constant terms of the
+/// paper's system `m_r = M_r s_r`.
+///
+/// For each level `ℓ` (round), `a[ℓ][p]` is the number of label-1 edges
+/// observed from nodes whose length-`ℓ` history has ternary index `p`
+/// (i.e. `|(1, p)|` in paper notation), and `b[ℓ][p]` the same for label 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observations {
+    a: Vec<Vec<i64>>,
+    b: Vec<Vec<i64>>,
+}
+
+/// Errors produced when assembling [`Observations`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ObservationError {
+    /// The multigraph has `k != 2`; the dense form is `k = 2` only.
+    NotK2 {
+        /// The multigraph's actual label budget.
+        k: u8,
+    },
+    /// A level had the wrong width (`a[ℓ]`/`b[ℓ]` must have `3^ℓ` entries).
+    BadLevelWidth {
+        /// The offending level.
+        level: usize,
+        /// The provided width.
+        got: usize,
+        /// The expected width `3^level`.
+        expected: usize,
+    },
+    /// At least one observation count was negative.
+    Negative,
+}
+
+impl fmt::Display for ObservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObservationError::NotK2 { k } => {
+                write!(f, "dense observations require k = 2, got k = {k}")
+            }
+            ObservationError::BadLevelWidth {
+                level,
+                got,
+                expected,
+            } => write!(
+                f,
+                "level {level} has width {got}, expected 3^{level} = {expected}"
+            ),
+            ObservationError::Negative => write!(f, "observation counts must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for ObservationError {}
+
+impl Observations {
+    /// Observes a `k = 2` multigraph for rounds `0..rounds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObservationError::NotK2`] if `m.k() != 2`.
+    pub fn observe(m: &DblMultigraph, rounds: usize) -> Result<Observations, ObservationError> {
+        if m.k() != 2 {
+            return Err(ObservationError::NotK2 { k: m.k() });
+        }
+        let mut a = Vec::with_capacity(rounds);
+        let mut b = Vec::with_capacity(rounds);
+        // Running ternary prefix index per node: O(nodes · rounds) total
+        // instead of recomputing each history from scratch per level.
+        let mut prefix = vec![0usize; m.nodes()];
+        for level in 0..rounds {
+            let width = ternary_count(level);
+            let mut al = vec![0i64; width];
+            let mut bl = vec![0i64; width];
+            for (node, pfx) in prefix.iter_mut().enumerate() {
+                let set = m.label_set(level, node);
+                if set.contains(1) {
+                    al[*pfx] += 1;
+                }
+                if set.contains(2) {
+                    bl[*pfx] += 1;
+                }
+                *pfx = *pfx * 3 + set.ternary_digit();
+            }
+            a.push(al);
+            b.push(bl);
+        }
+        Ok(Observations { a, b })
+    }
+
+    /// Builds observations from explicit per-level counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObservationError::BadLevelWidth`] if level `ℓ` does not
+    /// have `3^ℓ` entries (in either `a` or `b`, including mismatched level
+    /// counts) and [`ObservationError::Negative`] for negative counts.
+    pub fn from_levels(
+        a: Vec<Vec<i64>>,
+        b: Vec<Vec<i64>>,
+    ) -> Result<Observations, ObservationError> {
+        if a.len() != b.len() {
+            return Err(ObservationError::BadLevelWidth {
+                level: a.len().min(b.len()),
+                got: 0,
+                expected: ternary_count(a.len().min(b.len())),
+            });
+        }
+        for (level, (al, bl)) in a.iter().zip(&b).enumerate() {
+            let expected = ternary_count(level);
+            for side in [al, bl] {
+                if side.len() != expected {
+                    return Err(ObservationError::BadLevelWidth {
+                        level,
+                        got: side.len(),
+                        expected,
+                    });
+                }
+                if side.iter().any(|&x| x < 0) {
+                    return Err(ObservationError::Negative);
+                }
+            }
+        }
+        Ok(Observations { a, b })
+    }
+
+    /// Number of observed rounds (levels).
+    pub fn rounds(&self) -> usize {
+        self.a.len()
+    }
+
+    /// `|(1, p)|` at `level` for prefix index `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` or `p` is out of range.
+    pub fn label1(&self, level: usize, p: usize) -> i64 {
+        self.a[level][p]
+    }
+
+    /// `|(2, p)|` at `level` for prefix index `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` or `p` is out of range.
+    pub fn label2(&self, level: usize, p: usize) -> i64 {
+        self.b[level][p]
+    }
+
+    /// The flat constant-terms vector `m_{r}` for the system at round
+    /// `rounds() - 1`: levels ascending, label 1 before label 2 within a
+    /// level, prefixes in ternary order — matching
+    /// [`observation_matrix`](crate::system::observation_matrix) rows.
+    pub fn flat(&self) -> Vec<i64> {
+        let mut out = Vec::new();
+        for level in 0..self.a.len() {
+            out.extend_from_slice(&self.a[level]);
+            out.extend_from_slice(&self.b[level]);
+        }
+        out
+    }
+
+    /// The prefix covering only the first `rounds` levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds > rounds()`.
+    pub fn prefix(&self, rounds: usize) -> Observations {
+        assert!(rounds <= self.a.len(), "prefix longer than observations");
+        Observations {
+            a: self.a[..rounds].to_vec(),
+            b: self.b[..rounds].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelSet;
+
+    fn fig3_pair() -> (DblMultigraph, DblMultigraph) {
+        let m = DblMultigraph::new(2, vec![vec![LabelSet::L12, LabelSet::L12]]).unwrap();
+        let m_prime = DblMultigraph::new(
+            2,
+            vec![vec![LabelSet::L1, LabelSet::L1, LabelSet::L2, LabelSet::L2]],
+        )
+        .unwrap();
+        (m, m_prime)
+    }
+
+    #[test]
+    fn figure3_leader_states_agree_at_round_zero() {
+        let (m, mp) = fig3_pair();
+        let s = LeaderState::observe(&m, 1);
+        let sp = LeaderState::observe(&mp, 1);
+        assert_eq!(s, sp, "sizes 2 and 4 indistinguishable at round 0 (Fig. 3)");
+        assert_eq!(s.count(0, 1, &History::empty()), 2);
+        assert_eq!(s.count(0, 2, &History::empty()), 2);
+    }
+
+    #[test]
+    fn figure3_pair_distinguishable_at_round_one() {
+        let (m, mp) = fig3_pair();
+        let s = LeaderState::observe(&m, 2);
+        let sp = LeaderState::observe(&mp, 2);
+        assert_ne!(s, sp);
+        assert_eq!(s.agreement_rounds(&sp, 2), 1);
+    }
+
+    #[test]
+    fn observe_counts_parallel_edges() {
+        // One node with {1,2} contributes to both labels.
+        let m = DblMultigraph::new(2, vec![vec![LabelSet::L12]]).unwrap();
+        let s = LeaderState::observe(&m, 1);
+        assert_eq!(s.count(0, 1, &History::empty()), 1);
+        assert_eq!(s.count(0, 2, &History::empty()), 1);
+        assert_eq!(s.connections(0).count(), 2);
+    }
+
+    #[test]
+    fn prefix_agreement() {
+        let (m, mp) = fig3_pair();
+        let s = LeaderState::observe(&m, 3);
+        let sp = LeaderState::observe(&mp, 3);
+        assert_eq!(s.prefix(1), sp.prefix(1));
+        assert_ne!(s.prefix(2), sp.prefix(2));
+    }
+
+    #[test]
+    fn observations_fig3() {
+        let (m, mp) = fig3_pair();
+        let o = Observations::observe(&m, 1).unwrap();
+        let op = Observations::observe(&mp, 1).unwrap();
+        // m_0 = [2, 2] in both (Eq. 3).
+        assert_eq!(o.flat(), vec![2, 2]);
+        assert_eq!(o, op);
+        assert_eq!(o.label1(0, 0), 2);
+        assert_eq!(o.label2(0, 0), 2);
+    }
+
+    #[test]
+    fn observations_second_round_diverge() {
+        let (m, mp) = fig3_pair();
+        let o = Observations::observe(&m, 2).unwrap();
+        let op = Observations::observe(&mp, 2).unwrap();
+        assert_ne!(o, op);
+        assert_eq!(o.prefix(1), op.prefix(1));
+        assert_eq!(o.rounds(), 2);
+        // m's two nodes have history [{1,2}] (index 2): both still {1,2}.
+        assert_eq!(o.label1(1, 2), 2);
+        assert_eq!(o.label2(1, 2), 2);
+        assert_eq!(o.label1(1, 0), 0);
+        // m' nodes split: histories [{1}] (idx 0) and [{2}] (idx 1).
+        assert_eq!(op.label1(1, 0), 2);
+        assert_eq!(op.label2(1, 1), 2);
+    }
+
+    #[test]
+    fn observations_require_k2() {
+        let m3 = DblMultigraph::new(3, vec![vec![LabelSet::L1]]).unwrap();
+        assert_eq!(
+            Observations::observe(&m3, 1),
+            Err(ObservationError::NotK2 { k: 3 })
+        );
+    }
+
+    #[test]
+    fn from_levels_validation() {
+        assert!(Observations::from_levels(vec![vec![1]], vec![vec![1]]).is_ok());
+        assert!(matches!(
+            Observations::from_levels(vec![vec![1, 2]], vec![vec![1]]),
+            Err(ObservationError::BadLevelWidth { .. })
+        ));
+        assert_eq!(
+            Observations::from_levels(vec![vec![-1]], vec![vec![0]]),
+            Err(ObservationError::Negative)
+        );
+        assert!(matches!(
+            Observations::from_levels(vec![vec![1]], vec![]),
+            Err(ObservationError::BadLevelWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn flat_ordering_matches_row_convention() {
+        // Two rounds: flat = [a0, b0, a1(3), b1(3)] → length 2 + 6.
+        let o =
+            Observations::from_levels(vec![vec![5], vec![1, 2, 3]], vec![vec![7], vec![4, 5, 6]])
+                .unwrap();
+        assert_eq!(o.flat(), vec![5, 7, 1, 2, 3, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Dynamic bipartite labeled multigraphs `M(DBL)_k` and the paper's
+//! lower-bound machinery.
+//!
+//! This crate implements §4 of *"Investigating the Cost of Anonymity on
+//! Dynamic Networks"* (Di Luna & Baldoni, PODC 2015):
+//!
+//! * [`LabelSet`] / [`History`] — edge-label sets and node state histories
+//!   (Definitions 5–6);
+//! * [`DblMultigraph`] — the `M(DBL)_k` family (§4.1);
+//! * [`LeaderState`] / [`Observations`] — the leader's knowledge
+//!   (Definition 7, the constant-terms vector `m_r`);
+//! * [`system`] — the observation matrix `M_r`, the closed-form kernel
+//!   `k_r` (Lemma 3), kernel sums (Lemma 4) and the `O(3^r)` tree solver
+//!   recovering the affine solution line (the constructive Lemma 2);
+//! * [`Census`] — solution vectors `s_r` and their realization as concrete
+//!   multigraphs;
+//! * [`adversary`] — the executable Lemma 5: twin networks of sizes `n` and
+//!   `n+1` indistinguishable through `⌊log₃(2n+1)⌋ - 1` rounds;
+//! * [`transform`] — the Lemma 1 reduction to `G(PD)_2` graphs (Figure 2).
+//!
+//! # Examples
+//!
+//! The paper's Figure 3: two multigraphs of sizes 2 and 4 that give the
+//! leader identical round-0 observations:
+//!
+//! ```
+//! use anonet_multigraph::{Census, LeaderState};
+//!
+//! let s = Census::from_counts(vec![0, 0, 2])?;   // two nodes on {1,2}
+//! let s_prime = Census::from_counts(vec![2, 2, 0])?; // 2x{1}, 2x{2}
+//! let m = s.realize()?;
+//! let m_prime = s_prime.realize()?;
+//! assert_eq!(
+//!     LeaderState::observe(&m, 1),
+//!     LeaderState::observe(&m_prime, 1),
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+mod census;
+mod history;
+mod label;
+mod leader;
+#[allow(clippy::module_inception)]
+mod multigraph;
+pub mod render;
+pub mod simulate;
+pub mod system;
+pub mod system_k;
+pub mod transform;
+
+pub use census::{Census, CensusError};
+pub use history::{ternary_count, History, ParseHistoryError};
+pub use label::{LabelError, LabelSet, MAX_LABELS};
+pub use leader::{LeaderState, ObservationError, Observations};
+pub use multigraph::{DblError, DblMultigraph};

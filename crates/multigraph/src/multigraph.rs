@@ -1,0 +1,330 @@
+//! Dynamic bipartite labeled multigraphs `M(DBL)_k`.
+//!
+//! A multigraph `M ∈ M(DBL)_k` (§4.1) connects a leader `v_l` to a set `W`
+//! of anonymous nodes; at every round each node has between 1 and `k`
+//! edges to the leader, carrying distinct labels — i.e. a [`LabelSet`].
+//! The whole per-round structure is therefore one label set per node, and
+//! the dynamic multigraph is a sequence of such rounds.
+
+use crate::history::History;
+use crate::label::{LabelError, LabelSet};
+use core::fmt;
+
+/// Errors produced when constructing [`DblMultigraph`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DblError {
+    /// The multigraph must describe at least one round.
+    NoRounds,
+    /// The multigraph must have at least one non-leader node.
+    NoNodes,
+    /// Two rounds listed different node counts.
+    UnequalRounds {
+        /// The offending round.
+        round: usize,
+        /// Node count at that round.
+        got: usize,
+        /// Node count at round 0.
+        expected: usize,
+    },
+    /// A label set was invalid for this `k`.
+    Label(LabelError),
+    /// A label set used labels beyond the multigraph's `k`.
+    LabelBeyondK {
+        /// The offending round.
+        round: usize,
+        /// The offending node.
+        node: usize,
+        /// The multigraph's label budget.
+        k: u8,
+    },
+}
+
+impl fmt::Display for DblError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DblError::NoRounds => write!(f, "multigraph must have at least one round"),
+            DblError::NoNodes => write!(f, "multigraph must have at least one node"),
+            DblError::UnequalRounds {
+                round,
+                got,
+                expected,
+            } => write!(
+                f,
+                "round {round} has {got} nodes but round 0 has {expected}"
+            ),
+            DblError::Label(e) => write!(f, "invalid label set: {e}"),
+            DblError::LabelBeyondK { round, node, k } => {
+                write!(f, "node {node} at round {round} uses labels beyond k = {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DblError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DblError::Label(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LabelError> for DblError {
+    fn from(e: LabelError) -> Self {
+        DblError::Label(e)
+    }
+}
+
+/// A dynamic bipartite labeled multigraph `M ∈ M(DBL)_k`.
+///
+/// Rounds beyond the explicit prefix hold the last round's label sets
+/// ("the adversary goes static"), mirroring
+/// [`GraphSequence`](anonet_graph::GraphSequence) semantics.
+///
+/// # Examples
+///
+/// The two-node multigraph `M` of the paper's Figure 3 (both nodes
+/// connected by `{1,2}` at round 0):
+///
+/// ```
+/// use anonet_multigraph::{DblMultigraph, LabelSet};
+///
+/// let m = DblMultigraph::new(2, vec![vec![LabelSet::L12, LabelSet::L12]])?;
+/// assert_eq!(m.nodes(), 2);
+/// assert_eq!(m.label_set(0, 1), LabelSet::L12);
+/// # Ok::<(), anonet_multigraph::DblError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct DblMultigraph {
+    k: u8,
+    rounds: Vec<Vec<LabelSet>>,
+}
+
+impl DblMultigraph {
+    /// Creates a multigraph with label budget `k` from explicit per-round
+    /// label sets (`rounds[r][i]` is node `i`'s edge set at round `r`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DblError`] if there are no rounds or nodes, if rounds have
+    /// different node counts, or if a label set exceeds `k`.
+    pub fn new(k: u8, rounds: Vec<Vec<LabelSet>>) -> Result<DblMultigraph, DblError> {
+        let Some(first) = rounds.first() else {
+            return Err(DblError::NoRounds);
+        };
+        let expected = first.len();
+        if expected == 0 {
+            return Err(DblError::NoNodes);
+        }
+        let allowed = if k >= 31 { u32::MAX } else { (1u32 << k) - 1 };
+        for (r, round) in rounds.iter().enumerate() {
+            if round.len() != expected {
+                return Err(DblError::UnequalRounds {
+                    round: r,
+                    got: round.len(),
+                    expected,
+                });
+            }
+            for (i, set) in round.iter().enumerate() {
+                if set.mask() & !allowed != 0 {
+                    return Err(DblError::LabelBeyondK {
+                        round: r,
+                        node: i,
+                        k,
+                    });
+                }
+            }
+        }
+        Ok(DblMultigraph { k, rounds })
+    }
+
+    /// Builds a multigraph from full node histories (all the same length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DblError`] on empty input, ragged lengths (reported as
+    /// [`DblError::UnequalRounds`]) or label sets beyond `k`.
+    pub fn from_histories(k: u8, histories: &[History]) -> Result<DblMultigraph, DblError> {
+        if histories.is_empty() {
+            return Err(DblError::NoNodes);
+        }
+        let len = histories[0].len();
+        if len == 0 {
+            return Err(DblError::NoRounds);
+        }
+        let mut rounds = vec![Vec::with_capacity(histories.len()); len];
+        for (i, h) in histories.iter().enumerate() {
+            if h.len() != len {
+                return Err(DblError::UnequalRounds {
+                    round: 0,
+                    got: h.len(),
+                    expected: len,
+                });
+            }
+            for (r, &s) in h.sets().iter().enumerate() {
+                let _ = i;
+                rounds[r].push(s);
+            }
+        }
+        DblMultigraph::new(k, rounds)
+    }
+
+    /// The label budget `k`.
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// Number of non-leader nodes `|W|`.
+    pub fn nodes(&self) -> usize {
+        self.rounds[0].len()
+    }
+
+    /// Number of explicitly described rounds.
+    pub fn prefix_len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// The label sets of all nodes at `round` (held constant past the
+    /// explicit prefix).
+    pub fn round(&self, round: usize) -> &[LabelSet] {
+        let idx = round.min(self.rounds.len() - 1);
+        &self.rounds[idx]
+    }
+
+    /// The label set of `node` at `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= nodes()`.
+    pub fn label_set(&self, round: usize, node: usize) -> LabelSet {
+        self.round(round)[node]
+    }
+
+    /// The state history `S(v, len)` of `node` after `len` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= nodes()`.
+    pub fn node_history(&self, node: usize, len: usize) -> History {
+        (0..len).map(|r| self.label_set(r, node)).collect()
+    }
+
+    /// Total number of leader-incident edges at `round`.
+    pub fn edge_count(&self, round: usize) -> usize {
+        self.round(round).iter().map(LabelSet::len).sum()
+    }
+}
+
+impl fmt::Debug for DblMultigraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DblMultigraph(k={}, nodes={}, rounds={})",
+            self.k,
+            self.nodes(),
+            self.prefix_len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_m() -> DblMultigraph {
+        DblMultigraph::new(2, vec![vec![LabelSet::L12, LabelSet::L12]]).unwrap()
+    }
+
+    fn fig3_m_prime() -> DblMultigraph {
+        DblMultigraph::new(
+            2,
+            vec![vec![LabelSet::L1, LabelSet::L1, LabelSet::L2, LabelSet::L2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction() {
+        let m = fig3_m();
+        assert_eq!(m.k(), 2);
+        assert_eq!(m.nodes(), 2);
+        assert_eq!(m.prefix_len(), 1);
+        assert_eq!(m.edge_count(0), 4);
+        assert_eq!(fig3_m_prime().edge_count(0), 4);
+    }
+
+    #[test]
+    fn hold_last_semantics() {
+        let m = fig3_m();
+        assert_eq!(m.round(100), m.round(0));
+        assert_eq!(m.label_set(5, 1), LabelSet::L12);
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(DblMultigraph::new(2, vec![]), Err(DblError::NoRounds));
+        assert_eq!(DblMultigraph::new(2, vec![vec![]]), Err(DblError::NoNodes));
+        let ragged = DblMultigraph::new(
+            2,
+            vec![vec![LabelSet::L1], vec![LabelSet::L1, LabelSet::L2]],
+        );
+        assert!(matches!(ragged, Err(DblError::UnequalRounds { .. })));
+        let beyond = DblMultigraph::new(1, vec![vec![LabelSet::L2]]);
+        assert!(matches!(beyond, Err(DblError::LabelBeyondK { .. })));
+    }
+
+    #[test]
+    fn histories_roundtrip() {
+        let hs = vec![
+            History::new(vec![LabelSet::L1, LabelSet::L12]),
+            History::new(vec![LabelSet::L2, LabelSet::L1]),
+        ];
+        let m = DblMultigraph::from_histories(2, &hs).unwrap();
+        assert_eq!(m.node_history(0, 2), hs[0]);
+        assert_eq!(m.node_history(1, 2), hs[1]);
+        assert_eq!(m.label_set(1, 0), LabelSet::L12);
+    }
+
+    #[test]
+    fn histories_extend_past_prefix() {
+        let m = fig3_m();
+        let h = m.node_history(0, 3);
+        assert_eq!(h.sets(), &[LabelSet::L12, LabelSet::L12, LabelSet::L12]);
+    }
+
+    #[test]
+    fn from_histories_validation() {
+        assert_eq!(
+            DblMultigraph::from_histories(2, &[]),
+            Err(DblError::NoNodes)
+        );
+        assert_eq!(
+            DblMultigraph::from_histories(2, &[History::empty()]),
+            Err(DblError::NoRounds)
+        );
+        let ragged = DblMultigraph::from_histories(
+            2,
+            &[
+                History::new(vec![LabelSet::L1]),
+                History::new(vec![LabelSet::L1, LabelSet::L2]),
+            ],
+        );
+        assert!(matches!(ragged, Err(DblError::UnequalRounds { .. })));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            DblError::NoRounds.to_string(),
+            "multigraph must have at least one round"
+        );
+        assert!(DblError::LabelBeyondK {
+            round: 1,
+            node: 2,
+            k: 2
+        }
+        .to_string()
+        .contains("beyond k = 2"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Human-readable rendering of multigraphs, censuses and solution lines.
+//!
+//! These renderers power the examples and experiment binaries: a
+//! multigraph prints as a rounds × nodes table of label sets, a census as
+//! a histogram over histories, and an affine solution line as the paper
+//! writes it (`s + t·k_r`).
+
+use crate::census::Census;
+use crate::history::History;
+use crate::multigraph::DblMultigraph;
+use crate::system::AffineCensus;
+use core::fmt::Write as _;
+
+/// Renders the multigraph as a table: one row per node, one column per
+/// explicit round, cells showing `L(v, r)`.
+pub fn multigraph_table(m: &DblMultigraph) -> String {
+    let rounds = m.prefix_len();
+    let mut out = String::new();
+    let _ = write!(out, "node ");
+    for r in 0..rounds {
+        let _ = write!(out, "| r{r:<6}");
+    }
+    out.push('\n');
+    let _ = writeln!(out, "{}", "-".repeat(5 + rounds * 9));
+    for node in 0..m.nodes() {
+        let _ = write!(out, "w{node:<4}");
+        for r in 0..rounds {
+            let _ = write!(out, "| {:<6}", m.label_set(r, node).to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a census as a histogram over its non-zero histories.
+pub fn census_histogram(c: &Census) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "census over {}-round histories, population {}:",
+        c.depth(),
+        c.population()
+    );
+    for (i, &count) in c.counts().iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let h = History::from_ternary_index(c.depth(), i).to_string();
+        let bar = "#".repeat(count.min(40) as usize);
+        let _ = writeln!(out, "  {h:<24} {count:>4} {bar}");
+    }
+    out
+}
+
+/// Renders the affine solution line the way the paper writes it: the
+/// feasible interval of `t`, the corresponding populations, and the first
+/// few censuses.
+pub fn solution_line(sol: &AffineCensus) -> String {
+    let mut out = String::new();
+    match sol.t_range() {
+        None => {
+            let _ = writeln!(out, "no feasible census (observations inconsistent)");
+        }
+        Some((lo, hi)) => {
+            let (nlo, nhi) = sol.population_range().expect("range exists");
+            let _ = writeln!(
+                out,
+                "solutions s + t·k over t in [{lo}, {hi}] — populations {nlo}..={nhi}:"
+            );
+            for t in lo..=hi.min(lo + 4) {
+                let _ = writeln!(
+                    out,
+                    "  t = {t}: population {} census {:?}",
+                    sol.population_at(t),
+                    sol.at(t)
+                );
+            }
+            if hi - lo > 4 {
+                let _ = writeln!(out, "  … ({} more)", hi - lo - 4);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leader::Observations;
+    use crate::system::solve_census;
+    use crate::LabelSet;
+
+    #[test]
+    fn table_renders_every_cell() {
+        let m = DblMultigraph::new(
+            2,
+            vec![
+                vec![LabelSet::L1, LabelSet::L12],
+                vec![LabelSet::L2, LabelSet::L1],
+            ],
+        )
+        .unwrap();
+        let t = multigraph_table(&m);
+        assert!(t.contains("w0"));
+        assert!(t.contains("w1"));
+        assert!(t.contains("{1,2}"));
+        assert_eq!(t.matches("| ").count(), 2 + 4, "header + 4 cells");
+    }
+
+    #[test]
+    fn histogram_skips_zeros() {
+        let c = Census::from_counts(vec![2, 0, 1]).unwrap();
+        let h = census_histogram(&c);
+        assert!(h.contains("population 3"));
+        assert!(h.contains("[{1}]"));
+        assert!(h.contains("[{1,2}]"));
+        assert!(!h.contains("[{2}]"), "zero entries omitted: {h}");
+        assert!(h.contains("##"), "bars scale with count");
+    }
+
+    #[test]
+    fn solution_line_renders_interval() {
+        let m = Census::from_counts(vec![0, 0, 2])
+            .unwrap()
+            .realize()
+            .unwrap();
+        let obs = Observations::observe(&m, 1).unwrap();
+        let sol = solve_census(&obs).unwrap();
+        let s = solution_line(&sol);
+        assert!(s.contains("populations 2..=4"));
+        assert!(s.contains("t = "));
+    }
+
+    #[test]
+    fn infeasible_line_renders_message() {
+        let obs =
+            Observations::from_levels(vec![vec![5], vec![0, 0, 0]], vec![vec![0], vec![0, 0, 0]])
+                .unwrap();
+        let sol = solve_census(&obs).unwrap();
+        assert!(solution_line(&sol).contains("no feasible census"));
+    }
+
+    #[test]
+    fn long_intervals_are_elided() {
+        let m = Census::from_counts(vec![0, 0, 30])
+            .unwrap()
+            .realize()
+            .unwrap();
+        let obs = Observations::observe(&m, 1).unwrap();
+        let sol = solve_census(&obs).unwrap();
+        let s = solution_line(&sol);
+        assert!(s.contains("more)"), "{s}");
+    }
+}

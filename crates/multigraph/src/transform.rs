@@ -1,0 +1,148 @@
+//! The Lemma 1 reduction: `M(DBL)_k → G(PD)_2`.
+//!
+//! Lemma 1 turns a dynamic bipartite labeled multigraph into a
+//! persistent-distance-2 dynamic graph: each label `j ∈ {1,…,k}` becomes a
+//! relay node in `V_1`, and a node `w ∈ W` connects to relay `j` at round
+//! `r` exactly when `M` has an edge `(v_l, w)` labeled `j` at round `r`.
+//! Counting `V_2` in the resulting anonymous `G(PD)_2` graph is at least
+//! as hard as counting `W` in the multigraph — so the `M(DBL)_k` lower
+//! bound transfers (Figure 2 illustrates the transformation for `k = 3`).
+
+use crate::multigraph::DblMultigraph;
+use anonet_graph::pd::{Pd2Layout, Pd2Schedule, PdError};
+
+/// The `G(PD)_2` node layout induced by the transformation of `m`:
+/// `k` relays (one per label) and one leaf per multigraph node.
+pub fn layout_for(m: &DblMultigraph) -> Pd2Layout {
+    Pd2Layout {
+        relays: m.k() as usize,
+        leaves: m.nodes(),
+    }
+}
+
+/// Transforms a dynamic multigraph into the corresponding `G(PD)_2`
+/// dynamic graph over rounds `0..rounds` (Lemma 1, Figure 2).
+///
+/// Node layout: node 0 is the leader, node `j` (for `1 ≤ j ≤ k`) is the
+/// relay standing in for label `j`, and node `k + 1 + i` is multigraph
+/// node `i`. At every round the leader is adjacent to all relays, and leaf
+/// `i` is adjacent to relay `j` iff label `j ∈ L(v_i, r)`.
+///
+/// # Errors
+///
+/// Propagates [`PdError`] from graph construction; unreachable for valid
+/// multigraphs (label sets are non-empty by construction).
+pub fn to_pd2(m: &DblMultigraph, rounds: usize) -> Result<Pd2Schedule, PdError> {
+    let layout = layout_for(m);
+    let rounds = rounds.max(1);
+    let mut schedule = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        let masks: Vec<u32> = m.round(r).iter().map(|s| s.mask()).collect();
+        schedule.push(masks);
+    }
+    Pd2Schedule::new(layout, schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelSet;
+    use anonet_graph::{metrics, DynamicNetwork};
+
+    /// A k = 3 multigraph in the spirit of Figure 2: one node connected by
+    /// all three labels, plus companions with smaller label sets.
+    fn fig2_multigraph() -> DblMultigraph {
+        let l = |labels: &[u8]| LabelSet::from_labels(labels, 3).unwrap();
+        DblMultigraph::new(
+            3,
+            vec![
+                vec![l(&[1, 2, 3]), l(&[1]), l(&[2, 3]), l(&[2])],
+                vec![l(&[1, 2]), l(&[3]), l(&[1]), l(&[2, 3])],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn layout_matches_multigraph() {
+        let m = fig2_multigraph();
+        let layout = layout_for(&m);
+        assert_eq!(layout.relays, 3);
+        assert_eq!(layout.leaves, 4);
+        assert_eq!(layout.order(), 8);
+    }
+
+    #[test]
+    fn transformation_is_pd2() {
+        let m = fig2_multigraph();
+        let mut net = to_pd2(&m, 2).unwrap();
+        assert!(metrics::is_pd_h(&mut net, 2, 6));
+        let d = metrics::persistent_distances(&mut net, 6).unwrap();
+        assert_eq!(d, vec![0, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn edges_follow_labels() {
+        let m = fig2_multigraph();
+        let mut net = to_pd2(&m, 2).unwrap();
+        let layout = layout_for(&m);
+        for r in 0..2u32 {
+            let g = net.graph(r);
+            for (i, set) in m.round(r as usize).iter().enumerate() {
+                for j in 1..=3u8 {
+                    assert_eq!(
+                        g.has_edge(layout.relay(j as usize - 1), layout.leaf(i)),
+                        set.contains(j),
+                        "round {r}, node {i}, label {j}"
+                    );
+                }
+            }
+            // Leader adjacent to all relays, never to leaves.
+            for j in 0..3 {
+                assert!(g.has_edge(0, layout.relay(j)));
+            }
+            for i in 0..4 {
+                assert!(!g.has_edge(0, layout.leaf(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_count_parallel_edges() {
+        // Leaf degree in G(PD)_2 equals the number of multigraph edges.
+        let m = fig2_multigraph();
+        let mut net = to_pd2(&m, 1).unwrap();
+        let layout = layout_for(&m);
+        let g = net.graph(0);
+        for (i, set) in m.round(0).iter().enumerate() {
+            assert_eq!(g.degree(layout.leaf(i)), set.len());
+        }
+    }
+
+    #[test]
+    fn hold_last_matches_multigraph_semantics() {
+        let m = fig2_multigraph();
+        let mut net = to_pd2(&m, 2).unwrap();
+        assert_eq!(net.graph(2), net.graph(1));
+        assert_eq!(net.graph(9), net.graph(1));
+    }
+
+    #[test]
+    fn k2_twins_transform_to_indistinguishable_pd2() {
+        // The PD2 images of the Figure 3 twins have the same anonymous
+        // round-0 structure (relay degrees); sizes differ.
+        let m = DblMultigraph::new(2, vec![vec![LabelSet::L12, LabelSet::L12]]).unwrap();
+        let mp = DblMultigraph::new(
+            2,
+            vec![vec![LabelSet::L1, LabelSet::L1, LabelSet::L2, LabelSet::L2]],
+        )
+        .unwrap();
+        let mut g = to_pd2(&m, 1).unwrap();
+        let mut gp = to_pd2(&mp, 1).unwrap();
+        // Relay degrees (minus the leader edge): edges labeled 1 and 2.
+        let deg = |net: &mut Pd2Schedule, j: usize| net.graph(0).degree(j) - 1;
+        assert_eq!(deg(&mut g, 1), deg(&mut gp, 1));
+        assert_eq!(deg(&mut g, 2), deg(&mut gp, 2));
+        assert_ne!(g.order(), gp.order());
+    }
+}

@@ -1,0 +1,47 @@
+//! Synchronous simulator for anonymous dynamic networks.
+//!
+//! This crate implements the computational model of §3 of *"Investigating
+//! the Cost of Anonymity on Dynamic Networks"* (Di Luna & Baldoni, PODC
+//! 2015): anonymous, deterministic processes with a distinguished leader,
+//! communicating by anonymous broadcast with unlimited bandwidth over a
+//! dynamic graph chosen by an adversary, in synchronous send/receive
+//! rounds.
+//!
+//! * [`Process`] / [`Role`] — the protocol interface (anonymous nodes +
+//!   one leader; optional degree-detector oracle per \[13\]);
+//! * [`Simulator`] — the round loop over any
+//!   [`DynamicNetwork`](anonet_graph::DynamicNetwork) adversary;
+//! * [`ViewInterner`] / [`run_full_information`] — hash-consed
+//!   full-information views, the information-theoretic upper envelope of
+//!   every deterministic anonymous algorithm (used to verify the paper's
+//!   indistinguishability constructions);
+//! * [`protocols`] — reference protocols (flooding / dissemination).
+//!
+//! # Examples
+//!
+//! ```
+//! use anonet_graph::{Graph, GraphSequence};
+//! use anonet_netsim::{run_full_information, ViewInterner};
+//!
+//! // Two star networks of different sizes: the leader's views diverge
+//! // after one round — counting in G(PD)_1 is O(1).
+//! let mut interner = ViewInterner::new();
+//! let mut small = GraphSequence::constant(Graph::star(4)?);
+//! let mut large = GraphSequence::constant(Graph::star(7)?);
+//! let a = run_full_information(&mut small, 2, &mut interner);
+//! let b = run_full_information(&mut large, 2, &mut interner);
+//! assert_ne!(a.leader_view(1), b.leader_view(1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod process;
+pub mod protocols;
+mod runner;
+mod view;
+
+pub use process::{Process, RecvContext, Role, SendContext};
+pub use runner::{RoundStats, RunReport, Simulator};
+pub use view::{run_full_information, FullInfoRun, ViewId, ViewInterner, ViewRef};

@@ -1,0 +1,143 @@
+//! Flooding: the dissemination primitive.
+//!
+//! A node *floods* a message by broadcasting it every round; every
+//! recipient re-floods it (§3). The number of rounds until every node is
+//! informed, maximized over sources and start rounds, is the dynamic
+//! diameter `D` — the baseline against which the paper measures the extra
+//! `Ω(log |V|)` cost of counting.
+
+use crate::process::{Process, RecvContext, SendContext};
+use crate::runner::Simulator;
+use anonet_graph::DynamicNetwork;
+
+/// A process participating in a single-token flood.
+///
+/// The source starts informed; every informed node broadcasts `true`.
+/// Termination is externally observed (a node cannot know the flood is
+/// complete without counting — that observation *is* the paper's gap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FloodingProcess {
+    informed_at: Option<u32>,
+    start_informed: bool,
+}
+
+impl FloodingProcess {
+    /// A population of `n` processes in which node `src` is the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src >= n`.
+    pub fn population_from(n: usize, src: usize) -> Vec<FloodingProcess> {
+        assert!(src < n, "source out of range");
+        (0..n)
+            .map(|v| FloodingProcess {
+                informed_at: None,
+                start_informed: v == src,
+            })
+            .collect()
+    }
+
+    /// A population of `n` processes with the leader (node 0) as source.
+    pub fn population(n: usize) -> Vec<FloodingProcess> {
+        FloodingProcess::population_from(n, 0)
+    }
+
+    /// Whether this process holds the token.
+    pub fn is_informed(&self) -> bool {
+        self.start_informed || self.informed_at.is_some()
+    }
+
+    /// The round in which the token arrived (`None` for the source or
+    /// uninformed processes).
+    pub fn informed_at(&self) -> Option<u32> {
+        self.informed_at
+    }
+}
+
+impl Process for FloodingProcess {
+    type Msg = bool;
+
+    fn send(&mut self, _ctx: &SendContext) -> bool {
+        self.is_informed()
+    }
+
+    fn receive(&mut self, ctx: RecvContext<'_, bool>) {
+        if !self.is_informed() && ctx.inbox.iter().any(|&m| m) {
+            self.informed_at = Some(ctx.round);
+        }
+    }
+}
+
+/// Runs a flood from `src` on `net` and returns the round in which the last
+/// node was informed (`Some(0)` means one round sufficed), or `None` if the
+/// flood did not complete within `max_rounds`.
+///
+/// The flood duration in the paper's counting (`D` witnesses) is
+/// `completion_round + 1` when starting at round 0.
+pub fn flood_completion_round<N: DynamicNetwork>(
+    net: N,
+    src: usize,
+    max_rounds: u32,
+) -> Option<u32> {
+    let n = net.order();
+    let mut sim = Simulator::new(net);
+    let mut procs = FloodingProcess::population_from(n, src);
+    sim.run(&mut procs, max_rounds);
+    if !procs.iter().all(FloodingProcess::is_informed) {
+        return None;
+    }
+    procs
+        .iter()
+        .filter_map(FloodingProcess::informed_at)
+        .max()
+        .or(Some(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::{metrics, pd, Graph, GraphSequence};
+
+    #[test]
+    fn flood_on_star_from_leaf() {
+        let net = GraphSequence::constant(Graph::star(5).unwrap());
+        let done = flood_completion_round(net, 1, 10).unwrap();
+        // Leaf -> center round 0, center -> leaves round 1.
+        assert_eq!(done, 1);
+    }
+
+    #[test]
+    fn flood_on_path() {
+        let net = GraphSequence::constant(Graph::path(6).unwrap());
+        assert_eq!(flood_completion_round(net, 0, 10), Some(4));
+    }
+
+    #[test]
+    fn incomplete_flood() {
+        let net = GraphSequence::constant(Graph::from_edges(3, [(0, 1)]).unwrap());
+        assert_eq!(flood_completion_round(net, 0, 8), None);
+    }
+
+    #[test]
+    fn agrees_with_graph_metrics_flood() {
+        // The Process-based flood matches the graph-level reference
+        // implementation on the paper's Figure 1 network.
+        let (_, v0, v3) = pd::figure1_nodes();
+        let reference = metrics::flood(&mut pd::figure1(), v0, 0, 16);
+        let process_based = flood_completion_round(pd::figure1(), v0, 16).unwrap();
+        assert_eq!(
+            Some(process_based + 1),
+            reference.duration(),
+            "duration = completion round + 1"
+        );
+        assert_eq!(reference.received_round(v3), Some(3));
+    }
+
+    #[test]
+    fn source_is_informed_without_receiving() {
+        let p = FloodingProcess::population(3);
+        assert!(p[0].is_informed());
+        assert!(!p[1].is_informed());
+        assert_eq!(p[0].informed_at(), None);
+    }
+}

@@ -1,0 +1,13 @@
+//! Reference protocols for the simulator.
+//!
+//! These are the message-passing building blocks the paper reasons about:
+//! flooding (the dissemination primitive defining the dynamic diameter `D`,
+//! §3) and all-to-all token dissemination (the §2 benchmark, trivially
+//! `O(D)` with unlimited bandwidth) — counting protocols live in
+//! `anonet-core`.
+
+mod flooding;
+mod tokens;
+
+pub use flooding::{flood_completion_round, FloodingProcess};
+pub use tokens::{disseminate_all, TokenProcess};

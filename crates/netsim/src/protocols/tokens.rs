@@ -1,0 +1,158 @@
+//! All-to-all token dissemination.
+//!
+//! The related-work benchmark of §2: in `k`-token dissemination, tokens
+//! start at arbitrary nodes and must reach every node. With IDs and
+//! one-token-per-round bandwidth this is hard (Ω(n·k/log n) rounds,
+//! Dutta et al.); in the paper's model — anonymous but with *unlimited
+//! bandwidth* — it is solved by trivial flooding in `O(D)` rounds, which
+//! is exactly why counting's extra `Ω(log n)` is attributable to
+//! anonymity rather than dissemination.
+//!
+//! Tokens are plain data (inputs), so carrying them does not break
+//! anonymity.
+
+use crate::process::{Process, RecvContext, SendContext};
+use crate::runner::Simulator;
+use anonet_graph::DynamicNetwork;
+use std::collections::BTreeSet;
+
+/// A process accumulating tokens and broadcasting everything it knows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenProcess {
+    known: BTreeSet<u64>,
+    complete_at: Option<u32>,
+    universe: usize,
+}
+
+impl TokenProcess {
+    /// A population where node `v` starts with the tokens
+    /// `assignment[v]`; every node knows the total token count (used only
+    /// to *observe* completion, as the paper's dissemination definition
+    /// does — nodes cannot detect it themselves without counting).
+    pub fn population(assignment: &[Vec<u64>]) -> Vec<TokenProcess> {
+        let universe: BTreeSet<u64> = assignment.iter().flatten().copied().collect();
+        assignment
+            .iter()
+            .map(|tokens| {
+                let known: BTreeSet<u64> = tokens.iter().copied().collect();
+                TokenProcess {
+                    complete_at: (known.len() == universe.len()).then_some(0),
+                    known,
+                    universe: universe.len(),
+                }
+            })
+            .collect()
+    }
+
+    /// One distinct token per node (the `k = n` all-to-all case).
+    pub fn population_one_each(n: usize) -> Vec<TokenProcess> {
+        let assignment: Vec<Vec<u64>> = (0..n).map(|v| vec![v as u64]).collect();
+        TokenProcess::population(&assignment)
+    }
+
+    /// The tokens this node knows.
+    pub fn known(&self) -> &BTreeSet<u64> {
+        &self.known
+    }
+
+    /// Whether this node holds every token.
+    pub fn is_complete(&self) -> bool {
+        self.known.len() == self.universe
+    }
+
+    /// The round at which this node first held every token.
+    pub fn complete_at(&self) -> Option<u32> {
+        self.complete_at
+    }
+}
+
+impl Process for TokenProcess {
+    type Msg = BTreeSet<u64>;
+
+    fn send(&mut self, _ctx: &SendContext) -> BTreeSet<u64> {
+        self.known.clone()
+    }
+
+    fn receive(&mut self, ctx: RecvContext<'_, BTreeSet<u64>>) {
+        for set in ctx.inbox {
+            self.known.extend(set.iter().copied());
+        }
+        if self.complete_at.is_none() && self.is_complete() {
+            self.complete_at = Some(ctx.round);
+        }
+    }
+}
+
+/// Runs all-to-all token dissemination (one token per node) on `net` and
+/// returns the round in which the last node completed, or `None` within
+/// `max_rounds`.
+pub fn disseminate_all<N: DynamicNetwork>(net: N, max_rounds: u32) -> Option<u32> {
+    let n = net.order();
+    let mut sim = Simulator::new(net);
+    let mut procs = TokenProcess::population_one_each(n);
+    sim.run(&mut procs, max_rounds);
+    if !procs.iter().all(TokenProcess::is_complete) {
+        return None;
+    }
+    procs
+        .iter()
+        .filter_map(TokenProcess::complete_at)
+        .max()
+        .or(Some(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::{metrics, Graph, GraphSequence};
+
+    #[test]
+    fn all_to_all_on_star() {
+        // Star: leaves' tokens reach the hub in round 0, everyone by 1.
+        let net = GraphSequence::constant(Graph::star(6).unwrap());
+        assert_eq!(disseminate_all(net, 10), Some(1));
+    }
+
+    #[test]
+    fn all_to_all_on_path_takes_diameter() {
+        let net = GraphSequence::constant(Graph::path(5).unwrap());
+        // Endpoint tokens need 4 hops: last completion at round 3.
+        assert_eq!(disseminate_all(net, 10), Some(3));
+    }
+
+    #[test]
+    fn completes_within_dynamic_diameter() {
+        // On any connected dynamic graph, all-to-all dissemination
+        // completes within D rounds of flooding (§2's trivial algorithm).
+        let mut fig1 = anonet_graph::pd::figure1();
+        let d = metrics::dynamic_diameter(&mut fig1, 4, 16).unwrap();
+        let done = disseminate_all(anonet_graph::pd::figure1(), 16).unwrap();
+        assert!(done < d, "completion {done} within D = {d}");
+    }
+
+    #[test]
+    fn custom_assignment() {
+        // Tokens concentrated at one endpoint of a path.
+        let assignment = vec![vec![1, 2, 3], vec![], vec![]];
+        let mut procs = TokenProcess::population(&assignment);
+        let net = GraphSequence::constant(Graph::path(3).unwrap());
+        let mut sim = Simulator::new(net);
+        sim.run(&mut procs, 5);
+        assert!(procs.iter().all(TokenProcess::is_complete));
+        assert_eq!(procs[2].complete_at(), Some(1));
+        assert_eq!(procs[0].complete_at(), Some(0), "source starts complete");
+        assert_eq!(procs[0].known().len(), 3);
+    }
+
+    #[test]
+    fn incomplete_on_disconnected() {
+        let net = GraphSequence::constant(Graph::from_edges(3, [(0, 1)]).unwrap());
+        assert_eq!(disseminate_all(net, 8), None);
+    }
+
+    #[test]
+    fn single_node_trivially_complete() {
+        let net = GraphSequence::constant(Graph::empty(1));
+        assert_eq!(disseminate_all(net, 2), Some(0));
+    }
+}

@@ -1,0 +1,336 @@
+//! Hash-consed full-information views.
+//!
+//! The canonical deterministic algorithm on an anonymous network is the
+//! *full-information protocol*: every round, every node broadcasts its
+//! entire knowledge. A node's knowledge after `r` rounds is its *view*: its
+//! initial state plus, for each past round, the **multiset** of neighbour
+//! views it received (a multiset because anonymous senders are
+//! interchangeable). Whatever any algorithm can output at round `r` is a
+//! function of the view — so two executions giving the leader equal views
+//! are indistinguishable to *every* algorithm. This is the tool we use to
+//! verify the paper's indistinguishability constructions (Lemma 1,
+//! Figures 3–4) at the network level.
+//!
+//! Views grow exponentially if materialized; [`ViewInterner`] hash-conses
+//! them so equal subtrees share one id and equality is `O(1)`.
+
+use crate::process::Role;
+use anonet_graph::DynamicNetwork;
+use std::collections::HashMap;
+
+/// Identifier of an interned view. Equal ids ⇔ structurally equal views
+/// (within one [`ViewInterner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(u32);
+
+impl ViewId {
+    /// The raw index (for diagnostics).
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ViewNode {
+    /// Initial knowledge: just the role.
+    Leaf(Role),
+    /// One synchronous step: previous own view + received multiset
+    /// (sorted `(view, multiplicity)` pairs).
+    Step {
+        own: ViewId,
+        received: Vec<(ViewId, u32)>,
+    },
+}
+
+/// A hash-consing store for full-information views.
+///
+/// # Examples
+///
+/// ```
+/// use anonet_netsim::{Role, ViewInterner};
+///
+/// let mut interner = ViewInterner::new();
+/// let a = interner.leaf(Role::Anonymous);
+/// let b = interner.leaf(Role::Anonymous);
+/// assert_eq!(a, b); // anonymous nodes are indistinguishable at round 0
+/// let l = interner.leaf(Role::Leader);
+/// assert_ne!(a, l);
+/// ```
+#[derive(Debug, Default)]
+pub struct ViewInterner {
+    nodes: Vec<ViewNode>,
+    index: HashMap<ViewNode, ViewId>,
+}
+
+impl ViewInterner {
+    /// Creates an empty interner.
+    pub fn new() -> ViewInterner {
+        ViewInterner::default()
+    }
+
+    fn intern(&mut self, node: ViewNode) -> ViewId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = ViewId(u32::try_from(self.nodes.len()).expect("view store exhausted"));
+        self.nodes.push(node.clone());
+        self.index.insert(node, id);
+        id
+    }
+
+    /// The round-0 view of a node with the given role.
+    pub fn leaf(&mut self, role: Role) -> ViewId {
+        self.intern(ViewNode::Leaf(role))
+    }
+
+    /// One synchronous step: the view of a node that held `own` and
+    /// received the multiset `received` (any order; multiplicity matters,
+    /// order does not).
+    pub fn step(&mut self, own: ViewId, received: impl IntoIterator<Item = ViewId>) -> ViewId {
+        let mut items: Vec<ViewId> = received.into_iter().collect();
+        items.sort_unstable();
+        let mut packed: Vec<(ViewId, u32)> = Vec::new();
+        for v in items {
+            match packed.last_mut() {
+                Some((id, count)) if *id == v => *count += 1,
+                _ => packed.push((v, 1)),
+            }
+        }
+        self.intern(ViewNode::Step {
+            own,
+            received: packed,
+        })
+    }
+
+    /// Number of distinct interned views.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no views are interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The round depth of a view (0 for leaves).
+    pub fn depth(&self, id: ViewId) -> u32 {
+        match &self.nodes[id.0 as usize] {
+            ViewNode::Leaf(_) => 0,
+            ViewNode::Step { own, .. } => 1 + self.depth(*own),
+        }
+    }
+
+    /// Resolves a view id into its structure — the read side of the
+    /// interner, used by algorithms that *decode* views (e.g. the
+    /// `G(PD)_2` view-counting leader).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: ViewId) -> ViewRef<'_> {
+        match &self.nodes[id.0 as usize] {
+            ViewNode::Leaf(role) => ViewRef::Leaf(*role),
+            ViewNode::Step { own, received } => ViewRef::Step {
+                own: *own,
+                received,
+            },
+        }
+    }
+}
+
+/// A borrowed, resolved view (see [`ViewInterner::resolve`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewRef<'a> {
+    /// Initial knowledge: the node's role.
+    Leaf(Role),
+    /// One synchronous step.
+    Step {
+        /// The node's previous view.
+        own: ViewId,
+        /// The received multiset as sorted `(view, multiplicity)` pairs.
+        received: &'a [(ViewId, u32)],
+    },
+}
+
+impl ViewRef<'_> {
+    /// The previous own view, if this is a step.
+    pub fn own(&self) -> Option<ViewId> {
+        match self {
+            ViewRef::Leaf(_) => None,
+            ViewRef::Step { own, .. } => Some(*own),
+        }
+    }
+
+    /// Total multiplicity of the received multiset (0 for leaves).
+    pub fn received_count(&self) -> u32 {
+        match self {
+            ViewRef::Leaf(_) => 0,
+            ViewRef::Step { received, .. } => received.iter().map(|&(_, c)| c).sum(),
+        }
+    }
+
+    /// Multiplicity of `id` in the received multiset.
+    pub fn multiplicity(&self, id: ViewId) -> u32 {
+        match self {
+            ViewRef::Leaf(_) => 0,
+            ViewRef::Step { received, .. } => received
+                .binary_search_by_key(&id, |&(v, _)| v)
+                .map(|i| received[i].1)
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// The per-round views of every node in a full-information execution.
+#[derive(Debug, Clone)]
+pub struct FullInfoRun {
+    /// `views[r][v]` is node `v`'s view after `r` rounds (`views[0]` are
+    /// the initial leaves).
+    pub views: Vec<Vec<ViewId>>,
+}
+
+impl FullInfoRun {
+    /// The leader's view after `r` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds the executed rounds.
+    pub fn leader_view(&self, r: usize) -> ViewId {
+        self.views[r][0]
+    }
+
+    /// Number of executed rounds.
+    pub fn rounds(&self) -> usize {
+        self.views.len() - 1
+    }
+
+    /// The largest `T ≤ max` such that the leaders of `self` and `other`
+    /// have equal views after every round `0..=T` — both runs must come
+    /// from the same interner for ids to be comparable.
+    pub fn leader_agreement(&self, other: &FullInfoRun, max: usize) -> usize {
+        let lim = max.min(self.rounds()).min(other.rounds());
+        let mut t = 0;
+        for r in 1..=lim {
+            if self.leader_view(r) == other.leader_view(r) {
+                t = r;
+            } else {
+                break;
+            }
+        }
+        t
+    }
+}
+
+/// Executes the full-information protocol on `net` for `rounds` rounds.
+///
+/// Node 0 is the leader; all other nodes start with identical anonymous
+/// leaves. Views are interned in `interner`, so runs sharing an interner
+/// have directly comparable [`ViewId`]s.
+pub fn run_full_information(
+    net: &mut dyn DynamicNetwork,
+    rounds: u32,
+    interner: &mut ViewInterner,
+) -> FullInfoRun {
+    let n = net.order();
+    let leader = interner.leaf(Role::Leader);
+    let anon = interner.leaf(Role::Anonymous);
+    let mut current: Vec<ViewId> = (0..n).map(|v| if v == 0 { leader } else { anon }).collect();
+    let mut views = vec![current.clone()];
+    for round in 0..rounds {
+        let g = net.graph(round);
+        debug_assert_eq!(g.order(), n);
+        let next: Vec<ViewId> = (0..n)
+            .map(|v| {
+                let received = g.neighbors(v).iter().map(|&u| current[u]);
+                interner.step(current[v], received)
+            })
+            .collect();
+        views.push(next.clone());
+        current = next;
+    }
+    FullInfoRun { views }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_graph::{Graph, GraphSequence};
+
+    #[test]
+    fn interning_dedups() {
+        let mut i = ViewInterner::new();
+        let a = i.leaf(Role::Anonymous);
+        let l = i.leaf(Role::Leader);
+        let s1 = i.step(a, [l, a, a]);
+        let s2 = i.step(a, [a, l, a]); // order must not matter
+        assert_eq!(s1, s2);
+        let s3 = i.step(a, [l, a]); // multiplicity must matter
+        assert_ne!(s1, s3);
+        assert_eq!(i.len(), 4);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn depth_tracks_rounds() {
+        let mut i = ViewInterner::new();
+        let a = i.leaf(Role::Anonymous);
+        assert_eq!(i.depth(a), 0);
+        let s = i.step(a, [a]);
+        let s2 = i.step(s, [s, s]);
+        assert_eq!(i.depth(s), 1);
+        assert_eq!(i.depth(s2), 2);
+    }
+
+    #[test]
+    fn symmetric_star_leaves_share_views() {
+        let mut i = ViewInterner::new();
+        let mut net = GraphSequence::constant(Graph::star(5).unwrap());
+        let run = run_full_information(&mut net, 3, &mut i);
+        // All leaves are symmetric: identical views every round.
+        for r in 0..=3 {
+            let leaf_views: Vec<ViewId> = (1..5).map(|v| run.views[r][v]).collect();
+            assert!(leaf_views.windows(2).all(|w| w[0] == w[1]), "round {r}");
+        }
+        // The leader's view differs from the leaves'.
+        assert_ne!(run.views[1][0], run.views[1][1]);
+    }
+
+    #[test]
+    fn star_sizes_distinguishable_by_leader_after_one_round() {
+        // In G(PD)_1 (a star) the leader learns the size immediately: its
+        // round-1 view encodes the number of received messages.
+        let mut i = ViewInterner::new();
+        let mut small = GraphSequence::constant(Graph::star(4).unwrap());
+        let mut large = GraphSequence::constant(Graph::star(5).unwrap());
+        let rs = run_full_information(&mut small, 2, &mut i);
+        let rl = run_full_information(&mut large, 2, &mut i);
+        assert_ne!(rs.leader_view(1), rl.leader_view(1));
+        assert_eq!(rs.leader_agreement(&rl, 2), 0);
+    }
+
+    #[test]
+    fn identical_networks_identical_views() {
+        let mut i = ViewInterner::new();
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let mut a = GraphSequence::constant(g.clone());
+        let mut b = GraphSequence::constant(g);
+        let ra = run_full_information(&mut a, 4, &mut i);
+        let rb = run_full_information(&mut b, 4, &mut i);
+        assert_eq!(ra.leader_agreement(&rb, 4), 4);
+        for r in 0..=4 {
+            assert_eq!(ra.views[r], rb.views[r]);
+        }
+    }
+
+    #[test]
+    fn view_growth_is_bounded_by_hash_consing() {
+        // A symmetric network generates very few distinct views even over
+        // many rounds.
+        let mut i = ViewInterner::new();
+        let mut net = GraphSequence::constant(Graph::complete(6));
+        let run = run_full_information(&mut net, 20, &mut i);
+        assert_eq!(run.rounds(), 20);
+        // leader leaf + anon leaf + 2 per round (leader/anon views).
+        assert!(i.len() <= 2 + 2 * 20, "interner size {}", i.len());
+    }
+}

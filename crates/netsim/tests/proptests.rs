@@ -1,0 +1,113 @@
+//! Property-based tests for the simulator and the view machinery.
+
+use anonet_graph::generators::RandomDynamic;
+use anonet_graph::{Graph, GraphSequence};
+use anonet_netsim::protocols::{flood_completion_round, FloodingProcess};
+use anonet_netsim::{run_full_information, Role, Simulator, ViewInterner};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn flood_completes_on_connected_dynamics(order in 2usize..20, extra in 0usize..6, seed in any::<u64>()) {
+        let net = RandomDynamic::new(order, extra, StdRng::seed_from_u64(seed));
+        let done = flood_completion_round(net, 0, order as u32 + 2);
+        prop_assert!(done.is_some(), "1-interval connectivity implies flooding completes");
+        prop_assert!(done.unwrap() < order as u32, "at most order-1 rounds");
+    }
+
+    #[test]
+    fn flood_source_choice_irrelevant_for_completeness(order in 2usize..12, src in 0usize..12, seed in any::<u64>()) {
+        prop_assume!(src < order);
+        let net = RandomDynamic::new(order, 2, StdRng::seed_from_u64(seed));
+        prop_assert!(flood_completion_round(net, src, 2 * order as u32).is_some());
+    }
+
+    #[test]
+    fn views_deterministic_and_interner_shared(order in 2usize..10, rounds in 1u32..6, seed in any::<u64>()) {
+        // Same network, same interner: identical view ids. Different
+        // interner: identical structure (checked via agreement length).
+        let graph = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            anonet_graph::generators::random_connected(order, 2, &mut rng)
+        };
+        let mut i = ViewInterner::new();
+        let mut net1 = GraphSequence::constant(graph.clone());
+        let mut net2 = GraphSequence::constant(graph);
+        let a = run_full_information(&mut net1, rounds, &mut i);
+        let b = run_full_information(&mut net2, rounds, &mut i);
+        prop_assert_eq!(a.leader_agreement(&b, rounds as usize), rounds as usize);
+    }
+
+    #[test]
+    fn anonymous_relabeling_is_invisible(order in 3usize..8, rounds in 1u32..5, seed in any::<u64>()) {
+        // Permuting the anonymous nodes (keeping the leader fixed) gives
+        // the leader the same view — the definition of anonymity.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = anonet_graph::generators::random_connected(order, 2, &mut rng);
+        // Build the rotation permutation on 1..order.
+        let perm: Vec<usize> = std::iter::once(0)
+            .chain((1..order).map(|v| 1 + (v % (order - 1))))
+            .collect();
+        let mut permuted = Graph::empty(order);
+        for (u, v) in g.edges() {
+            permuted.add_edge(perm[u], perm[v]).expect("valid");
+        }
+        let mut i = ViewInterner::new();
+        let mut n1 = GraphSequence::constant(g);
+        let mut n2 = GraphSequence::constant(permuted);
+        let a = run_full_information(&mut n1, rounds, &mut i);
+        let b = run_full_information(&mut n2, rounds, &mut i);
+        for r in 0..=rounds as usize {
+            prop_assert_eq!(a.leader_view(r), b.leader_view(r));
+        }
+    }
+
+    #[test]
+    fn view_depth_equals_round(order in 2usize..8, rounds in 0u32..6, seed in any::<u64>()) {
+        let net = RandomDynamic::new(order, 1, StdRng::seed_from_u64(seed));
+        let mut net = net;
+        let mut i = ViewInterner::new();
+        let run = run_full_information(&mut net, rounds, &mut i);
+        for r in 0..=rounds as usize {
+            for v in 0..order {
+                prop_assert_eq!(i.depth(run.views[r][v]), r as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn interner_step_is_order_insensitive(parts in proptest::collection::vec(0usize..4, 0..8)) {
+        let mut i = ViewInterner::new();
+        let leaves = [
+            i.leaf(Role::Leader),
+            i.leaf(Role::Anonymous),
+            {
+                let a = i.leaf(Role::Anonymous);
+                i.step(a, [])
+            },
+            {
+                let l = i.leaf(Role::Leader);
+                i.step(l, [])
+            },
+        ];
+        let own = leaves[0];
+        let multiset: Vec<_> = parts.iter().map(|&p| leaves[p]).collect();
+        let mut reversed = multiset.clone();
+        reversed.reverse();
+        prop_assert_eq!(i.step(own, multiset), i.step(own, reversed));
+    }
+
+    #[test]
+    fn simulator_round_accounting(n in 2usize..10, rounds in 1u32..6) {
+        let net = GraphSequence::constant(Graph::complete(n));
+        let mut sim = Simulator::new(net);
+        let mut procs = FloodingProcess::population(n);
+        let report = sim.run(&mut procs, rounds);
+        prop_assert_eq!(report.rounds, rounds);
+        prop_assert_eq!(sim.next_round(), rounds);
+        // Complete graph: (n-1) messages per node per round.
+        prop_assert_eq!(report.deliveries, (n * (n - 1)) as u64 * rounds as u64);
+    }
+}

@@ -1,0 +1,36 @@
+//! The headline curve: counting time vs network size under the worst-case
+//! adversary (Theorem 2's `Ω(log |V|)`, matched tightly).
+//!
+//! Run with: `cargo run --release --example cost_of_anonymity`
+
+use anonet::core::cost::measure_counting_cost;
+use anonet::core::experiment::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut table = Table::new(
+        "cost-of-anonymity",
+        "optimal counting rounds vs n (worst-case adversary)",
+        &["n", "measured rounds", "⌊log₃(2n+1)⌋+1", "tight"],
+    );
+    // Powers of 3 straddle the bound's jumps.
+    let mut ns = vec![1u64, 2];
+    let mut p = 3u64;
+    while p <= 60_000 {
+        ns.push(p);
+        ns.push(p + 1);
+        p *= 3;
+    }
+    for n in ns {
+        let c = measure_counting_cost(n)?;
+        table.push_row(vec![
+            n.to_string(),
+            c.measured_rounds.to_string(),
+            c.bound_rounds.to_string(),
+            (c.measured_rounds == c.bound_rounds).to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("dissemination on the same networks completes in at most 4 rounds;");
+    println!("every extra round in the table is the price of anonymity.");
+    Ok(())
+}

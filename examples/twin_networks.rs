@@ -1,0 +1,72 @@
+//! Twin networks: the constructive Lemma 5 / Figures 3–4.
+//!
+//! Builds the size-`n` and size-`n+1` twins, shows their censuses, checks
+//! leader-state agreement round by round, then transforms both into
+//! anonymous `G(PD)_2` graphs (Lemma 1) and verifies that even the
+//! full-information protocol cannot separate them earlier.
+//!
+//! Run with: `cargo run --example twin_networks [n]`
+
+use anonet::graph::{ChainExtended, DynamicNetwork};
+use anonet::multigraph::adversary::TwinBuilder;
+use anonet::multigraph::{transform, Census, LeaderState};
+use anonet::netsim::{run_full_information, ViewInterner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(4);
+
+    let pair = TwinBuilder::new().build(n)?;
+    let depth = pair.horizon as usize + 1;
+    println!(
+        "twins for n = {n} (ambiguity horizon: round {})",
+        pair.horizon
+    );
+    println!("\nM ({} nodes):", pair.smaller.nodes());
+    print!(
+        "{}",
+        anonet::multigraph::render::census_histogram(&Census::of_multigraph(&pair.smaller, depth))
+    );
+    println!("\nM' ({} nodes):", pair.larger.nodes());
+    print!(
+        "{}",
+        anonet::multigraph::render::census_histogram(&Census::of_multigraph(&pair.larger, depth))
+    );
+
+    // Multigraph level: leader states agree exactly through the horizon.
+    println!("\nmultigraph leader states (Definition 7):");
+    for rounds in 1..=depth + 1 {
+        let eq = LeaderState::observe(&pair.smaller, rounds)
+            == LeaderState::observe(&pair.larger, rounds);
+        println!(
+            "  after round {}: {}",
+            rounds - 1,
+            if eq { "identical" } else { "DIFFERENT" }
+        );
+    }
+
+    // Network level (Lemma 1): even full-information views on the
+    // anonymous G(PD)_2 images agree through the horizon.
+    let small = transform::to_pd2(&pair.smaller, depth + 1)?;
+    let large = transform::to_pd2(&pair.larger, depth + 1)?;
+    let mut small = ChainExtended::new(small, 0);
+    let mut large = ChainExtended::new(large, 0);
+    let mut interner = ViewInterner::new();
+    let horizon = pair.horizon + 6;
+    let a = run_full_information(&mut small, horizon, &mut interner);
+    let b = run_full_information(&mut large, horizon, &mut interner);
+    let agree = a.leader_agreement(&b, horizon as usize);
+    println!(
+        "\nG(PD)_2 full-information views: leaders agree through round {} \
+         (sizes {} vs {})",
+        agree,
+        small.order(),
+        large.order()
+    );
+    assert!(agree as u32 > pair.horizon, "Lemma 1 transfer");
+    println!("=> no deterministic algorithm separates the twins before round {agree}");
+    Ok(())
+}

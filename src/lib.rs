@@ -1,0 +1,40 @@
+//! `anonet` — counting in anonymous dynamic networks.
+//!
+//! Facade crate re-exporting the full reproduction of *"Investigating the
+//! Cost of Anonymity on Dynamic Networks"* (Di Luna & Baldoni, PODC 2015):
+//!
+//! * [`graph`] — static/dynamic graphs, `G(PD)_h` families, flooding and
+//!   the dynamic diameter (paper §3, Figure 1, Corollary 1);
+//! * [`multigraph`] — `M(DBL)_k` multigraphs, the observation system
+//!   `m_r = M_r s_r`, the closed-form kernel, the twin adversary and the
+//!   Lemma 1 reduction (paper §4);
+//! * [`netsim`] — the synchronous anonymous-broadcast simulator and
+//!   hash-consed full-information views;
+//! * [`core`] — counting algorithms, closed-form bounds, baselines and the
+//!   cost-of-anonymity measurement harness;
+//! * [`linalg`] — the exact rational/integer linear algebra underneath.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use anonet::core::cost::measure_counting_cost;
+//! use anonet::core::bounds;
+//!
+//! // How long does it take an optimal leader to count 1000 anonymous
+//! // nodes against the worst-case adversary? Exactly the paper's bound.
+//! let c = measure_counting_cost(1000)?;
+//! assert_eq!(c.measured_rounds, bounds::counting_rounds_lower_bound(1000));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench` for the
+//! binaries regenerating every figure and theorem of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use anonet_core as core;
+pub use anonet_graph as graph;
+pub use anonet_linalg as linalg;
+pub use anonet_multigraph as multigraph;
+pub use anonet_netsim as netsim;

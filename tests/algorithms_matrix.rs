@@ -1,0 +1,140 @@
+//! Cross-product integration test: every counting algorithm against every
+//! adversary class it is specified for.
+
+use anonet::core::algorithms::{
+    learn_layers, run_degree_oracle, run_pd2_view_counting, KernelCounting, Pd2ViewError,
+};
+use anonet::core::baselines::mass_drain::run_mass_drain;
+use anonet::core::baselines::pushsum::run_pushsum;
+use anonet::core::bounds;
+use anonet::multigraph::adversary::{RandomDblAdversary, StaticDblAdversary, TwinBuilder};
+use anonet::multigraph::simulate::{simulate, OnlineLeader};
+use anonet::multigraph::transform;
+use anonet::multigraph::DblMultigraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn adversary_instances(n: u64, rounds: usize, seed: u64) -> Vec<(&'static str, DblMultigraph)> {
+    vec![
+        (
+            "kernel (worst case)",
+            TwinBuilder::new().build(n).unwrap().smaller,
+        ),
+        (
+            "random",
+            RandomDblAdversary::new(StdRng::seed_from_u64(seed))
+                .generate(n, rounds)
+                .unwrap(),
+        ),
+        (
+            "static",
+            StaticDblAdversary::new(StdRng::seed_from_u64(seed ^ 1))
+                .generate(n)
+                .unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn kernel_counting_vs_all_adversaries() {
+    for n in [1u64, 5, 13, 40] {
+        let budget = bounds::counting_rounds_lower_bound(n) + 2;
+        for (name, m) in adversary_instances(n, budget as usize, 42 + n) {
+            let out = KernelCounting::new()
+                .run(&m, budget)
+                .unwrap_or_else(|e| panic!("{name} n={n}: {e}"));
+            assert_eq!(out.count, n, "{name} n={n}");
+            assert!(out.rounds <= budget);
+        }
+    }
+}
+
+#[test]
+fn online_leader_vs_all_adversaries() {
+    for n in [2u64, 9, 27] {
+        let budget = bounds::counting_rounds_lower_bound(n) as usize + 2;
+        for (name, m) in adversary_instances(n, budget, 7 + n) {
+            let exec = simulate(&m, budget);
+            let mut leader = OnlineLeader::new();
+            let mut decided = None;
+            for round in &exec.rounds {
+                if let Some(count) = leader.ingest(round).unwrap() {
+                    decided = Some(count);
+                    break;
+                }
+            }
+            assert_eq!(decided, Some(n), "{name} n={n}");
+        }
+    }
+}
+
+#[test]
+fn degree_oracle_vs_all_adversaries() {
+    for n in [3u64, 12, 30] {
+        for (name, m) in adversary_instances(n, 4, 100 + n) {
+            let net = transform::to_pd2(&m, 4).unwrap();
+            let out = run_degree_oracle(net).unwrap();
+            assert_eq!(out.count, n + 3, "{name} n={n}");
+            assert_eq!(out.rounds, 3, "{name}: oracle is constant-time");
+        }
+    }
+}
+
+#[test]
+fn layering_vs_all_adversaries() {
+    for (name, m) in adversary_instances(8, 4, 900) {
+        let net = transform::to_pd2(&m, 4).unwrap();
+        let layers = learn_layers(net, 3);
+        assert_eq!(layers[0], Some(0), "{name}");
+        assert_eq!(layers[1], Some(1), "{name}");
+        assert_eq!(layers[2], Some(1), "{name}");
+        for l in &layers[3..] {
+            assert_eq!(*l, Some(2), "{name}");
+        }
+    }
+}
+
+#[test]
+fn pd2_view_counting_vs_random_and_static() {
+    // The exact graph-level rule: correct whenever it decides; the truth
+    // is always among its candidates.
+    for n in [2u64, 4] {
+        for (name, m) in adversary_instances(n, 6, 55 + n) {
+            let net = transform::to_pd2(&m, 8).unwrap();
+            match run_pd2_view_counting(net, 8, 2_000_000) {
+                Ok(out) => assert_eq!(out.count, n + 3, "{name} n={n}"),
+                Err(Pd2ViewError::Undecided { candidates, .. }) => {
+                    assert!(
+                        candidates.contains(&(n as i64)),
+                        "{name} n={n}: {candidates:?}"
+                    );
+                }
+                Err(Pd2ViewError::TooComplex) => {}
+                Err(e) => panic!("{name} n={n}: {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn approximate_baselines_on_pd2_images() {
+    // Push-sum and mass-drain run on the PD2 images of random multigraphs.
+    let m = RandomDblAdversary::new(StdRng::seed_from_u64(31))
+        .generate(10, 6)
+        .unwrap();
+    let net = transform::to_pd2(&m, 6).unwrap();
+    let order = 13;
+
+    let ps = run_pushsum(net.clone(), 600);
+    assert_eq!(ps.true_size, order);
+    assert!(
+        ps.final_error() < 0.02,
+        "push-sum error {}",
+        ps.final_error()
+    );
+
+    // The degree bound must dominate the true maximum degree (a relay can
+    // touch every leaf plus the leader).
+    let md = run_mass_drain(net, 11, 4000, 0.4);
+    assert!(md.exact_round.is_some(), "mass drains on PD2 images");
+}

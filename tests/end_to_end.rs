@@ -1,0 +1,195 @@
+//! End-to-end integration: census → multigraph → observations → solver →
+//! counting → `G(PD)_2` → simulator, across all crates.
+
+use anonet::core::algorithms::{run_degree_oracle, KernelCounting};
+use anonet::core::bounds;
+use anonet::graph::{metrics, DynamicNetwork};
+use anonet::multigraph::adversary::TwinBuilder;
+use anonet::multigraph::system::{kernel_vector, solve_census};
+use anonet::multigraph::{transform, Census, Observations};
+use anonet::netsim::protocols::{flood_completion_round, FloodingProcess};
+use anonet::netsim::Simulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random census of given depth and roughly the given population.
+fn random_census(depth: usize, population: usize, rng: &mut StdRng) -> Census {
+    let size = 3usize.pow(depth as u32);
+    let mut counts = vec![0i64; size];
+    for _ in 0..population {
+        counts[rng.gen_range(0..size)] += 1;
+    }
+    if counts.iter().all(|&c| c == 0) {
+        counts[0] = 1;
+    }
+    Census::from_counts(counts).expect("valid by construction")
+}
+
+#[test]
+fn full_pipeline_random_networks() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    for depth in 1..=4usize {
+        for &pop in &[1usize, 5, 30, 200] {
+            let census = random_census(depth, pop, &mut rng);
+            let n = census.population() as u64;
+
+            // Census realizes to a multigraph with the same census.
+            let m = census.realize().expect("realizable");
+            assert_eq!(Census::of_multigraph(&m, depth), census);
+
+            // The solver's feasible line contains the truth at every depth.
+            for rounds in 1..=depth {
+                let obs = Observations::observe(&m, rounds).expect("k = 2");
+                let sol = solve_census(&obs).expect("solves");
+                let truth = Census::of_multigraph(&m, rounds);
+                let (lo, hi) = sol.t_range().expect("feasible");
+                assert!((lo..=hi).any(|t| sol.at(t) == truth.counts()));
+            }
+
+            // Counting (given enough rounds) returns the exact size.
+            let out = KernelCounting::new()
+                .run(&m, bounds::counting_rounds_lower_bound(n) + 4)
+                .expect("decides");
+            assert_eq!(out.count, n, "depth={depth} pop={pop}");
+
+            // The G(PD)_2 image floods in <= 4 rounds and the degree-oracle
+            // protocol counts it in 3.
+            let net = transform::to_pd2(&m, depth).expect("transforms");
+            let order = net.order();
+            assert_eq!(order as u64, n + 3);
+            let flood = flood_completion_round(net.clone(), 0, 16).expect("floods");
+            assert!(flood < 4);
+            let oracle = run_degree_oracle(net).expect("oracle counts");
+            assert_eq!(oracle.count as usize, order);
+        }
+    }
+}
+
+#[test]
+fn counting_never_wrong_even_when_slow() {
+    // Whatever the (adversarial or easy) k=2 multigraph, if KernelCounting
+    // decides, it decides correctly.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..30 {
+        let depth = rng.gen_range(1..=4);
+        let pop = rng.gen_range(1..=60);
+        let m = random_census(depth, pop, &mut rng)
+            .realize()
+            .expect("realizable");
+        if let Ok(out) = KernelCounting::new().run(&m, 12) {
+            assert_eq!(out.count as usize, m.nodes());
+        }
+    }
+}
+
+#[test]
+fn worst_case_is_worst_among_samples() {
+    // No random multigraph of size n should force more rounds than the
+    // kernel adversary's instance (which is optimal for the adversary).
+    let n = 40u64;
+    let worst = KernelCounting::new()
+        .run(&TwinBuilder::new().build(n).expect("twins").smaller, 32)
+        .expect("decides")
+        .rounds;
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..20 {
+        let depth = worst as usize + 2;
+        let census = random_census(depth, n as usize, &mut rng);
+        let m = census.realize().expect("realizable");
+        let r = KernelCounting::new().run(&m, 32).expect("decides").rounds;
+        assert!(
+            r <= worst,
+            "random instance took {r} rounds > worst case {worst}"
+        );
+    }
+}
+
+#[test]
+fn simulator_and_metrics_agree_on_flood_times() {
+    // The Process-based flood and the graph-level flood agree on the
+    // kernel adversary's G(PD)_2 images.
+    for n in [4u64, 13, 40] {
+        let pair = TwinBuilder::new().build(n).expect("twins");
+        let net = transform::to_pd2(&pair.smaller, pair.horizon as usize + 1).expect("transforms");
+        let mut reference = net.clone();
+        let metric = metrics::flood(&mut reference, 0, 0, 32)
+            .duration()
+            .expect("complete");
+        let process = flood_completion_round(net, 0, 32).expect("complete") + 1;
+        assert_eq!(metric, process);
+    }
+}
+
+#[test]
+fn degree_oracle_sees_degrees_only_with_oracle() {
+    // The simulator enforces the §3 rule: without the oracle, send-phase
+    // degree is unavailable; the degree-oracle protocol then panics, which
+    // is the contract (it must not run in the base model).
+    let pair = TwinBuilder::new().build(4).expect("twins");
+    let net = transform::to_pd2(&pair.smaller, 2).expect("transforms");
+    let n = net.order();
+    let result = std::panic::catch_unwind(move || {
+        let mut sim = Simulator::new(net); // no .with_degree_oracle()
+        let mut procs = anonet::core::algorithms::DegreeOracleProcess::population(n);
+        sim.run(&mut procs, 3);
+    });
+    assert!(result.is_err(), "protocol must refuse the base model");
+}
+
+#[test]
+fn kernel_vector_consistency_across_crates() {
+    // The closed-form kernel (multigraph crate) annihilates the sparse
+    // matrix (linalg crate) and drives census shifts (twin adversary).
+    for r in 0..6usize {
+        let k = kernel_vector(r);
+        let m = anonet::multigraph::system::observation_matrix(r).expect("builds");
+        assert!(m.mul_vec(&k).expect("exact").iter().all(|&x| x == 0));
+        assert_eq!(
+            anonet::linalg::vector::sum(&k).expect("exact"),
+            1,
+            "Σ k_r = 1"
+        );
+    }
+}
+
+#[test]
+fn flooding_completes_within_diameter_on_pd2() {
+    // For every PD2 instance we generate: flood duration <= measured D.
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..5 {
+        let census = random_census(3, 20, &mut rng);
+        let m = census.realize().expect("realizable");
+        let mut net = transform::to_pd2(&m, 3).expect("transforms");
+        let d = metrics::dynamic_diameter(&mut net, 3, 32).expect("complete");
+        assert!(d <= 4, "G(PD)_2 diameter is at most 4, got {d}");
+        for src in 0..net.order() {
+            let f = metrics::flood(&mut net, src, 1, 32);
+            assert!(f.duration().expect("complete") <= d);
+        }
+    }
+}
+
+#[test]
+fn process_flood_on_chain_extended_networks() {
+    // Corollary-1 networks: flooding from the leader takes chain + 2.
+    let pair = TwinBuilder::new().build(13).expect("twins");
+    let inner = transform::to_pd2(&pair.smaller, 3).expect("transforms");
+    for chain in [0usize, 3, 7] {
+        let net = anonet::graph::ChainExtended::new(inner.clone(), chain);
+        let n = net.order();
+        let mut sim = Simulator::new(net);
+        let mut procs = FloodingProcess::population(n);
+        sim.run(&mut procs, 64);
+        assert!(procs.iter().all(FloodingProcess::is_informed));
+        let last = procs
+            .iter()
+            .filter_map(FloodingProcess::informed_at)
+            .max()
+            .expect("some node informed");
+        assert_eq!(
+            last as usize,
+            chain + 1,
+            "leader -> chain -> relays -> leaves"
+        );
+    }
+}

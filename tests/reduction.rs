@@ -1,0 +1,142 @@
+//! Deep-dive integration tests for the Lemma 1 reduction: the precise
+//! relationship between `M(DBL)_2` executions and the full-information
+//! views of their `G(PD)_2` images.
+
+use anonet::multigraph::adversary::{RandomDblAdversary, TwinBuilder};
+use anonet::multigraph::{transform, Census, DblMultigraph, LeaderState};
+use anonet::netsim::{run_full_information, FullInfoRun, ViewInterner};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn full_info(m: &DblMultigraph, rounds: u32, interner: &mut ViewInterner) -> FullInfoRun {
+    let mut net = transform::to_pd2(m, rounds as usize).expect("transforms");
+    run_full_information(&mut net, rounds, interner)
+}
+
+#[test]
+fn equal_leader_states_imply_equal_pd2_views() {
+    // The heart of Lemma 1, empirically: if two multigraphs give the DBL
+    // leader identical states through round r, their G(PD)_2 images give
+    // the anonymous leader identical views through round r + 1 (one extra
+    // relay hop).
+    let mut interner = ViewInterner::new();
+    for n in [1u64, 4, 13, 40] {
+        let pair = TwinBuilder::new().build(n).unwrap();
+        let rounds = pair.horizon + 4;
+        let a = full_info(&pair.smaller, rounds, &mut interner);
+        let b = full_info(&pair.larger, rounds, &mut interner);
+        let dbl_agree = LeaderState::observe(&pair.smaller, rounds as usize).agreement_rounds(
+            &LeaderState::observe(&pair.larger, rounds as usize),
+            rounds as usize,
+        );
+        let view_agree = a.leader_agreement(&b, rounds as usize);
+        assert!(
+            view_agree >= dbl_agree,
+            "n={n}: views agree at least as long as DBL states \
+             ({view_agree} vs {dbl_agree})"
+        );
+        assert!(
+            view_agree <= dbl_agree + 2,
+            "n={n}: the relay hop delays separation by at most 2 rounds \
+             ({view_agree} vs {dbl_agree})"
+        );
+    }
+}
+
+#[test]
+fn census_equality_implies_view_equality() {
+    // Anonymity at the graph level: multigraphs with equal censuses (same
+    // counts per history, different node orderings) give identical views.
+    let mut adv = RandomDblAdversary::new(StdRng::seed_from_u64(5));
+    let mut interner = ViewInterner::new();
+    for _ in 0..5 {
+        let m = adv.generate(8, 4).unwrap();
+        let census = Census::of_multigraph(&m, 4);
+        let m2 = census.realize().unwrap();
+        let a = full_info(&m, 4, &mut interner);
+        let b = full_info(&m2, 4, &mut interner);
+        assert_eq!(a.leader_agreement(&b, 4), 4);
+    }
+}
+
+#[test]
+fn label_swap_preserves_views() {
+    // Swapping labels 1 <-> 2 renames the relays, which the anonymous
+    // leader cannot see: views must be identical.
+    let mut adv = RandomDblAdversary::new(StdRng::seed_from_u64(9));
+    let mut interner = ViewInterner::new();
+    for _ in 0..5 {
+        let m = adv.generate(6, 3).unwrap();
+        let swapped_rounds: Vec<Vec<anonet::multigraph::LabelSet>> = (0..3)
+            .map(|r| {
+                m.round(r)
+                    .iter()
+                    .map(|s| {
+                        let mask = s.mask();
+                        let swapped = ((mask & 0b01) << 1) | ((mask & 0b10) >> 1);
+                        anonet::multigraph::LabelSet::from_mask(swapped, 2).unwrap()
+                    })
+                    .collect()
+            })
+            .collect();
+        let swapped = DblMultigraph::new(2, swapped_rounds).unwrap();
+        let a = full_info(&m, 3, &mut interner);
+        let b = full_info(&swapped, 3, &mut interner);
+        assert_eq!(
+            a.leader_agreement(&b, 3),
+            3,
+            "label swap is invisible to the anonymous leader"
+        );
+        // But the DBL leader (who names labels) CAN tell them apart in
+        // general.
+        let _ = LeaderState::observe(&m, 3) == LeaderState::observe(&swapped, 3);
+    }
+}
+
+#[test]
+fn view_separation_never_precedes_state_separation_minus_hop() {
+    // Quantified version over random pairs: if the DBL states differ at
+    // round t, the PD2 views differ by round t + 2.
+    let mut adv = RandomDblAdversary::new(StdRng::seed_from_u64(17));
+    let mut interner = ViewInterner::new();
+    for _ in 0..6 {
+        let m1 = adv.generate(5, 4).unwrap();
+        let m2 = adv.generate(5, 4).unwrap();
+        let rounds = 5usize;
+        let s1 = LeaderState::observe(&m1, rounds);
+        let s2 = LeaderState::observe(&m2, rounds);
+        let dbl_agree = s1.agreement_rounds(&s2, rounds);
+        let a = full_info(&m1, rounds as u32, &mut interner);
+        let b = full_info(&m2, rounds as u32, &mut interner);
+        let view_agree = a.leader_agreement(&b, rounds);
+        assert!(view_agree <= dbl_agree + 2, "{view_agree} vs {dbl_agree}");
+        assert!(
+            view_agree >= dbl_agree.min(rounds),
+            "views cannot separate earlier"
+        );
+    }
+}
+
+#[test]
+fn pd2_image_structure_invariants() {
+    // Structural checks on the image for every round: leader degree 2,
+    // relays always adjacent to the leader, leaf degrees = label set
+    // sizes, no intra-level edges.
+    use anonet::graph::DynamicNetwork;
+    let mut adv = RandomDblAdversary::new(StdRng::seed_from_u64(23));
+    let m = adv.generate(10, 5).unwrap();
+    let layout = transform::layout_for(&m);
+    let mut net = transform::to_pd2(&m, 5).unwrap();
+    for r in 0..5u32 {
+        let g = net.graph(r);
+        assert_eq!(g.degree(0), 2, "leader sees exactly the two relays");
+        for (i, set) in m.round(r as usize).iter().enumerate() {
+            assert_eq!(g.degree(layout.leaf(i)), set.len());
+        }
+        assert!(!g.has_edge(layout.relay(0), layout.relay(1)));
+        let relay_degree_sum: usize = (0..2).map(|j| g.degree(layout.relay(j))).sum();
+        // Each relay: leader + its leaves; total leaf-relay edges = total
+        // labels.
+        assert_eq!(relay_degree_sum, 2 + m.edge_count(r as usize));
+    }
+}
