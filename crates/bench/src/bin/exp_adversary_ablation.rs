@@ -1,7 +1,9 @@
 //! Regenerates the extension experiment `adversary_ablation`.
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_adversary_ablation [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_adversary_ablation [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::adversary_ablation()]);
+    anonet_bench::run_and_emit(&[Cell::new("adversary_ablation", anonet_bench::experiments::adversary_ablation)]);
 }

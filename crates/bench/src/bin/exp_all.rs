@@ -1,9 +1,10 @@
 //! Runs the complete experiment suite (every figure, lemma, theorem,
-//! corollary and baseline) and prints the paper-style tables.
+//! corollary and baseline) on the parallel grid runner and prints the
+//! paper-style tables. Results are identical for every thread count.
 //!
-//! Usage: `cargo run --release -p anonet-bench --bin exp_all [--quick] [--json]`
+//! Usage: `cargo run --release -p anonet-bench --bin exp_all [--quick] [--json] [--csv] [--threads N]`
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    anonet_bench::emit(&anonet_bench::experiments::all(quick));
+    anonet_bench::run_and_emit(&anonet_bench::experiments::all_cells(quick));
 }

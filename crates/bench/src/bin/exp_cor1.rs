@@ -1,7 +1,9 @@
 //! Regenerates Corollary 1 (D + Omega(log |V|) via the chain construction).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_cor1 [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_cor1 [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::cor1()]);
+    anonet_bench::run_and_emit(&[Cell::new("cor1", anonet_bench::experiments::cor1)]);
 }

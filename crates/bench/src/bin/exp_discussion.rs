@@ -1,7 +1,9 @@
 //! Regenerates the Discussion (degree-oracle O(1) counting).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_discussion [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_discussion [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::discussion()]);
+    anonet_bench::run_and_emit(&[Cell::new("discussion", anonet_bench::experiments::discussion)]);
 }

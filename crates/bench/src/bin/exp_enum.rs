@@ -1,7 +1,9 @@
 //! Regenerates the exhaustive enumeration baseline \[12\]/\[13\].
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_enum [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_enum [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::enumeration()]);
+    anonet_bench::run_and_emit(&[Cell::new("enum", anonet_bench::experiments::enumeration)]);
 }

@@ -1,7 +1,9 @@
 //! Regenerates the paper's Figure 1 (G(PD)_2 example, D = 4).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_fig1 [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_fig1 [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::fig1()]);
+    anonet_bench::run_and_emit(&[Cell::new("fig1", anonet_bench::experiments::fig1)]);
 }

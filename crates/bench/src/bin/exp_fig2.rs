@@ -1,7 +1,9 @@
 //! Regenerates the paper's Figure 2 (M(DBL_3) -> G(PD)_2 transformation).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_fig2 [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_fig2 [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::fig2()]);
+    anonet_bench::run_and_emit(&[Cell::new("fig2", anonet_bench::experiments::fig2)]);
 }

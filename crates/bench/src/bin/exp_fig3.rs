@@ -1,7 +1,9 @@
 //! Regenerates the paper's Figure 3 (round-0 indistinguishable twins).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_fig3 [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_fig3 [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::fig3()]);
+    anonet_bench::run_and_emit(&[Cell::new("fig3", anonet_bench::experiments::fig3)]);
 }

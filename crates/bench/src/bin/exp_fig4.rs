@@ -1,7 +1,9 @@
 //! Regenerates the paper's Figure 4 (round-1 indistinguishable twins).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_fig4 [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_fig4 [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::fig4()]);
+    anonet_bench::run_and_emit(&[Cell::new("fig4", anonet_bench::experiments::fig4)]);
 }

@@ -1,7 +1,9 @@
 //! Regenerates the section-5 dissemination-vs-counting gap.
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_gap [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_gap [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::gap()]);
+    anonet_bench::run_and_emit(&[Cell::new("gap", anonet_bench::experiments::gap)]);
 }

@@ -1,7 +1,16 @@
-//! Regenerates the extension experiment `general_k`.
+//! Regenerates the general-`k` extension experiments: kernel dimension
+//! of `M_r^{(k)}` (E15) and ambiguity width after round 0 (E15b).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_general_k [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_general_k [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::general_k()]);
+    anonet_bench::run_and_emit(&[
+        Cell::new("general_k", anonet_bench::experiments::general_k),
+        Cell::new(
+            "general_k_ambiguity",
+            anonet_bench::experiments::general_k_ambiguity,
+        ),
+    ]);
 }

@@ -1,7 +1,9 @@
 //! Regenerates the push-sum gossip baseline \[8\].
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_gossip [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_gossip [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::gossip()]);
+    anonet_bench::run_and_emit(&[Cell::new("gossip", anonet_bench::experiments::gossip)]);
 }

@@ -1,7 +1,9 @@
 //! Regenerates Lemma 2 (dim ker M_r = 1).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_lemma2 [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_lemma2 [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::lemma2()]);
+    anonet_bench::run_and_emit(&[Cell::new("lemma2", anonet_bench::experiments::lemma2)]);
 }

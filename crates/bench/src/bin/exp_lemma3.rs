@@ -1,7 +1,9 @@
 //! Regenerates Lemma 3 (closed-form kernel of M_r).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_lemma3 [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_lemma3 [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::lemma3(11)]);
+    anonet_bench::run_and_emit(&[Cell::new("lemma3", || anonet_bench::experiments::lemma3(11))]);
 }

@@ -1,7 +1,9 @@
 //! Regenerates Lemma 4 (kernel component sums).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_lemma4 [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_lemma4 [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::lemma4(12)]);
+    anonet_bench::run_and_emit(&[Cell::new("lemma4", || anonet_bench::experiments::lemma4(12))]);
 }

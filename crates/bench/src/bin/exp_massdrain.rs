@@ -1,7 +1,9 @@
 //! Regenerates the degree-bounded mass-drain baseline \[15\]/\[12\].
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_massdrain [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_massdrain [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::mass_drain()]);
+    anonet_bench::run_and_emit(&[Cell::new("massdrain", anonet_bench::experiments::mass_drain)]);
 }

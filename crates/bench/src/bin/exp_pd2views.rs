@@ -1,7 +1,9 @@
 //! Regenerates the extension experiment `pd2_view_counting`.
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_pd2views [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_pd2views [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::pd2_view_counting()]);
+    anonet_bench::run_and_emit(&[Cell::new("pd2views", anonet_bench::experiments::pd2_view_counting)]);
 }

@@ -1,7 +1,9 @@
 //! Regenerates the extension experiment `placement_ablation`.
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_placement [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_placement [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::placement_ablation()]);
+    anonet_bench::run_and_emit(&[Cell::new("placement", anonet_bench::experiments::placement_ablation)]);
 }

@@ -1,7 +1,9 @@
 //! Regenerates the extension experiment `state_growth`.
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_stategrowth [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_stategrowth [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::state_growth()]);
+    anonet_bench::run_and_emit(&[Cell::new("stategrowth", anonet_bench::experiments::state_growth)]);
 }

@@ -1,7 +1,9 @@
 //! Regenerates Theorem 1 (indistinguishability horizon).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_thm1 [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_thm1 [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::thm1()]);
+    anonet_bench::run_and_emit(&[Cell::new("thm1", anonet_bench::experiments::thm1)]);
 }

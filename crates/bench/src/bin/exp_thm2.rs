@@ -1,7 +1,9 @@
 //! Regenerates Theorem 2 (the Omega(log |V|) counting cost curve).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_thm2 [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_thm2 [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::thm2(false)]);
+    anonet_bench::run_and_emit(&[Cell::new("thm2", || anonet_bench::experiments::thm2(false))]);
 }

@@ -1,7 +1,9 @@
 //! Regenerates the section-2 token-dissemination benchmark.
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_tokens [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_tokens [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::token_dissemination()]);
+    anonet_bench::run_and_emit(&[Cell::new("tokens", anonet_bench::experiments::token_dissemination)]);
 }

@@ -1,7 +1,9 @@
 //! Regenerates the view-complexity (hash-consing) measurement.
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_views [--json]`
+//! Usage: `cargo run -p anonet-bench --bin exp_views [--json] [--csv] [--threads N]`
+
+use anonet_bench::experiments::runner::Cell;
 
 fn main() {
-    anonet_bench::emit(&[anonet_bench::experiments::view_complexity()]);
+    anonet_bench::run_and_emit(&[Cell::new("views", anonet_bench::experiments::view_complexity)]);
 }

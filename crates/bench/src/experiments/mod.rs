@@ -4,6 +4,7 @@ mod baselines;
 mod extensions;
 mod figures;
 mod lemmas;
+pub mod runner;
 mod theorems;
 
 pub use baselines::{discussion, enumeration, gossip, mass_drain};
@@ -16,36 +17,40 @@ pub use lemmas::{lemma2, lemma3, lemma4};
 pub use theorems::{cor1, gap, thm1, thm2, token_dissemination};
 
 use anonet_core::experiment::Table;
+use runner::Cell;
 
-/// Runs the complete experiment suite in paper order.
+/// The complete experiment suite in paper order, as parallel-runnable
+/// cells (one per experiment; every experiment seeds itself, so cells
+/// are order- and thread-independent).
+pub fn all_cells(quick: bool) -> Vec<Cell> {
+    vec![
+        Cell::new("fig1", fig1),
+        Cell::new("fig2", fig2),
+        Cell::new("fig3", fig3),
+        Cell::new("fig4", fig4),
+        Cell::new("lemma2", lemma2),
+        Cell::new("lemma3", move || lemma3(if quick { 8 } else { 11 })),
+        Cell::new("lemma4", move || lemma4(if quick { 9 } else { 12 })),
+        Cell::new("thm1", thm1),
+        Cell::new("thm2", move || thm2(quick)),
+        Cell::new("cor1", cor1),
+        Cell::new("discussion", discussion),
+        Cell::new("gap", gap),
+        Cell::new("tokens", token_dissemination),
+        Cell::new("gossip", gossip),
+        Cell::new("massdrain", mass_drain),
+        Cell::new("enum", enumeration),
+        Cell::new("general_k", general_k),
+        Cell::new("general_k_ambiguity", general_k_ambiguity),
+        Cell::new("adversary_ablation", adversary_ablation),
+        Cell::new("placement", placement_ablation),
+        Cell::new("stategrowth", state_growth),
+        Cell::new("views", view_complexity),
+        Cell::new("pd2views", pd2_view_counting),
+    ]
+}
+
+/// Runs the complete experiment suite serially, in paper order.
 pub fn all(quick: bool) -> Vec<Table> {
-    let mut tables = vec![
-        fig1(),
-        fig2(),
-        fig3(),
-        fig4(),
-        lemma2(),
-        lemma3(if quick { 8 } else { 11 }),
-        lemma4(if quick { 9 } else { 12 }),
-        thm1(),
-        thm2(quick),
-        cor1(),
-        discussion(),
-        gap(),
-        token_dissemination(),
-        gossip(),
-        mass_drain(),
-        enumeration(),
-        general_k(),
-        general_k_ambiguity(),
-        adversary_ablation(),
-        placement_ablation(),
-        state_growth(),
-        view_complexity(),
-        pd2_view_counting(),
-    ];
-    for t in &mut tables {
-        assert!(!t.rows.is_empty(), "experiment {} produced no rows", t.id);
-    }
-    tables
+    runner::run_cells(&all_cells(quick), 1).0
 }

@@ -1,0 +1,210 @@
+//! Deterministic parallel execution of experiment grids.
+//!
+//! Every experiment in this crate is a pure function of its (hard-coded)
+//! seeds and sizes, so cells of a grid — one cell per `(seed, n, family)`
+//! combination, or one per whole experiment — can run on any thread in
+//! any order and still produce the *same values* as a serial sweep. The
+//! runner exploits that: a scoped worker pool claims cells from a shared
+//! counter, writes each result into the slot of its cell index, and
+//! returns the slots in input order. Output is therefore byte-for-byte
+//! identical to the serial run, regardless of thread count or
+//! scheduling; only the wall-clock timings differ.
+//!
+//! The thread count comes from [`thread_count`]: `--threads N` on the
+//! command line, else the `ANONET_THREADS` environment variable, else
+//! the machine's available parallelism.
+
+use anonet_core::experiment::Table;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One unit of parallel work producing a [`Table`].
+pub struct Cell {
+    /// Stable identifier (used in timing reports; matches the table id
+    /// for whole-experiment cells).
+    pub id: &'static str,
+    run: Box<dyn Fn() -> Table + Send + Sync>,
+}
+
+impl Cell {
+    /// Wraps an experiment function as a grid cell.
+    pub fn new(id: &'static str, run: impl Fn() -> Table + Send + Sync + 'static) -> Cell {
+        Cell {
+            id,
+            run: Box::new(run),
+        }
+    }
+}
+
+impl std::fmt::Debug for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cell").field("id", &self.id).finish()
+    }
+}
+
+/// Wall-clock timing of one executed cell.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct CellTiming {
+    /// The cell's identifier.
+    pub id: String,
+    /// Execution time in microseconds (on whichever worker ran it).
+    pub micros: u64,
+}
+
+/// Runs `f` over every item of `items` on `threads` workers and returns
+/// the results *in input order* together with per-item wall-clock times.
+///
+/// Items are claimed from a shared counter, so workers stay busy even
+/// when cell costs are skewed; each result lands in the slot of its item
+/// index, which makes the output independent of scheduling. With
+/// `threads <= 1` the items run serially on the calling thread — the
+/// parallel output is identical by construction.
+///
+/// # Examples
+///
+/// ```
+/// use anonet_bench::experiments::runner::run_grid;
+///
+/// let squares = run_grid(&[1u64, 2, 3, 4], 4, |&n| n * n);
+/// let values: Vec<u64> = squares.into_iter().map(|(v, _)| v).collect();
+/// assert_eq!(values, vec![1, 4, 9, 16]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any worker panics (the panic is propagated).
+pub fn run_grid<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<(T, u64)>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let run_one = |item: &I| {
+        let start = Instant::now();
+        let value = f(item);
+        (value, start.elapsed().as_micros() as u64)
+    };
+
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(run_one).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(T, u64)>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().expect("slot lock") = Some(run_one(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// Runs experiment cells on `threads` workers; returns the tables in
+/// input order plus per-cell timings.
+///
+/// # Panics
+///
+/// Panics if a cell produces a table with no rows (the same sanity check
+/// the serial suite applies) or if a worker panics.
+pub fn run_cells(cells: &[Cell], threads: usize) -> (Vec<Table>, Vec<CellTiming>) {
+    let results = run_grid(cells, threads, |cell| (cell.run)());
+    let mut tables = Vec::with_capacity(cells.len());
+    let mut timings = Vec::with_capacity(cells.len());
+    for (cell, (table, micros)) in cells.iter().zip(results) {
+        assert!(!table.rows.is_empty(), "experiment {} produced no rows", table.id);
+        timings.push(CellTiming {
+            id: cell.id.to_string(),
+            micros,
+        });
+        tables.push(table);
+    }
+    (tables, timings)
+}
+
+/// Resolves the worker count: the value after a `--threads` argument,
+/// else `ANONET_THREADS`, else the machine's available parallelism
+/// (serial as a last resort). A value of `0` means "auto" too.
+pub fn thread_count(args: impl Iterator<Item = String>) -> usize {
+    let mut args = args.peekable();
+    let mut explicit = None;
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            explicit = args.peek().and_then(|v| v.parse::<usize>().ok());
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            explicit = v.parse::<usize>().ok();
+        }
+    }
+    let requested = explicit.or_else(|| {
+        std::env::var("ANONET_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+    });
+    match requested {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_preserves_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..67).collect();
+        let serial: Vec<u64> = run_grid(&items, 1, |&n| n * n + 1)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        for threads in [2, 3, 4, 16] {
+            let parallel: Vec<u64> = run_grid(&items, threads, |&n| n * n + 1)
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn grid_handles_empty_and_single_item() {
+        let empty: Vec<(u32, u64)> = run_grid(&[] as &[u32], 8, |&n| n);
+        assert!(empty.is_empty());
+        let one = run_grid(&[7u32], 8, |&n| n + 1);
+        assert_eq!(one[0].0, 8);
+    }
+
+    #[test]
+    fn thread_count_precedence() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(thread_count(args(&["--threads", "3"]).into_iter()), 3);
+        assert_eq!(thread_count(args(&["--threads=5"]).into_iter()), 5);
+        // 0 or missing → auto (at least one worker).
+        assert!(thread_count(args(&["--threads", "0"]).into_iter()) >= 1);
+        assert!(thread_count(args(&[]).into_iter()) >= 1);
+    }
+
+    #[test]
+    fn cells_run_and_report_timings() {
+        let cells = vec![
+            Cell::new("a", crate::experiments::fig3),
+            Cell::new("b", crate::experiments::thm1),
+        ];
+        let (tables, timings) = run_cells(&cells, 2);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].id, "a");
+        assert_eq!(tables[1], crate::experiments::thm1());
+    }
+}

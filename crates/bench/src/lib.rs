@@ -9,6 +9,7 @@
 pub mod experiments;
 
 use anonet_core::experiment::Table;
+use experiments::runner::{run_cells, thread_count, Cell};
 
 /// Prints tables as markdown, as JSON when `--json` is among the args, or
 /// as CSV blocks when `--csv` is.
@@ -30,5 +31,30 @@ pub fn emit(tables: &[Table]) {
         for t in tables {
             println!("{t}");
         }
+    }
+}
+
+/// Runs experiment cells on the parallel grid runner and prints the
+/// resulting tables — the standard `main` of every `exp_*` binary.
+///
+/// The worker count comes from `--threads N` / `ANONET_THREADS` (auto by
+/// default; results are identical for every thread count — see
+/// [`experiments::runner`]). Output formats match [`emit`], except that
+/// `--json` wraps the tables in `{"tables": ..., "timings": ...}` with
+/// per-cell wall-clock timings in microseconds.
+pub fn run_and_emit(cells: &[Cell]) {
+    let threads = thread_count(std::env::args());
+    let (tables, timings) = run_cells(cells, threads);
+    if std::env::args().any(|a| a == "--json") {
+        let doc = serde::Value::Object(vec![
+            ("tables".to_string(), serde::Serialize::to_value(&tables)),
+            ("timings".to_string(), serde::Serialize::to_value(&timings)),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("tables serialize")
+        );
+    } else {
+        emit(&tables);
     }
 }

@@ -1,0 +1,52 @@
+//! The parallel grid runner reproduces the serial suite byte-for-byte.
+
+use anonet_bench::experiments::runner::{run_cells, run_grid, Cell};
+use anonet_bench::experiments::{self};
+
+/// A fast representative subset of the suite (the full sweep runs in
+/// `scripts/check.sh`, which compares `exp_all --threads 1` against
+/// `--threads 4` on the release binaries).
+fn subset() -> Vec<Cell> {
+    vec![
+        Cell::new("fig1", experiments::fig1),
+        Cell::new("fig3", experiments::fig3),
+        Cell::new("fig4", experiments::fig4),
+        Cell::new("lemma2", experiments::lemma2),
+        Cell::new("thm1", experiments::thm1),
+        Cell::new("discussion", experiments::discussion),
+        Cell::new("gap", experiments::gap),
+        Cell::new("tokens", experiments::token_dissemination),
+    ]
+}
+
+#[test]
+fn parallel_tables_equal_serial_tables_byte_for_byte() {
+    let (serial, _) = run_cells(&subset(), 1);
+    let serial_json = serde_json::to_string(&serial).unwrap();
+    for threads in [2, 4, 8] {
+        let (parallel, timings) = run_cells(&subset(), threads);
+        assert_eq!(parallel, serial, "threads={threads}");
+        assert_eq!(
+            serde_json::to_string(&parallel).unwrap(),
+            serial_json,
+            "serialized output identical at threads={threads}"
+        );
+        assert_eq!(timings.len(), subset().len());
+        assert_eq!(timings[0].id, "fig1");
+    }
+}
+
+#[test]
+fn grid_results_are_input_ordered_under_skewed_costs() {
+    // Cells with wildly different costs: order must still be input order.
+    let sizes: Vec<u64> = vec![200, 1, 150, 2, 100, 3];
+    let serial: Vec<u64> = run_grid(&sizes, 1, |&n| (1..=n).map(|x| x * x).sum())
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
+    let parallel: Vec<u64> = run_grid(&sizes, 4, |&n| (1..=n).map(|x| x * x).sum())
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
+    assert_eq!(parallel, serial);
+}

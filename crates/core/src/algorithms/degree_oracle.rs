@@ -14,6 +14,7 @@
 use anonet_graph::DynamicNetwork;
 use anonet_linalg::Ratio;
 use anonet_netsim::{Process, RecvContext, Role, SendContext, Simulator};
+use anonet_trace::{NullSink, TraceSink};
 
 use super::kernel_counting::{CountingError, CountingOutcome};
 
@@ -127,10 +128,24 @@ impl Process for DegreeOracleProcess {
 /// Returns [`CountingError::Undecided`] if the leader failed to decide
 /// within 3 rounds (e.g. the network is not a restricted `G(PD)_2`).
 pub fn run_degree_oracle<N: DynamicNetwork>(net: N) -> Result<CountingOutcome, CountingError> {
+    run_degree_oracle_with_sink(net, &mut NullSink)
+}
+
+/// Like [`run_degree_oracle`], additionally emitting the simulator's
+/// per-round [`RoundEvent`](anonet_trace::RoundEvent)s (deliveries, inbox
+/// sizes) to `sink` — at most 3 events, one per executed round.
+///
+/// # Errors
+///
+/// Same as [`run_degree_oracle`].
+pub fn run_degree_oracle_with_sink<N: DynamicNetwork, S: TraceSink>(
+    net: N,
+    sink: &mut S,
+) -> Result<CountingOutcome, CountingError> {
     let n = net.order();
     let mut sim = Simulator::new(net).with_degree_oracle();
     let mut procs = DegreeOracleProcess::population(n);
-    let report = sim.run(&mut procs, 3);
+    let (report, _) = sim.run_with_sink(&mut procs, 3, sink);
     match report.leader_output {
         Some((count, round)) => Ok(CountingOutcome {
             count,

@@ -12,6 +12,7 @@
 use super::kernel_counting::CountingOutcome;
 use anonet_multigraph::system_k::{GeneralSystem, SystemKError};
 use anonet_multigraph::DblMultigraph;
+use anonet_trace::{NullSink, RoundEvent, TraceSink};
 use core::fmt;
 
 /// Errors of the general-`k` counting rule.
@@ -95,11 +96,39 @@ impl GeneralKCounting {
         m: &DblMultigraph,
         max_rounds: u32,
     ) -> Result<CountingOutcome, GeneralKError> {
+        self.run_with_sink(m, max_rounds, &mut NullSink)
+    }
+
+    /// Like [`GeneralKCounting::run`], additionally emitting one
+    /// [`RoundEvent`] per observed round to `sink`: the number of
+    /// consistent populations (`candidate_count`), their interval
+    /// (`candidate_lo`/`candidate_hi`) and the predicted kernel dimension
+    /// of the round's observation system (`kernel_dim`; grows with the
+    /// round for `k ≥ 3` — the reason no closed-form rule is known).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GeneralKCounting::run`].
+    pub fn run_with_sink<S: TraceSink>(
+        &self,
+        m: &DblMultigraph,
+        max_rounds: u32,
+        sink: &mut S,
+    ) -> Result<CountingOutcome, GeneralKError> {
         let sys = GeneralSystem::new(m.k())?;
         let mut last = Vec::new();
         for rounds in 1..=max_rounds {
             let pops = sys.feasible_populations(m, rounds as usize, self.max_solutions)?;
+            let mut ev = RoundEvent::new(rounds - 1).candidate_count(pops.len() as u64);
+            if let (Some(&lo), Some(&hi)) = (pops.first(), pops.last()) {
+                ev = ev.candidates(lo, hi);
+            }
+            if let Ok(nullity) = sys.predicted_nullity(rounds as usize - 1) {
+                ev = ev.kernel_dim(nullity as u64);
+            }
+            sink.record(&ev);
             if pops.len() == 1 {
+                sink.flush();
                 return Ok(CountingOutcome {
                     count: pops[0] as u64,
                     rounds,
@@ -107,6 +136,7 @@ impl GeneralKCounting {
             }
             last = pops;
         }
+        sink.flush();
         Err(GeneralKError::Undecided {
             rounds: max_rounds,
             candidates: last,

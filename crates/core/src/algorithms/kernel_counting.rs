@@ -12,6 +12,7 @@
 
 use anonet_multigraph::system::{solve_census, AffineCensus};
 use anonet_multigraph::{DblMultigraph, Observations};
+use anonet_trace::{NullSink, RoundEvent, TraceSink};
 use core::fmt;
 
 /// The outcome of running a counting algorithm.
@@ -115,6 +116,26 @@ impl KernelCounting {
         m: &DblMultigraph,
         max_rounds: u32,
     ) -> Result<(CountingOutcome, CountingTrace), CountingError> {
+        self.run_with_sink(m, max_rounds, &mut NullSink)
+    }
+
+    /// Like [`KernelCounting::run_traced`], additionally emitting one
+    /// [`RoundEvent`] per observed round to `sink`: the feasible
+    /// population interval (`candidate_lo`/`candidate_hi`), the number of
+    /// feasible censuses on the affine line (`candidate_count`), the
+    /// kernel dimension of the observation system `M_r` (always 1 for
+    /// `k = 2`, Lemma 3) and the size of the flat constant-terms vector
+    /// `m_r` (`state_size`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KernelCounting::run`].
+    pub fn run_with_sink<S: TraceSink>(
+        &self,
+        m: &DblMultigraph,
+        max_rounds: u32,
+        sink: &mut S,
+    ) -> Result<(CountingOutcome, CountingTrace), CountingError> {
         let mut trace = CountingTrace {
             candidate_ranges: Vec::new(),
         };
@@ -128,7 +149,15 @@ impl KernelCounting {
                 .population_range()
                 .expect("observations of a real network are feasible");
             trace.candidate_ranges.push(range);
+            sink.record(
+                &RoundEvent::new(rounds - 1)
+                    .candidates(range.0, range.1)
+                    .candidate_count(sol.solution_count() as u64)
+                    .kernel_dim(1)
+                    .state_size(obs.flat().len() as u64),
+            );
             if let Some(count) = sol.unique_population() {
+                sink.flush();
                 return Ok((
                     CountingOutcome {
                         count: count as u64,
@@ -139,6 +168,7 @@ impl KernelCounting {
             }
             last = Some(sol);
         }
+        sink.flush();
         Err(CountingError::Undecided {
             rounds: max_rounds,
             candidates: last.and_then(|s| s.population_range()),

@@ -9,6 +9,7 @@
 
 use anonet_graph::DynamicNetwork;
 use anonet_netsim::{Process, RecvContext, Role, SendContext, Simulator};
+use anonet_trace::{NullSink, TraceSink};
 
 /// One node's state in the layering protocol.
 #[derive(Debug, Clone)]
@@ -59,10 +60,21 @@ impl Process for LayeringProcess {
 /// Runs the layering protocol for `rounds` rounds and returns each node's
 /// learned layer (`None` if the beacon never arrived).
 pub fn learn_layers<N: DynamicNetwork>(net: N, rounds: u32) -> Vec<Option<u32>> {
+    learn_layers_with_sink(net, rounds, &mut NullSink)
+}
+
+/// Like [`learn_layers`], additionally emitting the simulator's per-round
+/// [`RoundEvent`](anonet_trace::RoundEvent)s (deliveries, inbox sizes) to
+/// `sink`.
+pub fn learn_layers_with_sink<N: DynamicNetwork, S: TraceSink>(
+    net: N,
+    rounds: u32,
+    sink: &mut S,
+) -> Vec<Option<u32>> {
     let n = net.order();
     let mut sim = Simulator::new(net);
     let mut procs = LayeringProcess::population(n);
-    sim.run(&mut procs, rounds);
+    sim.run_with_sink(&mut procs, rounds, sink);
     procs.iter().map(LayeringProcess::layer).collect()
 }
 

@@ -18,10 +18,13 @@ mod kernel_counting;
 mod layering;
 mod pd2_view_counting;
 
-pub use degree_oracle::{run_degree_oracle, DegreeMsg, DegreeOracleProcess};
+pub use degree_oracle::{
+    run_degree_oracle, run_degree_oracle_with_sink, DegreeMsg, DegreeOracleProcess,
+};
 pub use general_k_counting::{GeneralKCounting, GeneralKError};
 pub use kernel_counting::{CountingError, CountingOutcome, CountingTrace, KernelCounting};
-pub use layering::{learn_layers, LayeringProcess};
+pub use layering::{learn_layers, learn_layers_with_sink, LayeringProcess};
 pub use pd2_view_counting::{
-    consistent_populations, decode_pd2, run_pd2_view_counting, DecodedPd2, Pd2ViewError,
+    consistent_populations, decode_pd2, run_pd2_view_counting, run_pd2_view_counting_with_sink,
+    DecodedPd2, Pd2ViewError,
 };

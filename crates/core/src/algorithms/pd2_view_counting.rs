@@ -29,6 +29,7 @@ use anonet_graph::DynamicNetwork;
 use anonet_linalg::enumerate::enumerate_nonnegative_solutions;
 use anonet_linalg::SparseIntMatrix;
 use anonet_netsim::{run_full_information, Role, ViewId, ViewInterner, ViewRef};
+use anonet_trace::{NullSink, RoundEvent, TraceSink};
 use core::fmt;
 use std::collections::BTreeMap;
 
@@ -400,9 +401,27 @@ pub fn consistent_populations(
 /// Returns [`Pd2ViewError`] if the execution is not `G(PD)_2`, the system
 /// is too complex, or the horizon elapses without a decision.
 pub fn run_pd2_view_counting<N: DynamicNetwork>(
+    net: N,
+    max_rounds: u32,
+    max_solutions: usize,
+) -> Result<CountingOutcome, Pd2ViewError> {
+    run_pd2_view_counting_with_sink(net, max_rounds, max_solutions, &mut NullSink)
+}
+
+/// Like [`run_pd2_view_counting`], additionally emitting one
+/// [`RoundEvent`] per observed round (from round 1 on — the decoder needs
+/// two rounds) to `sink`: the number of consistent populations of `V_2`
+/// (`candidate_count`) and, when at least one is consistent, the
+/// candidate interval (`candidate_lo`/`candidate_hi`, in `|V_2|` terms).
+///
+/// # Errors
+///
+/// Same as [`run_pd2_view_counting`].
+pub fn run_pd2_view_counting_with_sink<N: DynamicNetwork, S: TraceSink>(
     mut net: N,
     max_rounds: u32,
     max_solutions: usize,
+    sink: &mut S,
 ) -> Result<CountingOutcome, Pd2ViewError> {
     let mut interner = ViewInterner::new();
     let run = run_full_information(&mut net, max_rounds, &mut interner);
@@ -410,7 +429,13 @@ pub fn run_pd2_view_counting<N: DynamicNetwork>(
     for rounds in 2..=max_rounds as usize {
         let views: Vec<ViewId> = (0..=rounds).map(|r| run.leader_view(r)).collect();
         let pops = consistent_populations(&interner, &views, max_solutions)?;
+        let mut ev = RoundEvent::new(rounds as u32 - 1).candidate_count(pops.len() as u64);
+        if let (Some(&lo), Some(&hi)) = (pops.first(), pops.last()) {
+            ev = ev.candidates(lo, hi);
+        }
+        sink.record(&ev);
         if pops.len() == 1 {
+            sink.flush();
             return Ok(CountingOutcome {
                 count: pops[0] as u64 + 3,
                 rounds: rounds as u32,
@@ -418,6 +443,7 @@ pub fn run_pd2_view_counting<N: DynamicNetwork>(
         }
         last = pops;
     }
+    sink.flush();
     Err(Pd2ViewError::Undecided {
         rounds: max_rounds,
         candidates: last,

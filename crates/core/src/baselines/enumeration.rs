@@ -116,9 +116,27 @@ pub struct EnumerationOutcome {
 ///
 /// Panics if `max_size > 6`.
 pub fn run_enumeration_counting<N: DynamicNetwork>(
+    net: N,
+    max_rounds: u32,
+    max_size: usize,
+) -> EnumerationOutcome {
+    run_enumeration_counting_with_sink(net, max_rounds, max_size, &mut anonet_trace::NullSink)
+}
+
+/// Like [`run_enumeration_counting`], additionally emitting one
+/// [`RoundEvent`](anonet_trace::RoundEvent) per observed round to `sink`:
+/// the number of view-consistent sizes (`candidate_count`) and, when at
+/// least one size is consistent, their interval
+/// (`candidate_lo`/`candidate_hi`).
+///
+/// # Panics
+///
+/// Panics if `max_size > 6`.
+pub fn run_enumeration_counting_with_sink<N: DynamicNetwork, S: anonet_trace::TraceSink>(
     mut net: N,
     max_rounds: u32,
     max_size: usize,
+    sink: &mut S,
 ) -> EnumerationOutcome {
     let mut interner = ViewInterner::new();
     let run = run_full_information(&mut net, max_rounds, &mut interner);
@@ -128,11 +146,18 @@ pub fn run_enumeration_counting<N: DynamicNetwork>(
     for r in 1..=max_rounds as usize {
         let target: Vec<ViewId> = (1..=r).map(|i| run.leader_view(i)).collect();
         let cands = consistent_sizes(&target, &sizes, &mut interner);
+        let mut ev =
+            anonet_trace::RoundEvent::new(r as u32 - 1).candidate_count(cands.len() as u64);
+        if let (Some(&lo), Some(&hi)) = (cands.first(), cands.last()) {
+            ev = ev.candidates(lo as i64, hi as i64);
+        }
+        sink.record(&ev);
         if cands.len() == 1 && decision_round.is_none() {
             decision_round = Some(r as u32);
         }
         candidates_per_round.push(cands);
     }
+    sink.flush();
     EnumerationOutcome {
         candidates_per_round,
         decision_round,

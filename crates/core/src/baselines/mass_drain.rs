@@ -20,6 +20,7 @@
 
 use anonet_graph::DynamicNetwork;
 use anonet_netsim::{Process, RecvContext, Role, SendContext, Simulator};
+use anonet_trace::{NullSink, TraceSink};
 
 /// One node's state in the mass-drain protocol.
 #[derive(Debug, Clone)]
@@ -134,13 +135,26 @@ pub fn run_mass_drain<N: DynamicNetwork>(
     max_rounds: u32,
     epsilon: f64,
 ) -> MassDrainRun {
+    run_mass_drain_with_sink(net, degree_bound, max_rounds, epsilon, &mut NullSink)
+}
+
+/// Like [`run_mass_drain`], additionally emitting the simulator's
+/// per-round [`RoundEvent`](anonet_trace::RoundEvent)s (deliveries, inbox
+/// sizes) to `sink`.
+pub fn run_mass_drain_with_sink<N: DynamicNetwork, S: TraceSink>(
+    net: N,
+    degree_bound: u32,
+    max_rounds: u32,
+    epsilon: f64,
+    sink: &mut S,
+) -> MassDrainRun {
     let n = net.order();
     let mut sim = Simulator::new(net);
     let mut procs = MassDrainProcess::population(n, degree_bound);
     let mut collected = Vec::with_capacity(max_rounds as usize);
     let mut exact_round = None;
     for r in 0..max_rounds {
-        sim.run(&mut procs[..], 1);
+        sim.run_with_sink(&mut procs[..], 1, sink);
         let c = procs[0].collected();
         collected.push(c);
         let residual = (n as f64 - 1.0) - c;

@@ -13,6 +13,7 @@
 
 use anonet_graph::DynamicNetwork;
 use anonet_netsim::{Process, RecvContext, SendContext, Simulator};
+use anonet_trace::{NullSink, TraceSink};
 
 /// One node's state in the push-sum protocol.
 #[derive(Debug, Clone)]
@@ -116,6 +117,17 @@ impl PushSumRun {
 /// Runs push-sum on `net` for `rounds` rounds and records the leader's
 /// estimate trajectory.
 pub fn run_pushsum<N: DynamicNetwork>(net: N, rounds: u32) -> PushSumRun {
+    run_pushsum_with_sink(net, rounds, &mut NullSink)
+}
+
+/// Like [`run_pushsum`], additionally emitting the simulator's per-round
+/// [`RoundEvent`](anonet_trace::RoundEvent)s (deliveries, inbox sizes) to
+/// `sink`.
+pub fn run_pushsum_with_sink<N: DynamicNetwork, S: TraceSink>(
+    net: N,
+    rounds: u32,
+    sink: &mut S,
+) -> PushSumRun {
     let n = net.order();
     let mut sim = Simulator::new(net).with_degree_oracle();
     let mut procs = PushSumProcess::population(n);
@@ -124,7 +136,7 @@ pub fn run_pushsum<N: DynamicNetwork>(net: N, rounds: u32) -> PushSumRun {
     // leader output, which push-sum never produces — estimates are polled).
     let mut estimates = Vec::with_capacity(rounds as usize);
     for _ in 0..rounds {
-        sim.run(&mut procs[..], 1);
+        sim.run_with_sink(&mut procs[..], 1, sink);
         estimates.push(procs[0].estimate().unwrap_or(f64::NAN));
     }
     PushSumRun {

@@ -44,3 +44,29 @@ pub mod baselines;
 pub mod bounds;
 pub mod cost;
 pub mod experiment;
+
+/// Structured round tracing, re-exported from [`anonet_trace`]: implement
+/// or pick a [`TraceSink`](anonet_trace::TraceSink) (`NullSink`,
+/// `MemorySink`, `JsonlSink`) and pass it to any `*_with_sink` runner to
+/// capture a replayable stream of [`RoundEvent`](anonet_trace::RoundEvent)s.
+///
+/// # Examples
+///
+/// Capture the kernel algorithm's shrinking candidate intervals:
+///
+/// ```
+/// use anonet_core::algorithms::KernelCounting;
+/// use anonet_core::trace::MemorySink;
+/// use anonet_multigraph::adversary::TwinBuilder;
+///
+/// let pair = TwinBuilder::new().build(13)?;
+/// let mut sink = MemorySink::new();
+/// let (outcome, _) = KernelCounting::new().run_with_sink(&pair.smaller, 16, &mut sink)?;
+/// assert_eq!(sink.events().len() as u32, outcome.rounds);
+/// // The final event witnesses the unique count.
+/// let last = sink.events().last().unwrap();
+/// assert_eq!(last.candidate_lo, Some(13));
+/// assert_eq!(last.candidate_hi, Some(13));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub use anonet_trace as trace;

@@ -14,6 +14,7 @@
 
 use crate::history::{ternary_count, History};
 use crate::multigraph::DblMultigraph;
+use anonet_trace::{RoundEvent, TraceSink};
 use core::fmt;
 use std::collections::BTreeMap;
 
@@ -32,7 +33,22 @@ pub struct LeaderState {
 impl LeaderState {
     /// Computes the leader state of `m` after observing rounds `0..rounds`.
     pub fn observe(m: &DblMultigraph, rounds: usize) -> LeaderState {
+        Self::observe_with_sink(m, rounds, &mut anonet_trace::NullSink)
+    }
+
+    /// Like [`LeaderState::observe`], additionally emitting one
+    /// [`RoundEvent`] per observed round to `sink`: `deliveries` is the
+    /// number of labeled edges the leader saw that round (the total
+    /// multiplicity of `C(v_l, r)`) and `state_size` the number of
+    /// distinct `(label, history)` pairs accumulated so far — the growth
+    /// of the leader's state, Definition 7.
+    pub fn observe_with_sink<S: TraceSink>(
+        m: &DblMultigraph,
+        rounds: usize,
+        sink: &mut S,
+    ) -> LeaderState {
         let mut out = Vec::with_capacity(rounds);
+        let mut distinct_pairs = 0u64;
         for r in 0..rounds {
             let mut c: BTreeMap<(u8, History), u64> = BTreeMap::new();
             for node in 0..m.nodes() {
@@ -41,8 +57,15 @@ impl LeaderState {
                     *c.entry((label, history.clone())).or_insert(0) += 1;
                 }
             }
+            distinct_pairs += c.len() as u64;
+            sink.record(
+                &RoundEvent::new(r as u32)
+                    .deliveries(c.values().sum())
+                    .state_size(distinct_pairs),
+            );
             out.push(c);
         }
+        sink.flush();
         LeaderState { rounds: out }
     }
 

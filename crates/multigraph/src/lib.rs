@@ -58,3 +58,8 @@ pub use history::{ternary_count, History, ParseHistoryError};
 pub use label::{LabelError, LabelSet, MAX_LABELS};
 pub use leader::{LeaderState, ObservationError, Observations};
 pub use multigraph::{DblError, DblMultigraph};
+
+/// Structured round tracing ([`TraceSink`](anonet_trace::TraceSink),
+/// [`RoundEvent`](anonet_trace::RoundEvent), the JSONL sinks), re-exported
+/// for callers of the `*_with_sink` observation methods.
+pub use anonet_trace as trace;

@@ -45,3 +45,8 @@ mod view;
 pub use process::{Process, RecvContext, Role, SendContext};
 pub use runner::{RoundStats, RunReport, Simulator};
 pub use view::{run_full_information, FullInfoRun, ViewId, ViewInterner, ViewRef};
+
+/// Structured round tracing ([`TraceSink`](anonet_trace::TraceSink),
+/// [`RoundEvent`](anonet_trace::RoundEvent), the JSONL sinks), re-exported
+/// so simulator users need no separate dependency.
+pub use anonet_trace as trace;

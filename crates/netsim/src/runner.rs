@@ -7,6 +7,7 @@
 
 use crate::process::{Process, RecvContext, SendContext};
 use anonet_graph::DynamicNetwork;
+use anonet_trace::{NullSink, RoundEvent, TraceSink};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -135,6 +136,44 @@ impl<N: DynamicNetwork> Simulator<N> {
         procs: &mut [P],
         max_rounds: u32,
     ) -> (RunReport, Vec<RoundStats>) {
+        self.run_with_sink(procs, max_rounds, &mut NullSink)
+    }
+
+    /// Like [`Simulator::run_traced`], additionally emitting one
+    /// [`RoundEvent`] per executed round to `sink` (with the absolute
+    /// round index, the delivery count, the maximum inbox size and the
+    /// leader's inbox size). The sink is flushed before returning, so a
+    /// [`JsonlSink`](anonet_trace::JsonlSink) stream is complete when
+    /// this call returns.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use anonet_graph::{Graph, GraphSequence};
+    /// use anonet_netsim::protocols::FloodingProcess;
+    /// use anonet_netsim::Simulator;
+    /// use anonet_trace::MemorySink;
+    ///
+    /// let net = GraphSequence::constant(Graph::star(5)?);
+    /// let mut sim = Simulator::new(net);
+    /// let mut procs = FloodingProcess::population(5);
+    /// let mut sink = MemorySink::new();
+    /// let (report, _) = sim.run_with_sink(&mut procs, 10, &mut sink);
+    /// assert_eq!(sink.events().len() as u32, report.rounds);
+    /// // Each event mirrors the RoundStats of the same round.
+    /// assert_eq!(sink.events()[0].deliveries, Some(8));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs.len()` differs from the network's order.
+    pub fn run_with_sink<P: Process, S: TraceSink>(
+        &mut self,
+        procs: &mut [P],
+        max_rounds: u32,
+        sink: &mut S,
+    ) -> (RunReport, Vec<RoundStats>) {
         let n = self.net.order();
         assert_eq!(
             procs.len(),
@@ -150,6 +189,7 @@ impl<N: DynamicNetwork> Simulator<N> {
         let mut stats = Vec::new();
 
         if let Some(out) = procs[0].output() {
+            sink.flush();
             return (
                 RunReport {
                     rounds: 0,
@@ -205,8 +245,15 @@ impl<N: DynamicNetwork> Simulator<N> {
                 max_inbox,
                 leader_inbox: graph.degree(0),
             });
+            sink.record(
+                &RoundEvent::new(round)
+                    .deliveries(round_deliveries)
+                    .max_inbox(max_inbox as u64)
+                    .leader_inbox(graph.degree(0) as u64),
+            );
 
             if let Some(out) = procs[0].output() {
+                sink.flush();
                 return (
                     RunReport {
                         rounds: round + 1 - first,
@@ -218,6 +265,7 @@ impl<N: DynamicNetwork> Simulator<N> {
             }
         }
 
+        sink.flush();
         (
             RunReport {
                 rounds: max_rounds,

@@ -1,0 +1,565 @@
+//! Structured per-round tracing for the anonet simulation stack.
+//!
+//! Every layer of the reproduction — the synchronous simulator
+//! (`anonet-netsim`), the worst-case adversary and leader observation
+//! machinery (`anonet-multigraph`), and the counting algorithms
+//! (`anonet-core`) — can emit one [`RoundEvent`] per executed or observed
+//! round into any [`TraceSink`]. Three sinks are provided:
+//!
+//! * [`NullSink`] — discards everything (the zero-cost default);
+//! * [`MemorySink`] — collects events in memory for assertions;
+//! * [`JsonlSink`] — streams events as JSON Lines for offline analysis
+//!   and replay (see `docs/TRACING.md` for the schema and a worked
+//!   replay example).
+//!
+//! The crate is dependency-free: JSONL emission and parsing are
+//! hand-rolled for the flat event schema, so the trace layer can sit at
+//! the very bottom of the workspace dependency graph.
+//!
+//! # Examples
+//!
+//! Record two rounds, serialize them, and replay the stream:
+//!
+//! ```
+//! use anonet_trace::{JsonlSink, MemorySink, RoundEvent, TraceSink};
+//!
+//! let events = [
+//!     RoundEvent::new(0).deliveries(6).leader_inbox(3),
+//!     RoundEvent::new(1).candidates(4, 13).kernel_dim(1),
+//! ];
+//!
+//! let mut jsonl = JsonlSink::new(Vec::new());
+//! for e in &events {
+//!     jsonl.record(e);
+//! }
+//! let text = String::from_utf8(jsonl.into_inner())?;
+//! assert!(text.starts_with(r#"{"round":0,"deliveries":6,"leader_inbox":3}"#));
+//!
+//! let replayed = MemorySink::replay_jsonl(&text)?;
+//! assert_eq!(replayed.events(), &events);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+use std::io::{self, Write};
+
+/// One traced round of a simulation, observation, or algorithm run.
+///
+/// Every field except [`round`](RoundEvent::round) is optional: each
+/// layer fills in the facets it knows. The simulator reports message
+/// accounting (`deliveries`, `max_inbox`, `leader_inbox`); the counting
+/// algorithms report solver state (`kernel_dim`, `candidate_lo/hi`,
+/// `candidate_count`, `state_size`); adversary-driven runs label the
+/// adversary's per-round choice (`adversary`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundEvent {
+    /// The absolute round index.
+    pub round: u32,
+    /// Messages delivered in this round (sum of all inbox sizes).
+    pub deliveries: Option<u64>,
+    /// The largest inbox of the round.
+    pub max_inbox: Option<u64>,
+    /// The leader's inbox size this round (its degree).
+    pub leader_inbox: Option<u64>,
+    /// Dimension of the kernel of the observation system `M_r` after this
+    /// round — the degrees of freedom the adversary still controls.
+    pub kernel_dim: Option<u64>,
+    /// Smallest population consistent with the observations so far.
+    pub candidate_lo: Option<i64>,
+    /// Largest population consistent with the observations so far.
+    pub candidate_hi: Option<i64>,
+    /// Number of candidate populations still consistent (exact rules that
+    /// enumerate solutions report a count rather than an interval).
+    pub candidate_count: Option<u64>,
+    /// A label for the adversary's choice this round (e.g. the census or
+    /// topology family it played).
+    pub adversary: Option<String>,
+    /// Size of the algorithm's round state (e.g. distinct `(label,
+    /// state)` pairs in the leader's observation, or solver unknowns).
+    pub state_size: Option<u64>,
+}
+
+impl RoundEvent {
+    /// Creates an event for `round` with every facet unset.
+    pub fn new(round: u32) -> RoundEvent {
+        RoundEvent {
+            round,
+            ..RoundEvent::default()
+        }
+    }
+
+    /// Sets the delivery count.
+    #[must_use]
+    pub fn deliveries(mut self, n: u64) -> RoundEvent {
+        self.deliveries = Some(n);
+        self
+    }
+
+    /// Sets the maximum inbox size.
+    #[must_use]
+    pub fn max_inbox(mut self, n: u64) -> RoundEvent {
+        self.max_inbox = Some(n);
+        self
+    }
+
+    /// Sets the leader inbox size.
+    #[must_use]
+    pub fn leader_inbox(mut self, n: u64) -> RoundEvent {
+        self.leader_inbox = Some(n);
+        self
+    }
+
+    /// Sets the observation-system kernel dimension.
+    #[must_use]
+    pub fn kernel_dim(mut self, d: u64) -> RoundEvent {
+        self.kernel_dim = Some(d);
+        self
+    }
+
+    /// Sets the feasible candidate population interval `[lo, hi]`.
+    #[must_use]
+    pub fn candidates(mut self, lo: i64, hi: i64) -> RoundEvent {
+        self.candidate_lo = Some(lo);
+        self.candidate_hi = Some(hi);
+        self
+    }
+
+    /// Sets the number of consistent candidate populations.
+    #[must_use]
+    pub fn candidate_count(mut self, n: u64) -> RoundEvent {
+        self.candidate_count = Some(n);
+        self
+    }
+
+    /// Sets the adversary-choice label.
+    #[must_use]
+    pub fn adversary(mut self, label: impl Into<String>) -> RoundEvent {
+        self.adversary = Some(label.into());
+        self
+    }
+
+    /// Sets the algorithm state size.
+    #[must_use]
+    pub fn state_size(mut self, n: u64) -> RoundEvent {
+        self.state_size = Some(n);
+        self
+    }
+
+    /// Renders the event as one compact JSON object (no trailing
+    /// newline). Unset facets are omitted; field order is fixed, so equal
+    /// events render to identical lines.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(64);
+        s.push_str("{\"round\":");
+        s.push_str(&self.round.to_string());
+        let num = |s: &mut String, key: &str, v: Option<i128>| {
+            if let Some(v) = v {
+                s.push_str(",\"");
+                s.push_str(key);
+                s.push_str("\":");
+                s.push_str(&v.to_string());
+            }
+        };
+        num(&mut s, "deliveries", self.deliveries.map(i128::from));
+        num(&mut s, "max_inbox", self.max_inbox.map(i128::from));
+        num(&mut s, "leader_inbox", self.leader_inbox.map(i128::from));
+        num(&mut s, "kernel_dim", self.kernel_dim.map(i128::from));
+        num(&mut s, "candidate_lo", self.candidate_lo.map(i128::from));
+        num(&mut s, "candidate_hi", self.candidate_hi.map(i128::from));
+        num(
+            &mut s,
+            "candidate_count",
+            self.candidate_count.map(i128::from),
+        );
+        if let Some(a) = &self.adversary {
+            s.push_str(",\"adversary\":\"");
+            for c in a.chars() {
+                match c {
+                    '"' => s.push_str("\\\""),
+                    '\\' => s.push_str("\\\\"),
+                    '\n' => s.push_str("\\n"),
+                    c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => s.push(c),
+                }
+            }
+            s.push('"');
+        }
+        num(&mut s, "state_size", self.state_size.map(i128::from));
+        s.push('}');
+        s
+    }
+
+    /// Parses one line produced by [`RoundEvent::to_json_line`].
+    ///
+    /// This is a schema-specific parser (flat object, known keys), not a
+    /// general JSON parser; it exists so traces can be replayed without
+    /// external dependencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceParseError`] on malformed lines or unknown keys.
+    pub fn from_json_line(line: &str) -> Result<RoundEvent, TraceParseError> {
+        let line = line.trim();
+        let inner = line
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| TraceParseError::new(line, "not a JSON object"))?;
+        let mut event = RoundEvent::default();
+        let mut saw_round = false;
+        let mut rest = inner;
+        while !rest.is_empty() {
+            rest = rest.trim_start_matches(',');
+            let key_start = rest
+                .strip_prefix('"')
+                .ok_or_else(|| TraceParseError::new(line, "expected key"))?;
+            let key_end = key_start
+                .find('"')
+                .ok_or_else(|| TraceParseError::new(line, "unterminated key"))?;
+            let key = &key_start[..key_end];
+            let after_key = key_start[key_end + 1..]
+                .strip_prefix(':')
+                .ok_or_else(|| TraceParseError::new(line, "expected ':'"))?;
+            if key == "adversary" {
+                let body = after_key
+                    .strip_prefix('"')
+                    .ok_or_else(|| TraceParseError::new(line, "adversary must be a string"))?;
+                let mut value = String::new();
+                let mut chars = body.char_indices();
+                let end;
+                loop {
+                    match chars.next() {
+                        Some((i, '"')) => {
+                            end = i;
+                            break;
+                        }
+                        Some((_, '\\')) => match chars.next() {
+                            Some((_, '"')) => value.push('"'),
+                            Some((_, '\\')) => value.push('\\'),
+                            Some((_, 'n')) => value.push('\n'),
+                            Some((_, 'u')) => {
+                                let mut code = 0u32;
+                                for _ in 0..4 {
+                                    let (_, h) = chars.next().ok_or_else(|| {
+                                        TraceParseError::new(line, "truncated \\u escape")
+                                    })?;
+                                    code = code * 16
+                                        + h.to_digit(16).ok_or_else(|| {
+                                            TraceParseError::new(line, "bad \\u escape")
+                                        })?;
+                                }
+                                value.push(char::from_u32(code).ok_or_else(|| {
+                                    TraceParseError::new(line, "bad \\u code point")
+                                })?);
+                            }
+                            _ => return Err(TraceParseError::new(line, "bad escape")),
+                        },
+                        Some((_, c)) => value.push(c),
+                        None => {
+                            return Err(TraceParseError::new(line, "unterminated string"))
+                        }
+                    }
+                }
+                event.adversary = Some(value);
+                rest = &body[end + 1..];
+                continue;
+            }
+            let value_end = after_key.find(',').unwrap_or(after_key.len());
+            let raw = &after_key[..value_end];
+            let n: i128 = raw
+                .parse()
+                .map_err(|_| TraceParseError::new(line, "expected a number"))?;
+            match key {
+                "round" => {
+                    event.round = u32::try_from(n)
+                        .map_err(|_| TraceParseError::new(line, "round out of range"))?;
+                    saw_round = true;
+                }
+                "deliveries" => event.deliveries = Some(n as u64),
+                "max_inbox" => event.max_inbox = Some(n as u64),
+                "leader_inbox" => event.leader_inbox = Some(n as u64),
+                "kernel_dim" => event.kernel_dim = Some(n as u64),
+                "candidate_lo" => event.candidate_lo = Some(n as i64),
+                "candidate_hi" => event.candidate_hi = Some(n as i64),
+                "candidate_count" => event.candidate_count = Some(n as u64),
+                "state_size" => event.state_size = Some(n as u64),
+                other => {
+                    return Err(TraceParseError::new(
+                        line,
+                        format!("unknown key `{other}`"),
+                    ))
+                }
+            }
+            rest = &after_key[value_end..];
+        }
+        if !saw_round {
+            return Err(TraceParseError::new(line, "missing `round`"));
+        }
+        Ok(event)
+    }
+}
+
+/// Error from [`RoundEvent::from_json_line`] / [`MemorySink::replay_jsonl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    line: String,
+    reason: String,
+}
+
+impl TraceParseError {
+    fn new(line: &str, reason: impl Into<String>) -> TraceParseError {
+        TraceParseError {
+            line: line.to_string(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad trace line `{}`: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// A consumer of [`RoundEvent`]s.
+///
+/// Implementations should be cheap when unused: the simulator and
+/// algorithms call [`record`](TraceSink::record) once per round
+/// unconditionally, and [`NullSink`] makes that a no-op.
+pub trait TraceSink {
+    /// Consumes one round event.
+    fn record(&mut self, event: &RoundEvent);
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn record(&mut self, event: &RoundEvent) {
+        (**self).record(event);
+    }
+
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+/// Discards every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &RoundEvent) {}
+}
+
+/// Collects events in memory.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Vec<RoundEvent>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// The recorded events, in record order.
+    pub fn events(&self) -> &[RoundEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the recorded events.
+    pub fn into_events(self) -> Vec<RoundEvent> {
+        self.events
+    }
+
+    /// Rebuilds a sink from a JSONL trace (blank lines are skipped) —
+    /// the inverse of streaming the same events through [`JsonlSink`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceParseError`] on the first malformed line.
+    pub fn replay_jsonl(text: &str) -> Result<MemorySink, TraceParseError> {
+        let mut sink = MemorySink::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event = RoundEvent::from_json_line(line)?;
+            sink.record(&event);
+        }
+        Ok(sink)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &RoundEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Streams events as JSON Lines to any [`Write`] target.
+///
+/// Write failures are deferred: they do not panic during `record`, and
+/// surface from [`JsonlSink::finish`] (or are dropped with the sink).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<io::BufWriter<std::fs::File>> {
+    /// Creates a sink writing to a freshly created (truncated) file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        Ok(JsonlSink::new(io::BufWriter::new(std::fs::File::create(
+            path,
+        )?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            writer,
+            error: None,
+        }
+    }
+
+    /// Flushes and returns the writer, surfacing any deferred write
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered while recording or
+    /// flushing.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.flush();
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.writer),
+        }
+    }
+
+    /// Returns the writer without flushing or error-checking.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &RoundEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json_line();
+        line.push('\n');
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RoundEvent {
+        RoundEvent::new(3)
+            .deliveries(12)
+            .max_inbox(4)
+            .leader_inbox(2)
+            .kernel_dim(1)
+            .candidates(-5, 40)
+            .candidate_count(7)
+            .adversary("kernel: s_3 + k_3 \"twin\"")
+            .state_size(9)
+    }
+
+    #[test]
+    fn json_roundtrip_full_event() {
+        let e = sample();
+        let line = e.to_json_line();
+        assert_eq!(RoundEvent::from_json_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn json_roundtrip_sparse_event() {
+        let e = RoundEvent::new(0).leader_inbox(3);
+        let line = e.to_json_line();
+        assert_eq!(line, r#"{"round":0,"leader_inbox":3}"#);
+        assert_eq!(RoundEvent::from_json_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(RoundEvent::from_json_line("not json").is_err());
+        assert!(RoundEvent::from_json_line("{}").is_err(), "round required");
+        assert!(RoundEvent::from_json_line(r#"{"round":1,"bogus":2}"#).is_err());
+        assert!(RoundEvent::from_json_line(r#"{"round":"x"}"#).is_err());
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        for r in 0..4 {
+            sink.record(&RoundEvent::new(r).deliveries(u64::from(r) * 2));
+        }
+        assert_eq!(sink.events().len(), 4);
+        assert_eq!(sink.events()[2].round, 2);
+        assert_eq!(sink.events()[2].deliveries, Some(4));
+    }
+
+    #[test]
+    fn jsonl_stream_replays_exactly() {
+        let events: Vec<RoundEvent> = (0..5)
+            .map(|r| {
+                RoundEvent::new(r)
+                    .deliveries(u64::from(r))
+                    .candidates(i64::from(r), 2 * i64::from(r) + 1)
+            })
+            .collect();
+        let mut jsonl = JsonlSink::new(Vec::new());
+        for e in &events {
+            jsonl.record(e);
+        }
+        let text = String::from_utf8(jsonl.finish().unwrap()).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        let replayed = MemorySink::replay_jsonl(&text).unwrap();
+        assert_eq!(replayed.events(), events.as_slice());
+    }
+
+    #[test]
+    fn null_sink_is_a_noop() {
+        let mut sink = NullSink;
+        sink.record(&sample());
+        sink.flush();
+    }
+
+    #[test]
+    fn sink_usable_through_mut_ref() {
+        fn feed<S: TraceSink>(mut sink: S) {
+            sink.record(&RoundEvent::new(0));
+        }
+        let mut mem = MemorySink::new();
+        feed(&mut mem);
+        assert_eq!(mem.events().len(), 1);
+    }
+}

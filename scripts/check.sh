@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Full local check: build, tests, docs, lints, and the determinism
+# guarantee of the parallel experiment runner.
+#
+# Usage: ./scripts/check.sh [--fast]
+#   --fast  skip the release-build determinism comparison
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> cargo doc --no-deps (missing_docs must be clean)"
+doc_log=$(cargo doc --no-deps 2>&1) || { echo "$doc_log"; exit 1; }
+if grep -q "warning" <<<"$doc_log"; then
+    echo "$doc_log"
+    echo "error: rustdoc produced warnings" >&2
+    exit 1
+fi
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+if [[ $fast -eq 0 ]]; then
+    echo "==> parallel determinism: exp_all --quick, 1 vs 4 threads"
+    cargo build --release -p anonet-bench --quiet
+    bin=target/release/exp_all
+    serial=$(mktemp) parallel=$(mktemp)
+    trap 'rm -f "$serial" "$parallel"' EXIT
+    "$bin" --quick --threads 1 >"$serial"
+    "$bin" --quick --threads 4 >"$parallel"
+    if ! cmp -s "$serial" "$parallel"; then
+        echo "error: exp_all output differs between 1 and 4 threads" >&2
+        diff "$serial" "$parallel" | head -20 >&2
+        exit 1
+    fi
+fi
+
+echo "All checks passed."

@@ -1,0 +1,26 @@
+//! Pins the worked example of `docs/TRACING.md` — if this breaks, the
+//! documentation's record→write→replay walkthrough is out of date.
+
+use anonet_core::algorithms::KernelCounting;
+use anonet_core::trace::{JsonlSink, MemorySink};
+use anonet_multigraph::adversary::TwinBuilder;
+
+#[test]
+fn tracing_md_worked_example() {
+    let pair = TwinBuilder::new().build(13).unwrap();
+    let mut sink = JsonlSink::new(Vec::new());
+    let (outcome, _) = KernelCounting::new()
+        .run_with_sink(&pair.smaller, 32, &mut sink)
+        .unwrap();
+    assert_eq!(outcome.count, 13);
+    let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+    let replayed = MemorySink::replay_jsonl(&text).unwrap();
+    assert_eq!(replayed.events().len() as u32, outcome.rounds);
+    let widths: Vec<i64> = replayed
+        .events()
+        .iter()
+        .map(|e| e.candidate_hi.unwrap() - e.candidate_lo.unwrap())
+        .collect();
+    assert!(widths.windows(2).all(|w| w[1] <= w[0]));
+    assert_eq!(*widths.last().unwrap(), 0);
+}

@@ -1,0 +1,183 @@
+//! Hermetic stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!` — with a trivial measurement loop: each benchmark
+//! body runs a small fixed number of iterations and the mean wall-clock
+//! time is printed. No statistics, no HTML reports, no comparisons; the
+//! point is that `cargo bench` compiles, runs and produces indicative
+//! numbers offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (upstream runs adaptive
+/// sampling; the stand-in keeps `cargo bench` fast and deterministic).
+const ITERS: u32 = 3;
+
+/// Prevents the optimizer from discarding a value. Mirrors
+/// `std::hint::black_box`, which benches may import from either place.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id consisting of the parameter only.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly and measures it.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(f());
+        }
+        self.nanos_per_iter = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
+    }
+}
+
+fn report(path: &str, bencher: &Bencher) {
+    let us = bencher.nanos_per_iter / 1_000.0;
+    println!("bench {path:<50} {us:>12.1} us/iter");
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the stand-in's iteration
+    /// count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut calls = 0u32;
+        Criterion.bench_function("demo", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, ITERS);
+    }
+
+    #[test]
+    fn group_apis_compose() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let input = 5u32;
+        g.bench_with_input(BenchmarkId::from_parameter(input), &input, |b, &i| {
+            b.iter(|| i * 2)
+        });
+        g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

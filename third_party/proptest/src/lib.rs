@@ -1,0 +1,271 @@
+//! Hermetic stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, integer-range,
+//! tuple, [`Just`] and [`any`] strategies, [`collection::vec`],
+//! [`bool::ANY`], `prop_oneof!`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case reports the panic message (every
+//!   `prop_assert*` includes its values), not a minimized input;
+//! * **deterministic seeding** — each test's RNG is seeded from a hash of
+//!   its module path and name, so failures reproduce run-to-run;
+//! * **`prop_assume!` skips** the sample instead of re-drawing, so the
+//!   effective case count can be lower than configured;
+//! * the default case count is 64 (upstream: 256) to keep offline CI fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Re-export for use by the `proptest!` macro expansion.
+#[doc(hidden)]
+pub use ::rand;
+
+pub mod strategy;
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Number-of-elements specification for [`vec`]: an exact size or a
+    /// half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors whose length is drawn from `size`
+    /// and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    /// Uniformly random booleans.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_range(0..2u32) == 1
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Configuration accepted by `proptest! { #![proptest_config(...)] }`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic 64-bit FNV-1a hash of a test's identifier, used as
+    /// its RNG seed so property tests reproduce across runs.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The glob-import module mirrored from upstream.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// runs its body over `cases` random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body $cfg; $($rest)*);
+    };
+    (@body $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let __seed = $crate::test_runner::seed_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __rng =
+                    <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(__seed);
+                for _ in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    // Closure so `prop_assume!` can skip the case by
+                    // returning early.
+                    let __one_case = move || $body;
+                    __one_case();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (panics with the values
+/// on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Chooses uniformly among the listed strategies (all must produce the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5i64..=9), n in 1usize..4) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_map(v in crate::collection::vec(0i64..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u32..3, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1u8..=3).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_form_compiles(x in any::<u64>(), b in crate::bool::ANY) {
+            let _ = (x, b);
+        }
+    }
+}

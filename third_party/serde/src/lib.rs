@@ -1,0 +1,145 @@
+//! Hermetic stand-in for the `serde` crate (serialization only).
+//!
+//! Instead of upstream's visitor-based `Serializer` machinery, this stub
+//! serializes through a single tree type, [`Value`]: [`Serialize`] turns
+//! any supported type into a `Value`, and `serde_json` renders the
+//! `Value`. This covers everything the workspace needs —
+//! `#[derive(Serialize)]` on named-field structs plus
+//! `serde_json::to_string{,_pretty}` — with no proc-macro dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A serialized value tree (the JSON data model). Object fields keep
+/// declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (covers every primitive integer the repo uses).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map of field name to value.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`] tree. The stand-in equivalent of upstream
+/// serde's `Serialize`.
+pub trait Serialize {
+    /// Serializes `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(3u32.to_value(), Value::Int(3));
+        assert_eq!((-7i64).to_value(), Value::Int(-7));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("hi".to_value(), Value::Str("hi".into()));
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(Some(4u8).to_value(), Value::Int(4));
+        assert_eq!(
+            (1u8, "a".to_string()).to_value(),
+            Value::Array(vec![Value::Int(1), Value::Str("a".into())])
+        );
+    }
+}

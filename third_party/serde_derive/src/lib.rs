@@ -1,0 +1,108 @@
+//! Hermetic stand-in for `serde_derive`: `#[derive(Serialize)]` for
+//! non-generic structs with named fields — the only shape the workspace
+//! derives on. The token stream is parsed by hand (no `syn`/`quote`); an
+//! unsupported input shape panics at compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting a `Value::Object` with one
+/// entry per field, in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter();
+
+    // Find `struct <Name>`, skipping attributes and visibility.
+    let mut name = None;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "struct" {
+                break;
+            }
+            if id.to_string() == "enum" || id.to_string() == "union" {
+                panic!("stand-in #[derive(Serialize)] supports only structs");
+            }
+        }
+    }
+    if let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Ident(id) => name = Some(id.to_string()),
+            _ => panic!("expected struct name"),
+        }
+    }
+    let name = name.expect("struct name");
+
+    // Find the brace-delimited field group; generics would show up first.
+    let mut fields_group = None;
+    for tt in tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("stand-in #[derive(Serialize)] does not support generics")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields_group = Some(g);
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("stand-in #[derive(Serialize)] supports only named fields")
+            }
+            _ => {}
+        }
+    }
+    let group = fields_group.expect("struct body");
+
+    // Collect field names: skip attributes and visibility, take the ident
+    // before `:`, then skip the type up to a comma at angle-bracket depth 0.
+    let mut fields: Vec<String> = Vec::new();
+    let mut inner = group.stream().into_iter().peekable();
+    while inner.peek().is_some() {
+        // Skip `#[...]` attributes (doc comments included).
+        while matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            inner.next();
+            inner.next(); // the bracket group
+        }
+        // Skip `pub` and an optional `(crate)` restriction.
+        if matches!(inner.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            inner.next();
+            if matches!(inner.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                inner.next();
+            }
+        }
+        let Some(TokenTree::Ident(field)) = inner.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        match inner.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("expected `:` after field `{field}`"),
+        }
+        // Skip the type until a top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in inner.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}

@@ -1,0 +1,172 @@
+//! Hermetic stand-in for `serde_json`: renders the stand-in `serde`'s
+//! [`Value`] tree as JSON text. Provides `to_string` (compact, matching
+//! upstream's `{"k":"v"}` spacing) and `to_string_pretty` (2-space
+//! indent).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+use serde::{Serialize, Value};
+
+/// Serialization error. The stand-in serializer is infallible; the type
+/// exists so call sites keep upstream's `Result` signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors upstream's signature.
+///
+/// # Examples
+///
+/// ```
+/// #[derive(serde::Serialize)]
+/// struct Point {
+///     x: u32,
+///     label: String,
+/// }
+///
+/// let p = Point { x: 3, label: "a\"b".into() };
+/// assert_eq!(serde_json::to_string(&p).unwrap(), r#"{"x":3,"label":"a\"b"}"#);
+/// ```
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as JSON with 2-space indentation.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors upstream's signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() && x.fract() == 0.0 && x.abs() < 1e15 {
+                out.push_str(&format!("{x:.1}"));
+            } else {
+                out.push_str(&x.to_string());
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_matches_upstream_spacing() {
+        let v = Value::Object(vec![
+            ("id".into(), Value::Str("E1".into())),
+            (
+                "rows".into(),
+                Value::Array(vec![Value::Array(vec![Value::Str("1".into())])]),
+            ),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"id":"E1","rows":[["1"]]}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::Str("a\"b\\c\nd".into());
+        assert_eq!(to_string(&v).unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let v = Value::Object(vec![("k".into(), Value::Array(vec![Value::Int(1)]))]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string(&Value::Array(vec![])).unwrap(), "[]");
+        assert_eq!(to_string(&Value::Object(vec![])).unwrap(), "{}");
+        assert_eq!(to_string_pretty(&Value::Array(vec![])).unwrap(), "[]");
+    }
+}
