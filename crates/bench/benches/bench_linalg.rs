@@ -1,7 +1,7 @@
 //! Benchmarks for the exact linear-algebra substrate.
 
-use anonet_linalg::{gauss, Matrix, Ratio};
-use anonet_multigraph::system;
+use anonet_linalg::{gauss, KernelTracker, Matrix, Ratio};
+use anonet_multigraph::system::{self, ObservationKernel};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -49,6 +49,48 @@ fn bench_sparse_product(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_incremental_vs_batch(c: &mut Criterion) {
+    // The whole M_0..M_r trajectory: batch reruns rref per round,
+    // incremental reduces only the appended rows (`exp_linalg_scaling`
+    // measures the same contrast over a larger grid).
+    let mut g = c.benchmark_group("kernel_trajectory_M_r");
+    g.sample_size(10);
+    for r in [1usize, 2, 3] {
+        let dense: Vec<Matrix> = (0..=r).map(dense_m_r).collect();
+        g.bench_with_input(BenchmarkId::new("batch", r), &dense, |b, dense| {
+            b.iter(|| {
+                for m in dense {
+                    black_box(gauss::rref(black_box(m)).expect("exact"));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", r), &r, |b, &r| {
+            b.iter(|| {
+                let mut k = ObservationKernel::new();
+                for _ in 0..=r {
+                    k.push_round().expect("push");
+                    black_box(k.nullity());
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tracker_append(c: &mut Criterion) {
+    // Cost of one append against an established echelon.
+    let m3 = dense_m_r(3);
+    c.bench_function("tracker_append_row_M_3", |b| {
+        let mut base = KernelTracker::new(m3.cols());
+        base.append_matrix(&m3).expect("seed echelon");
+        let row: Vec<i64> = (0..m3.cols() as i64).map(|i| i % 3 - 1).collect();
+        b.iter(|| {
+            let mut t = base.clone();
+            black_box(t.append_row_i64(black_box(&row)).expect("append"));
+        })
+    });
+}
+
 fn bench_ratio_ops(c: &mut Criterion) {
     let xs: Vec<Ratio> = (1..200)
         .map(|i| Ratio::new(i, (i % 17) + 1).expect("valid"))
@@ -63,6 +105,8 @@ criterion_group!(
     bench_rref,
     bench_kernel_basis,
     bench_sparse_product,
+    bench_incremental_vs_batch,
+    bench_tracker_append,
     bench_ratio_ops
 );
 criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Batch-vs-incremental kernel maintenance trajectory
+//! (`BENCH_linalg.json`).
+//!
+//! Flags:
+//!
+//! * `--quick` — reduced grid; `--smoke` — tiny grid, schema check only
+//!   (writes no file unless `--out` is given);
+//! * `--json` — print the benchmark document instead of the markdown
+//!   table;
+//! * `--out PATH` — write the document to `PATH` (default
+//!   `BENCH_linalg.json` for non-smoke runs).
+//!
+//! The document is always schema-validated in-process before anything
+//! is written: the vendored `serde_json` stand-in has no parser, so the
+//! check runs on the [`serde::Value`] tree itself.
+
+use anonet_bench::experiments::linalg_scaling::{
+    bench_doc, run_scaling, scaling_table, validate_doc, Grid,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let grid = if has("--smoke") {
+        Grid::Smoke
+    } else if has("--quick") {
+        Grid::Quick
+    } else {
+        Grid::Full
+    };
+    let out_flag = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let cells = run_scaling(grid);
+    let doc = bench_doc(&cells);
+    if let Err(e) = validate_doc(&doc) {
+        eprintln!("error: BENCH_linalg schema check failed: {e}");
+        std::process::exit(1);
+    }
+
+    let pretty = serde_json::to_string_pretty(&doc).expect("document serializes");
+    if has("--json") {
+        println!("{pretty}");
+    } else {
+        println!("{}", scaling_table(&cells));
+    }
+
+    let path = match (grid, out_flag) {
+        (Grid::Smoke, None) => None, // smoke validates only
+        (_, Some(p)) => Some(p),
+        (_, None) => Some("BENCH_linalg.json".to_string()),
+    };
+    match path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, format!("{pretty}\n")) {
+                eprintln!("error: cannot write {p}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {p} ({} cells, schema ok)", cells.len());
+        }
+        None => eprintln!("BENCH_linalg schema ok ({} cells, nothing written)", cells.len()),
+    }
+}

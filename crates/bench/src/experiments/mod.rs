@@ -4,6 +4,7 @@ mod baselines;
 mod extensions;
 mod figures;
 mod lemmas;
+pub mod linalg_scaling;
 pub mod runner;
 mod theorems;
 

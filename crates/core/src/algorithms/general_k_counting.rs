@@ -102,9 +102,15 @@ impl GeneralKCounting {
     /// Like [`GeneralKCounting::run`], additionally emitting one
     /// [`RoundEvent`] per observed round to `sink`: the number of
     /// consistent populations (`candidate_count`), their interval
-    /// (`candidate_lo`/`candidate_hi`) and the predicted kernel dimension
-    /// of the round's observation system (`kernel_dim`; grows with the
-    /// round for `k ≥ 3` — the reason no closed-form rule is known).
+    /// (`candidate_lo`/`candidate_hi`) and the kernel dimension of the
+    /// round's observation system (`kernel_dim`; grows with the round for
+    /// `k ≥ 3` — the reason no closed-form rule is known). While the
+    /// system stays small the dimension is *verified* by incremental
+    /// elimination
+    /// ([`GeneralObservationKernel`](anonet_multigraph::system_k::GeneralObservationKernel));
+    /// past the budget it
+    /// falls back to [`GeneralSystem::predicted_nullity`], which the
+    /// verified prefix has confirmed round by round.
     ///
     /// # Errors
     ///
@@ -116,6 +122,10 @@ impl GeneralKCounting {
         sink: &mut S,
     ) -> Result<CountingOutcome, GeneralKError> {
         let sys = GeneralSystem::new(m.k())?;
+        // Verify the kernel dimension incrementally while the unknown
+        // count stays below this budget (q^rounds columns).
+        const VERIFY_MAX_COLUMNS: usize = 512;
+        let mut verifier = Some(sys.observation_kernel());
         let mut last = Vec::new();
         for rounds in 1..=max_rounds {
             let pops = sys.feasible_populations(m, rounds as usize, self.max_solutions)?;
@@ -123,7 +133,19 @@ impl GeneralKCounting {
             if let (Some(&lo), Some(&hi)) = (pops.first(), pops.last()) {
                 ev = ev.candidates(lo, hi);
             }
-            if let Ok(nullity) = sys.predicted_nullity(rounds as usize - 1) {
+            verifier = verifier.filter(|_| {
+                sys.q()
+                    .checked_pow(rounds)
+                    .is_some_and(|cols| cols <= VERIFY_MAX_COLUMNS)
+            });
+            let nullity = match verifier.as_mut() {
+                Some(v) => {
+                    v.push_round()?;
+                    Ok(v.nullity())
+                }
+                None => sys.predicted_nullity(rounds as usize - 1),
+            };
+            if let Ok(nullity) = nullity {
                 ev = ev.kernel_dim(nullity as u64);
             }
             sink.record(&ev);
@@ -201,6 +223,36 @@ mod tests {
         let r2 = GeneralKCounting::new(2_000_000).run(&k2, 8).unwrap().rounds;
         let r3 = GeneralKCounting::new(5_000_000).run(&k3, 8).unwrap().rounds;
         assert!(r3 >= r2, "k=3 ({r3}) at least as slow as k=2 ({r2})");
+    }
+
+    #[test]
+    fn traced_kernel_dims_match_predicted_nullity() {
+        // The incrementally verified kernel dimension in the trace must
+        // equal the closed-form prediction at every round, for several k.
+        use anonet_trace::MemorySink;
+        let k3 = DblMultigraph::new(
+            3,
+            vec![
+                vec![l3(&[1]), l3(&[2]), l3(&[3])],
+                vec![l3(&[2]), l3(&[3]), l3(&[1])],
+                vec![l3(&[3]), l3(&[1]), l3(&[2])],
+            ],
+        )
+        .unwrap();
+        let mut sink = MemorySink::new();
+        let out = GeneralKCounting::new(2_000_000)
+            .run_with_sink(&k3, 4, &mut sink)
+            .unwrap();
+        assert_eq!(out.count, 3);
+        let sys = GeneralSystem::new(3).unwrap();
+        assert!(!sink.events().is_empty());
+        for (r, ev) in sink.events().iter().enumerate() {
+            assert_eq!(
+                ev.kernel_dim,
+                Some(sys.predicted_nullity(r).unwrap() as u64),
+                "round {r}"
+            );
+        }
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! kernel adversary this algorithm terminates after exactly
 //! `⌊log₃(2n+1)⌋ + 1` observed rounds, matching Theorem 1.
 
-use anonet_multigraph::system::{solve_census, AffineCensus};
-use anonet_multigraph::{DblMultigraph, Observations};
+use anonet_multigraph::system::{AffineCensus, IncrementalSolver, ObservationKernel};
+use anonet_multigraph::{ternary_count, DblMultigraph, ObservationStream};
 use anonet_trace::{NullSink, RoundEvent, TraceSink};
 use core::fmt;
 
@@ -66,6 +66,13 @@ pub struct CountingTrace {
 
 /// The kernel counting algorithm.
 ///
+/// The leader's state is maintained *incrementally*: an
+/// [`ObservationStream`] derives each round's per-prefix counts from the
+/// running histories, and an [`IncrementalSolver`] extends the affine
+/// solution line level by level — so observing round `r` costs
+/// `O(nodes + 3^r)` instead of rebuilding (and re-solving) the whole
+/// observation system from scratch.
+///
 /// # Examples
 ///
 /// ```
@@ -81,12 +88,35 @@ pub struct CountingTrace {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, Copy, Default)]
-pub struct KernelCounting;
+pub struct KernelCounting {
+    verify_kernel: bool,
+}
+
+/// Column budget for opt-in kernel verification: `3^5 = 243` unknowns
+/// (rounds ≤ 5). Beyond it the leader reports the Lemma 3 value without
+/// re-verifying — the verified and assumed values provably coincide.
+const KERNEL_VERIFY_MAX_COLUMNS: usize = 243;
 
 impl KernelCounting {
-    /// Creates the algorithm.
+    /// Creates the algorithm (kernel verification off).
     pub fn new() -> KernelCounting {
-        KernelCounting
+        KernelCounting {
+            verify_kernel: false,
+        }
+    }
+
+    /// Additionally maintains the echelon form of `M_r` via an
+    /// [`ObservationKernel`] and reports the *verified* kernel dimension
+    /// in trace events instead of assuming Lemma 3's value of 1.
+    ///
+    /// Verification runs while the system has at most `3^5 = 243`
+    /// unknowns (observed rounds ≤ 5); deeper rounds fall back to the
+    /// closed form, which the verified prefix has just re-proved. The
+    /// decision rule — and therefore every outcome and candidate range —
+    /// is unaffected.
+    pub fn with_kernel_verification(mut self) -> KernelCounting {
+        self.verify_kernel = true;
+        self
     }
 
     /// Runs the leader against the multigraph, observing one round at a
@@ -124,8 +154,10 @@ impl KernelCounting {
     /// population interval (`candidate_lo`/`candidate_hi`), the number of
     /// feasible censuses on the affine line (`candidate_count`), the
     /// kernel dimension of the observation system `M_r` (always 1 for
-    /// `k = 2`, Lemma 3) and the size of the flat constant-terms vector
-    /// `m_r` (`state_size`).
+    /// `k = 2` by Lemma 3; *verified* per round when
+    /// [`with_kernel_verification`](KernelCounting::with_kernel_verification)
+    /// is on) and the size of the flat constant-terms vector `m_r`
+    /// (`state_size`).
     ///
     /// # Errors
     ///
@@ -139,12 +171,29 @@ impl KernelCounting {
         let mut trace = CountingTrace {
             candidate_ranges: Vec::new(),
         };
+        let mut stream = ObservationStream::new(m)
+            .map_err(|e| CountingError::BadObservations(e.to_string()))?;
+        let mut solver = IncrementalSolver::new();
+        let mut verifier = self.verify_kernel.then(ObservationKernel::new);
+        let mut state_size = 0u64;
         let mut last: Option<AffineCensus> = None;
         for rounds in 1..=max_rounds {
-            let obs = Observations::observe(m, rounds as usize)
+            let level = rounds as usize - 1;
+            let (a, b) = stream.push_round();
+            let sol = solver
+                .push_level(a, b)
                 .map_err(|e| CountingError::BadObservations(e.to_string()))?;
-            let sol =
-                solve_census(&obs).map_err(|e| CountingError::BadObservations(e.to_string()))?;
+            // The flat constant-terms vector m_{r} grows by the new
+            // level's 2·3^level entries.
+            state_size += 2 * ternary_count(level) as u64;
+            let kernel_dim = match verifier.as_mut() {
+                Some(v) if ternary_count(rounds as usize) <= KERNEL_VERIFY_MAX_COLUMNS => {
+                    v.push_round()
+                        .map_err(|e| CountingError::BadObservations(e.to_string()))?;
+                    v.nullity() as u64
+                }
+                _ => 1, // Lemma 3 (re-proved by the verified prefix).
+            };
             let range = sol
                 .population_range()
                 .expect("observations of a real network are feasible");
@@ -153,8 +202,8 @@ impl KernelCounting {
                 &RoundEvent::new(rounds - 1)
                     .candidates(range.0, range.1)
                     .candidate_count(sol.solution_count() as u64)
-                    .kernel_dim(1)
-                    .state_size(obs.flat().len() as u64),
+                    .kernel_dim(kernel_dim)
+                    .state_size(state_size),
             );
             if let Some(count) = sol.unique_population() {
                 sink.flush();
@@ -259,6 +308,45 @@ mod tests {
             outcome.rounds,
             crate::bounds::counting_rounds_lower_bound(1)
         );
+    }
+
+    #[test]
+    fn incremental_leader_matches_batch_reference() {
+        // The streamed observations + incremental solver must reproduce
+        // the batch path (full re-observation + solve_census) exactly at
+        // every round prefix.
+        use anonet_multigraph::system::solve_census;
+        use anonet_multigraph::Observations;
+        let pair = TwinBuilder::new().build(26).unwrap();
+        let (outcome, trace) = KernelCounting::new().run_traced(&pair.smaller, 32).unwrap();
+        assert_eq!(outcome.count, 26);
+        for (i, &range) in trace.candidate_ranges.iter().enumerate() {
+            let obs = Observations::observe(&pair.smaller, i + 1).unwrap();
+            let sol = solve_census(&obs).unwrap();
+            assert_eq!(sol.population_range().unwrap(), range, "round {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn kernel_verification_does_not_perturb_the_run() {
+        use anonet_trace::MemorySink;
+        let pair = TwinBuilder::new().build(40).unwrap();
+        let mut plain_sink = MemorySink::new();
+        let plain = KernelCounting::new()
+            .run_with_sink(&pair.smaller, 32, &mut plain_sink)
+            .unwrap();
+        let mut verified_sink = MemorySink::new();
+        let verified = KernelCounting::new()
+            .with_kernel_verification()
+            .run_with_sink(&pair.smaller, 32, &mut verified_sink)
+            .unwrap();
+        assert_eq!(plain, verified, "outcome and trace are unchanged");
+        // Lemma 2 verified per round == Lemma 3 assumed: identical events.
+        assert_eq!(plain_sink.events(), verified_sink.events());
+        assert!(plain_sink
+            .events()
+            .iter()
+            .all(|ev| ev.kernel_dim == Some(1)));
     }
 
     #[test]

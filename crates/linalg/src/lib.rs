@@ -31,12 +31,14 @@
 pub mod enumerate;
 mod error;
 pub mod gauss;
+pub mod incremental;
 mod matrix;
 mod ratio;
 mod sparse;
 pub mod vector;
 
 pub use error::{LinalgError, Result};
+pub use incremental::KernelTracker;
 pub use matrix::Matrix;
 pub use ratio::{gcd_i128, Ratio};
 pub use sparse::SparseIntMatrix;

@@ -1,6 +1,6 @@
 //! Property-based tests for the exact linear-algebra substrate.
 
-use anonet_linalg::{gauss, vector, Matrix, Ratio, SparseIntMatrix};
+use anonet_linalg::{gauss, vector, KernelTracker, Matrix, Ratio, SparseIntMatrix};
 use proptest::prelude::*;
 
 fn small_ratio() -> impl Strategy<Value = Ratio> {
@@ -152,5 +152,61 @@ proptest! {
         let w = vector::add_scaled(&v, t, &v).unwrap();
         let expect: Vec<i64> = v.iter().map(|&x| x * (1 + t)).collect();
         prop_assert_eq!(w, expect);
+    }
+
+    #[test]
+    fn tracker_matches_batch_at_every_prefix(m in small_matrix()) {
+        // The incremental tracker must agree with batch rref on rank,
+        // nullity, pivots, echelon and kernel after EVERY append — not
+        // just at the end (RREF is canonical for the row space).
+        let mut t = KernelTracker::new(m.cols());
+        for r in 0..m.rows() {
+            t.append_row(m.row(r)).unwrap();
+            let prefix =
+                Matrix::from_rows((0..=r).map(|i| m.row(i).to_vec()).collect()).unwrap();
+            let e = gauss::rref(&prefix).unwrap();
+            prop_assert_eq!(t.rank(), e.rank());
+            prop_assert_eq!(t.nullity(), m.cols() - e.rank());
+            prop_assert_eq!(t.pivots(), e.pivots.as_slice());
+            prop_assert_eq!(&t.echelon().unwrap().rref, &e.rref);
+            prop_assert_eq!(
+                t.kernel_basis().unwrap(),
+                gauss::kernel_basis(&prefix).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn tracker_kernel_vectors_lie_in_full_kernel(m in small_matrix()) {
+        let mut t = KernelTracker::new(m.cols());
+        t.append_matrix(&m).unwrap();
+        for k in t.kernel_basis().unwrap() {
+            let out = m.mul_vec(&k).unwrap();
+            prop_assert!(out.iter().all(Ratio::is_zero));
+        }
+        prop_assert_eq!(t.rank() + t.nullity(), m.cols());
+    }
+
+    #[test]
+    fn tracker_extend_columns_matches_kronecker(m in small_matrix(), f in 1usize..=3) {
+        // extend_columns(f) must equal batch elimination of the widened
+        // matrix M ⊗ 1_fᵀ (every entry duplicated f times) — the
+        // column-growth step the observation system performs per round.
+        let mut t = KernelTracker::new(m.cols());
+        t.append_matrix(&m).unwrap();
+        t.extend_columns(f).unwrap();
+        let wide_rows: Vec<Vec<Ratio>> = (0..m.rows())
+            .map(|r| {
+                m.row(r)
+                    .iter()
+                    .flat_map(|&x| std::iter::repeat_n(x, f))
+                    .collect()
+            })
+            .collect();
+        let wide = Matrix::from_rows(wide_rows).unwrap();
+        let e = gauss::rref(&wide).unwrap();
+        prop_assert_eq!(t.rank(), e.rank());
+        prop_assert_eq!(t.pivots(), e.pivots.as_slice());
+        prop_assert_eq!(t.kernel_basis().unwrap(), gauss::kernel_basis(&wide).unwrap());
     }
 }

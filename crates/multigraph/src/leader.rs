@@ -42,31 +42,35 @@ impl LeaderState {
     /// multiplicity of `C(v_l, r)`) and `state_size` the number of
     /// distinct `(label, history)` pairs accumulated so far — the growth
     /// of the leader's state, Definition 7.
+    ///
+    /// Each round is ingested through
+    /// [`LeaderState::push_observation_round`], so the multigraph-level
+    /// and message-level paths share one accumulation routine.
     pub fn observe_with_sink<S: TraceSink>(
         m: &DblMultigraph,
         rounds: usize,
         sink: &mut S,
     ) -> LeaderState {
-        let mut out = Vec::with_capacity(rounds);
+        let mut state = LeaderState::default();
         let mut distinct_pairs = 0u64;
         for r in 0..rounds {
-            let mut c: BTreeMap<(u8, History), u64> = BTreeMap::new();
-            for node in 0..m.nodes() {
+            state.push_observation_round((0..m.nodes()).flat_map(|node| {
                 let history = m.node_history(node, r);
-                for label in m.label_set(r, node).iter() {
-                    *c.entry((label, history.clone())).or_insert(0) += 1;
-                }
-            }
+                m.label_set(r, node)
+                    .iter()
+                    .map(move |label| (label, history.clone()))
+                    .collect::<Vec<_>>()
+            }));
+            let c = &state.rounds[r];
             distinct_pairs += c.len() as u64;
             sink.record(
                 &RoundEvent::new(r as u32)
                     .deliveries(c.values().sum())
                     .state_size(distinct_pairs),
             );
-            out.push(c);
         }
         sink.flush();
-        LeaderState { rounds: out }
+        state
     }
 
     /// Appends one round of raw `(label, state)` observations — the
@@ -201,36 +205,18 @@ impl std::error::Error for ObservationError {}
 impl Observations {
     /// Observes a `k = 2` multigraph for rounds `0..rounds`.
     ///
+    /// Implemented as `rounds` pushes into an [`ObservationStream`] — the
+    /// incremental path and this batch entry point are the same code.
+    ///
     /// # Errors
     ///
     /// Returns [`ObservationError::NotK2`] if `m.k() != 2`.
     pub fn observe(m: &DblMultigraph, rounds: usize) -> Result<Observations, ObservationError> {
-        if m.k() != 2 {
-            return Err(ObservationError::NotK2 { k: m.k() });
+        let mut stream = ObservationStream::new(m)?;
+        for _ in 0..rounds {
+            stream.push_round();
         }
-        let mut a = Vec::with_capacity(rounds);
-        let mut b = Vec::with_capacity(rounds);
-        // Running ternary prefix index per node: O(nodes · rounds) total
-        // instead of recomputing each history from scratch per level.
-        let mut prefix = vec![0usize; m.nodes()];
-        for level in 0..rounds {
-            let width = ternary_count(level);
-            let mut al = vec![0i64; width];
-            let mut bl = vec![0i64; width];
-            for (node, pfx) in prefix.iter_mut().enumerate() {
-                let set = m.label_set(level, node);
-                if set.contains(1) {
-                    al[*pfx] += 1;
-                }
-                if set.contains(2) {
-                    bl[*pfx] += 1;
-                }
-                *pfx = *pfx * 3 + set.ternary_digit();
-            }
-            a.push(al);
-            b.push(bl);
-        }
-        Ok(Observations { a, b })
+        Ok(stream.into_observations())
     }
 
     /// Builds observations from explicit per-level counts.
@@ -316,6 +302,96 @@ impl Observations {
             a: self.a[..rounds].to_vec(),
             b: self.b[..rounds].to_vec(),
         }
+    }
+}
+
+/// Round-by-round builder of [`Observations`] for a fixed `k = 2`
+/// multigraph — the leader's incremental observation path.
+///
+/// The stream keeps one running ternary prefix index per node, so
+/// ingesting round `ℓ` costs `O(nodes + 3^ℓ)` and never revisits earlier
+/// rounds; observing `r` rounds through the stream is `O(nodes · r)`
+/// total (plus the output size) instead of the `O(nodes · r²)` of
+/// re-deriving every history each round. [`Observations::observe`] is a
+/// thin wrapper over this type, so the two paths cannot drift.
+///
+/// # Examples
+///
+/// ```
+/// use anonet_multigraph::{DblMultigraph, LabelSet, Observations, ObservationStream};
+///
+/// let m = DblMultigraph::new(2, vec![vec![LabelSet::L12, LabelSet::L12]])?;
+/// let mut stream = ObservationStream::new(&m)?;
+/// let (a, b) = stream.push_round();
+/// assert_eq!((a, b), (&[2i64][..], &[2i64][..]));
+/// assert_eq!(stream.observations(), &Observations::observe(&m, 1)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ObservationStream<'m> {
+    m: &'m DblMultigraph,
+    /// Running ternary history index of each node.
+    prefix: Vec<usize>,
+    obs: Observations,
+}
+
+impl<'m> ObservationStream<'m> {
+    /// Starts a stream over `m` with zero observed rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObservationError::NotK2`] if `m.k() != 2`.
+    pub fn new(m: &'m DblMultigraph) -> Result<ObservationStream<'m>, ObservationError> {
+        if m.k() != 2 {
+            return Err(ObservationError::NotK2 { k: m.k() });
+        }
+        Ok(ObservationStream {
+            m,
+            prefix: vec![0usize; m.nodes()],
+            obs: Observations {
+                a: Vec::new(),
+                b: Vec::new(),
+            },
+        })
+    }
+
+    /// Number of rounds observed so far.
+    pub fn rounds(&self) -> usize {
+        self.obs.rounds()
+    }
+
+    /// Ingests the next round and returns its per-prefix counts
+    /// `(a, b)` — `a[p] = |(1, p)|`, `b[p] = |(2, p)|` over the `3^level`
+    /// prefixes — ready to feed an
+    /// [`IncrementalSolver`](crate::system::IncrementalSolver) level.
+    pub fn push_round(&mut self) -> (&[i64], &[i64]) {
+        let level = self.obs.rounds();
+        let width = ternary_count(level);
+        let mut al = vec![0i64; width];
+        let mut bl = vec![0i64; width];
+        for (node, pfx) in self.prefix.iter_mut().enumerate() {
+            let set = self.m.label_set(level, node);
+            if set.contains(1) {
+                al[*pfx] += 1;
+            }
+            if set.contains(2) {
+                bl[*pfx] += 1;
+            }
+            *pfx = *pfx * 3 + set.ternary_digit();
+        }
+        self.obs.a.push(al);
+        self.obs.b.push(bl);
+        (&self.obs.a[level], &self.obs.b[level])
+    }
+
+    /// The observations accumulated so far.
+    pub fn observations(&self) -> &Observations {
+        &self.obs
+    }
+
+    /// Consumes the stream, yielding the accumulated observations.
+    pub fn into_observations(self) -> Observations {
+        self.obs
     }
 }
 
@@ -424,6 +500,47 @@ mod tests {
         assert!(matches!(
             Observations::from_levels(vec![vec![1]], vec![]),
             Err(ObservationError::BadLevelWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_matches_batch_observe_at_every_prefix() {
+        let m = DblMultigraph::new(
+            2,
+            vec![
+                vec![LabelSet::L1, LabelSet::L12, LabelSet::L2, LabelSet::L1],
+                vec![LabelSet::L2, LabelSet::L1, LabelSet::L12, LabelSet::L12],
+                vec![LabelSet::L12, LabelSet::L2, LabelSet::L1, LabelSet::L2],
+            ],
+        )
+        .unwrap();
+        let mut stream = ObservationStream::new(&m).unwrap();
+        for rounds in 1..=5usize {
+            let (a, b) = stream.push_round();
+            let batch = Observations::observe(&m, rounds).unwrap();
+            let level = rounds - 1;
+            let wa: Vec<i64> = (0..ternary_count(level))
+                .map(|p| batch.label1(level, p))
+                .collect();
+            let wb: Vec<i64> = (0..ternary_count(level))
+                .map(|p| batch.label2(level, p))
+                .collect();
+            assert_eq!((a, b), (wa.as_slice(), wb.as_slice()), "level {level}");
+            assert_eq!(stream.observations(), &batch, "prefix {rounds}");
+            assert_eq!(stream.rounds(), rounds);
+        }
+        assert_eq!(
+            stream.into_observations(),
+            Observations::observe(&m, 5).unwrap()
+        );
+    }
+
+    #[test]
+    fn stream_requires_k2() {
+        let m3 = DblMultigraph::new(3, vec![vec![LabelSet::L1]]).unwrap();
+        assert!(matches!(
+            ObservationStream::new(&m3),
+            Err(ObservationError::NotK2 { k: 3 })
         ));
     }
 

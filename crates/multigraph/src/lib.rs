@@ -56,7 +56,7 @@ pub mod transform;
 pub use census::{Census, CensusError};
 pub use history::{ternary_count, History, ParseHistoryError};
 pub use label::{LabelError, LabelSet, MAX_LABELS};
-pub use leader::{LeaderState, ObservationError, Observations};
+pub use leader::{LeaderState, ObservationError, Observations, ObservationStream};
 pub use multigraph::{DblError, DblMultigraph};
 
 /// Structured round tracing ([`TraceSink`](anonet_trace::TraceSink),

@@ -17,7 +17,7 @@
 
 use crate::history::ternary_count;
 use crate::leader::Observations;
-use anonet_linalg::{LinalgError, SparseIntMatrix};
+use anonet_linalg::{KernelTracker, LinalgError, SparseIntMatrix};
 use core::fmt;
 
 /// Number of columns of `M_r`: all length-`r+1` histories, `3^{r+1}`.
@@ -443,6 +443,133 @@ impl IncrementalSolver {
     }
 }
 
+/// Incremental maintenance of the echelon form of `M_r` across rounds —
+/// the leader's *verified* kernel, as opposed to the closed-form
+/// [`kernel_vector`] it is entitled to assume by Lemma 3.
+///
+/// Round `r → r + 1` performs two append-only operations on the
+/// underlying [`KernelTracker`]:
+///
+/// 1. [`extend_columns(3)`](KernelTracker::extend_columns) — every
+///    length-`r+1` history splits into its three one-round extensions,
+///    and each existing constraint row applies equally to all children
+///    (the Kronecker identity `rref(M) ⊗ 1ᵀ = rref(M ⊗ 1ᵀ)`);
+/// 2. one [`append_row_i64`](KernelTracker::append_row_i64) per new
+///    level-`r+1` connection row (`2 · 3^{r+1}` of them).
+///
+/// so rank/nullity/kernel queries after each round reuse all previous
+/// elimination work. The maintained echelon is bit-identical to
+/// `gauss::rref` of [`observation_matrix`]`(r)` — which makes this an
+/// executable, per-round proof of Lemma 2 (`dim ker M_r = 1`).
+///
+/// # Examples
+///
+/// ```
+/// use anonet_multigraph::system::{self, ObservationKernel};
+///
+/// let mut ok = ObservationKernel::new();
+/// ok.push_round()?; // M_0
+/// ok.push_round()?; // M_1
+/// assert_eq!(ok.nullity(), 1); // Lemma 2
+/// assert_eq!(ok.kernel_vector()?, system::kernel_vector(1)); // Lemma 3
+/// # Ok::<(), anonet_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ObservationKernel {
+    tracker: KernelTracker,
+    rounds: usize,
+}
+
+impl Default for ObservationKernel {
+    fn default() -> Self {
+        ObservationKernel::new()
+    }
+}
+
+impl ObservationKernel {
+    /// A tracker over zero observed rounds (one unknown — the population
+    /// over the empty history — and no constraints).
+    pub fn new() -> ObservationKernel {
+        ObservationKernel {
+            tracker: KernelTracker::new(1),
+            rounds: 0,
+        }
+    }
+
+    /// Number of observed rounds; the tracked matrix is
+    /// `M_{rounds - 1}` (none for zero rounds).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Ingests the next round: refines histories and appends the new
+    /// level's `2 · 3^{rounds}` connection rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Overflow`] for astronomically deep rounds
+    /// (`3^{r+1}` exceeding `usize`). The 0/1 rows themselves can never
+    /// overflow the integer elimination path.
+    pub fn push_round(&mut self) -> Result<(), LinalgError> {
+        self.tracker.extend_columns(3)?;
+        let prefixes = ternary_count(self.rounds);
+        let cols = self.tracker.cols();
+        let mut row = vec![0i64; cols];
+        for j in 0..2usize {
+            for p in 0..prefixes {
+                row[p * 3 + j] = 1;
+                row[p * 3 + 2] = 1;
+                self.tracker.append_row_i64(&row)?;
+                row[p * 3 + j] = 0;
+                row[p * 3 + 2] = 0;
+            }
+        }
+        self.rounds += 1;
+        Ok(())
+    }
+
+    /// Rank of `M_{rounds-1}` (equals its row count: the rows are
+    /// independent).
+    pub fn rank(&self) -> usize {
+        self.tracker.rank()
+    }
+
+    /// Verified kernel dimension — `1` at every round (Lemma 2).
+    pub fn nullity(&self) -> usize {
+        self.tracker.nullity()
+    }
+
+    /// The underlying tracker (for echelon / rational-kernel queries).
+    pub fn tracker(&self) -> &KernelTracker {
+        &self.tracker
+    }
+
+    /// The verified integer kernel vector, sign-normalized so the
+    /// all-singleton history has coefficient `+1` — equal to
+    /// [`kernel_vector`]`(rounds - 1)` by Lemma 3, but *computed* rather
+    /// than assumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Overflow`] if integerizing the basis
+    /// overflows (impossible for genuine `M_r`, whose kernel entries are
+    /// ±1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is not one-dimensional — which would refute
+    /// Lemma 2.
+    pub fn kernel_vector(&self) -> Result<Vec<i64>, LinalgError> {
+        let basis = self.tracker.kernel_basis_integer()?;
+        assert_eq!(basis.len(), 1, "dim ker M_r = 1 (Lemma 2)");
+        let v = &basis[0];
+        let sign = v.iter().find(|&&x| x != 0).map_or(1, |&x| x.signum());
+        v.iter()
+            .map(|&x| i64::try_from(x * sign).map_err(|_| LinalgError::Overflow))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -687,6 +814,34 @@ mod tests {
     #[should_panic(expected = "push at least one level")]
     fn incremental_solver_current_requires_levels() {
         IncrementalSolver::new().current();
+    }
+
+    #[test]
+    fn observation_kernel_matches_batch_rref_per_round() {
+        let mut ok = ObservationKernel::new();
+        assert_eq!(ok.rounds(), 0);
+        assert_eq!(ok.nullity(), 1, "zero rounds: one unconstrained unknown");
+        for r in 0..4usize {
+            ok.push_round().unwrap();
+            assert_eq!(ok.rounds(), r + 1);
+            let dense = observation_matrix(r).unwrap().to_dense().unwrap();
+            let ech = gauss::rref(&dense).unwrap();
+            assert_eq!(ok.rank(), ech.rank(), "rank at r={r}");
+            assert_eq!(ok.rank(), row_count(r), "independent rows at r={r}");
+            assert_eq!(ok.nullity(), 1, "Lemma 2 at r={r}");
+            assert_eq!(
+                ok.tracker().pivots(),
+                ech.pivots.as_slice(),
+                "pivot columns at r={r}"
+            );
+            // The verified kernel is exactly Lemma 3's closed form. Note
+            // the tracker's rows arrive in a different order than the
+            // batch matrix's (levels interleave with refinements), yet
+            // the canonical RREF — and hence the kernel — is identical.
+            assert_eq!(ok.kernel_vector().unwrap(), kernel_vector(r), "Lemma 3 at r={r}");
+            let batch_kernel = gauss::kernel_basis(&dense).unwrap();
+            assert_eq!(ok.tracker().kernel_basis().unwrap(), batch_kernel);
+        }
     }
 
     #[test]

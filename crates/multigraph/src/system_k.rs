@@ -19,7 +19,7 @@
 use crate::history::History;
 use crate::label::LabelSet;
 use crate::multigraph::DblMultigraph;
-use anonet_linalg::{LinalgError, SparseIntMatrix};
+use anonet_linalg::{KernelTracker, LinalgError, SparseIntMatrix};
 use core::fmt;
 
 /// The observation system builder for a given label budget `k`.
@@ -260,6 +260,113 @@ impl GeneralSystem {
     }
 }
 
+/// Incremental echelon maintenance for the general-`k` observation
+/// matrix `M_r^{(k)}` — the `q`-ary analogue of
+/// [`ObservationKernel`](crate::system::ObservationKernel).
+///
+/// Each round extends every history column into its `q = 2^k - 1`
+/// refinements and appends the `k · q^{r+1}` new connection rows, so the
+/// *verified* kernel dimension is available per round without
+/// re-eliminating the whole matrix. For `k ≥ 3` that dimension grows
+/// with the round (see the [module docs](self)), which is exactly what
+/// the extension experiments quantify.
+///
+/// Obtain one via [`GeneralSystem::observation_kernel`]. Because the
+/// unknown count is `q^{r+1}`, [`push_round`](Self::push_round) refuses
+/// to grow past [`GeneralObservationKernel::MAX_COLUMNS`] with
+/// [`SystemKError::TooLarge`]; callers needing deeper rounds should fall
+/// back to [`GeneralSystem::predicted_nullity`].
+#[derive(Debug, Clone)]
+pub struct GeneralObservationKernel {
+    sys: GeneralSystem,
+    tracker: KernelTracker,
+    rounds: usize,
+}
+
+impl GeneralObservationKernel {
+    /// Hard cap on tracked unknowns: dense elimination beyond this is
+    /// slower than re-deriving the closed form is worth.
+    pub const MAX_COLUMNS: usize = 4096;
+
+    /// The system this kernel tracks.
+    pub fn system(&self) -> &GeneralSystem {
+        &self.sys
+    }
+
+    /// Number of observed rounds; the tracked matrix is
+    /// `M_{rounds-1}^{(k)}` (none for zero rounds).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Ingests the next round: refines every history into its `q`
+    /// children and appends the `k · q^{rounds}` new connection rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemKError::TooLarge`] once the unknown count would
+    /// exceed [`Self::MAX_COLUMNS`]; the tracker is left at its previous
+    /// round.
+    pub fn push_round(&mut self) -> Result<(), SystemKError> {
+        let q = self.sys.q();
+        let new_cols = self
+            .tracker
+            .cols()
+            .checked_mul(q)
+            .filter(|&c| c <= Self::MAX_COLUMNS)
+            .ok_or(SystemKError::TooLarge)?;
+        self.tracker.extend_columns(q)?;
+        debug_assert_eq!(self.tracker.cols(), new_cols);
+        let prefixes = q.pow(self.rounds as u32);
+        let mut row = vec![0i64; new_cols];
+        for j in 1..=self.sys.k() {
+            for p in 0..prefixes {
+                for digit in 0..q {
+                    if (digit as u32 + 1) & (1 << (j - 1)) != 0 {
+                        row[p * q + digit] = 1;
+                    }
+                }
+                self.tracker.append_row_i64(&row)?;
+                for x in &mut row[p * q..(p + 1) * q] {
+                    *x = 0;
+                }
+            }
+        }
+        self.rounds += 1;
+        Ok(())
+    }
+
+    /// Verified rank of `M_{rounds-1}^{(k)}`.
+    pub fn rank(&self) -> usize {
+        self.tracker.rank()
+    }
+
+    /// Verified kernel dimension — matching
+    /// [`GeneralSystem::predicted_nullity`]`(rounds - 1)` whenever the
+    /// rows are independent (every `k ≥ 2`; for `k = 1` the repeated
+    /// constraint rows are dependent and the nullity stays 0).
+    pub fn nullity(&self) -> usize {
+        self.tracker.nullity()
+    }
+
+    /// The underlying tracker (for echelon / kernel-basis queries).
+    pub fn tracker(&self) -> &KernelTracker {
+        &self.tracker
+    }
+}
+
+impl GeneralSystem {
+    /// Starts incremental kernel maintenance for this system at zero
+    /// observed rounds.
+    pub fn observation_kernel(&self) -> GeneralObservationKernel {
+        GeneralObservationKernel {
+            sys: *self,
+            tracker: KernelTracker::new(1),
+            rounds: 0,
+        }
+    }
+}
+
 impl GeneralSystem {
     /// The set of population sizes consistent with the leader's round-`r`
     /// observations of `m`, by exhaustive lattice enumeration (extension
@@ -448,6 +555,59 @@ mod tests {
             pops3.len() > pops2.len(),
             "k=3 ambiguity {pops3:?} wider than k=2 {pops2:?}"
         );
+    }
+
+    #[test]
+    fn incremental_general_kernel_matches_batch() {
+        for k in [2u8, 3, 4] {
+            let sys = GeneralSystem::new(k).unwrap();
+            let mut ok = sys.observation_kernel();
+            assert_eq!(ok.rounds(), 0);
+            let max_r = if k == 2 { 3 } else { 1 };
+            for r in 0..=max_r {
+                ok.push_round().unwrap();
+                assert_eq!(ok.rounds(), r + 1);
+                let dense = sys.observation_matrix(r).unwrap().to_dense().unwrap();
+                let ech = gauss::rref(&dense).unwrap();
+                assert_eq!(ok.rank(), ech.rank(), "k={k} r={r}");
+                assert_eq!(
+                    ok.nullity(),
+                    sys.predicted_nullity(r).unwrap(),
+                    "verified == predicted nullity, k={k} r={r}"
+                );
+                assert_eq!(
+                    ok.tracker().pivots(),
+                    gauss::rref(&dense).unwrap().pivots.as_slice(),
+                    "k={k} r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_k1_sees_dependent_rows() {
+        // k = 1 repeats the same all-ones constraint every level: the
+        // verified nullity stays 0 even though rows keep arriving.
+        let sys = GeneralSystem::new(1).unwrap();
+        let mut ok = sys.observation_kernel();
+        for r in 0..3usize {
+            ok.push_round().unwrap();
+            assert_eq!(ok.rank(), 1, "r={r}");
+            assert_eq!(ok.nullity(), 0, "r={r}");
+            assert_eq!(ok.nullity(), sys.predicted_nullity(r).unwrap());
+        }
+    }
+
+    #[test]
+    fn incremental_kernel_refuses_oversized_rounds() {
+        // k = 5 (q = 31): round 2 would need 31^3 = 29791 unknowns.
+        let sys = GeneralSystem::new(5).unwrap();
+        let mut ok = sys.observation_kernel();
+        ok.push_round().unwrap(); // 31 cols
+        ok.push_round().unwrap(); // 961 cols
+        let rounds_before = ok.rounds();
+        assert!(matches!(ok.push_round(), Err(SystemKError::TooLarge)));
+        assert_eq!(ok.rounds(), rounds_before, "failed push leaves state");
     }
 
     #[test]

@@ -24,6 +24,15 @@ fi
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
+echo "==> fixed-seed incremental-vs-batch proptests"
+cargo test -p anonet-linalg --test proptests --quiet
+
+if [[ $fast -eq 0 ]]; then
+    echo "==> BENCH_linalg schema smoke (exp_linalg_scaling --smoke)"
+    cargo build --release -p anonet-bench --quiet
+    target/release/exp_linalg_scaling --smoke >/dev/null
+fi
+
 if [[ $fast -eq 0 ]]; then
     echo "==> parallel determinism: exp_all --quick, 1 vs 4 threads"
     cargo build --release -p anonet-bench --quiet

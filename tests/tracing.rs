@@ -2,9 +2,11 @@
 //! sinks observe exactly the statistics that `run_traced`/`RunReport`
 //! return, and JSONL round-trips losslessly.
 
-use anonet::core::algorithms::KernelCounting;
+use anonet::core::algorithms::{run_degree_oracle, GeneralKCounting, KernelCounting};
+use anonet::core::bounds;
 use anonet::graph::generators::RandomDynamic;
-use anonet::multigraph::adversary::TwinBuilder;
+use anonet::multigraph::adversary::{RandomDblAdversary, TwinBuilder};
+use anonet::multigraph::transform;
 use anonet::netsim::protocols::FloodingProcess;
 use anonet::netsim::trace::{JsonlSink, MemorySink, RoundEvent, TraceSink};
 use anonet::netsim::Simulator;
@@ -73,6 +75,62 @@ fn kernel_counting_sink_mirrors_counting_trace() {
     let last = sink.events().last().unwrap();
     assert_eq!(last.candidate_lo, Some(outcome.count as i64));
     assert_eq!(last.candidate_hi, Some(outcome.count as i64));
+}
+
+#[test]
+fn all_counting_oracles_agree_on_seeded_instances() {
+    // 50 seeded random G(DBL)_2 instances. Every terminating rule must
+    // report the same population, the traced run must be byte-identical
+    // to the untraced one, and the incremental kernel verifier must not
+    // perturb a single event.
+    for seed in 0..50u64 {
+        let n = 1 + seed % 12;
+        let budget = bounds::counting_rounds_lower_bound(n) + 2;
+        let m = RandomDblAdversary::new(StdRng::seed_from_u64(seed))
+            .generate(n, budget as usize)
+            .unwrap();
+
+        let untraced = KernelCounting::new()
+            .run(&m, budget)
+            .unwrap_or_else(|e| panic!("seed={seed} n={n}: {e}"));
+        assert_eq!(untraced.count, n, "seed={seed}");
+
+        let mut sink = MemorySink::new();
+        let (traced, trace) = KernelCounting::new()
+            .run_with_sink(&m, budget, &mut sink)
+            .unwrap();
+        assert_eq!(traced, untraced, "seed={seed}: tracing perturbed the run");
+        assert_eq!(sink.events().len() as u32, traced.rounds, "seed={seed}");
+
+        let mut vsink = MemorySink::new();
+        let (verified, vtrace) = KernelCounting::new()
+            .with_kernel_verification()
+            .run_with_sink(&m, budget, &mut vsink)
+            .unwrap();
+        assert_eq!(verified, untraced, "seed={seed}: verifier perturbed the run");
+        assert_eq!(
+            vtrace.candidate_ranges, trace.candidate_ranges,
+            "seed={seed}: verifier changed the candidate trace"
+        );
+        assert_eq!(
+            vsink.events(),
+            sink.events(),
+            "seed={seed}: verifier changed the event stream"
+        );
+
+        // The exhaustive general-k rule (k = 2 instance of it) agrees,
+        // never deciding later than the interval rule.
+        if n <= 6 {
+            let general = GeneralKCounting::new(5_000_000).run(&m, budget).unwrap();
+            assert_eq!(general.count, n, "seed={seed}");
+            assert!(general.rounds <= untraced.rounds, "seed={seed}");
+        }
+
+        // The PD2-side oracle counts the Lemma 1 image, |V| = n + 3.
+        let net = transform::to_pd2(&m, budget as usize).unwrap();
+        let oracle = run_degree_oracle(net).unwrap();
+        assert_eq!(oracle.count, n + 3, "seed={seed}");
+    }
 }
 
 #[test]
