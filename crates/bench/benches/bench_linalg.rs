@@ -1,6 +1,6 @@
 //! Benchmarks for the exact linear-algebra substrate.
 
-use anonet_linalg::{gauss, KernelTracker, Matrix, Ratio};
+use anonet_linalg::{gauss, KernelTracker, Matrix, ModpKernelTracker, Ratio, SolverBackend};
 use anonet_multigraph::system::{self, ObservationKernel};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -98,6 +98,56 @@ fn bench_ratio_ops(c: &mut Criterion) {
     c.bench_function("ratio_sum_200", |b| {
         b.iter(|| black_box(&xs).iter().copied().sum::<Ratio>())
     });
+    c.bench_function("ratio_checked_sum_200", |b| {
+        b.iter(|| Ratio::checked_sum(black_box(&xs).iter().copied()).expect("no overflow"))
+    });
+}
+
+fn bench_modp_tracker(c: &mut Criterion) {
+    // The mod-p fast path against the exact tracker on the same M_0..M_r
+    // append trajectory (`exp_modp_scaling` measures the larger grid).
+    let mut g = c.benchmark_group("modp_trajectory_M_r");
+    g.sample_size(10);
+    for r in [2usize, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("exact", r), &r, |b, &r| {
+            b.iter(|| {
+                let mut k = ObservationKernel::new();
+                for _ in 0..=r {
+                    k.push_round().expect("push");
+                    black_box(k.nullity());
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("modp", r), &r, |b, &r| {
+            b.iter(|| {
+                let mut k = ObservationKernel::with_backend(SolverBackend::ModpCertified);
+                for _ in 0..=r {
+                    k.push_round().expect("push");
+                    black_box(k.nullity());
+                }
+            })
+        });
+    }
+    g.finish();
+
+    // Raw tracker append against an established mod-p echelon.
+    let m3 = dense_m_r(3);
+    c.bench_function("modp_tracker_append_row_M_3", |b| {
+        let mut base = ModpKernelTracker::new(m3.cols());
+        for i in 0..m3.rows() {
+            let row: Vec<i64> = m3
+                .row(i)
+                .iter()
+                .map(|x| i64::try_from(x.numer()).expect("0/1 entries"))
+                .collect();
+            base.append_row_i64(&row).expect("seed echelon");
+        }
+        let row: Vec<i64> = (0..m3.cols() as i64).map(|i| i % 3 - 1).collect();
+        b.iter(|| {
+            let mut t = base.clone();
+            black_box(t.append_row_i64(black_box(&row)).expect("append"));
+        })
+    });
 }
 
 criterion_group!(
@@ -107,6 +157,7 @@ criterion_group!(
     bench_sparse_product,
     bench_incremental_vs_batch,
     bench_tracker_append,
-    bench_ratio_ops
+    bench_ratio_ops,
+    bench_modp_tracker
 );
 criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Mod-p vs exact incremental kernel maintenance (`BENCH_modp.json`).
+//!
+//! Flags:
+//!
+//! * `--quick` — reduced grid; `--smoke` — tiny grid, schema check only
+//!   (writes no file unless `--out` is given);
+//! * `--json` — print the benchmark document instead of the markdown
+//!   table;
+//! * `--out PATH` — write the document to `PATH` (default
+//!   `BENCH_modp.json` for non-smoke runs).
+//!
+//! The document is always schema-validated in-process before anything
+//! is written, and full-grid runs must additionally pass the
+//! acceptance gates (≥ 5× speedup at the largest shared cell, one
+//! `n ≥ 512` cell under the exact `n = 128` baseline).
+
+use anonet_bench::experiments::modp_scaling::{
+    bench_doc, check_gates, run_scaling, scaling_table, validate_doc, Grid,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let grid = if has("--smoke") {
+        Grid::Smoke
+    } else if has("--quick") {
+        Grid::Quick
+    } else {
+        Grid::Full
+    };
+    let out_flag = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let cells = run_scaling(grid);
+    let doc = bench_doc(&cells);
+    if let Err(e) = validate_doc(&doc) {
+        eprintln!("error: BENCH_modp schema check failed: {e}");
+        std::process::exit(1);
+    }
+    if grid == Grid::Full {
+        if let Err(e) = check_gates(&cells) {
+            eprintln!("error: BENCH_modp acceptance gate failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let pretty = serde_json::to_string_pretty(&doc).expect("document serializes");
+    if has("--json") {
+        println!("{pretty}");
+    } else {
+        println!("{}", scaling_table(&cells));
+    }
+
+    let path = match (grid, out_flag) {
+        (Grid::Smoke, None) => None, // smoke validates only
+        (_, Some(p)) => Some(p),
+        (_, None) => Some("BENCH_modp.json".to_string()),
+    };
+    match path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, format!("{pretty}\n")) {
+                eprintln!("error: cannot write {p}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {p} ({} cells, schema ok)", cells.len());
+        }
+        None => eprintln!("BENCH_modp schema ok ({} cells, nothing written)", cells.len()),
+    }
+}

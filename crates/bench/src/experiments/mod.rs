@@ -5,6 +5,7 @@ mod extensions;
 mod figures;
 mod lemmas;
 pub mod linalg_scaling;
+pub mod modp_scaling;
 pub mod runner;
 mod theorems;
 

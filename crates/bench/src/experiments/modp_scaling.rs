@@ -1,0 +1,579 @@
+//! Mod-p vs exact incremental kernel maintenance (`exp_modp_scaling`).
+//!
+//! Times the two incremental rank/nullity watchers the counting
+//! algorithms can run per round:
+//!
+//! * **exact** — the rational [`KernelTracker`] (or its paper-system
+//!   wrapper [`ObservationKernel`]), reducing each appended row with
+//!   exact [`Ratio`](anonet_linalg::Ratio) arithmetic;
+//! * **modp** — the [`ModpKernelTracker`] over the fixed 62-bit prime
+//!   field `F_P`, `P = 2^62 − 57`, doing the same forward elimination in
+//!   branch-free `u64` Montgomery arithmetic.
+//!
+//! Two cell families cover the `(n, r)` grid:
+//!
+//! * `M_r` — the paper's observation system maintained across rounds
+//!   `0..=r`;
+//! * `random` — seeded low-rank append trajectories of `n` rows over
+//!   `3^r` columns (same construction as `exp_linalg_scaling`).
+//!
+//! Cells up to the `exp_linalg_scaling` grid boundary are **shared**:
+//! both arms are timed and the mod-p rank is cross-checked (un-timed)
+//! against the exact rank after every append. Larger cells
+//! (`n ∈ {256, 512, 1024}`, `M_4`, `M_5`) are **mod-p only** — the
+//! exact arm would dominate the run — and are instead certified against
+//! structural invariants (Lemma 2's `dim ker M_r = 1` for `M_r` cells,
+//! the construction rank bound for `random` cells).
+//!
+//! The emitted document (`BENCH_modp.json`) is validated in-process by
+//! [`validate_doc`]; full runs additionally pass [`check_gates`]:
+//! ≥ 5× over the exact tracker at the largest shared cell, and at least
+//! one `n ≥ 512` cell finishing under the exact tracker's committed
+//! `n = 128` time (16,704 µs in `BENCH_linalg.json`).
+
+use anonet_core::experiment::Table;
+use anonet_linalg::{KernelTracker, ModpKernelTracker, SolverBackend};
+use anonet_multigraph::system::{self, ObservationKernel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The exact tracker's committed `n = 128, r = 4` trajectory time from
+/// `BENCH_linalg.json` — the anchor an `n ≥ 512` mod-p cell must beat.
+pub const EXACT_N128_BASELINE_MICROS: u64 = 16_704;
+
+/// Grid size selector for [`run_scaling`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grid {
+    /// Tiny cells for schema smoke tests (sub-second even in debug).
+    Smoke,
+    /// Reduced grid for `--quick` runs.
+    Quick,
+    /// The full grid behind the committed `BENCH_modp.json`.
+    Full,
+}
+
+/// One timed cell of the mod-p scaling grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModpCell {
+    /// Cell family: `"M_r"` or `"random"`.
+    pub family: &'static str,
+    /// Human-readable grid coordinates, e.g. `"n=512,r=4"`.
+    pub cell: String,
+    /// Rows appended over the trajectory.
+    pub rows: usize,
+    /// Columns of the final system.
+    pub cols: usize,
+    /// Wall-clock microseconds for the exact trajectory (`None` on
+    /// mod-p-only cells).
+    pub exact_micros: Option<u64>,
+    /// Wall-clock microseconds for the mod-p trajectory.
+    pub modp_micros: u64,
+}
+
+impl ModpCell {
+    /// Exact-over-modp wall-clock ratio; `None` on mod-p-only cells.
+    pub fn speedup(&self) -> Option<f64> {
+        self.exact_micros
+            .map(|e| e as f64 / self.modp_micros.max(1) as f64)
+    }
+}
+
+/// Minimum wall-clock micros of `reps` executions of `f` (at least 1).
+fn time_micros(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_micros() as u64);
+    }
+    best.max(1)
+}
+
+/// The paper-system family: maintain `M_0 ⊂ M_1 ⊂ … ⊂ M_r` on both
+/// backends (`shared = false` skips the exact arm).
+fn mr_cell(r: usize, shared: bool) -> ModpCell {
+    // Un-timed agreement gate. Shared cells check the mod-p nullity
+    // against the exact one per round; mod-p-only cells check Lemma 2's
+    // closed form (rank = rows, dim ker = 1) directly.
+    let mut modp = ObservationKernel::with_backend(SolverBackend::ModpCertified);
+    if shared {
+        let mut exact = ObservationKernel::new();
+        for level in 0..=r {
+            exact.push_round().expect("push exact round");
+            modp.push_round().expect("push modp round");
+            assert_eq!(
+                modp.nullity(),
+                exact.nullity(),
+                "M_{level}: mod-p nullity must match exact"
+            );
+        }
+    } else {
+        for _ in 0..=r {
+            modp.push_round().expect("push modp round");
+        }
+    }
+    assert_eq!(modp.rank(), system::row_count(r), "Lemma 2 rank at r={r}");
+    assert_eq!(modp.nullity(), 1, "Lemma 2 nullity at r={r}");
+
+    let reps = if r >= 3 { 2 } else { 5 };
+    let exact_micros = shared.then(|| {
+        time_micros(reps, || {
+            let mut k = ObservationKernel::new();
+            let mut sink = 0u64;
+            for _ in 0..=r {
+                k.push_round().expect("push exact round");
+                sink ^= k.nullity() as u64;
+            }
+            black_box(sink);
+        })
+    });
+    let modp_micros = time_micros(reps, || {
+        let mut k = ObservationKernel::with_backend(SolverBackend::ModpCertified);
+        let mut sink = 0u64;
+        for _ in 0..=r {
+            k.push_round().expect("push modp round");
+            sink ^= k.nullity() as u64;
+        }
+        black_box(sink);
+    });
+
+    ModpCell {
+        family: "M_r",
+        cell: format!("r={r}"),
+        rows: system::row_count(r),
+        cols: system::column_count(r),
+        exact_micros,
+        modp_micros,
+    }
+}
+
+/// Seeded `n`-row trajectory over `cols` columns with rank ≤ `rank` —
+/// the same construction as `exp_linalg_scaling`'s random family.
+fn random_rows(n: usize, cols: usize, rank: usize, seed: u64) -> Vec<Vec<i64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let basis: Vec<Vec<i64>> = (0..rank)
+        .map(|_| (0..cols).map(|_| rng.gen_range(-1i64..=1)).collect())
+        .collect();
+    (0..n)
+        .map(|_| {
+            let mut row = vec![0i64; cols];
+            for _ in 0..3 {
+                let b = rng.gen_range(0..rank);
+                let c = rng.gen_range(-1i64..=1);
+                for (x, y) in row.iter_mut().zip(&basis[b]) {
+                    *x += c * *y;
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// The random family: append `n` seeded rows over `3^r` columns,
+/// querying the rank after every append on both arms.
+fn random_cell(n: usize, r: u32, rank: usize, seed: u64, shared: bool) -> ModpCell {
+    let cols = 3usize.pow(r);
+    let rows = random_rows(n, cols, rank, seed);
+
+    // Un-timed agreement gate.
+    let mut modp = ModpKernelTracker::new(cols);
+    if shared {
+        let mut exact = KernelTracker::new(cols);
+        for row in &rows {
+            exact.append_row_i64(row).expect("exact append");
+            modp.append_row_i64(row).expect("modp append");
+            assert_eq!(modp.rank(), exact.rank(), "rank mismatch at n={n}, r={r}");
+            assert_eq!(modp.pivots(), exact.pivots(), "pivots at n={n}, r={r}");
+        }
+    } else {
+        for row in &rows {
+            modp.append_row_i64(row).expect("modp append");
+        }
+        // The construction bounds the true rank by the basis size.
+        assert!(modp.rank() <= rank, "construction rank bound at n={n}");
+        assert_eq!(modp.nullity(), cols - modp.rank());
+    }
+
+    let reps = if n >= 96 { 1 } else { 3 };
+    let exact_micros = shared.then(|| {
+        time_micros(reps, || {
+            let mut t = KernelTracker::new(cols);
+            let mut sink = 0u64;
+            for row in &rows {
+                t.append_row_i64(row).expect("exact append");
+                sink ^= t.rank() as u64;
+            }
+            black_box(sink);
+        })
+    });
+    let modp_micros = time_micros(reps.max(3), || {
+        let mut t = ModpKernelTracker::new(cols);
+        let mut sink = 0u64;
+        for row in &rows {
+            t.append_row_i64(row).expect("modp append");
+            sink ^= t.rank() as u64;
+        }
+        black_box(sink);
+    });
+
+    ModpCell {
+        family: "random",
+        cell: format!("n={n},r={r}"),
+        rows: n,
+        cols,
+        exact_micros,
+        modp_micros,
+    }
+}
+
+/// `(n, r, rank, seed)` coordinates of one random-family cell.
+type RandomSpec = (usize, u32, usize, u64);
+
+/// Runs the scaling grid serially (timing fidelity) and returns its
+/// cells in grid order.
+pub fn run_scaling(grid: Grid) -> Vec<ModpCell> {
+    // Shared specs mirror `exp_linalg_scaling`'s grid (both arms timed);
+    // the extended `n ∈ {256, 512, 1024}` cells are mod-p only.
+    let (mr_shared, mr_only, shared, only): (&[usize], &[usize], &[RandomSpec], &[RandomSpec]) =
+        match grid {
+            Grid::Smoke => (&[1], &[], &[(16, 2, 4, 101)], &[]),
+            Grid::Quick => (
+                &[1, 2],
+                &[4],
+                &[(32, 2, 6, 101), (64, 3, 10, 202)],
+                &[(256, 4, 24, 505)],
+            ),
+            Grid::Full => (
+                &[1, 2, 3],
+                &[4, 5],
+                &[(32, 2, 6, 101), (64, 3, 10, 202), (128, 4, 20, 404)],
+                &[(256, 4, 24, 505), (512, 4, 24, 606), (1024, 4, 28, 707)],
+            ),
+        };
+    let mut cells: Vec<ModpCell> = mr_shared.iter().map(|&r| mr_cell(r, true)).collect();
+    cells.extend(mr_only.iter().map(|&r| mr_cell(r, false)));
+    cells.extend(
+        shared
+            .iter()
+            .map(|&(n, r, rank, seed)| random_cell(n, r, rank, seed, true)),
+    );
+    cells.extend(
+        only.iter()
+            .map(|&(n, r, rank, seed)| random_cell(n, r, rank, seed, false)),
+    );
+    cells
+}
+
+/// Renders the grid as the `modp_scaling` experiment table.
+pub fn scaling_table(cells: &[ModpCell]) -> Table {
+    let mut t = Table::new(
+        "modp_scaling",
+        "Exact vs mod-p incremental rank maintenance (µs per trajectory)",
+        &["family", "cell", "rows", "cols", "exact_us", "modp_us", "speedup"],
+    );
+    for c in cells {
+        t.push_row(vec![
+            c.family.to_string(),
+            c.cell.clone(),
+            c.rows.to_string(),
+            c.cols.to_string(),
+            c.exact_micros
+                .map_or("(modp only)".to_string(), |e| e.to_string()),
+            c.modp_micros.to_string(),
+            c.speedup()
+                .map_or("-".to_string(), |s| format!("{s:.1}")),
+        ]);
+    }
+    t
+}
+
+/// The shared cell with the most matrix entries (`rows × cols`), if any.
+pub fn largest_shared(cells: &[ModpCell]) -> Option<&ModpCell> {
+    cells
+        .iter()
+        .filter(|c| c.exact_micros.is_some())
+        .max_by_key(|c| c.rows * c.cols)
+}
+
+/// Acceptance gates for full runs of the grid.
+///
+/// * the largest shared cell must show ≥ 5× exact-over-modp speedup;
+/// * at least one `n ≥ 512` cell must finish its mod-p trajectory under
+///   [`EXACT_N128_BASELINE_MICROS`].
+///
+/// # Errors
+///
+/// Returns a description of the first violated gate.
+pub fn check_gates(cells: &[ModpCell]) -> Result<(), String> {
+    let largest = largest_shared(cells).ok_or("no shared cell in grid")?;
+    let speedup = largest.speedup().expect("shared cell has both timings");
+    if speedup < 5.0 {
+        return Err(format!(
+            "largest shared cell {} speedup {speedup:.1} < 5.0",
+            largest.cell
+        ));
+    }
+    let beats_baseline = cells
+        .iter()
+        .any(|c| c.rows >= 512 && c.modp_micros < EXACT_N128_BASELINE_MICROS);
+    if !beats_baseline {
+        return Err(format!(
+            "no n >= 512 cell under the exact n=128 baseline of {EXACT_N128_BASELINE_MICROS} us"
+        ));
+    }
+    Ok(())
+}
+
+/// Builds the `BENCH_modp.json` document for a finished grid.
+///
+/// # Panics
+///
+/// Panics if the grid has no shared cell.
+pub fn bench_doc(cells: &[ModpCell]) -> Value {
+    let obj = |c: &ModpCell| {
+        let mut entries = vec![
+            ("family".to_string(), Value::Str(c.family.to_string())),
+            ("cell".to_string(), Value::Str(c.cell.clone())),
+            ("rows".to_string(), Value::Int(c.rows as i128)),
+            ("cols".to_string(), Value::Int(c.cols as i128)),
+            ("modp_micros".to_string(), Value::Int(c.modp_micros as i128)),
+        ];
+        if let Some(e) = c.exact_micros {
+            entries.push(("exact_micros".to_string(), Value::Int(e as i128)));
+            entries.push((
+                "speedup".to_string(),
+                Value::Float(c.speedup().expect("shared cell")),
+            ));
+        }
+        Value::Object(entries)
+    };
+    let largest = largest_shared(cells).expect("grid has a shared cell");
+    Value::Object(vec![
+        ("bench".to_string(), Value::Str("modp_scaling".to_string())),
+        ("schema_version".to_string(), Value::Int(1)),
+        (
+            "exact_n128_baseline_micros".to_string(),
+            Value::Int(EXACT_N128_BASELINE_MICROS as i128),
+        ),
+        (
+            "grid".to_string(),
+            Value::Array(cells.iter().map(obj).collect()),
+        ),
+        ("largest_shared_cell".to_string(), obj(largest)),
+    ])
+}
+
+/// Looks up a key in a [`Value::Object`].
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key {key:?}")),
+        _ => Err(format!("expected object around {key:?}")),
+    }
+}
+
+/// Schema check for the `BENCH_modp.json` document.
+///
+/// Runs in-process (the vendored `serde_json` has no parser): top-level
+/// keys, per-cell key/variant shape, positive timings, shared cells
+/// carrying consistent `exact_micros`/`speedup`, and that
+/// `largest_shared_cell` really is the shared cell with the most
+/// entries.
+///
+/// # Errors
+///
+/// Returns a description of the first violated schema rule.
+pub fn validate_doc(doc: &Value) -> Result<(), String> {
+    match field(doc, "bench")? {
+        Value::Str(s) if s == "modp_scaling" => {}
+        other => return Err(format!("bad bench name: {other:?}")),
+    }
+    match field(doc, "schema_version")? {
+        Value::Int(1) => {}
+        other => return Err(format!("bad schema_version: {other:?}")),
+    }
+    match field(doc, "exact_n128_baseline_micros")? {
+        Value::Int(v) if *v == EXACT_N128_BASELINE_MICROS as i128 => {}
+        other => return Err(format!("bad exact_n128_baseline_micros: {other:?}")),
+    }
+    // Returns (rows*cols, is_shared) for consistency checks.
+    let cell_shape = |cell: &Value| -> Result<(i128, bool), String> {
+        match field(cell, "family")? {
+            Value::Str(s) if s == "M_r" || s == "random" => {}
+            other => return Err(format!("bad family: {other:?}")),
+        }
+        let Value::Str(_) = field(cell, "cell")? else {
+            return Err("cell label must be a string".to_string());
+        };
+        let mut dims = (0i128, 0i128);
+        for (key, slot) in [("rows", 0), ("cols", 1), ("modp_micros", 2)] {
+            match field(cell, key)? {
+                Value::Int(v) if *v > 0 => {
+                    if slot == 0 {
+                        dims.0 = *v;
+                    } else if slot == 1 {
+                        dims.1 = *v;
+                    }
+                }
+                other => return Err(format!("bad {key}: {other:?}")),
+            }
+        }
+        let shared = field(cell, "exact_micros").is_ok();
+        if shared {
+            match field(cell, "exact_micros")? {
+                Value::Int(v) if *v > 0 => {}
+                other => return Err(format!("bad exact_micros: {other:?}")),
+            }
+            match field(cell, "speedup")? {
+                Value::Float(f) if *f > 0.0 => {}
+                other => return Err(format!("bad speedup: {other:?}")),
+            }
+        }
+        Ok((dims.0 * dims.1, shared))
+    };
+    let Value::Array(grid) = field(doc, "grid")? else {
+        return Err("grid must be an array".to_string());
+    };
+    if grid.is_empty() {
+        return Err("grid must be non-empty".to_string());
+    }
+    let mut max_shared = 0i128;
+    for cell in grid {
+        let (entries, shared) = cell_shape(cell)?;
+        if shared {
+            max_shared = max_shared.max(entries);
+        }
+    }
+    if max_shared == 0 {
+        return Err("grid has no shared cell".to_string());
+    }
+    let largest = field(doc, "largest_shared_cell")?;
+    let (entries, shared) = cell_shape(largest)?;
+    if !shared {
+        return Err("largest_shared_cell must carry exact timings".to_string());
+    }
+    if entries != max_shared {
+        return Err(format!(
+            "largest_shared_cell has {entries} entries but the shared maximum is {max_shared}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_runs_and_validates() {
+        let cells = run_scaling(Grid::Smoke);
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| c.modp_micros >= 1));
+        assert!(cells.iter().all(|c| c.exact_micros.is_some()));
+        let doc = bench_doc(&cells);
+        validate_doc(&doc).expect("smoke doc validates");
+        let table = scaling_table(&cells);
+        assert_eq!(table.rows.len(), cells.len());
+    }
+
+    #[test]
+    fn validation_rejects_tampered_docs() {
+        let cells = run_scaling(Grid::Smoke);
+        let doc = bench_doc(&cells);
+
+        // Wrong bench name.
+        let mut bad = doc.clone();
+        if let Value::Object(entries) = &mut bad {
+            entries[0].1 = Value::Str("other".to_string());
+        }
+        assert!(validate_doc(&bad).unwrap_err().contains("bench name"));
+
+        // Empty grid.
+        let mut bad = doc.clone();
+        if let Value::Object(entries) = &mut bad {
+            for (k, v) in entries.iter_mut() {
+                if k == "grid" {
+                    *v = Value::Array(Vec::new());
+                }
+            }
+        }
+        assert!(validate_doc(&bad).unwrap_err().contains("non-empty"));
+
+        // largest_shared_cell inconsistent with the grid.
+        let mut bad = doc.clone();
+        if let Value::Object(entries) = &mut bad {
+            for (k, v) in entries.iter_mut() {
+                if k == "largest_shared_cell" {
+                    if let Value::Object(cell) = v {
+                        for (ck, cv) in cell.iter_mut() {
+                            if ck == "rows" {
+                                *cv = Value::Int(1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(validate_doc(&bad)
+            .unwrap_err()
+            .contains("largest_shared_cell"));
+
+        // Missing baseline anchor.
+        let bad = Value::Object(vec![
+            ("bench".to_string(), Value::Str("modp_scaling".to_string())),
+            ("schema_version".to_string(), Value::Int(1)),
+        ]);
+        assert!(validate_doc(&bad)
+            .unwrap_err()
+            .contains("exact_n128_baseline_micros"));
+    }
+
+    #[test]
+    fn gates_judge_speedup_and_baseline() {
+        let shared = ModpCell {
+            family: "random",
+            cell: "n=128,r=4".to_string(),
+            rows: 128,
+            cols: 81,
+            exact_micros: Some(10_000),
+            modp_micros: 100,
+        };
+        let big = ModpCell {
+            family: "random",
+            cell: "n=512,r=4".to_string(),
+            rows: 512,
+            cols: 81,
+            exact_micros: None,
+            modp_micros: 2_000,
+        };
+        check_gates(&[shared.clone(), big.clone()]).expect("both gates pass");
+
+        let slow_shared = ModpCell {
+            exact_micros: Some(300),
+            ..shared.clone()
+        };
+        assert!(check_gates(&[slow_shared, big.clone()])
+            .unwrap_err()
+            .contains("speedup"));
+
+        let slow_big = ModpCell {
+            modp_micros: EXACT_N128_BASELINE_MICROS + 1,
+            ..big
+        };
+        assert!(check_gates(&[shared, slow_big])
+            .unwrap_err()
+            .contains("baseline"));
+    }
+
+    #[test]
+    fn random_family_trajectories_are_seeded() {
+        assert_eq!(random_rows(8, 9, 3, 42), random_rows(8, 9, 3, 42));
+        assert_ne!(random_rows(8, 9, 3, 42), random_rows(8, 9, 3, 43));
+    }
+}

@@ -10,6 +10,7 @@
 //! exponential, so sized for small networks.
 
 use super::kernel_counting::CountingOutcome;
+use anonet_linalg::SolverBackend;
 use anonet_multigraph::system_k::{GeneralSystem, SystemKError};
 use anonet_multigraph::DblMultigraph;
 use anonet_trace::{NullSink, RoundEvent, TraceSink};
@@ -28,6 +29,16 @@ pub enum GeneralKError {
         /// The consistent populations at the horizon.
         candidates: Vec<i64>,
     },
+    /// The mod-p watcher and the exact decision-round elimination
+    /// disagreed — `p` divided a maximal minor of the observation
+    /// matrix, so the mod-p kernel dimensions cannot be trusted
+    /// (never observed on genuine `M_r^{(k)}`; see `docs/LINALG.md`).
+    CertificationMismatch {
+        /// Nullity from the exact elimination.
+        exact: usize,
+        /// Nullity reported by the mod-p tracker.
+        modp: usize,
+    },
 }
 
 impl fmt::Display for GeneralKError {
@@ -37,6 +48,10 @@ impl fmt::Display for GeneralKError {
             GeneralKError::Undecided { rounds, candidates } => {
                 write!(f, "undecided after {rounds} rounds: |W| in {candidates:?}")
             }
+            GeneralKError::CertificationMismatch { exact, modp } => write!(
+                f,
+                "mod-p certification failed: exact nullity {exact} != mod-p nullity {modp}"
+            ),
         }
     }
 }
@@ -76,12 +91,33 @@ impl From<SystemKError> for GeneralKError {
 #[derive(Debug, Clone, Copy)]
 pub struct GeneralKCounting {
     max_solutions: usize,
+    backend: SolverBackend,
 }
 
 impl GeneralKCounting {
-    /// Creates the rule with an enumeration budget (solutions per round).
+    /// Creates the rule with an enumeration budget (solutions per round),
+    /// on the exact backend.
     pub fn new(max_solutions: usize) -> GeneralKCounting {
-        GeneralKCounting { max_solutions }
+        GeneralKCounting {
+            max_solutions,
+            backend: SolverBackend::Exact,
+        }
+    }
+
+    /// Selects the arithmetic backing the per-round kernel-dimension
+    /// verification: [`SolverBackend::ModpCertified`] maintains the
+    /// incremental echelon mod `p = 2^62 − 57` and certifies it against
+    /// one exact elimination at the decision round. Decision rounds and
+    /// traces are bit-identical to [`SolverBackend::Exact`] (the
+    /// enumeration itself is always exact).
+    pub fn with_backend(mut self, backend: SolverBackend) -> GeneralKCounting {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend configured via [`with_backend`](Self::with_backend).
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
     }
 
     /// Observes `m` round by round and outputs when exactly one
@@ -125,7 +161,7 @@ impl GeneralKCounting {
         // Verify the kernel dimension incrementally while the unknown
         // count stays below this budget (q^rounds columns).
         const VERIFY_MAX_COLUMNS: usize = 512;
-        let mut verifier = Some(sys.observation_kernel());
+        let mut verifier = Some(sys.observation_kernel_with_backend(self.backend));
         let mut last = Vec::new();
         for rounds in 1..=max_rounds {
             let pops = sys.feasible_populations(m, rounds as usize, self.max_solutions)?;
@@ -150,6 +186,20 @@ impl GeneralKCounting {
             }
             sink.record(&ev);
             if pops.len() == 1 {
+                // Second tier of the ModpCertified protocol: one exact
+                // elimination certifies the watched kernel dimensions
+                // before the leader outputs.
+                if self.backend == SolverBackend::ModpCertified {
+                    if let Some(v) = verifier.as_ref().filter(|v| v.rounds() > 0) {
+                        let exact = v.certify()?;
+                        if exact != v.nullity() {
+                            return Err(GeneralKError::CertificationMismatch {
+                                exact,
+                                modp: v.nullity(),
+                            });
+                        }
+                    }
+                }
                 sink.flush();
                 return Ok(CountingOutcome {
                     count: pops[0] as u64,
@@ -191,6 +241,25 @@ mod tests {
                 "both rules are information-theoretically optimal, n={n}"
             );
         }
+    }
+
+    #[test]
+    fn modp_backend_matches_exact_for_general_k() {
+        use anonet_trace::MemorySink;
+        // k = 3: the kernel dimension genuinely grows per round, so the
+        // mod-p watcher is verifying something non-trivial here.
+        let all: Vec<LabelSet> = (1u32..8).map(|m| LabelSet::from_mask(m, 3).unwrap()).collect();
+        let m = DblMultigraph::new(3, vec![all]).unwrap();
+        let mut exact_sink = MemorySink::new();
+        let exact = GeneralKCounting::new(500_000)
+            .run_with_sink(&m, 6, &mut exact_sink)
+            .unwrap();
+        let mut modp_sink = MemorySink::new();
+        let algo = GeneralKCounting::new(500_000).with_backend(SolverBackend::ModpCertified);
+        assert_eq!(algo.backend(), SolverBackend::ModpCertified);
+        let modp = algo.run_with_sink(&m, 6, &mut modp_sink).unwrap();
+        assert_eq!(exact, modp, "outcome is backend-independent");
+        assert_eq!(exact_sink.events(), modp_sink.events());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! kernel adversary this algorithm terminates after exactly
 //! `⌊log₃(2n+1)⌋ + 1` observed rounds, matching Theorem 1.
 
+use anonet_linalg::SolverBackend;
 use anonet_multigraph::system::{AffineCensus, IncrementalSolver, ObservationKernel};
 use anonet_multigraph::{ternary_count, DblMultigraph, ObservationStream};
 use anonet_trace::{NullSink, RoundEvent, TraceSink};
@@ -90,18 +91,28 @@ pub struct CountingTrace {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct KernelCounting {
     verify_kernel: bool,
+    backend: SolverBackend,
 }
 
 /// Column budget for opt-in kernel verification: `3^5 = 243` unknowns
 /// (rounds ≤ 5). Beyond it the leader reports the Lemma 3 value without
 /// re-verifying — the verified and assumed values provably coincide.
+/// The same budget caps the one-shot exact certification replay of the
+/// [`SolverBackend::ModpCertified`] backend.
 const KERNEL_VERIFY_MAX_COLUMNS: usize = 243;
 
+/// Column budget for the mod-p per-round watcher of
+/// [`SolverBackend::ModpCertified`]: single-word arithmetic affords one
+/// more refinement (`3^6 = 729` unknowns, rounds ≤ 6) than the exact
+/// verifier.
+const MODP_WATCH_MAX_COLUMNS: usize = 729;
+
 impl KernelCounting {
-    /// Creates the algorithm (kernel verification off).
+    /// Creates the algorithm (kernel verification off, exact backend).
     pub fn new() -> KernelCounting {
         KernelCounting {
             verify_kernel: false,
+            backend: SolverBackend::Exact,
         }
     }
 
@@ -117,6 +128,26 @@ impl KernelCounting {
     pub fn with_kernel_verification(mut self) -> KernelCounting {
         self.verify_kernel = true;
         self
+    }
+
+    /// Selects the arithmetic backing the per-round kernel queries.
+    ///
+    /// [`SolverBackend::Exact`] (the default) is the PR 2 behaviour.
+    /// [`SolverBackend::ModpCertified`] always maintains a mod-p
+    /// [`ObservationKernel`] (columns ≤ `3^6 = 729`) for the per-round
+    /// kernel dimension, and certifies it against a one-shot exact
+    /// elimination at the decision round (columns ≤ `3^5 = 243`) before
+    /// the leader outputs. Decision rounds, candidate ranges and traces
+    /// are bit-identical to the exact backend — the cross-oracle suite
+    /// in `tests/tracing.rs` pins this over 50 seeds.
+    pub fn with_backend(mut self, backend: SolverBackend) -> KernelCounting {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend configured via [`with_backend`](Self::with_backend).
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
     }
 
     /// Runs the leader against the multigraph, observing one round at a
@@ -174,7 +205,17 @@ impl KernelCounting {
         let mut stream = ObservationStream::new(m)
             .map_err(|e| CountingError::BadObservations(e.to_string()))?;
         let mut solver = IncrementalSolver::new();
-        let mut verifier = self.verify_kernel.then(ObservationKernel::new);
+        let (mut verifier, watch_cols) = match self.backend {
+            SolverBackend::Exact => (
+                self.verify_kernel.then(ObservationKernel::new),
+                KERNEL_VERIFY_MAX_COLUMNS,
+            ),
+            // The mod-p watcher is cheap enough to always run.
+            SolverBackend::ModpCertified => (
+                Some(ObservationKernel::with_backend(SolverBackend::ModpCertified)),
+                MODP_WATCH_MAX_COLUMNS,
+            ),
+        };
         let mut state_size = 0u64;
         let mut last: Option<AffineCensus> = None;
         for rounds in 1..=max_rounds {
@@ -187,7 +228,7 @@ impl KernelCounting {
             // level's 2·3^level entries.
             state_size += 2 * ternary_count(level) as u64;
             let kernel_dim = match verifier.as_mut() {
-                Some(v) if ternary_count(rounds as usize) <= KERNEL_VERIFY_MAX_COLUMNS => {
+                Some(v) if ternary_count(rounds as usize) <= watch_cols => {
                     v.push_round()
                         .map_err(|e| CountingError::BadObservations(e.to_string()))?;
                     v.nullity() as u64
@@ -206,6 +247,29 @@ impl KernelCounting {
                     .state_size(state_size),
             );
             if let Some(count) = sol.unique_population() {
+                // Second tier of the ModpCertified protocol: before the
+                // leader outputs, replay the exact elimination once and
+                // check it against the mod-p watcher (skipped past the
+                // exact column budget, where Lemma 3's closed form is
+                // the certificate).
+                if self.backend == SolverBackend::ModpCertified {
+                    if let Some(v) = verifier.as_ref() {
+                        if v.rounds() > 0
+                            && ternary_count(v.rounds()) <= KERNEL_VERIFY_MAX_COLUMNS
+                        {
+                            let exact = v
+                                .certify()
+                                .map_err(|e| CountingError::BadObservations(e.to_string()))?;
+                            if exact != v.nullity() {
+                                return Err(CountingError::BadObservations(format!(
+                                    "mod-p certification failed at decision round {rounds}: \
+                                     exact nullity {exact} != mod-p nullity {}",
+                                    v.nullity()
+                                )));
+                            }
+                        }
+                    }
+                }
                 sink.flush();
                 return Ok((
                     CountingOutcome {
@@ -347,6 +411,42 @@ mod tests {
             .events()
             .iter()
             .all(|ev| ev.kernel_dim == Some(1)));
+    }
+
+    #[test]
+    fn modp_backend_is_bit_identical_to_exact() {
+        use anonet_trace::MemorySink;
+        // n = 40 decides after 5 rounds (243 columns): the mod-p watcher
+        // runs every round and the decision round pays one exact
+        // certification replay.
+        let pair = TwinBuilder::new().build(40).unwrap();
+        let mut exact_sink = MemorySink::new();
+        let exact = KernelCounting::new()
+            .run_with_sink(&pair.smaller, 32, &mut exact_sink)
+            .unwrap();
+        let mut modp_sink = MemorySink::new();
+        let algo = KernelCounting::new().with_backend(SolverBackend::ModpCertified);
+        assert_eq!(algo.backend(), SolverBackend::ModpCertified);
+        let modp = algo
+            .run_with_sink(&pair.smaller, 32, &mut modp_sink)
+            .unwrap();
+        assert_eq!(exact, modp, "outcome and trace are backend-independent");
+        assert_eq!(exact_sink.events(), modp_sink.events());
+    }
+
+    #[test]
+    fn modp_backend_decides_past_the_certification_budget() {
+        // n = 121 decides after 6 rounds (729 columns): the watcher still
+        // runs (mod-p budget 3^6) but the exact certification replay is
+        // skipped (exact budget 3^5) — Lemma 3 is the certificate there.
+        let pair = TwinBuilder::new().build(121).unwrap();
+        let exact = KernelCounting::new().run(&pair.smaller, 32).unwrap();
+        let modp = KernelCounting::new()
+            .with_backend(SolverBackend::ModpCertified)
+            .run(&pair.smaller, 32)
+            .unwrap();
+        assert_eq!(exact, modp);
+        assert_eq!(modp.rounds, 6);
     }
 
     #[test]

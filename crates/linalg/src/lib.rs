@@ -33,6 +33,7 @@ mod error;
 pub mod gauss;
 pub mod incremental;
 mod matrix;
+pub mod modp;
 mod ratio;
 mod sparse;
 pub mod vector;
@@ -40,5 +41,6 @@ pub mod vector;
 pub use error::{LinalgError, Result};
 pub use incremental::KernelTracker;
 pub use matrix::Matrix;
+pub use modp::{ModpKernelTracker, SolverBackend};
 pub use ratio::{gcd_i128, Ratio};
 pub use sparse::SparseIntMatrix;

@@ -228,6 +228,33 @@ impl Ratio {
     pub fn to_f64(&self) -> f64 {
         self.num as f64 / self.den as f64
     }
+
+    /// Checked sum of an iterator of ratios — the transactional
+    /// counterpart of `iter.sum::<Ratio>()` for solver hot paths, where
+    /// overflow must surface as a recoverable error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Overflow`] on `i128` overflow; no partial
+    /// result escapes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use anonet_linalg::Ratio;
+    ///
+    /// let xs = [Ratio::new(1, 2)?, Ratio::new(1, 3)?, Ratio::new(1, 6)?];
+    /// assert_eq!(Ratio::checked_sum(xs)?, Ratio::ONE);
+    /// assert!(Ratio::checked_sum([Ratio::from_integer(i128::MAX / 2); 3]).is_err());
+    /// # Ok::<(), anonet_linalg::LinalgError>(())
+    /// ```
+    pub fn checked_sum<I: IntoIterator<Item = Ratio>>(iter: I) -> Result<Ratio> {
+        let mut acc = Ratio::ZERO;
+        for x in iter {
+            acc = acc.checked_add(&x)?;
+        }
+        Ok(acc)
+    }
 }
 
 impl Default for Ratio {
@@ -362,9 +389,11 @@ impl Ord for Ratio {
     }
 }
 
+/// Panicking sum; prefer [`Ratio::checked_sum`] where overflow must be
+/// recoverable.
 impl core::iter::Sum for Ratio {
     fn sum<I: Iterator<Item = Ratio>>(iter: I) -> Ratio {
-        iter.fold(Ratio::ZERO, |a, b| a + b)
+        Ratio::checked_sum(iter).unwrap_or_else(|e| panic!("Ratio::sum: {e}"))
     }
 }
 
@@ -384,6 +413,15 @@ mod tests {
     #[test]
     fn zero_denominator_rejected() {
         assert_eq!(Ratio::new(1, 0), Err(LinalgError::ZeroDenominator));
+    }
+
+    #[test]
+    fn checked_sum_is_transactional() {
+        let xs = [Ratio::new(1, 2).unwrap(), Ratio::new(1, 3).unwrap()];
+        assert_eq!(Ratio::checked_sum(xs).unwrap(), Ratio::new(5, 6).unwrap());
+        assert_eq!(Ratio::checked_sum([]).unwrap(), Ratio::ZERO);
+        let big = Ratio::from_integer(i128::MAX / 2 + 1);
+        assert_eq!(Ratio::checked_sum([big, big]), Err(LinalgError::Overflow));
     }
 
     #[test]

@@ -126,6 +126,53 @@ impl SparseIntMatrix {
         Ok(out)
     }
 
+    /// Builds a sparse matrix from a dense rational [`Matrix`] whose
+    /// entries are all integers fitting `i64`.
+    ///
+    /// Inverse of [`SparseIntMatrix::to_dense`] for integer matrices; the
+    /// `0/±1` observation matrices and their elimination intermediates
+    /// all satisfy the entry constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if some entry is not an
+    /// integer and [`LinalgError::Overflow`] if one falls outside `i64`.
+    pub fn from_dense(m: &Matrix) -> Result<SparseIntMatrix> {
+        let mut out = SparseIntMatrix::new(m.cols());
+        for r in 0..m.rows() {
+            let mut entries = Vec::new();
+            for (c, &x) in m.row(r).iter().enumerate() {
+                if x.is_zero() {
+                    continue;
+                }
+                if !x.is_integer() {
+                    return Err(LinalgError::dims(format!(
+                        "non-integer entry {x} at ({r}, {c}) cannot be sparsified"
+                    )));
+                }
+                let v = i64::try_from(x.numer()).map_err(|_| LinalgError::Overflow)?;
+                entries.push((c as u32, v));
+            }
+            out.push_row(entries)?;
+        }
+        Ok(out)
+    }
+
+    /// Sparse kernel-identity check: does `M · v = 0`?
+    ///
+    /// One pass over the stored non-zeros — `O(nnz)` instead of the
+    /// `O(rows · cols)` of a dense product — which is what lets the
+    /// Lemma 3 identity `M_r · k_r = 0` be checked for rounds whose dense
+    /// `3^{r+1}`-column matrix would not even be materializable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `v.len() != cols()`
+    /// and [`LinalgError::Overflow`] if an accumulation overflows `i128`.
+    pub fn annihilates(&self, v: &[i64]) -> Result<bool> {
+        Ok(self.mul_vec(v)?.iter().all(|&x| x == 0))
+    }
+
     /// Converts to a dense rational [`Matrix`] (small instances only).
     ///
     /// # Errors
@@ -201,6 +248,35 @@ mod tests {
             1,
             "sample matrix has a 1-dimensional kernel"
         );
+    }
+
+    #[test]
+    fn from_dense_roundtrips_and_validates() {
+        let d = sample().to_dense().unwrap();
+        let back = SparseIntMatrix::from_dense(&d).unwrap();
+        assert_eq!(back, sample());
+        // Non-integer entries are rejected.
+        let mut frac = Matrix::zeros(1, 2);
+        frac.set(0, 1, Ratio::new(1, 2).unwrap());
+        assert!(matches!(
+            SparseIntMatrix::from_dense(&frac),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+        // Integers beyond i64 are an overflow, not a wrap.
+        let mut big = Matrix::zeros(1, 1);
+        big.set(0, 0, Ratio::from_integer(i64::MAX as i128 + 1));
+        assert_eq!(
+            SparseIntMatrix::from_dense(&big),
+            Err(LinalgError::Overflow)
+        );
+    }
+
+    #[test]
+    fn annihilates_detects_kernel_membership() {
+        let m = sample();
+        assert!(m.annihilates(&[1, 1, -1]).unwrap());
+        assert!(!m.annihilates(&[1, 1, 0]).unwrap());
+        assert!(m.annihilates(&[1]).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the exact linear-algebra substrate.
 
-use anonet_linalg::{gauss, vector, KernelTracker, Matrix, Ratio, SparseIntMatrix};
+use anonet_linalg::{gauss, vector, KernelTracker, Matrix, ModpKernelTracker, Ratio, SparseIntMatrix};
 use proptest::prelude::*;
 
 fn small_ratio() -> impl Strategy<Value = Ratio> {
@@ -208,5 +208,64 @@ proptest! {
         prop_assert_eq!(t.rank(), e.rank());
         prop_assert_eq!(t.pivots(), e.pivots.as_slice());
         prop_assert_eq!(t.kernel_basis().unwrap(), gauss::kernel_basis(&wide).unwrap());
+    }
+
+    #[test]
+    fn modp_tracker_matches_exact_at_every_prefix(
+        rows in proptest::collection::vec(proptest::collection::vec(-1i64..=1, 5), 1..8),
+    ) {
+        // On 0/±1 append sequences (the observation-system regime) every
+        // maximal minor is far below P, so the mod-p tracker must agree
+        // with the exact one on rank, nullity and pivots after EVERY
+        // append — not just at the end.
+        let mut exact = KernelTracker::new(5);
+        let mut modp = ModpKernelTracker::new(5);
+        for row in &rows {
+            let rr: Vec<Ratio> = row.iter().map(|&x| Ratio::from(x)).collect();
+            exact.append_row(&rr).unwrap();
+            modp.append_row_i64(row).unwrap();
+            prop_assert_eq!(modp.rank(), exact.rank());
+            prop_assert_eq!(modp.nullity(), exact.nullity());
+            prop_assert_eq!(modp.pivots(), exact.pivots());
+        }
+    }
+
+    #[test]
+    fn modp_tracker_extend_columns_matches_exact(
+        narrow in proptest::collection::vec(proptest::collection::vec(-1i64..=1, 3), 1..5),
+        wide in proptest::collection::vec(proptest::collection::vec(-1i64..=1, 9), 0..4),
+        f in 1usize..=3,
+    ) {
+        // Interleave appends with a Kronecker widening (the per-round
+        // column-growth step) and require agreement at every prefix of
+        // the mixed sequence.
+        let mut exact = KernelTracker::new(3);
+        let mut modp = ModpKernelTracker::new(3);
+        for row in &narrow {
+            let rr: Vec<Ratio> = row.iter().map(|&x| Ratio::from(x)).collect();
+            exact.append_row(&rr).unwrap();
+            modp.append_row_i64(row).unwrap();
+            prop_assert_eq!(modp.rank(), exact.rank());
+            prop_assert_eq!(modp.pivots(), exact.pivots());
+        }
+        exact.extend_columns(3).unwrap();
+        modp.extend_columns(3).unwrap();
+        prop_assert_eq!(modp.rank(), exact.rank());
+        prop_assert_eq!(modp.nullity(), exact.nullity());
+        prop_assert_eq!(modp.pivots(), exact.pivots());
+        for row in &wide {
+            let rr: Vec<Ratio> = row.iter().map(|&x| Ratio::from(x)).collect();
+            exact.append_row(&rr).unwrap();
+            modp.append_row_i64(row).unwrap();
+            prop_assert_eq!(modp.rank(), exact.rank());
+            prop_assert_eq!(modp.nullity(), exact.nullity());
+            prop_assert_eq!(modp.pivots(), exact.pivots());
+        }
+        // A second widening by a variable factor.
+        exact.extend_columns(f).unwrap();
+        modp.extend_columns(f).unwrap();
+        prop_assert_eq!(modp.rank(), exact.rank());
+        prop_assert_eq!(modp.nullity(), exact.nullity());
+        prop_assert_eq!(modp.pivots(), exact.pivots());
     }
 }

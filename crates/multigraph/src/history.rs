@@ -14,6 +14,7 @@
 
 use crate::label::LabelSet;
 use core::fmt;
+use std::collections::HashMap;
 
 /// Number of length-`len` histories over `k = 2` label sets, i.e. `3^len`.
 ///
@@ -232,6 +233,213 @@ impl core::str::FromStr for History {
     }
 }
 
+/// Handle to a history interned in a [`HistoryArena`].
+///
+/// Handles are 4 bytes, `Copy`, and O(1) to compare — but their numeric
+/// value depends on the order the arena first saw each history, so a
+/// handle is only meaningful together with the arena that produced it.
+/// Comparing or resolving a handle against a *different* arena is a
+/// logic error (the arena panics if the index is out of range and
+/// silently denotes some other history if it is not). Cross-arena
+/// comparisons must go through the canonical key
+/// ([`HistoryArena::masks`]) or the resolved [`History`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HistoryId(u32);
+
+impl HistoryId {
+    /// The handle of the empty history, in every arena.
+    pub const EMPTY: HistoryId = HistoryId(0);
+
+    /// The arena-local index of this handle.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct HistoryEntry {
+    parent: HistoryId,
+    last: Option<LabelSet>,
+    /// Full label-set mask sequence: the canonical, arena-independent key.
+    masks: Vec<u32>,
+    /// Cached [`History::ternary_index`]; `None` if some set is not a
+    /// `k = 2` set or the index overflows `usize`.
+    ternary: Option<usize>,
+    /// Cached [`History::sign`]; `None` if some set is not a `k = 2` set.
+    sign: Option<i64>,
+}
+
+/// A hash-consing arena for [`History`] values.
+///
+/// `simulate` produces one `(label, state)` delivery per edge per round;
+/// materialising the state as an owned [`History`] clones a growing
+/// label-set vector for every single delivery. The arena stores each
+/// *distinct* history once and hands out 4-byte [`HistoryId`] handles:
+/// extending a node's history by one round is a single hash-map probe
+/// ([`HistoryArena::child`]), and per-round queries the leader needs —
+/// length, ternary column index, kernel sign — are cached per entry, so
+/// reading them through a handle is O(1) instead of O(rounds).
+///
+/// # Examples
+///
+/// ```
+/// use anonet_multigraph::{History, HistoryArena, HistoryId, LabelSet};
+///
+/// let mut arena = HistoryArena::new();
+/// let root = HistoryArena::empty();
+/// let a = arena.child(root, LabelSet::L1);
+/// let b = arena.child(root, LabelSet::L1);
+/// assert_eq!(a, b); // hash-consed: same history, same handle
+/// let ab = arena.child(a, LabelSet::L12);
+/// assert_eq!(arena.resolve(ab), History::new(vec![LabelSet::L1, LabelSet::L12]));
+/// assert_eq!(arena.ternary_index(ab), 2); // cached, O(1)
+/// assert_eq!(arena.sign(ab), -1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HistoryArena {
+    entries: Vec<HistoryEntry>,
+    children: HashMap<(u32, u32), u32>,
+}
+
+impl Default for HistoryArena {
+    fn default() -> Self {
+        HistoryArena::new()
+    }
+}
+
+impl HistoryArena {
+    /// An arena holding only the empty history.
+    pub fn new() -> HistoryArena {
+        HistoryArena {
+            entries: vec![HistoryEntry {
+                parent: HistoryId::EMPTY,
+                last: None,
+                masks: Vec::new(),
+                ternary: Some(0),
+                sign: Some(1),
+            }],
+            children: HashMap::new(),
+        }
+    }
+
+    /// The handle of the empty history (valid in every arena).
+    pub fn empty() -> HistoryId {
+        HistoryId::EMPTY
+    }
+
+    /// Number of distinct histories interned so far (including the empty
+    /// one).
+    pub fn interned(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn entry(&self, id: HistoryId) -> &HistoryEntry {
+        &self.entries[id.index()]
+    }
+
+    /// The handle of `parent` extended by one round — interning it on
+    /// first sight, returning the existing handle afterwards.
+    pub fn child(&mut self, parent: HistoryId, next: LabelSet) -> HistoryId {
+        let key = (parent.0, next.mask());
+        if let Some(&id) = self.children.get(&key) {
+            return HistoryId(id);
+        }
+        let p = self.entry(parent);
+        let mut masks = Vec::with_capacity(p.masks.len() + 1);
+        masks.extend_from_slice(&p.masks);
+        masks.push(next.mask());
+        let is_k2 = next.mask() <= 0b11;
+        let (ternary, sign) = if is_k2 {
+            let digit = next.ternary_digit();
+            (
+                p.ternary
+                    .and_then(|t| t.checked_mul(3))
+                    .and_then(|t| t.checked_add(digit)),
+                p.sign.map(|s| if digit == 2 { -s } else { s }),
+            )
+        } else {
+            (None, None)
+        };
+        let id = u32::try_from(self.entries.len()).expect("arena handle space exhausted");
+        self.entries.push(HistoryEntry {
+            parent,
+            last: Some(next),
+            masks,
+            ternary,
+            sign,
+        });
+        self.children.insert(key, id);
+        HistoryId(id)
+    }
+
+    /// Interns an owned history, one round at a time.
+    pub fn intern(&mut self, h: &History) -> HistoryId {
+        h.sets()
+            .iter()
+            .fold(HistoryId::EMPTY, |id, &s| self.child(id, s))
+    }
+
+    /// Reconstructs the owned [`History`] behind a handle.
+    pub fn resolve(&self, id: HistoryId) -> History {
+        self.entry(id)
+            .masks
+            .iter()
+            .map(|&m| {
+                LabelSet::from_mask(m, crate::label::MAX_LABELS)
+                    .expect("arena masks are valid label sets")
+            })
+            .collect()
+    }
+
+    /// Number of recorded rounds of the history behind `id` — O(1).
+    pub fn history_len(&self, id: HistoryId) -> usize {
+        self.entry(id).masks.len()
+    }
+
+    /// The canonical key of the history behind `id`: its label-set mask
+    /// sequence, round 0 first. Lexicographic order on keys equals
+    /// [`History`]'s derived `Ord`, so keys compare and hash across
+    /// arenas.
+    pub fn masks(&self, id: HistoryId) -> &[u32] {
+        &self.entry(id).masks
+    }
+
+    /// The parent handle (all but the last round), or `None` for the
+    /// empty history.
+    pub fn parent(&self, id: HistoryId) -> Option<HistoryId> {
+        self.entry(id).last.map(|_| self.entry(id).parent)
+    }
+
+    /// The last round's label set, or `None` for the empty history.
+    pub fn last(&self, id: HistoryId) -> Option<LabelSet> {
+        self.entry(id).last
+    }
+
+    /// Cached [`History::ternary_index`] — O(1) per query instead of
+    /// O(rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some label set is not a `k = 2` set, mirroring
+    /// [`History::ternary_index`], or if the index overflows `usize`.
+    pub fn ternary_index(&self, id: HistoryId) -> usize {
+        self.entry(id)
+            .ternary
+            .expect("history is not a k = 2 ternary history (or its index overflows)")
+    }
+
+    /// Cached [`History::sign`] — O(1) per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some label set is not a `k = 2` set.
+    pub fn sign(&self, id: HistoryId) -> i64 {
+        self.entry(id)
+            .sign
+            .expect("history is not a k = 2 ternary history")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,5 +523,76 @@ mod tests {
     fn from_iterator() {
         let h: History = [LabelSet::L1, LabelSet::L2].into_iter().collect();
         assert_eq!(h.ternary_index(), 1);
+    }
+
+    #[test]
+    fn arena_hash_conses_and_resolves() {
+        let mut arena = HistoryArena::new();
+        assert_eq!(arena.interned(), 1);
+        let root = HistoryArena::empty();
+        assert_eq!(arena.resolve(root), History::empty());
+        assert_eq!(arena.history_len(root), 0);
+        assert_eq!(arena.parent(root), None);
+        assert_eq!(arena.last(root), None);
+
+        let a = arena.child(root, LabelSet::L1);
+        let b = arena.child(root, LabelSet::L1);
+        assert_eq!(a, b);
+        assert_eq!(arena.interned(), 2);
+
+        let ab = arena.child(a, LabelSet::L12);
+        assert_eq!(
+            arena.resolve(ab),
+            History::new(vec![LabelSet::L1, LabelSet::L12])
+        );
+        assert_eq!(arena.history_len(ab), 2);
+        assert_eq!(arena.parent(ab), Some(a));
+        assert_eq!(arena.last(ab), Some(LabelSet::L12));
+        assert_eq!(arena.masks(ab), &[0b01, 0b11]);
+    }
+
+    #[test]
+    fn arena_caches_agree_with_history_for_all_k2_histories() {
+        let mut arena = HistoryArena::new();
+        for len in 0..=4usize {
+            for idx in 0..3usize.pow(len as u32) {
+                let h = History::from_ternary_index(len, idx);
+                let id = arena.intern(&h);
+                assert_eq!(arena.resolve(id), h);
+                assert_eq!(arena.history_len(id), h.len());
+                assert_eq!(arena.ternary_index(id), h.ternary_index());
+                assert_eq!(arena.sign(id), h.sign());
+                // Interning again returns the same handle.
+                assert_eq!(arena.intern(&h), id);
+            }
+        }
+        assert_eq!(arena.interned(), 1 + 3 + 9 + 27 + 81);
+    }
+
+    #[test]
+    fn arena_key_order_matches_history_order() {
+        let mut arena = HistoryArena::new();
+        let mut pairs: Vec<(Vec<u32>, History)> = Vec::new();
+        for len in 0..=3usize {
+            for idx in 0..3usize.pow(len as u32) {
+                let h = History::from_ternary_index(len, idx);
+                let id = arena.intern(&h);
+                pairs.push((arena.masks(id).to_vec(), h));
+            }
+        }
+        let mut by_key = pairs.clone();
+        by_key.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut by_history = pairs;
+        by_history.sort_by(|a, b| a.1.cmp(&b.1));
+        assert_eq!(by_key, by_history);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a k = 2 ternary history")]
+    fn arena_ternary_index_rejects_wide_sets() {
+        let mut arena = HistoryArena::new();
+        let wide = LabelSet::from_labels(&[3], 3).unwrap();
+        let id = arena.child(HistoryArena::empty(), wide);
+        arena.ternary_index(id);
     }
 }

@@ -12,11 +12,11 @@
 //! [`solver`](crate::system::solve_census) and equal to the paper's
 //! constant-terms vector `m_r`.
 
-use crate::history::{ternary_count, History};
+use crate::history::{ternary_count, History, HistoryArena, HistoryId};
 use crate::multigraph::DblMultigraph;
 use anonet_trace::{RoundEvent, TraceSink};
 use core::fmt;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The leader's accumulated observations after some number of rounds, for
 /// any label budget `k`.
@@ -44,23 +44,37 @@ impl LeaderState {
     /// of the leader's state, Definition 7.
     ///
     /// Each round is ingested through
-    /// [`LeaderState::push_observation_round`], so the multigraph-level
-    /// and message-level paths share one accumulation routine.
+    /// [`LeaderState::push_counted_round`], so the multigraph-level and
+    /// message-level paths share one accumulation routine.
+    ///
+    /// Node histories are interned in a [`HistoryArena`]: the census is
+    /// accumulated on 4-byte `(label, handle)` keys — one hash-map probe
+    /// per edge — and each *distinct* `(label, history)` pair is resolved
+    /// into an owned [`History`] only once per round, instead of cloning a
+    /// growing history per edge per round.
     pub fn observe_with_sink<S: TraceSink>(
         m: &DblMultigraph,
         rounds: usize,
         sink: &mut S,
     ) -> LeaderState {
         let mut state = LeaderState::default();
+        let mut arena = HistoryArena::new();
+        let mut node_state: Vec<HistoryId> = vec![HistoryArena::empty(); m.nodes()];
         let mut distinct_pairs = 0u64;
         for r in 0..rounds {
-            state.push_observation_round((0..m.nodes()).flat_map(|node| {
-                let history = m.node_history(node, r);
-                m.label_set(r, node)
-                    .iter()
-                    .map(move |label| (label, history.clone()))
-                    .collect::<Vec<_>>()
-            }));
+            let mut counts: HashMap<(u8, HistoryId), u64> = HashMap::new();
+            for (node, st) in node_state.iter_mut().enumerate() {
+                let set = m.label_set(r, node);
+                for label in set.iter() {
+                    *counts.entry((label, *st)).or_insert(0) += 1;
+                }
+                *st = arena.child(*st, set);
+            }
+            state.push_counted_round(
+                counts
+                    .into_iter()
+                    .map(|((label, id), mult)| ((label, arena.resolve(id)), mult)),
+            );
             let c = &state.rounds[r];
             distinct_pairs += c.len() as u64;
             sink.record(
@@ -77,9 +91,18 @@ impl LeaderState {
     /// message-level path used by [`crate::simulate`]; equivalent to what
     /// [`LeaderState::observe`] derives from the multigraph directly.
     pub fn push_observation_round(&mut self, items: impl IntoIterator<Item = (u8, History)>) {
+        self.push_counted_round(items.into_iter().map(|pair| (pair, 1)));
+    }
+
+    /// Appends one round of `(label, state)` observations with explicit
+    /// multiplicities, merging duplicate keys.
+    pub fn push_counted_round(
+        &mut self,
+        items: impl IntoIterator<Item = ((u8, History), u64)>,
+    ) {
         let mut c: BTreeMap<(u8, History), u64> = BTreeMap::new();
-        for (label, history) in items {
-            *c.entry((label, history)).or_insert(0) += 1;
+        for (key, mult) in items {
+            *c.entry(key).or_insert(0) += mult;
         }
         self.rounds.push(c);
     }

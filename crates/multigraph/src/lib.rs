@@ -54,7 +54,7 @@ pub mod system_k;
 pub mod transform;
 
 pub use census::{Census, CensusError};
-pub use history::{ternary_count, History, ParseHistoryError};
+pub use history::{ternary_count, History, HistoryArena, HistoryId, ParseHistoryError};
 pub use label::{LabelError, LabelSet, MAX_LABELS};
 pub use leader::{LeaderState, ObservationError, Observations, ObservationStream};
 pub use multigraph::{DblError, DblMultigraph};

@@ -15,7 +15,7 @@
 //!
 //! [`KernelCounting`]: https://docs.rs/anonet-core
 
-use crate::history::{ternary_count, History};
+use crate::history::{ternary_count, HistoryArena, HistoryId};
 use crate::leader::LeaderState;
 use crate::multigraph::DblMultigraph;
 use crate::system::{AffineCensus, IncrementalSolver};
@@ -23,56 +23,66 @@ use core::fmt;
 
 /// One message delivered to the leader: the edge label it arrived on plus
 /// the sender's state history (anonymous — no sender identity).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+///
+/// The state is a 4-byte [`HistoryId`] handle into the owning
+/// [`Execution`]'s [`HistoryArena`]; resolve it with
+/// [`HistoryArena::resolve`] when the owned [`History`](crate::History) is
+/// needed. Keeping
+/// deliveries handle-sized is what lets [`simulate`] emit one message per
+/// edge per round without cloning a growing label-set vector each time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Delivery {
     /// The label of the edge the message used (the receiver learns it on
     /// receipt, per §4.1).
     pub label: u8,
-    /// The sender's state `S(v, r)` — its label-set history so far.
-    pub state: History,
+    /// The sender's state `S(v, r)` — a handle to its label-set history
+    /// so far.
+    pub state: HistoryId,
 }
 
 /// The per-round deliveries of a full execution.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the *resolved* histories (label plus canonical mask
+/// sequence), never the raw handles — two executions produced by
+/// different arenas are equal iff a leader reading the messages could not
+/// tell them apart (see the `deliveries_are_anonymous` test).
+#[derive(Debug, Clone)]
 pub struct Execution {
+    /// The arena interning every state history of this execution.
+    pub arena: HistoryArena,
     /// `rounds[r]` holds every message the leader received in round `r`,
-    /// sorted (the multiset order carries no information).
+    /// sorted by `(label, history)` (the multiset order carries no
+    /// information).
     pub rounds: Vec<Vec<Delivery>>,
 }
+
+impl PartialEq for Execution {
+    fn eq(&self, other: &Execution) -> bool {
+        self.rounds.len() == other.rounds.len()
+            && self.rounds.iter().zip(&other.rounds).all(|(a, b)| {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| {
+                        x.label == y.label
+                            && self.arena.masks(x.state) == other.arena.masks(y.state)
+                    })
+            })
+    }
+}
+
+impl Eq for Execution {}
 
 impl Execution {
     /// Reconstructs the leader state from the raw deliveries.
     pub fn leader_state(&self) -> LeaderState {
-        let mut state = LeaderStateBuilder::new();
-        for round in &self.rounds {
-            state.push_round(round);
-        }
-        state.finish()
-    }
-}
-
-/// Incremental builder mirroring Definition 7.
-struct LeaderStateBuilder {
-    rounds: Vec<Vec<Delivery>>,
-}
-
-impl LeaderStateBuilder {
-    fn new() -> Self {
-        LeaderStateBuilder { rounds: Vec::new() }
-    }
-
-    fn push_round(&mut self, deliveries: &[Delivery]) {
-        let mut sorted = deliveries.to_vec();
-        sorted.sort();
-        self.rounds.push(sorted);
-    }
-
-    fn finish(self) -> LeaderState {
         // LeaderState is defined by counts; rebuild through a synthetic
         // multigraph-free path: count (label, history) pairs per round.
         let mut ls = LeaderState::default();
         for round in &self.rounds {
-            ls.push_observation_round(round.iter().map(|d| (d.label, d.state.clone())));
+            ls.push_observation_round(
+                round
+                    .iter()
+                    .map(|d| (d.label, self.arena.resolve(d.state))),
+            );
         }
         ls
     }
@@ -86,8 +96,14 @@ impl LeaderStateBuilder {
 /// 2. the leader receives one `(label, state)` pair per edge;
 /// 3. every non-leader node appends its (just learned) label set to its
 ///    state.
+///
+/// States are hash-consed in the returned execution's [`HistoryArena`]:
+/// each delivery carries a 4-byte handle, and extending a node's history
+/// in the receive phase is a single arena probe instead of a
+/// clone-and-push of the full label-set vector.
 pub fn simulate(m: &DblMultigraph, rounds: usize) -> Execution {
-    let mut states: Vec<History> = vec![History::empty(); m.nodes()];
+    let mut arena = HistoryArena::new();
+    let mut states: Vec<HistoryId> = vec![HistoryArena::empty(); m.nodes()];
     let mut out = Vec::with_capacity(rounds);
     for r in 0..rounds {
         let mut deliveries = Vec::with_capacity(m.edge_count(r));
@@ -97,21 +113,25 @@ pub fn simulate(m: &DblMultigraph, rounds: usize) -> Execution {
             for label in set.iter() {
                 deliveries.push(Delivery {
                     label,
-                    state: states[node].clone(),
+                    state: states[node],
                 });
             }
         }
-        deliveries.sort();
+        // Canonical (label, history) order — handle values are
+        // arena-creation order, so sort through the canonical keys.
+        deliveries.sort_by(|a, b| {
+            (a.label, arena.masks(a.state)).cmp(&(b.label, arena.masks(b.state)))
+        });
         out.push(deliveries);
         // Receive phase: each node learns the labels of the edges it was
         // given this round and appends them to its state.
         #[allow(clippy::needless_range_loop)] // node indexes the multigraph, not just `states`
         for node in 0..m.nodes() {
             let set = m.label_set(r, node);
-            states[node] = states[node].child(set);
+            states[node] = arena.child(states[node], set);
         }
     }
-    Execution { rounds: out }
+    Execution { arena, rounds: out }
 }
 
 /// Errors of the online leader.
@@ -165,7 +185,7 @@ impl std::error::Error for OnlineError {}
 /// let mut leader = OnlineLeader::new();
 /// let mut decided = None;
 /// for (r, round) in exec.rounds.iter().enumerate() {
-///     if let Some(count) = leader.ingest(round)? {
+///     if let Some(count) = leader.ingest(&exec.arena, round)? {
 ///         decided = Some((r, count));
 ///         break;
 ///     }
@@ -202,23 +222,32 @@ impl OnlineLeader {
     /// Ingests one round of deliveries and returns the count if the
     /// accumulated observations now admit a unique census.
     ///
+    /// `arena` must be the arena that produced the deliveries' state
+    /// handles (for executions from [`simulate`], `exec.arena`). State
+    /// length and ternary column index are cached per arena entry, so
+    /// each delivery costs O(1) here instead of O(round).
+    ///
     /// # Errors
     ///
     /// Returns [`OnlineError`] for malformed deliveries (wrong label range
     /// or state length).
-    pub fn ingest(&mut self, deliveries: &[Delivery]) -> Result<Option<u64>, OnlineError> {
+    pub fn ingest(
+        &mut self,
+        arena: &HistoryArena,
+        deliveries: &[Delivery],
+    ) -> Result<Option<u64>, OnlineError> {
         let round = self.solver.levels();
         let width = ternary_count(round);
         let mut al = vec![0i64; width];
         let mut bl = vec![0i64; width];
         for d in deliveries {
-            if d.state.len() != round {
+            if arena.history_len(d.state) != round {
                 return Err(OnlineError::BadStateLength {
                     round,
-                    got: d.state.len(),
+                    got: arena.history_len(d.state),
                 });
             }
-            let idx = d.state.ternary_index();
+            let idx = arena.ternary_index(d.state);
             match d.label {
                 1 => al[idx] += 1,
                 2 => bl[idx] += 1,
@@ -277,9 +306,29 @@ mod tests {
         assert_eq!(exec.leader_state(), LeaderState::observe(&m, 3));
         // Round 0: 4 edges; states all empty.
         assert_eq!(exec.rounds[0].len(), m.edge_count(0));
-        assert!(exec.rounds[0].iter().all(|d| d.state.is_empty()));
+        assert!(exec.rounds[0]
+            .iter()
+            .all(|d| exec.arena.history_len(d.state) == 0));
         // Round 1 states have length 1.
-        assert!(exec.rounds[1].iter().all(|d| d.state.len() == 1));
+        assert!(exec.rounds[1]
+            .iter()
+            .all(|d| exec.arena.history_len(d.state) == 1));
+    }
+
+    #[test]
+    fn execution_interns_distinct_histories_once() {
+        // n nodes with identical schedules share one handle per round, so
+        // the arena stays tiny no matter how many deliveries flow.
+        let m = Census::from_counts(vec![0, 0, 5]).unwrap().realize().unwrap();
+        let exec = simulate(&m, 4);
+        // Per round every non-leader node has the same history: at most
+        // one new entry per round beyond the root.
+        assert!(exec.arena.interned() <= 1 + 4);
+        for round in &exec.rounds {
+            let mut states: Vec<_> = round.iter().map(|d| d.state).collect();
+            states.dedup();
+            assert_eq!(states.len(), 1, "identical nodes share one handle");
+        }
     }
 
     #[test]
@@ -290,7 +339,7 @@ mod tests {
             let mut leader = OnlineLeader::new();
             let mut decided_at = None;
             for (r, round) in exec.rounds.iter().enumerate() {
-                if let Some(count) = leader.ingest(round).unwrap() {
+                if let Some(count) = leader.ingest(&exec.arena, round).unwrap() {
                     decided_at = Some((r as u32 + 1, count));
                     break;
                 }
@@ -309,7 +358,7 @@ mod tests {
         let mut leader = OnlineLeader::new();
         let mut prev: Option<(i64, i64)> = None;
         for round in &exec.rounds {
-            if leader.ingest(round).unwrap().is_some() {
+            if leader.ingest(&exec.arena, round).unwrap().is_some() {
                 break;
             }
             let cand = leader.candidates().unwrap();
@@ -323,22 +372,23 @@ mod tests {
 
     #[test]
     fn online_rejects_malformed_deliveries() {
+        let mut arena = HistoryArena::new();
         let mut leader = OnlineLeader::new();
         let bad_label = vec![Delivery {
             label: 3,
-            state: History::empty(),
+            state: HistoryArena::empty(),
         }];
         assert_eq!(
-            leader.ingest(&bad_label),
+            leader.ingest(&arena, &bad_label),
             Err(OnlineError::BadLabel { label: 3 })
         );
         let mut leader = OnlineLeader::new();
         let bad_len = vec![Delivery {
             label: 1,
-            state: History::new(vec![LabelSet::L1]),
+            state: arena.child(HistoryArena::empty(), LabelSet::L1),
         }];
         assert!(matches!(
-            leader.ingest(&bad_len),
+            leader.ingest(&arena, &bad_len),
             Err(OnlineError::BadStateLength { round: 0, got: 1 })
         ));
     }
@@ -353,15 +403,15 @@ mod tests {
         let mut leader = OnlineLeader::new();
         // Deliver round 0 intact, then round 1 with a quarter of the
         // messages dropped.
-        leader.ingest(&exec.rounds[0]).unwrap();
+        leader.ingest(&exec.arena, &exec.rounds[0]).unwrap();
         let dropped: Vec<Delivery> = exec.rounds[1]
             .iter()
             .enumerate()
             .filter(|(i, _)| i % 4 != 0)
-            .map(|(_, d)| d.clone())
+            .map(|(_, d)| *d)
             .collect();
         assert!(dropped.len() < exec.rounds[1].len());
-        let outcome = leader.ingest(&dropped).unwrap();
+        let outcome = leader.ingest(&exec.arena, &dropped).unwrap();
         // Either the system became infeasible (detected corruption) or the
         // surviving messages were coincidentally consistent — in which case
         // any produced count must disagree with reality only by reporting
@@ -388,11 +438,11 @@ mod tests {
             .unwrap();
         let exec = simulate(&m, 1);
         let mut honest = OnlineLeader::new();
-        honest.ingest(&exec.rounds[0]).unwrap();
+        honest.ingest(&exec.arena, &exec.rounds[0]).unwrap();
         let mut duped = OnlineLeader::new();
         let mut round = exec.rounds[0].clone();
         round.extend(exec.rounds[0].clone());
-        duped.ingest(&round).unwrap();
+        duped.ingest(&exec.arena, &round).unwrap();
         let (hlo, hhi) = honest.candidates().unwrap();
         let (dlo, dhi) = duped.candidates().unwrap();
         assert!(dlo > hlo && dhi > hhi, "duplicates inflate the estimate");

@@ -17,7 +17,7 @@
 
 use crate::history::ternary_count;
 use crate::leader::Observations;
-use anonet_linalg::{KernelTracker, LinalgError, SparseIntMatrix};
+use anonet_linalg::{KernelTracker, LinalgError, ModpKernelTracker, SolverBackend, SparseIntMatrix};
 use core::fmt;
 
 /// Number of columns of `M_r`: all length-`r+1` histories, `3^{r+1}`.
@@ -462,6 +462,16 @@ impl IncrementalSolver {
 /// `gauss::rref` of [`observation_matrix`]`(r)` — which makes this an
 /// executable, per-round proof of Lemma 2 (`dim ker M_r = 1`).
 ///
+/// A [`SolverBackend`] chooses the arithmetic: the default
+/// [`SolverBackend::Exact`] maintains the checked-integer
+/// [`KernelTracker`]; [`SolverBackend::ModpCertified`]
+/// ([`ObservationKernel::with_backend`]) maintains a
+/// [`ModpKernelTracker`] over `p = 2^62 − 57` instead — single-word
+/// arithmetic, no gcds — and defers exactness to a one-shot
+/// [`certify`](ObservationKernel::certify) replay at decision time.
+/// Both backends report the same rank/nullity on every `M_r` (the
+/// cross-oracle tests pin this); only the cost differs.
+///
 /// # Examples
 ///
 /// ```
@@ -472,11 +482,21 @@ impl IncrementalSolver {
 /// ok.push_round()?; // M_1
 /// assert_eq!(ok.nullity(), 1); // Lemma 2
 /// assert_eq!(ok.kernel_vector()?, system::kernel_vector(1)); // Lemma 3
+///
+/// // The mod-p fast path watches the same nullity, then certifies.
+/// use anonet_linalg::SolverBackend;
+/// let mut fast = ObservationKernel::with_backend(SolverBackend::ModpCertified);
+/// fast.push_round()?;
+/// fast.push_round()?;
+/// assert_eq!(fast.nullity(), 1);
+/// assert_eq!(fast.certify()?, 1); // exact replay agrees
 /// # Ok::<(), anonet_linalg::LinalgError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct ObservationKernel {
-    tracker: KernelTracker,
+    backend: SolverBackend,
+    exact: Option<KernelTracker>,
+    modp: Option<ModpKernelTracker>,
     rounds: usize,
 }
 
@@ -488,12 +508,29 @@ impl Default for ObservationKernel {
 
 impl ObservationKernel {
     /// A tracker over zero observed rounds (one unknown — the population
-    /// over the empty history — and no constraints).
+    /// over the empty history — and no constraints), on the exact
+    /// backend.
     pub fn new() -> ObservationKernel {
+        ObservationKernel::with_backend(SolverBackend::Exact)
+    }
+
+    /// A tracker over zero observed rounds on the chosen backend.
+    pub fn with_backend(backend: SolverBackend) -> ObservationKernel {
+        let (exact, modp) = match backend {
+            SolverBackend::Exact => (Some(KernelTracker::new(1)), None),
+            SolverBackend::ModpCertified => (None, Some(ModpKernelTracker::new(1))),
+        };
         ObservationKernel {
-            tracker: KernelTracker::new(1),
+            backend,
+            exact,
+            modp,
             rounds: 0,
         }
+    }
+
+    /// The backend this kernel was constructed with.
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
     }
 
     /// Number of observed rounds; the tracked matrix is
@@ -511,15 +548,24 @@ impl ObservationKernel {
     /// (`3^{r+1}` exceeding `usize`). The 0/1 rows themselves can never
     /// overflow the integer elimination path.
     pub fn push_round(&mut self) -> Result<(), LinalgError> {
-        self.tracker.extend_columns(3)?;
+        if let Some(t) = &mut self.exact {
+            t.extend_columns(3)?;
+        }
+        if let Some(t) = &mut self.modp {
+            t.extend_columns(3)?;
+        }
         let prefixes = ternary_count(self.rounds);
-        let cols = self.tracker.cols();
-        let mut row = vec![0i64; cols];
+        let mut row = vec![0i64; prefixes * 3];
         for j in 0..2usize {
             for p in 0..prefixes {
                 row[p * 3 + j] = 1;
                 row[p * 3 + 2] = 1;
-                self.tracker.append_row_i64(&row)?;
+                if let Some(t) = &mut self.exact {
+                    t.append_row_i64(&row)?;
+                }
+                if let Some(t) = &mut self.modp {
+                    t.append_row_i64(&row)?;
+                }
                 row[p * 3 + j] = 0;
                 row[p * 3 + 2] = 0;
             }
@@ -531,17 +577,67 @@ impl ObservationKernel {
     /// Rank of `M_{rounds-1}` (equals its row count: the rows are
     /// independent).
     pub fn rank(&self) -> usize {
-        self.tracker.rank()
+        match (&self.exact, &self.modp) {
+            (Some(t), _) => t.rank(),
+            (None, Some(t)) => t.rank(),
+            (None, None) => unreachable!("one tracker always present"),
+        }
     }
 
     /// Verified kernel dimension — `1` at every round (Lemma 2).
     pub fn nullity(&self) -> usize {
-        self.tracker.nullity()
+        match (&self.exact, &self.modp) {
+            (Some(t), _) => t.nullity(),
+            (None, Some(t)) => t.nullity(),
+            (None, None) => unreachable!("one tracker always present"),
+        }
     }
 
-    /// The underlying tracker (for echelon / rational-kernel queries).
+    /// Exact kernel dimension of the current `M_{rounds-1}`, regardless
+    /// of backend.
+    ///
+    /// On [`SolverBackend::Exact`] this is [`nullity`](Self::nullity);
+    /// on [`SolverBackend::ModpCertified`] it replays the full exact
+    /// elimination from scratch — the one-shot second tier of the
+    /// certification protocol, paid only at the candidate decision
+    /// round. The caller compares it against the mod-p
+    /// [`nullity`](Self::nullity) before trusting the output.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`push_round`](Self::push_round).
+    pub fn certify(&self) -> Result<usize, LinalgError> {
+        match self.backend {
+            SolverBackend::Exact => Ok(self.nullity()),
+            SolverBackend::ModpCertified => {
+                let mut exact = ObservationKernel::new();
+                for _ in 0..self.rounds {
+                    exact.push_round()?;
+                }
+                Ok(exact.nullity())
+            }
+        }
+    }
+
+    /// The underlying exact tracker (for echelon / rational-kernel
+    /// queries).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`SolverBackend::ModpCertified`] backend, which
+    /// maintains no exact echelon (use
+    /// [`certify`](Self::certify) / [`modp_tracker`](Self::modp_tracker)
+    /// there).
     pub fn tracker(&self) -> &KernelTracker {
-        &self.tracker
+        self.exact
+            .as_ref()
+            .expect("exact tracker is only maintained on SolverBackend::Exact")
+    }
+
+    /// The underlying mod-p tracker, when on
+    /// [`SolverBackend::ModpCertified`].
+    pub fn modp_tracker(&self) -> Option<&ModpKernelTracker> {
+        self.modp.as_ref()
     }
 
     /// The verified integer kernel vector, sign-normalized so the
@@ -558,9 +654,11 @@ impl ObservationKernel {
     /// # Panics
     ///
     /// Panics if the kernel is not one-dimensional — which would refute
-    /// Lemma 2.
+    /// Lemma 2 — or on the [`SolverBackend::ModpCertified`] backend
+    /// (which keeps no exact echelon; see
+    /// [`tracker`](Self::tracker)).
     pub fn kernel_vector(&self) -> Result<Vec<i64>, LinalgError> {
-        let basis = self.tracker.kernel_basis_integer()?;
+        let basis = self.tracker().kernel_basis_integer()?;
         assert_eq!(basis.len(), 1, "dim ker M_r = 1 (Lemma 2)");
         let v = &basis[0];
         let sign = v.iter().find(|&&x| x != 0).map_or(1, |&x| x.signum());
@@ -842,6 +940,35 @@ mod tests {
             let batch_kernel = gauss::kernel_basis(&dense).unwrap();
             assert_eq!(ok.tracker().kernel_basis().unwrap(), batch_kernel);
         }
+    }
+
+    #[test]
+    fn modp_backend_agrees_with_exact_per_round() {
+        let mut exact = ObservationKernel::new();
+        let mut fast = ObservationKernel::with_backend(SolverBackend::ModpCertified);
+        assert_eq!(fast.backend(), SolverBackend::ModpCertified);
+        assert_eq!(fast.nullity(), 1);
+        for r in 0..4usize {
+            exact.push_round().unwrap();
+            fast.push_round().unwrap();
+            assert_eq!(fast.rank(), exact.rank(), "mod-p rank at r={r}");
+            assert_eq!(fast.nullity(), 1, "mod-p Lemma 2 at r={r}");
+            assert_eq!(
+                fast.modp_tracker().unwrap().pivots(),
+                exact.tracker().pivots(),
+                "pivot columns at r={r}"
+            );
+        }
+        // Tier two: the exact replay certifies the final answer.
+        assert_eq!(fast.certify().unwrap(), 1);
+        assert_eq!(exact.certify().unwrap(), exact.nullity());
+    }
+
+    #[test]
+    #[should_panic(expected = "exact tracker is only maintained")]
+    fn modp_backend_has_no_exact_tracker() {
+        let fast = ObservationKernel::with_backend(SolverBackend::ModpCertified);
+        let _ = fast.tracker();
     }
 
     #[test]

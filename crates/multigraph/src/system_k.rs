@@ -19,7 +19,7 @@
 use crate::history::History;
 use crate::label::LabelSet;
 use crate::multigraph::DblMultigraph;
-use anonet_linalg::{KernelTracker, LinalgError, SparseIntMatrix};
+use anonet_linalg::{KernelTracker, LinalgError, ModpKernelTracker, SolverBackend, SparseIntMatrix};
 use core::fmt;
 
 /// The observation system builder for a given label budget `k`.
@@ -279,7 +279,9 @@ impl GeneralSystem {
 #[derive(Debug, Clone)]
 pub struct GeneralObservationKernel {
     sys: GeneralSystem,
-    tracker: KernelTracker,
+    backend: SolverBackend,
+    exact: Option<KernelTracker>,
+    modp: Option<ModpKernelTracker>,
     rounds: usize,
 }
 
@@ -293,10 +295,23 @@ impl GeneralObservationKernel {
         &self.sys
     }
 
+    /// The backend this kernel was constructed with.
+    pub fn backend(&self) -> SolverBackend {
+        self.backend
+    }
+
     /// Number of observed rounds; the tracked matrix is
     /// `M_{rounds-1}^{(k)}` (none for zero rounds).
     pub fn rounds(&self) -> usize {
         self.rounds
+    }
+
+    fn cols(&self) -> usize {
+        match (&self.exact, &self.modp) {
+            (Some(t), _) => t.cols(),
+            (None, Some(t)) => t.cols(),
+            (None, None) => unreachable!("one tracker always present"),
+        }
     }
 
     /// Ingests the next round: refines every history into its `q`
@@ -310,13 +325,17 @@ impl GeneralObservationKernel {
     pub fn push_round(&mut self) -> Result<(), SystemKError> {
         let q = self.sys.q();
         let new_cols = self
-            .tracker
             .cols()
             .checked_mul(q)
             .filter(|&c| c <= Self::MAX_COLUMNS)
             .ok_or(SystemKError::TooLarge)?;
-        self.tracker.extend_columns(q)?;
-        debug_assert_eq!(self.tracker.cols(), new_cols);
+        if let Some(t) = &mut self.exact {
+            t.extend_columns(q)?;
+        }
+        if let Some(t) = &mut self.modp {
+            t.extend_columns(q)?;
+        }
+        debug_assert_eq!(self.cols(), new_cols);
         let prefixes = q.pow(self.rounds as u32);
         let mut row = vec![0i64; new_cols];
         for j in 1..=self.sys.k() {
@@ -326,7 +345,12 @@ impl GeneralObservationKernel {
                         row[p * q + digit] = 1;
                     }
                 }
-                self.tracker.append_row_i64(&row)?;
+                if let Some(t) = &mut self.exact {
+                    t.append_row_i64(&row)?;
+                }
+                if let Some(t) = &mut self.modp {
+                    t.append_row_i64(&row)?;
+                }
                 for x in &mut row[p * q..(p + 1) * q] {
                     *x = 0;
                 }
@@ -338,7 +362,11 @@ impl GeneralObservationKernel {
 
     /// Verified rank of `M_{rounds-1}^{(k)}`.
     pub fn rank(&self) -> usize {
-        self.tracker.rank()
+        match (&self.exact, &self.modp) {
+            (Some(t), _) => t.rank(),
+            (None, Some(t)) => t.rank(),
+            (None, None) => unreachable!("one tracker always present"),
+        }
     }
 
     /// Verified kernel dimension — matching
@@ -346,22 +374,74 @@ impl GeneralObservationKernel {
     /// rows are independent (every `k ≥ 2`; for `k = 1` the repeated
     /// constraint rows are dependent and the nullity stays 0).
     pub fn nullity(&self) -> usize {
-        self.tracker.nullity()
+        self.cols() - self.rank()
     }
 
-    /// The underlying tracker (for echelon / kernel-basis queries).
+    /// Exact kernel dimension of the current matrix, regardless of
+    /// backend: the identity on [`SolverBackend::Exact`], a one-shot
+    /// exact replay on [`SolverBackend::ModpCertified`] — the second
+    /// tier of the certification protocol, paid only at the candidate
+    /// decision round.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`push_round`](Self::push_round).
+    pub fn certify(&self) -> Result<usize, SystemKError> {
+        match self.backend {
+            SolverBackend::Exact => Ok(self.nullity()),
+            SolverBackend::ModpCertified => {
+                let mut exact = self.sys.observation_kernel();
+                for _ in 0..self.rounds {
+                    exact.push_round()?;
+                }
+                Ok(exact.nullity())
+            }
+        }
+    }
+
+    /// The underlying exact tracker (for echelon / kernel-basis
+    /// queries).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`SolverBackend::ModpCertified`] backend, which
+    /// maintains no exact echelon (use [`certify`](Self::certify) /
+    /// [`modp_tracker`](Self::modp_tracker) there).
     pub fn tracker(&self) -> &KernelTracker {
-        &self.tracker
+        self.exact
+            .as_ref()
+            .expect("exact tracker is only maintained on SolverBackend::Exact")
+    }
+
+    /// The underlying mod-p tracker, when on
+    /// [`SolverBackend::ModpCertified`].
+    pub fn modp_tracker(&self) -> Option<&ModpKernelTracker> {
+        self.modp.as_ref()
     }
 }
 
 impl GeneralSystem {
     /// Starts incremental kernel maintenance for this system at zero
-    /// observed rounds.
+    /// observed rounds, on the exact backend.
     pub fn observation_kernel(&self) -> GeneralObservationKernel {
+        self.observation_kernel_with_backend(SolverBackend::Exact)
+    }
+
+    /// Starts incremental kernel maintenance on the chosen
+    /// [`SolverBackend`].
+    pub fn observation_kernel_with_backend(
+        &self,
+        backend: SolverBackend,
+    ) -> GeneralObservationKernel {
+        let (exact, modp) = match backend {
+            SolverBackend::Exact => (Some(KernelTracker::new(1)), None),
+            SolverBackend::ModpCertified => (None, Some(ModpKernelTracker::new(1))),
+        };
         GeneralObservationKernel {
             sys: *self,
-            tracker: KernelTracker::new(1),
+            backend,
+            exact,
+            modp,
             rounds: 0,
         }
     }
@@ -581,6 +661,31 @@ mod tests {
                     "k={k} r={r}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn modp_general_kernel_agrees_with_exact() {
+        for k in [1u8, 2, 3, 4] {
+            let sys = GeneralSystem::new(k).unwrap();
+            let mut exact = sys.observation_kernel();
+            let mut fast = sys.observation_kernel_with_backend(SolverBackend::ModpCertified);
+            assert_eq!(fast.backend(), SolverBackend::ModpCertified);
+            let max_r = if k <= 2 { 3 } else { 1 };
+            for r in 0..=max_r {
+                exact.push_round().unwrap();
+                fast.push_round().unwrap();
+                assert_eq!(fast.rank(), exact.rank(), "k={k} r={r}");
+                assert_eq!(fast.nullity(), exact.nullity(), "k={k} r={r}");
+                assert_eq!(
+                    fast.modp_tracker().unwrap().pivots(),
+                    exact.tracker().pivots(),
+                    "k={k} r={r}"
+                );
+            }
+            // Second tier: one exact replay certifies the final nullity.
+            assert_eq!(fast.certify().unwrap(), exact.nullity(), "k={k}");
+            assert_eq!(exact.certify().unwrap(), exact.nullity(), "k={k}");
         }
     }
 

@@ -137,7 +137,7 @@ proptest! {
         // The online leader's solution line equals the batch solution.
         let mut leader = OnlineLeader::new();
         for round in &exec.rounds {
-            let _ = leader.ingest(round).unwrap();
+            let _ = leader.ingest(&exec.arena, round).unwrap();
         }
         let obs = Observations::observe(&m, rounds).unwrap();
         let batch = solve_census(&obs).unwrap();

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exec = simulate(&pair.smaller, pair.horizon as usize + 4);
     let mut leader = OnlineLeader::new();
     for (r, round) in exec.rounds.iter().enumerate() {
-        let decided = leader.ingest(round)?;
+        let decided = leader.ingest(&exec.arena, round)?;
         let (lo, hi) = leader.candidates().expect("real executions are feasible");
         let distinct = {
             let mut d = round.clone();

@@ -24,13 +24,17 @@ fi
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
-echo "==> fixed-seed incremental-vs-batch proptests"
+echo "==> fixed-seed incremental-vs-batch + mod-p proptests"
 cargo test -p anonet-linalg --test proptests --quiet
 
+echo "==> cargo bench --no-run (criterion groups must compile)"
+cargo bench --workspace --no-run --quiet
+
 if [[ $fast -eq 0 ]]; then
-    echo "==> BENCH_linalg schema smoke (exp_linalg_scaling --smoke)"
+    echo "==> BENCH schema smokes (exp_linalg_scaling / exp_modp_scaling --smoke)"
     cargo build --release -p anonet-bench --quiet
     target/release/exp_linalg_scaling --smoke >/dev/null
+    target/release/exp_modp_scaling --smoke >/dev/null
 fi
 
 if [[ $fast -eq 0 ]]; then

@@ -58,7 +58,7 @@ fn online_leader_vs_all_adversaries() {
             let mut leader = OnlineLeader::new();
             let mut decided = None;
             for round in &exec.rounds {
-                if let Some(count) = leader.ingest(round).unwrap() {
+                if let Some(count) = leader.ingest(&exec.arena, round).unwrap() {
                     decided = Some(count);
                     break;
                 }

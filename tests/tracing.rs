@@ -134,6 +134,54 @@ fn all_counting_oracles_agree_on_seeded_instances() {
 }
 
 #[test]
+fn modp_certified_backend_is_byte_identical_to_exact() {
+    // 50 seeded random G(DBL)_2 instances. The two-tier mod-p backend
+    // must reproduce the exact backend's outcome, candidate trace, and
+    // event stream byte for byte: the modular watcher only accelerates
+    // the per-round rank updates, and the decision round is re-certified
+    // with exact arithmetic before it is announced.
+    use anonet::linalg::SolverBackend;
+    for seed in 0..50u64 {
+        let n = 1 + seed % 12;
+        let budget = bounds::counting_rounds_lower_bound(n) + 2;
+        let m = RandomDblAdversary::new(StdRng::seed_from_u64(seed))
+            .generate(n, budget as usize)
+            .unwrap();
+
+        let mut exact_sink = MemorySink::new();
+        let (exact, exact_trace) = KernelCounting::new()
+            .run_with_sink(&m, budget, &mut exact_sink)
+            .unwrap_or_else(|e| panic!("seed={seed} n={n}: {e}"));
+
+        let mut modp_sink = MemorySink::new();
+        let (modp, modp_trace) = KernelCounting::new()
+            .with_backend(SolverBackend::ModpCertified)
+            .run_with_sink(&m, budget, &mut modp_sink)
+            .unwrap_or_else(|e| panic!("seed={seed} n={n} (modp): {e}"));
+
+        assert_eq!(modp, exact, "seed={seed}: outcome must not depend on backend");
+        assert_eq!(
+            modp_trace.candidate_ranges, exact_trace.candidate_ranges,
+            "seed={seed}: candidate trace must not depend on backend"
+        );
+        assert_eq!(
+            modp_sink.events(),
+            exact_sink.events(),
+            "seed={seed}: event stream must not depend on backend"
+        );
+
+        if n <= 6 {
+            let exact_general = GeneralKCounting::new(5_000_000).run(&m, budget).unwrap();
+            let modp_general = GeneralKCounting::new(5_000_000)
+                .with_backend(SolverBackend::ModpCertified)
+                .run(&m, budget)
+                .unwrap();
+            assert_eq!(modp_general, exact_general, "seed={seed}: general-k backend");
+        }
+    }
+}
+
+#[test]
 fn custom_sinks_compose_with_the_simulator() {
     // A user-written sink: counts events, proving the trait is open.
     struct Counter(u32);
