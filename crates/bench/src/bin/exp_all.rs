@@ -2,7 +2,10 @@
 //! corollary and baseline) on the parallel grid runner and prints the
 //! paper-style tables. Results are identical for every thread count.
 //!
-//! Usage: `cargo run --release -p anonet-bench --bin exp_all [--quick] [--json] [--csv] [--threads N]`
+//! Usage: `cargo run --release -p anonet-bench --bin exp_all [--quick] [--json] [--csv] [--threads N] [--checkpoint PATH [--resume]]`
+//!
+//! Crash-safe flags (checkpoint/resume, fault injection) are shared by
+//! every experiment binary — see `docs/RUNNER.md`.
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");

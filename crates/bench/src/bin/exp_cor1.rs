@@ -1,6 +1,9 @@
 //! Regenerates Corollary 1 (D + Omega(log |V|) via the chain construction).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_cor1 [--json] [--csv] [--threads N]`
+//! Usage: `cargo run -p anonet-bench --bin exp_cor1 [--json] [--csv] [--threads N] [--checkpoint PATH [--resume]]`
+//!
+//! Crash-safe flags (checkpoint/resume, fault injection) are shared by
+//! every experiment binary — see `docs/RUNNER.md`.
 
 use anonet_bench::experiments::runner::Cell;
 

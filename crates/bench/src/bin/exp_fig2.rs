@@ -1,6 +1,9 @@
 //! Regenerates the paper's Figure 2 (M(DBL_3) -> G(PD)_2 transformation).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_fig2 [--json] [--csv] [--threads N]`
+//! Usage: `cargo run -p anonet-bench --bin exp_fig2 [--json] [--csv] [--threads N] [--checkpoint PATH [--resume]]`
+//!
+//! Crash-safe flags (checkpoint/resume, fault injection) are shared by
+//! every experiment binary — see `docs/RUNNER.md`.
 
 use anonet_bench::experiments::runner::Cell;
 

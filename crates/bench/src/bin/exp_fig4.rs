@@ -1,6 +1,9 @@
 //! Regenerates the paper's Figure 4 (round-1 indistinguishable twins).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_fig4 [--json] [--csv] [--threads N]`
+//! Usage: `cargo run -p anonet-bench --bin exp_fig4 [--json] [--csv] [--threads N] [--checkpoint PATH [--resume]]`
+//!
+//! Crash-safe flags (checkpoint/resume, fault injection) are shared by
+//! every experiment binary — see `docs/RUNNER.md`.
 
 use anonet_bench::experiments::runner::Cell;
 

@@ -1,7 +1,10 @@
 //! Regenerates the general-`k` extension experiments: kernel dimension
 //! of `M_r^{(k)}` (E15) and ambiguity width after round 0 (E15b).
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_general_k [--json] [--csv] [--threads N]`
+//! Usage: `cargo run -p anonet-bench --bin exp_general_k [--json] [--csv] [--threads N] [--checkpoint PATH [--resume]]`
+//!
+//! Crash-safe flags (checkpoint/resume, fault injection) are shared by
+//! every experiment binary — see `docs/RUNNER.md`.
 
 use anonet_bench::experiments::runner::Cell;
 

@@ -1,6 +1,9 @@
 //! Regenerates the push-sum gossip baseline \[8\].
 //!
-//! Usage: `cargo run -p anonet-bench --bin exp_gossip [--json] [--csv] [--threads N]`
+//! Usage: `cargo run -p anonet-bench --bin exp_gossip [--json] [--csv] [--threads N] [--checkpoint PATH [--resume]]`
+//!
+//! Crash-safe flags (checkpoint/resume, fault injection) are shared by
+//! every experiment binary — see `docs/RUNNER.md`.
 
 use anonet_bench::experiments::runner::Cell;
 

@@ -8,19 +8,39 @@
 //! * `--json` — print the benchmark document instead of the markdown
 //!   table;
 //! * `--out PATH` — write the document to `PATH` (default
-//!   `BENCH_linalg.json` for non-smoke runs).
+//!   `BENCH_linalg.json` for non-smoke runs);
+//! * `--checkpoint PATH` / `--resume` — journal each completed cell to
+//!   `PATH` and, on resume, replay it instead of re-timing (see
+//!   `docs/RUNNER.md`);
+//! * `--inject-panic N` / `ANONET_FAIL_CELL=N` — fault-injection hook;
+//! * `--lint-checkpoint PATH` — validate a journal and exit.
 //!
 //! The document is always schema-validated in-process before anything
 //! is written: the vendored `serde_json` stand-in has no parser, so the
 //! check runs on the [`serde::Value`] tree itself.
 
+use anonet_bench::experiments::checkpoint::{lint_journal, run_serial_checkpointed};
 use anonet_bench::experiments::linalg_scaling::{
-    bench_doc, run_scaling, scaling_table, validate_doc, Grid,
+    bench_doc, cell_from_payload, cell_payload, grid_specs, scaling_table, validate_doc, CellSpec,
+    Grid,
 };
+use anonet_bench::experiments::runner::{arg_value, GridConfig, RunOutcome};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let has = |flag: &str| args.iter().any(|a| a == flag);
+    if let Some(path) = arg_value(&args, "--lint-checkpoint") {
+        match lint_journal(std::path::Path::new(&path)) {
+            Ok(n) => {
+                println!("checkpoint ok: {n} records, no truncated lines");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: checkpoint lint failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let grid = if has("--smoke") {
         Grid::Smoke
     } else if has("--quick") {
@@ -28,13 +48,46 @@ fn main() {
     } else {
         Grid::Full
     };
-    let out_flag = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let out_flag = arg_value(&args, "--out");
 
-    let cells = run_scaling(grid);
+    let cfg = GridConfig::from_args(&args);
+    let specs = grid_specs(grid);
+    let ids: Vec<String> = specs.iter().map(CellSpec::id).collect();
+    let result = match run_serial_checkpointed(&ids, &cfg, cell_payload, cell_from_payload, |i| {
+        specs[i].run()
+    }) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failed = 0usize;
+    for (i, outcome) in result.outcomes.iter().enumerate() {
+        match outcome {
+            RunOutcome::Skipped { resumed: true } => {
+                eprintln!("cell {i} (`{}`): resumed from checkpoint", ids[i]);
+            }
+            RunOutcome::Failed { panic_msg } => {
+                failed += 1;
+                eprintln!("error: cell {i} (`{}`) failed: {panic_msg}", ids[i]);
+            }
+            _ => {}
+        }
+    }
+    let Some(cells) = result.complete() else {
+        eprintln!(
+            "error: {failed} of {} cells failed{}",
+            ids.len(),
+            if cfg.checkpoint.is_some() {
+                "; completed cells are journaled — rerun with --resume to finish"
+            } else {
+                ""
+            }
+        );
+        std::process::exit(1);
+    };
+
     let doc = bench_doc(&cells);
     if let Err(e) = validate_doc(&doc) {
         eprintln!("error: BENCH_linalg schema check failed: {e}");

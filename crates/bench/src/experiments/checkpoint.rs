@@ -1,0 +1,495 @@
+//! Checkpoint journal records for crash-safe experiment grids.
+//!
+//! The grid runner ([`runner`](super::runner)) journals every *completed*
+//! cell to a `*.checkpoint.jsonl` sidecar so an interrupted run can be
+//! resumed without recomputing finished work. This module owns the
+//! record format and its replay semantics; the durability contract
+//! (line-atomic append, fsync-per-record, tolerant tail handling) lives
+//! in [`anonet_trace::journal`].
+//!
+//! # Record format (version 1)
+//!
+//! One JSON object per line:
+//!
+//! ```text
+//! {"v":1,"index":3,"id":"thm1","micros":1234,"payload":<json>}
+//! ```
+//!
+//! * `v` — format version (this module writes and accepts only `1`);
+//! * `index` — the cell's position in the grid, `0`-based;
+//! * `id` — the cell's stable identifier (must match the grid on
+//!   resume — a mismatch means the journal belongs to a *different*
+//!   grid and is a hard error, never a silent recompute);
+//! * `micros` — the cell's measured wall-clock time, replayed verbatim
+//!   on resume so a resumed document reports the original measurement;
+//! * `payload` — the cell's result: a serialized
+//!   [`Table`](anonet_core::experiment::Table) for experiment grids, a
+//!   serialized scaling cell for the `exp_*_scaling` benchmark grids.
+//!
+//! Payloads are written with the vendored `serde_json` writer and read
+//! back with [`anonet_trace::json`]; the two agree on escaping, and
+//! neither side emits floats, which keeps `parse ∘ render` the
+//! identity and the resumed output byte-identical to a fresh run.
+//!
+//! Duplicate indices can occur when a journal is appended to across
+//! several partial runs; replay is last-wins, matching the append
+//! order. A torn trailing fragment (kill mid-write) is dropped with a
+//! warning; a *complete* line that does not decode is a hard error,
+//! because [`JournalWriter`] only ever appends whole valid records.
+
+use anonet_core::experiment::Table;
+use anonet_trace::journal::{read_journal, JournalWriter};
+use anonet_trace::json::{escape_into, JsonValue};
+use std::path::Path;
+
+/// The journal record format version this module writes and accepts.
+pub const FORMAT_VERSION: i128 = 1;
+
+/// One decoded journal record (see the [module docs](self) for the
+/// line format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// The cell's `0`-based position in the grid.
+    pub index: usize,
+    /// The cell's stable identifier.
+    pub id: String,
+    /// The journaled wall-clock measurement, in microseconds.
+    pub micros: u64,
+    /// The cell's result, as an opaque JSON value.
+    pub payload: JsonValue,
+}
+
+/// Encodes one record as a single journal line (no trailing newline).
+///
+/// `payload_json` must be a complete single-line JSON value (the
+/// compact `serde_json::to_string` output qualifies).
+pub fn encode_record(index: usize, id: &str, micros: u64, payload_json: &str) -> String {
+    let mut line = String::with_capacity(payload_json.len() + id.len() + 48);
+    line.push_str("{\"v\":1,\"index\":");
+    line.push_str(&index.to_string());
+    line.push_str(",\"id\":\"");
+    escape_into(id, &mut line);
+    line.push_str("\",\"micros\":");
+    line.push_str(&micros.to_string());
+    line.push_str(",\"payload\":");
+    line.push_str(payload_json);
+    line.push('}');
+    line
+}
+
+/// Decodes one journal line.
+///
+/// # Errors
+///
+/// Returns a description of the first violated rule: invalid JSON, a
+/// version other than [`FORMAT_VERSION`], or a missing/mistyped field.
+pub fn decode_record(line: &str) -> Result<CheckpointRecord, String> {
+    let value = JsonValue::parse(line).map_err(|e| format!("invalid journal record: {e}"))?;
+    let version = value
+        .get("v")
+        .and_then(JsonValue::as_int)
+        .ok_or("journal record is missing integer `v`")?;
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "unsupported journal format version {version} (expected {FORMAT_VERSION})"
+        ));
+    }
+    let index = value
+        .get("index")
+        .and_then(JsonValue::as_int)
+        .and_then(|i| usize::try_from(i).ok())
+        .ok_or("journal record is missing non-negative integer `index`")?;
+    let id = value
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .ok_or("journal record is missing string `id`")?
+        .to_string();
+    let micros = value
+        .get("micros")
+        .and_then(JsonValue::as_int)
+        .and_then(|m| u64::try_from(m).ok())
+        .ok_or("journal record is missing non-negative integer `micros`")?;
+    let payload = value
+        .get("payload")
+        .cloned()
+        .ok_or("journal record is missing `payload`")?;
+    Ok(CheckpointRecord {
+        index,
+        id,
+        micros,
+        payload,
+    })
+}
+
+/// Replays a checkpoint journal against the grid described by `ids`,
+/// returning the journaled `(micros, payload)` of every completed cell
+/// (`None` for cells the journal does not cover).
+///
+/// A missing journal file resumes nothing (fresh run). A torn trailing
+/// fragment is dropped with a warning on stderr. Duplicate indices are
+/// last-wins.
+///
+/// # Errors
+///
+/// * the journal exists but cannot be read;
+/// * a complete line does not decode ([`decode_record`]);
+/// * a record's `index`/`id` does not match the grid — the journal
+///   belongs to a different grid, and silently recomputing would mask
+///   the operator error.
+pub fn load_resume(path: &Path, ids: &[String]) -> Result<Vec<Option<(u64, JsonValue)>>, String> {
+    let mut completed: Vec<Option<(u64, JsonValue)>> = vec![None; ids.len()];
+    if !path.exists() {
+        return Ok(completed);
+    }
+    let replay = read_journal(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if let Some(tail) = &replay.truncated_tail {
+        eprintln!(
+            "warning: {}: dropping torn trailing fragment ({} bytes) — its cell will re-run",
+            path.display(),
+            tail.len()
+        );
+    }
+    for (lineno, line) in replay.lines.iter().enumerate() {
+        let record = decode_record(line)
+            .map_err(|e| format!("{} line {}: {e}", path.display(), lineno + 1))?;
+        let expected = ids.get(record.index).ok_or_else(|| {
+            format!(
+                "{} line {}: cell index {} is outside this grid of {} cells \
+                 (journal belongs to a different grid?)",
+                path.display(),
+                lineno + 1,
+                record.index,
+                ids.len()
+            )
+        })?;
+        if *expected != record.id {
+            return Err(format!(
+                "{} line {}: cell {} is `{}` in this grid but `{}` in the journal \
+                 (journal belongs to a different grid?)",
+                path.display(),
+                lineno + 1,
+                record.index,
+                expected,
+                record.id
+            ));
+        }
+        completed[record.index] = Some((record.micros, record.payload));
+    }
+    Ok(completed)
+}
+
+/// Validates that every line of a checkpoint journal parses and that
+/// the file ends on a record boundary (no truncated line) — the CI
+/// check run after a SIGKILL mid-grid. Returns the record count.
+///
+/// # Errors
+///
+/// Returns a description of the first unreadable, undecodable, or
+/// truncated line.
+pub fn lint_journal(path: &Path) -> Result<usize, String> {
+    let replay = read_journal(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if let Some(tail) = &replay.truncated_tail {
+        return Err(format!(
+            "{}: truncated trailing line ({} bytes without a newline)",
+            path.display(),
+            tail.len()
+        ));
+    }
+    for (lineno, line) in replay.lines.iter().enumerate() {
+        decode_record(line).map_err(|e| format!("{} line {}: {e}", path.display(), lineno + 1))?;
+    }
+    Ok(replay.lines.len())
+}
+
+/// Serializes a [`Table`] as a single-line journal payload.
+pub fn table_payload(table: &Table) -> String {
+    serde_json::to_string(table).expect("tables serialize")
+}
+
+/// Rebuilds a [`Table`] from a journaled payload.
+///
+/// # Errors
+///
+/// Returns a description of the first missing/mistyped field, or of a
+/// row whose width differs from the headers.
+pub fn table_from_payload(payload: &JsonValue) -> Result<Table, String> {
+    let str_field = |key: &str| -> Result<String, String> {
+        payload
+            .get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("table payload is missing string `{key}`"))
+    };
+    let str_array = |value: &JsonValue, what: &str| -> Result<Vec<String>, String> {
+        value
+            .as_array()
+            .ok_or_else(|| format!("{what} must be an array"))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{what} must contain only strings"))
+            })
+            .collect()
+    };
+    let headers = str_array(
+        payload
+            .get("headers")
+            .ok_or("table payload is missing `headers`")?,
+        "`headers`",
+    )?;
+    let rows: Vec<Vec<String>> = payload
+        .get("rows")
+        .and_then(JsonValue::as_array)
+        .ok_or("table payload is missing array `rows`")?
+        .iter()
+        .map(|row| str_array(row, "`rows` entries"))
+        .collect::<Result<_, _>>()?;
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != headers.len() {
+            return Err(format!(
+                "table payload row {i} has {} cells but {} headers",
+                row.len(),
+                headers.len()
+            ));
+        }
+    }
+    Ok(Table {
+        id: str_field("id")?,
+        title: str_field("title")?,
+        headers,
+        rows,
+    })
+}
+
+/// Opens the journal writer for a checkpoint path (append mode).
+///
+/// # Errors
+///
+/// Returns a description of the underlying open error.
+pub fn open_journal(path: &Path) -> Result<JournalWriter, String> {
+    JournalWriter::append(path).map_err(|e| format!("cannot open {}: {e}", path.display()))
+}
+
+/// The result of a serial checkpointed grid
+/// ([`run_serial_checkpointed`]): one slot and one outcome per cell,
+/// in grid order.
+#[derive(Debug)]
+pub struct SerialGrid<T> {
+    /// Per-cell results (`None` exactly where the cell failed).
+    pub items: Vec<Option<T>>,
+    /// Per-cell outcomes (`Ok` / `Failed` / `Skipped{resumed}`).
+    pub outcomes: Vec<super::runner::RunOutcome>,
+}
+
+impl<T> SerialGrid<T> {
+    /// The grid's results, if *every* cell completed.
+    pub fn complete(self) -> Option<Vec<T>> {
+        self.items.into_iter().collect()
+    }
+
+    /// Failure records for the cells that panicked.
+    pub fn failures(&self, ids: &[String]) -> Vec<super::runner::CellFailure> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(index, outcome)| match outcome {
+                super::runner::RunOutcome::Failed { panic_msg } => {
+                    Some(super::runner::CellFailure {
+                        index,
+                        id: ids[index].clone(),
+                        seed: None,
+                        panic_msg: panic_msg.clone(),
+                    })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Runs a grid of cells *serially* (the scaling benchmarks need timing
+/// fidelity, so cells never share the machine) with the same crash
+/// safety as [`run_cells_checked`](super::runner::run_cells_checked):
+/// panic isolation per cell, checkpoint journaling of completed cells,
+/// and resume. `encode`/`decode` map a cell's result to and from its
+/// journal payload; resumed cells carry the journaled measurements, so
+/// a resumed document reports exactly what the interrupted run
+/// measured.
+///
+/// # Errors
+///
+/// Same as [`run_cells_checked`](super::runner::run_cells_checked):
+/// configuration or journal errors. Panicking cells are reported, not
+/// propagated.
+pub fn run_serial_checkpointed<T>(
+    ids: &[String],
+    cfg: &super::runner::GridConfig,
+    encode: impl Fn(&T) -> String,
+    decode: impl Fn(&JsonValue) -> Result<T, String>,
+    run: impl Fn(usize) -> T,
+) -> Result<SerialGrid<T>, String> {
+    use super::runner::RunOutcome;
+
+    let mut resumed: Vec<Option<(u64, T)>> = (0..ids.len()).map(|_| None).collect();
+    if cfg.resume {
+        let path = cfg
+            .checkpoint
+            .as_deref()
+            .ok_or("--resume requires --checkpoint PATH")?;
+        for (i, slot) in load_resume(path, ids)?.into_iter().enumerate() {
+            if let Some((micros, payload)) = slot {
+                let item =
+                    decode(&payload).map_err(|e| format!("{} cell {i}: {e}", path.display()))?;
+                resumed[i] = Some((micros, item));
+            }
+        }
+    }
+    let mut journal = match &cfg.checkpoint {
+        Some(path) => Some(open_journal(path)?),
+        None => None,
+    };
+
+    let mut items = Vec::with_capacity(ids.len());
+    let mut outcomes = Vec::with_capacity(ids.len());
+    for (i, slot) in resumed.into_iter().enumerate() {
+        if let Some((_micros, item)) = slot {
+            items.push(Some(item));
+            outcomes.push(RunOutcome::Skipped { resumed: true });
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if cfg.inject_panic == Some(i) {
+                panic!("injected panic at cell {i} (`{}`)", ids[i]);
+            }
+            run(i)
+        }));
+        let micros = start.elapsed().as_micros() as u64;
+        match result {
+            Ok(item) => {
+                if let Some(journal) = &mut journal {
+                    let line = encode_record(i, &ids[i], micros, &encode(&item));
+                    if let Err(e) = journal.append_line(&line) {
+                        eprintln!(
+                            "warning: checkpoint append failed for cell {i} (`{}`): {e}",
+                            ids[i]
+                        );
+                    }
+                }
+                items.push(Some(item));
+                outcomes.push(RunOutcome::Ok);
+            }
+            Err(payload) => {
+                let panic_msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                items.push(None);
+                outcomes.push(RunOutcome::Failed { panic_msg });
+            }
+        }
+    }
+    Ok(SerialGrid { items, outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_encode_decode() {
+        let line = encode_record(7, "thm\"1\"", 4242, r#"{"rank":3}"#);
+        assert!(!line.contains('\n'));
+        let rec = decode_record(&line).expect("decodes");
+        assert_eq!(rec.index, 7);
+        assert_eq!(rec.id, "thm\"1\"");
+        assert_eq!(rec.micros, 4242);
+        assert_eq!(
+            rec.payload.get("rank").and_then(JsonValue::as_int),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bad_records() {
+        assert!(decode_record("not json").is_err());
+        assert!(decode_record(r#"{"v":2,"index":0,"id":"a","micros":1,"payload":null}"#)
+            .unwrap_err()
+            .contains("version 2"));
+        assert!(decode_record(r#"{"v":1,"id":"a","micros":1,"payload":null}"#)
+            .unwrap_err()
+            .contains("index"));
+        assert!(decode_record(r#"{"v":1,"index":-1,"id":"a","micros":1,"payload":null}"#)
+            .unwrap_err()
+            .contains("index"));
+        assert!(decode_record(r#"{"v":1,"index":0,"id":"a","micros":1}"#)
+            .unwrap_err()
+            .contains("payload"));
+    }
+
+    #[test]
+    fn table_round_trips_through_payload() {
+        let mut t = Table::new("E1", "A \"quoted\" title", &["n", "value"]);
+        t.push_row(vec!["3".to_string(), "x,y\nz".to_string()]);
+        let payload = table_payload(&t);
+        assert!(!payload.contains('\n'), "payload must stay single-line");
+        let parsed = JsonValue::parse(&payload).expect("payload parses");
+        assert_eq!(table_from_payload(&parsed).expect("rebuilds"), t);
+    }
+
+    #[test]
+    fn table_payload_rejects_ragged_rows() {
+        let parsed = JsonValue::parse(
+            r#"{"id":"E","title":"t","headers":["a","b"],"rows":[["1"]]}"#,
+        )
+        .expect("parses");
+        assert!(table_from_payload(&parsed).unwrap_err().contains("row 0"));
+    }
+
+    #[test]
+    fn load_resume_is_last_wins_and_checks_ids() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("anonet-resume-{}.checkpoint.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let ids = vec!["a".to_string(), "b".to_string()];
+
+        // Missing file: nothing resumed.
+        let fresh = load_resume(&path, &ids).expect("missing journal is fine");
+        assert_eq!(fresh, vec![None, None]);
+
+        let mut w = JournalWriter::append(&path).unwrap();
+        w.append_line(&encode_record(0, "a", 10, "1")).unwrap();
+        w.append_line(&encode_record(0, "a", 20, "2")).unwrap();
+        drop(w);
+        let resumed = load_resume(&path, &ids).expect("loads");
+        assert_eq!(resumed[0], Some((20, JsonValue::Int(2)))); // last wins
+        assert_eq!(resumed[1], None);
+
+        // An id mismatch is a hard error, not a silent recompute.
+        let wrong = vec!["x".to_string(), "b".to_string()];
+        assert!(load_resume(&path, &wrong)
+            .unwrap_err()
+            .contains("different grid"));
+        // So is an out-of-range index.
+        assert!(load_resume(&path, &[]).unwrap_err().contains("outside"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn lint_flags_truncation_and_garbage() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("anonet-lint-{}.checkpoint.jsonl", std::process::id()));
+        let good = encode_record(0, "a", 1, "null");
+        std::fs::write(&path, format!("{good}\n")).unwrap();
+        assert_eq!(lint_journal(&path).expect("clean journal"), 1);
+        std::fs::write(&path, format!("{good}\n{{\"v\":1,\"ind")).unwrap();
+        assert!(lint_journal(&path).unwrap_err().contains("truncated"));
+        std::fs::write(&path, "garbage\n").unwrap();
+        assert!(lint_journal(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -215,9 +215,54 @@ fn random_cell(n: usize, r: u32, rank: usize, seed: u64) -> ScalingCell {
 /// `(n, r, rank, seed)` coordinates of one random-family cell.
 type RandomSpec = (usize, u32, usize, u64);
 
-/// Runs the scaling grid serially (timing fidelity) and returns its
-/// cells in grid order.
-pub fn run_scaling(grid: Grid) -> Vec<ScalingCell> {
+/// Pre-run coordinates of one grid cell — computable *before* the cell
+/// runs, which is what lets the checkpoint runner identify journaled
+/// cells across resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSpec {
+    /// One `M_r`-family cell.
+    Mr {
+        /// Top round index.
+        r: usize,
+    },
+    /// One random-family cell.
+    Random {
+        /// Rows appended over the trajectory.
+        n: usize,
+        /// Column exponent (`3^r` columns).
+        r: u32,
+        /// Basis size bounding the construction rank.
+        rank: usize,
+        /// RNG seed of the trajectory.
+        seed: u64,
+    },
+}
+
+impl CellSpec {
+    /// Stable identifier used in checkpoint journals.
+    pub fn id(&self) -> String {
+        match *self {
+            CellSpec::Mr { r } => format!("M_r:r={r}"),
+            CellSpec::Random { n, r, seed, .. } => format!("random:n={n},r={r},seed={seed}"),
+        }
+    }
+
+    /// Runs the cell (serially, for timing fidelity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch/incremental cross-check fails — the
+    /// checkpoint runner catches this into a `CellFailure`.
+    pub fn run(&self) -> ScalingCell {
+        match *self {
+            CellSpec::Mr { r } => mr_cell(r),
+            CellSpec::Random { n, r, rank, seed } => random_cell(n, r, rank, seed),
+        }
+    }
+}
+
+/// The grid's cell specs, in grid order.
+pub fn grid_specs(grid: Grid) -> Vec<CellSpec> {
     let (mr_levels, random_cells): (&[usize], &[RandomSpec]) = match grid {
         Grid::Smoke => (&[1], &[(16, 2, 4, 101)]),
         Grid::Quick => (&[1, 2], &[(32, 2, 6, 101), (64, 3, 10, 202)]),
@@ -231,13 +276,74 @@ pub fn run_scaling(grid: Grid) -> Vec<ScalingCell> {
             ],
         ),
     };
-    let mut cells: Vec<ScalingCell> = mr_levels.iter().map(|&r| mr_cell(r)).collect();
-    cells.extend(
+    let mut specs: Vec<CellSpec> = mr_levels.iter().map(|&r| CellSpec::Mr { r }).collect();
+    specs.extend(
         random_cells
             .iter()
-            .map(|&(n, r, rank, seed)| random_cell(n, r, rank, seed)),
+            .map(|&(n, r, rank, seed)| CellSpec::Random { n, r, rank, seed }),
     );
-    cells
+    specs
+}
+
+/// Runs the scaling grid serially (timing fidelity) and returns its
+/// cells in grid order.
+pub fn run_scaling(grid: Grid) -> Vec<ScalingCell> {
+    grid_specs(grid).iter().map(CellSpec::run).collect()
+}
+
+/// Serializes a cell as a single-line checkpoint payload (strings and
+/// integers only — `speedup` is derived and recomputed).
+pub fn cell_payload(cell: &ScalingCell) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("family".to_string(), Value::Str(cell.family.to_string())),
+        ("cell".to_string(), Value::Str(cell.cell.clone())),
+        ("rows".to_string(), Value::Int(cell.rows as i128)),
+        ("cols".to_string(), Value::Int(cell.cols as i128)),
+        (
+            "batch_micros".to_string(),
+            Value::Int(cell.batch_micros as i128),
+        ),
+        (
+            "incremental_micros".to_string(),
+            Value::Int(cell.incremental_micros as i128),
+        ),
+    ]))
+    .expect("cell serializes")
+}
+
+/// Rebuilds a cell from a checkpoint payload.
+///
+/// # Errors
+///
+/// Returns a description of the first missing/mistyped field or of an
+/// unknown family.
+pub fn cell_from_payload(payload: &anonet_trace::json::JsonValue) -> Result<ScalingCell, String> {
+    use anonet_trace::json::JsonValue;
+    let int_field = |key: &str| -> Result<u64, String> {
+        payload
+            .get(key)
+            .and_then(JsonValue::as_int)
+            .and_then(|v| u64::try_from(v).ok())
+            .ok_or_else(|| format!("cell payload is missing non-negative integer `{key}`"))
+    };
+    let family = match payload.get("family").and_then(JsonValue::as_str) {
+        Some("M_r") => "M_r",
+        Some("random") => "random",
+        Some(other) => return Err(format!("unknown cell family `{other}`")),
+        None => return Err("cell payload is missing string `family`".to_string()),
+    };
+    Ok(ScalingCell {
+        family,
+        cell: payload
+            .get("cell")
+            .and_then(JsonValue::as_str)
+            .ok_or("cell payload is missing string `cell`")?
+            .to_string(),
+        rows: int_field("rows")? as usize,
+        cols: int_field("cols")? as usize,
+        batch_micros: int_field("batch_micros")?,
+        incremental_micros: int_field("incremental_micros")?,
+    })
 }
 
 /// Renders the grid as the `linalg_scaling` experiment table.

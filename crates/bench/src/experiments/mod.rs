@@ -1,6 +1,7 @@
 //! One module per group of paper artifacts.
 
 mod baselines;
+pub mod checkpoint;
 mod extensions;
 mod figures;
 mod lemmas;

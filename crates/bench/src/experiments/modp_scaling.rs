@@ -232,9 +232,72 @@ fn random_cell(n: usize, r: u32, rank: usize, seed: u64, shared: bool) -> ModpCe
 /// `(n, r, rank, seed)` coordinates of one random-family cell.
 type RandomSpec = (usize, u32, usize, u64);
 
-/// Runs the scaling grid serially (timing fidelity) and returns its
-/// cells in grid order.
-pub fn run_scaling(grid: Grid) -> Vec<ModpCell> {
+/// Pre-run coordinates of one grid cell — computable *before* the cell
+/// runs, which is what lets the checkpoint runner identify journaled
+/// cells across resumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSpec {
+    /// One `M_r`-family cell.
+    Mr {
+        /// Top round index.
+        r: usize,
+        /// Whether the exact arm is timed too.
+        shared: bool,
+    },
+    /// One random-family cell.
+    Random {
+        /// Rows appended over the trajectory.
+        n: usize,
+        /// Column exponent (`3^r` columns).
+        r: u32,
+        /// Basis size bounding the construction rank.
+        rank: usize,
+        /// RNG seed of the trajectory.
+        seed: u64,
+        /// Whether the exact arm is timed too.
+        shared: bool,
+    },
+}
+
+impl CellSpec {
+    /// Stable identifier used in checkpoint journals.
+    pub fn id(&self) -> String {
+        match *self {
+            CellSpec::Mr { r, shared } => {
+                format!("M_r:r={r}{}", if shared { "" } else { ":modp-only" })
+            }
+            CellSpec::Random {
+                n, r, seed, shared, ..
+            } => format!(
+                "random:n={n},r={r},seed={seed}{}",
+                if shared { "" } else { ":modp-only" }
+            ),
+        }
+    }
+
+    /// Runs the cell (serially, for timing fidelity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cross-check between the two backends (or against the
+    /// structural invariants) fails — the checkpoint runner catches
+    /// this into a `CellFailure`.
+    pub fn run(&self) -> ModpCell {
+        match *self {
+            CellSpec::Mr { r, shared } => mr_cell(r, shared),
+            CellSpec::Random {
+                n,
+                r,
+                rank,
+                seed,
+                shared,
+            } => random_cell(n, r, rank, seed, shared),
+        }
+    }
+}
+
+/// The grid's cell specs, in grid order.
+pub fn grid_specs(grid: Grid) -> Vec<CellSpec> {
     // Shared specs mirror `exp_linalg_scaling`'s grid (both arms timed);
     // the extended `n ∈ {256, 512, 1024}` cells are mod-p only.
     let (mr_shared, mr_only, shared, only): (&[usize], &[usize], &[RandomSpec], &[RandomSpec]) =
@@ -253,18 +316,100 @@ pub fn run_scaling(grid: Grid) -> Vec<ModpCell> {
                 &[(256, 4, 24, 505), (512, 4, 24, 606), (1024, 4, 28, 707)],
             ),
         };
-    let mut cells: Vec<ModpCell> = mr_shared.iter().map(|&r| mr_cell(r, true)).collect();
-    cells.extend(mr_only.iter().map(|&r| mr_cell(r, false)));
-    cells.extend(
-        shared
-            .iter()
-            .map(|&(n, r, rank, seed)| random_cell(n, r, rank, seed, true)),
-    );
-    cells.extend(
-        only.iter()
-            .map(|&(n, r, rank, seed)| random_cell(n, r, rank, seed, false)),
-    );
-    cells
+    let mut specs: Vec<CellSpec> = mr_shared
+        .iter()
+        .map(|&r| CellSpec::Mr { r, shared: true })
+        .collect();
+    specs.extend(mr_only.iter().map(|&r| CellSpec::Mr { r, shared: false }));
+    specs.extend(shared.iter().map(|&(n, r, rank, seed)| CellSpec::Random {
+        n,
+        r,
+        rank,
+        seed,
+        shared: true,
+    }));
+    specs.extend(only.iter().map(|&(n, r, rank, seed)| CellSpec::Random {
+        n,
+        r,
+        rank,
+        seed,
+        shared: false,
+    }));
+    specs
+}
+
+/// Runs the scaling grid serially (timing fidelity) and returns its
+/// cells in grid order.
+pub fn run_scaling(grid: Grid) -> Vec<ModpCell> {
+    grid_specs(grid).iter().map(CellSpec::run).collect()
+}
+
+/// Serializes a cell as a single-line checkpoint payload.
+///
+/// The payload carries only strings and integers — `speedup` is a
+/// derived float and is recomputed from the timings, which keeps the
+/// journal parseable by [`anonet_trace::json`] (floats round-trip
+/// unreliably and are rejected there).
+pub fn cell_payload(cell: &ModpCell) -> String {
+    let mut entries = vec![
+        ("family".to_string(), Value::Str(cell.family.to_string())),
+        ("cell".to_string(), Value::Str(cell.cell.clone())),
+        ("rows".to_string(), Value::Int(cell.rows as i128)),
+        ("cols".to_string(), Value::Int(cell.cols as i128)),
+        (
+            "modp_micros".to_string(),
+            Value::Int(cell.modp_micros as i128),
+        ),
+    ];
+    if let Some(e) = cell.exact_micros {
+        entries.push(("exact_micros".to_string(), Value::Int(e as i128)));
+    }
+    serde_json::to_string(&Value::Object(entries)).expect("cell serializes")
+}
+
+/// Rebuilds a cell from a checkpoint payload.
+///
+/// # Errors
+///
+/// Returns a description of the first missing/mistyped field or of an
+/// unknown family.
+pub fn cell_from_payload(payload: &anonet_trace::json::JsonValue) -> Result<ModpCell, String> {
+    use anonet_trace::json::JsonValue;
+    let int_field = |key: &str| -> Result<i128, String> {
+        payload
+            .get(key)
+            .and_then(JsonValue::as_int)
+            .ok_or_else(|| format!("cell payload is missing integer `{key}`"))
+    };
+    let family = match payload.get("family").and_then(JsonValue::as_str) {
+        Some("M_r") => "M_r",
+        Some("random") => "random",
+        Some(other) => return Err(format!("unknown cell family `{other}`")),
+        None => return Err("cell payload is missing string `family`".to_string()),
+    };
+    let as_usize = |v: i128, key: &str| {
+        usize::try_from(v).map_err(|_| format!("cell payload `{key}` out of range"))
+    };
+    let as_u64 =
+        |v: i128, key: &str| u64::try_from(v).map_err(|_| format!("cell payload `{key}` out of range"));
+    Ok(ModpCell {
+        family,
+        cell: payload
+            .get("cell")
+            .and_then(JsonValue::as_str)
+            .ok_or("cell payload is missing string `cell`")?
+            .to_string(),
+        rows: as_usize(int_field("rows")?, "rows")?,
+        cols: as_usize(int_field("cols")?, "cols")?,
+        exact_micros: match payload.get("exact_micros") {
+            Some(v) => Some(as_u64(
+                v.as_int().ok_or("cell payload `exact_micros` must be an integer")?,
+                "exact_micros",
+            )?),
+            None => None,
+        },
+        modp_micros: as_u64(int_field("modp_micros")?, "modp_micros")?,
+    })
 }
 
 /// Renders the grid as the `modp_scaling` experiment table.

@@ -9,7 +9,8 @@
 pub mod experiments;
 
 use anonet_core::experiment::Table;
-use experiments::runner::{run_cells, thread_count, Cell};
+use experiments::checkpoint;
+use experiments::runner::{arg_value, run_cells_checked, Cell, CellReport, GridConfig, RunOutcome};
 
 /// Prints tables as markdown, as JSON when `--json` is among the args, or
 /// as CSV blocks when `--csv` is.
@@ -34,27 +35,144 @@ pub fn emit(tables: &[Table]) {
     }
 }
 
-/// Runs experiment cells on the parallel grid runner and prints the
+/// Builds the `--json` document of a checked grid run:
+/// `{"tables": ..., "timings": ..., "outcomes": ...}`.
+///
+/// * `tables` — one entry per cell in grid order; `null` for a cell
+///   that failed;
+/// * `timings` — `{"id", "micros"}` for every cell that has a
+///   measurement (resumed cells report the journaled one); omitted
+///   entirely when `no_timings` is set, which is what CI byte-compares
+///   use (timings are wall-clock and never reproducible);
+/// * `outcomes` — `{"id", "status"}` per cell, `status` being `"ok"`
+///   or `"failed"` (with a `"panic_msg"`); resumed cells are `"ok"` so
+///   a resumed document stays byte-identical to an uninterrupted one.
+pub fn json_doc(reports: &[CellReport], no_timings: bool) -> String {
+    use serde::Value;
+    let tables = Value::Array(
+        reports
+            .iter()
+            .map(|r| match &r.table {
+                Some(t) => serde::Serialize::to_value(t),
+                None => Value::Null,
+            })
+            .collect(),
+    );
+    let outcomes = Value::Array(
+        reports
+            .iter()
+            .map(|r| {
+                let mut entries = vec![
+                    ("id".to_string(), Value::Str(r.id.clone())),
+                    ("status".to_string(), Value::Str(r.outcome.status().to_string())),
+                ];
+                if let RunOutcome::Failed { panic_msg } = &r.outcome {
+                    entries.push(("panic_msg".to_string(), Value::Str(panic_msg.clone())));
+                }
+                Value::Object(entries)
+            })
+            .collect(),
+    );
+    let mut entries = vec![("tables".to_string(), tables)];
+    if !no_timings {
+        let timings = Value::Array(
+            reports
+                .iter()
+                .filter_map(|r| {
+                    r.micros.map(|micros| {
+                        Value::Object(vec![
+                            ("id".to_string(), Value::Str(r.id.clone())),
+                            ("micros".to_string(), Value::Int(micros as i128)),
+                        ])
+                    })
+                })
+                .collect(),
+        );
+        entries.push(("timings".to_string(), timings));
+    }
+    entries.push(("outcomes".to_string(), outcomes));
+    serde_json::to_string_pretty(&Value::Object(entries)).expect("document serializes")
+}
+
+/// Runs experiment cells on the crash-safe grid runner and prints the
 /// resulting tables — the standard `main` of every `exp_*` binary.
 ///
-/// The worker count comes from `--threads N` / `ANONET_THREADS` (auto by
-/// default; results are identical for every thread count — see
-/// [`experiments::runner`]). Output formats match [`emit`], except that
-/// `--json` wraps the tables in `{"tables": ..., "timings": ...}` with
-/// per-cell wall-clock timings in microseconds.
+/// Flags (see [`experiments::runner`] and `docs/RUNNER.md`):
+///
+/// * `--threads N` / `ANONET_THREADS` — worker count (auto by default;
+///   results are identical for every thread count);
+/// * `--json` / `--csv` — output format; `--json` emits the [`json_doc`]
+///   schema, `--no-timings` drops its wall-clock `timings` array;
+/// * `--checkpoint PATH` — journal completed cells to `PATH`;
+///   `--resume` — replay `PATH` and skip completed cells;
+/// * `--inject-panic N` / `ANONET_FAIL_CELL=N` — fault injection;
+/// * `--lint-checkpoint PATH` — validate a journal and exit.
+///
+/// A panicking cell never aborts its siblings: the run finishes, the
+/// failure is reported on stderr (and as `"failed"` in `--json`), and
+/// the process exits non-zero.
 pub fn run_and_emit(cells: &[Cell]) {
-    let threads = thread_count(std::env::args());
-    let (tables, timings) = run_cells(cells, threads);
-    if std::env::args().any(|a| a == "--json") {
-        let doc = serde::Value::Object(vec![
-            ("tables".to_string(), serde::Serialize::to_value(&tables)),
-            ("timings".to_string(), serde::Serialize::to_value(&timings)),
-        ]);
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&doc).expect("tables serialize")
-        );
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = arg_value(&args, "--lint-checkpoint") {
+        match checkpoint::lint_journal(std::path::Path::new(&path)) {
+            Ok(n) => {
+                println!("checkpoint ok: {n} records, no truncated lines");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: checkpoint lint failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let cfg = GridConfig::from_args(&args);
+    let reports = match run_cells_checked(cells, &cfg) {
+        Ok(reports) => reports,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failed = 0usize;
+    for (i, report) in reports.iter().enumerate() {
+        match &report.outcome {
+            RunOutcome::Skipped { resumed: true } => {
+                eprintln!("cell {i} (`{}`): resumed from checkpoint", report.id);
+            }
+            RunOutcome::Failed { panic_msg } => {
+                failed += 1;
+                match report.seed {
+                    Some(seed) => eprintln!(
+                        "error: cell {i} (`{}`, seed {seed}) failed: {panic_msg}",
+                        report.id
+                    ),
+                    None => eprintln!("error: cell {i} (`{}`) failed: {panic_msg}", report.id),
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if args.iter().any(|a| a == "--json") {
+        let no_timings = args.iter().any(|a| a == "--no-timings");
+        println!("{}", json_doc(&reports, no_timings));
     } else {
+        let tables: Vec<Table> = reports.iter().filter_map(|r| r.table.clone()).collect();
         emit(&tables);
+    }
+
+    if failed > 0 {
+        let done = reports.len() - failed;
+        eprintln!(
+            "error: {failed} of {} cells failed ({done} completed{})",
+            reports.len(),
+            if cfg.checkpoint.is_some() {
+                " and journaled; rerun with --resume to finish"
+            } else {
+                ""
+            }
+        );
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,171 @@
+//! Kill/resume determinism of the crash-safe grid runner.
+//!
+//! The scenario the checkpoint layer exists for: a grid dies at an
+//! injected failing cell, the journal holds exactly the completed
+//! cells, and a `--resume` run produces `--json` output byte-identical
+//! to an uninterrupted reference run — at 1 and at 4 threads, with the
+//! panicking cell never aborting its siblings.
+
+use anonet_bench::experiments::checkpoint::decode_record;
+use anonet_bench::experiments::runner::{run_cells_checked, Cell, GridConfig, RunOutcome};
+use anonet_bench::json_doc;
+use anonet_core::experiment::Table;
+use anonet_trace::journal::read_journal;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// A deterministic six-cell grid (ids and values fixed, like the real
+/// experiment suite's self-seeded cells).
+fn grid() -> Vec<Cell> {
+    const IDS: [&str; 6] = ["c0", "c1", "c2", "c3", "c4", "c5"];
+    IDS.iter()
+        .enumerate()
+        .map(|(i, id)| {
+            Cell::new(id, move || {
+                let mut t = Table::new(*id, "kill/resume fixture", &["i", "value"]);
+                for k in 0..3u64 {
+                    t.push_display_row(&[i as u64, (i as u64 + 1) * 100 + k]);
+                }
+                t
+            })
+            .with_seed(1000 + i as u64)
+        })
+        .collect()
+}
+
+fn temp_checkpoint(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "anonet-resume-test-{tag}-{}.checkpoint.jsonl",
+        std::process::id()
+    ))
+}
+
+/// Silences the default panic hook for the duration of a closure so
+/// the *injected* panics don't spam the test log (the runner catches
+/// them; nothing of value is lost).
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+fn kill_resume_roundtrip(threads: usize, fail_cell: usize) {
+    let cells = grid();
+    let path = temp_checkpoint(&format!("t{threads}k{fail_cell}"));
+    let _ = std::fs::remove_file(&path);
+
+    // Uninterrupted reference run (no checkpoint involved at all).
+    let reference = run_cells_checked(&cells, &GridConfig { threads, ..GridConfig::default() })
+        .expect("reference run");
+    let reference_json = json_doc(&reference, true);
+
+    // Interrupted run: inject a panic at `fail_cell`.
+    let interrupted = with_quiet_panics(|| {
+        run_cells_checked(
+            &cells,
+            &GridConfig {
+                threads,
+                checkpoint: Some(path.clone()),
+                inject_panic: Some(fail_cell),
+                ..GridConfig::default()
+            },
+        )
+        .expect("interrupted run")
+    });
+
+    // The panicking cell never aborts siblings: every other cell is Ok.
+    for (i, report) in interrupted.iter().enumerate() {
+        if i == fail_cell {
+            assert!(
+                matches!(report.outcome, RunOutcome::Failed { .. }),
+                "cell {i} should have failed"
+            );
+        } else {
+            assert_eq!(report.outcome, RunOutcome::Ok, "sibling cell {i} must finish");
+        }
+    }
+
+    // The journal holds exactly the completed cells, every line valid.
+    let replay = read_journal(&path).expect("journal readable");
+    assert_eq!(replay.truncated_tail, None, "no torn lines");
+    let journaled: BTreeSet<usize> = replay
+        .lines
+        .iter()
+        .map(|line| decode_record(line).expect("journal line decodes").index)
+        .collect();
+    let expected: BTreeSet<usize> = (0..cells.len()).filter(|&i| i != fail_cell).collect();
+    assert_eq!(journaled, expected, "journal = completed cells, threads={threads}");
+
+    // Resume: only the failed cell re-runs; output is byte-identical to
+    // the uninterrupted reference (timings excluded — wall clock).
+    let resumed = run_cells_checked(
+        &cells,
+        &GridConfig {
+            threads,
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..GridConfig::default()
+        },
+    )
+    .expect("resumed run");
+    for (i, report) in resumed.iter().enumerate() {
+        let expected = if i == fail_cell {
+            RunOutcome::Ok
+        } else {
+            RunOutcome::Skipped { resumed: true }
+        };
+        assert_eq!(report.outcome, expected, "cell {i} outcome after resume");
+    }
+    assert_eq!(
+        json_doc(&resumed, true),
+        reference_json,
+        "resumed --json output must be byte-identical, threads={threads}"
+    );
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_serial() {
+    kill_resume_roundtrip(1, 3);
+}
+
+#[test]
+fn kill_and_resume_is_byte_identical_parallel() {
+    kill_resume_roundtrip(4, 3);
+}
+
+#[test]
+fn kill_at_first_cell_resumes_cleanly_parallel() {
+    kill_resume_roundtrip(4, 0);
+}
+
+#[test]
+fn fully_journaled_grid_resumes_without_running_anything() {
+    let cells = grid();
+    let path = temp_checkpoint("full");
+    let _ = std::fs::remove_file(&path);
+    let cfg = GridConfig {
+        threads: 2,
+        checkpoint: Some(path.clone()),
+        ..GridConfig::default()
+    };
+    let first = run_cells_checked(&cells, &cfg).expect("first run");
+    let resumed = run_cells_checked(
+        &cells,
+        &GridConfig {
+            resume: true,
+            ..cfg.clone()
+        },
+    )
+    .expect("resumed run");
+    assert!(resumed
+        .iter()
+        .all(|r| r.outcome == RunOutcome::Skipped { resumed: true }));
+    // Identical document, including timings this time: every
+    // measurement is replayed from the journal.
+    assert_eq!(json_doc(&resumed, false), json_doc(&first, false));
+    std::fs::remove_file(&path).unwrap();
+}

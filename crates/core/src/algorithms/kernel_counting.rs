@@ -12,7 +12,7 @@
 
 use anonet_linalg::SolverBackend;
 use anonet_multigraph::system::{AffineCensus, IncrementalSolver, ObservationKernel};
-use anonet_multigraph::{ternary_count, DblMultigraph, ObservationStream};
+use anonet_multigraph::{DblMultigraph, ObservationStream};
 use anonet_trace::{NullSink, RoundEvent, TraceSink};
 use core::fmt;
 
@@ -106,6 +106,19 @@ const KERNEL_VERIFY_MAX_COLUMNS: usize = 243;
 /// more refinement (`3^6 = 729` unknowns, rounds ≤ 6) than the exact
 /// verifier.
 const MODP_WATCH_MAX_COLUMNS: usize = 729;
+
+/// Whether a round-`rounds` system (`3^rounds` unknowns) fits a column
+/// budget. Computed with checked arithmetic so that depths whose column
+/// count overflows `usize` are simply *past every budget* — the watcher
+/// is gated off and the run falls back to Lemma 3's closed form —
+/// rather than panicking mid-round (`ternary_count` asserts on
+/// overflow).
+fn within_column_budget(rounds: usize, budget: usize) -> bool {
+    u32::try_from(rounds)
+        .ok()
+        .and_then(|r| 3usize.checked_pow(r))
+        .is_some_and(|cols| cols <= budget)
+}
 
 impl KernelCounting {
     /// Creates the algorithm (kernel verification off, exact backend).
@@ -225,10 +238,16 @@ impl KernelCounting {
                 .push_level(a, b)
                 .map_err(|e| CountingError::BadObservations(e.to_string()))?;
             // The flat constant-terms vector m_{r} grows by the new
-            // level's 2·3^level entries.
-            state_size += 2 * ternary_count(level) as u64;
+            // level's 2·3^level entries (saturating: the metric is
+            // diagnostic, and must not panic where the budget gates
+            // below already fail closed).
+            state_size = state_size.saturating_add(
+                3u64.checked_pow(level as u32)
+                    .and_then(|c| c.checked_mul(2))
+                    .unwrap_or(u64::MAX),
+            );
             let kernel_dim = match verifier.as_mut() {
-                Some(v) if ternary_count(rounds as usize) <= watch_cols => {
+                Some(v) if within_column_budget(rounds as usize, watch_cols) => {
                     v.push_round()
                         .map_err(|e| CountingError::BadObservations(e.to_string()))?;
                     v.nullity() as u64
@@ -255,7 +274,7 @@ impl KernelCounting {
                 if self.backend == SolverBackend::ModpCertified {
                     if let Some(v) = verifier.as_ref() {
                         if v.rounds() > 0
-                            && ternary_count(v.rounds()) <= KERNEL_VERIFY_MAX_COLUMNS
+                            && within_column_budget(v.rounds(), KERNEL_VERIFY_MAX_COLUMNS)
                         {
                             let exact = v
                                 .certify()
@@ -447,6 +466,50 @@ mod tests {
             .unwrap();
         assert_eq!(exact, modp);
         assert_eq!(modp.rounds, 6);
+    }
+
+    #[test]
+    fn column_budgets_sit_on_exact_round_boundaries() {
+        use anonet_multigraph::ternary_count;
+        // The budget constants are 3^5 and 3^6: the exact verifier covers
+        // rounds <= 5, the mod-p watcher exactly one refinement more.
+        assert_eq!(ternary_count(5), KERNEL_VERIFY_MAX_COLUMNS);
+        assert_eq!(ternary_count(6), MODP_WATCH_MAX_COLUMNS);
+        assert!(within_column_budget(5, KERNEL_VERIFY_MAX_COLUMNS));
+        assert!(!within_column_budget(6, KERNEL_VERIFY_MAX_COLUMNS));
+        assert!(within_column_budget(6, MODP_WATCH_MAX_COLUMNS));
+        assert!(!within_column_budget(7, MODP_WATCH_MAX_COLUMNS));
+    }
+
+    #[test]
+    fn overflowing_round_depths_are_past_every_budget_not_a_panic() {
+        // 3^41 overflows usize on 64-bit targets, where `ternary_count`
+        // asserts. The budget gate must instead treat such depths as past
+        // the cap (watcher off, Lemma 3 fallback) — fail closed.
+        for rounds in [41usize, 64, 1_000, usize::MAX] {
+            assert!(
+                !within_column_budget(rounds, usize::MAX),
+                "rounds={rounds} must be past-budget, not a panic"
+            );
+        }
+    }
+
+    #[test]
+    fn watcher_fails_closed_past_its_column_budget() {
+        // n = 364 decides after 7 rounds (2187 columns): the decision
+        // round is past even the mod-p watch budget (3^6 = 729), so the
+        // watcher is gated off mid-run and kernel_dim falls back to
+        // Lemma 3's closed form. The run must complete cleanly — same
+        // outcome as the exact backend, no certification, no panic.
+        let pair = TwinBuilder::new().build(364).unwrap();
+        let exact = KernelCounting::new().run(&pair.smaller, 32).unwrap();
+        let modp = KernelCounting::new()
+            .with_backend(SolverBackend::ModpCertified)
+            .run(&pair.smaller, 32)
+            .unwrap();
+        assert_eq!(exact, modp);
+        assert_eq!(modp.rounds, 7);
+        assert_eq!(modp.count, 364);
     }
 
     #[test]

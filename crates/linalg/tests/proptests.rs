@@ -1,6 +1,8 @@
 //! Property-based tests for the exact linear-algebra substrate.
 
-use anonet_linalg::{gauss, vector, KernelTracker, Matrix, ModpKernelTracker, Ratio, SparseIntMatrix};
+use anonet_linalg::{
+    gauss, vector, KernelTracker, LinalgError, Matrix, ModpKernelTracker, Ratio, SparseIntMatrix,
+};
 use proptest::prelude::*;
 
 fn small_ratio() -> impl Strategy<Value = Ratio> {
@@ -208,6 +210,67 @@ proptest! {
         prop_assert_eq!(t.rank(), e.rank());
         prop_assert_eq!(t.pivots(), e.pivots.as_slice());
         prop_assert_eq!(t.kernel_basis().unwrap(), gauss::kernel_basis(&wide).unwrap());
+    }
+
+    #[test]
+    fn tracker_overflow_rollback_matches_valid_only_sequence(
+        ops in proptest::collection::vec(
+            (proptest::bool::ANY, proptest::collection::vec(-3i64..=3, 3)),
+            1..12,
+        ),
+    ) {
+        // Interleave appends that are guaranteed to overflow BOTH
+        // arithmetic paths (fraction-free integer and exact rational)
+        // with ordinary valid appends, and require that the final
+        // tracker state is exactly the batch RREF of the valid-only
+        // subsequence: a failed append must be a perfect no-op.
+        //
+        // Arming row: a primitive stored pivot of ~2^100 in column 0.
+        // Any later row with a nonzero column-0 entry and a ~2^100
+        // entry elsewhere needs ~2^200 cross products (integer path)
+        // or a ~2^200 numerator (rational path) — both exceed i128.
+        // Valid rows keep columns 0 and 1 at zero: they never reduce
+        // against the huge pivot, and RREF maintenance never rewrites
+        // the arming row (its columns >= 2 are already zero), so its
+        // pivot stays huge for the whole interleaving.
+        const HUGE: i128 = 1 << 100;
+        let mut t = KernelTracker::new(5);
+        t.append_row_i128(&[HUGE, 1, 0, 0, 0]).unwrap();
+        let mut valid: Vec<Vec<Ratio>> = vec![
+            vec![Ratio::from_integer(HUGE), Ratio::ONE, Ratio::ZERO, Ratio::ZERO, Ratio::ZERO],
+        ];
+        // The rollback path is exercised at least once per case.
+        let before = t.clone();
+        prop_assert_eq!(
+            t.append_row_i128(&[1, HUGE, 1, 1, 1]),
+            Err(LinalgError::Overflow)
+        );
+        prop_assert_eq!(&t, &before, "failed append must be a no-op");
+        for (overflowing, small) in &ops {
+            if *overflowing {
+                let row = [1, HUGE, small[0] as i128, small[1] as i128, small[2] as i128];
+                let before = t.clone();
+                prop_assert_eq!(t.append_row_i128(&row), Err(LinalgError::Overflow));
+                prop_assert_eq!(&t, &before, "failed append must be a no-op");
+            } else {
+                let row: Vec<i128> = [0i128, 0]
+                    .into_iter()
+                    .chain(small.iter().map(|&x| x as i128))
+                    .collect();
+                t.append_row_i128(&row).unwrap();
+                valid.push(row.iter().map(|&x| Ratio::from_integer(x)).collect());
+            }
+        }
+        let reference = Matrix::from_rows(valid).unwrap();
+        let e = gauss::rref(&reference).unwrap();
+        prop_assert_eq!(t.rank(), e.rank());
+        prop_assert_eq!(t.nullity(), 5 - e.rank());
+        prop_assert_eq!(t.pivots(), e.pivots.as_slice());
+        prop_assert_eq!(&t.echelon().unwrap().rref, &e.rref);
+        prop_assert_eq!(
+            t.kernel_basis().unwrap(),
+            gauss::kernel_basis(&reference).unwrap()
+        );
     }
 
     #[test]

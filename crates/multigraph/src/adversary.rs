@@ -48,20 +48,41 @@ pub fn indistinguishability_horizon(n: u64) -> Option<u32> {
 }
 
 /// Errors produced by the twin construction.
+///
+/// Also exported as [`AdversaryError`]: any of these surfacing from a
+/// runner cell becomes a typed `CellFailure` instead of a worker panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum TwinError {
     /// Twins require at least one node.
     TooSmall,
+    /// The requested depth has more negative histories than the network
+    /// has nodes — the construction cannot cover them (never happens
+    /// for the horizon [`indistinguishability_horizon`] computes; kept
+    /// as a checked error so a bad internal bound can't underflow).
+    Coverage {
+        /// The network size.
+        n: u64,
+        /// Negative histories the depth requires covered.
+        required: u64,
+    },
     /// Internal census construction failed (should be unreachable for
     /// valid sizes).
     Census(CensusError),
 }
 
+/// The adversary-layer error type ([`TwinError`] under the name the
+/// grid runner's failure taxonomy uses).
+pub type AdversaryError = TwinError;
+
 impl fmt::Display for TwinError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TwinError::TooSmall => write!(f, "twin construction requires n >= 1"),
+            TwinError::Coverage { n, required } => write!(
+                f,
+                "size-{n} network cannot cover {required} negative histories"
+            ),
             TwinError::Census(e) => write!(f, "census construction failed: {e}"),
         }
     }
@@ -135,10 +156,24 @@ impl TwinBuilder {
     /// Returns [`TwinError::TooSmall`] for `n = 0`.
     pub fn smaller_census(&self, n: u64) -> Result<Census, TwinError> {
         let horizon = indistinguishability_horizon(n).ok_or(TwinError::TooSmall)?;
+        self.census_at_horizon(n, horizon)
+    }
+
+    /// The twin census at an *explicit* horizon. [`smaller_census`]
+    /// always passes the closed-form horizon, whose depth the network
+    /// can cover by construction; any deeper depth fails closed with
+    /// [`TwinError::Coverage`] instead of underflowing the surplus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TwinError::Coverage`] when the depth's negative
+    /// histories outnumber `n` (or overflow `i64`).
+    ///
+    /// [`smaller_census`]: TwinBuilder::smaller_census
+    fn census_at_horizon(&self, n: u64, horizon: u32) -> Result<Census, TwinError> {
         let depth = horizon as usize + 1;
         let k = kernel_vector(horizon as usize);
         let neg = negative_history_count(depth) as u64;
-        debug_assert!(neg <= n, "horizon guarantees coverage");
         let mut counts = vec![0i64; ternary_count(depth)];
         let mut negatives = Vec::new();
         for (i, &kv) in k.iter().enumerate() {
@@ -147,10 +182,15 @@ impl TwinBuilder {
                 negatives.push(i);
             }
         }
-        let surplus = (n - neg) as i64;
+        let coverage = TwinError::Coverage { n, required: neg };
+        let surplus: i64 = n
+            .checked_sub(neg)
+            .and_then(|s| i64::try_from(s).ok())
+            .ok_or(coverage.clone())?;
+        let first = *negatives.first().ok_or(coverage)?;
         match self.placement {
             SurplusPlacement::FirstNegative => {
-                counts[negatives[0]] += surplus;
+                counts[first] += surplus;
             }
             SurplusPlacement::Spread => {
                 for s in 0..surplus {
@@ -367,6 +407,41 @@ mod tests {
         let max_spread = b.counts().iter().max().copied().unwrap();
         let max_dump = a.counts().iter().max().copied().unwrap();
         assert!(max_spread < max_dump);
+    }
+
+    #[test]
+    fn undersized_coverage_fails_closed_not_underflows() {
+        // `smaller_census` always passes the closed-form horizon; an
+        // internal bound bug handing a deeper one must yield a typed
+        // error, never a `u64` underflow panic.
+        let b = TwinBuilder::new();
+        // n = 4 covers depth 2 (4 negatives) but not depth 3 (13).
+        assert!(b.census_at_horizon(4, 1).is_ok());
+        let err = b.census_at_horizon(4, 2).unwrap_err();
+        assert_eq!(err, TwinError::Coverage { n: 4, required: 13 });
+        assert!(err.to_string().contains("cannot cover 13"));
+        // Both placements take the checked path.
+        let spread = TwinBuilder::new().with_placement(SurplusPlacement::Spread);
+        assert!(matches!(
+            spread.census_at_horizon(4, 2),
+            Err(TwinError::Coverage { .. })
+        ));
+    }
+
+    #[test]
+    fn coverage_boundary_sizes_build() {
+        // Exactly-covering sizes (surplus = 0) are the boundary of the
+        // checked subtraction: n = (3^{r+1}-1)/2.
+        for n in [1u64, 4, 13, 40, 121] {
+            let pair = TwinBuilder::new().build(n).unwrap();
+            assert_eq!(pair.smaller.nodes() as u64, n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn adversary_error_alias_names_twin_error() {
+        let e: AdversaryError = TwinError::TooSmall;
+        assert_eq!(e, TwinError::TooSmall);
     }
 
     #[test]

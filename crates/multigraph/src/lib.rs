@@ -53,6 +53,7 @@ pub mod system;
 pub mod system_k;
 pub mod transform;
 
+pub use adversary::{AdversaryError, TwinBuilder, TwinError, TwinPair};
 pub use census::{Census, CensusError};
 pub use history::{ternary_count, History, HistoryArena, HistoryId, ParseHistoryError};
 pub use label::{LabelError, LabelSet, MAX_LABELS};

@@ -649,17 +649,24 @@ impl ObservationKernel {
     ///
     /// Returns [`LinalgError::Overflow`] if integerizing the basis
     /// overflows (impossible for genuine `M_r`, whose kernel entries are
-    /// ±1).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the kernel is not one-dimensional — which would refute
-    /// Lemma 2 — or on the [`SolverBackend::ModpCertified`] backend
-    /// (which keeps no exact echelon; see
-    /// [`tracker`](Self::tracker)).
+    /// ±1), and [`LinalgError::DimensionMismatch`] on the
+    /// [`SolverBackend::ModpCertified`] backend (which keeps no exact
+    /// echelon; see [`tracker`](Self::tracker)) or if the kernel is not
+    /// one-dimensional — which would refute Lemma 2. Both used to be
+    /// panics; as errors, a violated invariant inside a grid cell is a
+    /// typed `CellFailure` instead of a worker panic.
     pub fn kernel_vector(&self) -> Result<Vec<i64>, LinalgError> {
-        let basis = self.tracker().kernel_basis_integer()?;
-        assert_eq!(basis.len(), 1, "dim ker M_r = 1 (Lemma 2)");
+        let tracker = self.exact.as_ref().ok_or_else(|| {
+            LinalgError::dims("kernel_vector requires the exact backend (ModpCertified keeps no exact echelon)")
+        })?;
+        let basis = tracker.kernel_basis_integer()?;
+        if basis.len() != 1 {
+            return Err(LinalgError::dims(format!(
+                "dim ker M_r = {} at rounds = {}, expected 1 (Lemma 2)",
+                basis.len(),
+                self.rounds
+            )));
+        }
         let v = &basis[0];
         let sign = v.iter().find(|&&x| x != 0).map_or(1, |&x| x.signum());
         v.iter()
@@ -940,6 +947,21 @@ mod tests {
             let batch_kernel = gauss::kernel_basis(&dense).unwrap();
             assert_eq!(ok.tracker().kernel_basis().unwrap(), batch_kernel);
         }
+    }
+
+    #[test]
+    fn kernel_vector_on_modp_backend_is_a_typed_error() {
+        // Used to be an `expect` panic; a grid cell querying the wrong
+        // backend must now get a CellFailure-able error.
+        let mut fast = ObservationKernel::with_backend(SolverBackend::ModpCertified);
+        fast.push_round().unwrap();
+        let err = fast.kernel_vector().unwrap_err();
+        assert!(matches!(err, LinalgError::DimensionMismatch { .. }));
+        assert!(err.to_string().contains("exact backend"));
+        // The tracker itself stays usable after the failed query.
+        assert_eq!(fast.nullity(), 1);
+        fast.push_round().unwrap();
+        assert_eq!(fast.nullity(), 1);
     }
 
     #[test]

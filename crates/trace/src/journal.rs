@@ -1,0 +1,203 @@
+//! Crash-safe JSONL journals: line-atomic append with per-line fsync.
+//!
+//! The experiment grids in `anonet-bench` checkpoint every completed
+//! cell to a `*.checkpoint.jsonl` sidecar so that an interrupted run can
+//! be resumed without recomputing finished work. The durability
+//! contract of this module is what makes that safe:
+//!
+//! * **line-atomic append** — each record is written with a *single*
+//!   `write` call of the full `line + '\n'`, so a crash between appends
+//!   never interleaves or splits records;
+//! * **fsync-on-line** — [`JournalWriter::append_line`] calls
+//!   `sync_data` after the write, so a record that was reported as
+//!   appended survives a `SIGKILL` (and, modulo the disk's own cache, a
+//!   power loss);
+//! * **tolerant replay** — [`read_journal`] returns every complete
+//!   (newline-terminated) line, and reports a trailing unterminated
+//!   fragment separately instead of failing: a kill mid-`write` at
+//!   worst loses the final record, never the journal.
+//!
+//! The journal format itself is the caller's business — lines are
+//! opaque here; `anonet-bench` stores one JSON object per completed
+//! cell and parses it back with [`json`](crate::json).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use anonet_trace::journal::{read_journal, JournalWriter};
+//!
+//! let mut w = JournalWriter::append("grid.checkpoint.jsonl")?;
+//! w.append_line(r#"{"index":0,"id":"fig3"}"#)?;
+//!
+//! let replay = read_journal("grid.checkpoint.jsonl")?;
+//! assert_eq!(replay.lines.len(), 1);
+//! assert!(replay.truncated_tail.is_none());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only journal file with per-line durability (see the
+/// [module documentation](self)).
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Opens `path` for appending, creating it (and not truncating it)
+    /// as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be opened.
+    pub fn append(path: impl AsRef<Path>) -> io::Result<JournalWriter> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(JournalWriter { file, path })
+    }
+
+    /// The path this journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record durably: a single write of `line + '\n'`
+    /// followed by `sync_data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidInput`] if `line` contains a
+    /// newline (it would forge record boundaries), or the underlying
+    /// write/sync error.
+    pub fn append_line(&mut self, line: &str) -> io::Result<()> {
+        if line.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "journal records must be single lines",
+            ));
+        }
+        let mut record = String::with_capacity(line.len() + 1);
+        record.push_str(line);
+        record.push('\n');
+        // One write call for the whole record keeps the append atomic
+        // with respect to concurrent readers and kill signals.
+        self.file.write_all(record.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// The result of replaying a journal file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRead {
+    /// Every complete (newline-terminated) line, in file order.
+    pub lines: Vec<String>,
+    /// A trailing fragment with no terminating newline — evidence of a
+    /// write cut short by a crash. Callers should ignore (and may
+    /// re-compute) the record it belonged to.
+    pub truncated_tail: Option<String>,
+}
+
+/// Reads a journal written by [`JournalWriter`], separating complete
+/// lines from a torn trailing fragment.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file cannot be read, or
+/// [`io::ErrorKind::InvalidData`] if a *complete* line is not valid
+/// UTF-8 (torn tails are reported lossily, never as an error).
+pub fn read_journal(path: impl AsRef<Path>) -> io::Result<JournalRead> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut lines = Vec::new();
+    let mut rest: &[u8] = &bytes;
+    while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+        let line = &rest[..nl];
+        rest = &rest[nl + 1..];
+        match core::str::from_utf8(line) {
+            Ok(s) => lines.push(s.to_string()),
+            Err(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "journal contains a complete line that is not valid UTF-8",
+                ))
+            }
+        }
+    }
+    let truncated_tail = if rest.is_empty() {
+        None
+    } else {
+        Some(String::from_utf8_lossy(rest).into_owned())
+    };
+    Ok(JournalRead {
+        lines,
+        truncated_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("anonet-journal-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn append_then_read_round_trips() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::append(&path).unwrap();
+        assert_eq!(w.path(), path.as_path());
+        w.append_line(r#"{"index":0}"#).unwrap();
+        w.append_line(r#"{"index":1}"#).unwrap();
+        drop(w);
+        // Re-opening appends rather than truncating.
+        let mut w = JournalWriter::append(&path).unwrap();
+        w.append_line(r#"{"index":2}"#).unwrap();
+        drop(w);
+        let r = read_journal(&path).unwrap();
+        assert_eq!(r.lines.len(), 3);
+        assert_eq!(r.lines[2], r#"{"index":2}"#);
+        assert_eq!(r.truncated_tail, None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn embedded_newline_is_rejected() {
+        let path = temp_path("newline");
+        let _ = std::fs::remove_file(&path);
+        let mut w = JournalWriter::append(&path).unwrap();
+        let err = w.append_line("two\nlines").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        drop(w);
+        assert_eq!(read_journal(&path).unwrap().lines.len(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_fatal() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, b"{\"index\":0}\n{\"index\":1}\n{\"ind").unwrap();
+        let r = read_journal(&path).unwrap();
+        assert_eq!(r.lines.len(), 2);
+        assert_eq!(r.truncated_tail.as_deref(), Some("{\"ind"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_journal_reads_empty() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let r = read_journal(&path).unwrap();
+        assert!(r.lines.is_empty());
+        assert!(r.truncated_tail.is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,415 @@
+//! Minimal dependency-free JSON reading and writing helpers.
+//!
+//! The workspace's vendored `serde_json` stand-in serializes but does
+//! not parse, and the hand-rolled [`RoundEvent`](crate::RoundEvent)
+//! parser only understands its own flat schema. Checkpoint journals
+//! (see [`journal`](crate::journal)) need to replay *structured*
+//! records — nested arrays of strings, objects of integers — so this
+//! module provides the smallest JSON value model that covers them:
+//! `null`, booleans, integers, strings, arrays and objects.
+//!
+//! Floating-point numbers are deliberately **rejected**: every consumer
+//! in this workspace round-trips journal lines byte-for-byte, and float
+//! formatting is the one JSON fragment where `parse ∘ render` is not
+//! the identity. Keeping floats out makes "the journal replays exactly"
+//! a structural guarantee instead of a numerical one.
+//!
+//! # Examples
+//!
+//! ```
+//! use anonet_trace::json::JsonValue;
+//!
+//! let v = JsonValue::parse(r#"{"id":"fig3","rows":[["1","2"]],"micros":42}"#)?;
+//! assert_eq!(v.get("id").and_then(JsonValue::as_str), Some("fig3"));
+//! assert_eq!(v.get("micros").and_then(JsonValue::as_int), Some(42));
+//! # Ok::<(), anonet_trace::json::JsonParseError>(())
+//! ```
+
+use core::fmt;
+
+/// A parsed JSON value (integers only; floats are rejected — see the
+/// [module documentation](self)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (any magnitude that fits `i128`).
+    Int(i128),
+    /// A string, with escapes resolved.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object; field order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Error from [`JsonValue::parse`]: byte offset and reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub reason: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad JSON at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters) — the escaping [`JsonValue::parse`] undoes.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, reason: impl Into<String>) -> Result<T, JsonParseError> {
+        Err(JsonParseError {
+            offset: self.pos,
+            reason: reason.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(format!("expected `{word}`"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.integer(),
+            Some(other) => self.err(format!("unexpected byte `{}`", other as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn integer(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return self.err("floating-point numbers are not supported");
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits and minus are ASCII");
+        match text.parse::<i128>() {
+            Ok(n) => Ok(JsonValue::Int(n)),
+            Err(_) => self.err(format!("bad integer `{text}`")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = match self.peek() {
+                        Some(b) => b,
+                        None => return self.err("truncated escape"),
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let Some(h) = self.peek() else {
+                                    return self.err("truncated \\u escape");
+                                };
+                                let Some(d) = (h as char).to_digit(16) else {
+                                    return self.err("bad \\u escape");
+                                };
+                                code = code * 16 + d;
+                                self.pos += 1;
+                            }
+                            let Some(c) = char::from_u32(code) else {
+                                return self.err("bad \\u code point");
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return self.err(format!("bad escape `\\{}`", other as char))
+                        }
+                    }
+                }
+                Some(b) if b < 0x80 => {
+                    if b < 0x20 {
+                        return self.err("unescaped control character in string");
+                    }
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8 sequence: 2-4 bytes, length from
+                    // the leading byte.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return self.err("string is not valid UTF-8"),
+                    };
+                    let end = self.pos + len;
+                    if end > self.bytes.len() {
+                        return self.err("string is not valid UTF-8");
+                    }
+                    match core::str::from_utf8(&self.bytes[self.pos..end]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.err("string is not valid UTF-8"),
+                    }
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonParseError`] with the byte offset of the first
+    /// violation; floating-point literals are always rejected.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return p.err("trailing characters after value");
+        }
+        Ok(v)
+    }
+
+    /// Field lookup on [`JsonValue::Object`]; `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload of [`JsonValue::Str`]; `None` otherwise.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload of [`JsonValue::Int`]; `None` otherwise.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            JsonValue::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The items of [`JsonValue::Array`]; `None` otherwise.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Int(42));
+        assert_eq!(JsonValue::parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(
+            JsonValue::parse("\"hi\"").unwrap(),
+            JsonValue::Str("hi".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = JsonValue::parse(r#"{"a":[1,[2,"x"]],"b":{"c":null}}"#).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0], JsonValue::Int(1));
+        assert_eq!(
+            a[1].as_array().unwrap()[1],
+            JsonValue::Str("x".into())
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote\" back\\slash\nnew\tline\u{1} unicode\u{00e9}";
+        let mut encoded = String::from('"');
+        escape_into(original, &mut encoded);
+        encoded.push('"');
+        let parsed = JsonValue::parse(&encoded).unwrap();
+        assert_eq!(parsed.as_str(), Some(original));
+    }
+
+    #[test]
+    fn rejects_floats_and_garbage() {
+        assert!(JsonValue::parse("1.5").is_err());
+        assert!(JsonValue::parse("1e3").is_err());
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("42 garbage").is_err());
+        let err = JsonValue::parse("nul").unwrap_err();
+        assert!(err.to_string().contains("null"));
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = JsonValue::parse(" { \"k\" :\n[ 1 , 2 ] }\t").unwrap();
+        assert_eq!(
+            v.get("k").unwrap().as_array().unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn u_escape_parses() {
+        assert_eq!(
+            JsonValue::parse("\"\\u0041\\u00e9\"").unwrap().as_str(),
+            Some("A\u{e9}")
+        );
+        assert!(JsonValue::parse(r#""\ud800""#).is_err(), "lone surrogate");
+    }
+}

@@ -16,6 +16,12 @@
 //! hand-rolled for the flat event schema, so the trace layer can sit at
 //! the very bottom of the workspace dependency graph.
 //!
+//! Two sibling modules extend the JSONL machinery beyond round events:
+//! [`journal`] provides crash-safe line-atomic appends with per-line
+//! fsync (the substrate of the experiment runner's checkpoint/resume
+//! sidecars), and [`json`] a minimal JSON value parser for replaying
+//! structured journal records without external dependencies.
+//!
 //! # Examples
 //!
 //! Record two rounds, serialize them, and replay the stream:
@@ -42,6 +48,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
+pub mod journal;
 
 use core::fmt;
 use std::io::{self, Write};

@@ -52,4 +52,47 @@ if [[ $fast -eq 0 ]]; then
     fi
 fi
 
+if [[ $fast -eq 0 ]]; then
+    echo "==> crash safety: inject-panic -> lint -> resume -> byte-compare (exp_all --quick)"
+    cargo build --release -p anonet-bench --quiet
+    bin=target/release/exp_all
+    crashdir=$(mktemp -d)
+    trap 'rm -f "$serial" "$parallel"; rm -rf "$crashdir"' EXIT
+    ckpt="$crashdir/grid.checkpoint.jsonl"
+    "$bin" --quick --threads 4 --json --no-timings >"$crashdir/ref.json"
+    # Cell 2 panics; the run must fail, journal the surviving cells, and
+    # leave a journal that lints clean (fsync-per-line: no torn lines).
+    if "$bin" --quick --threads 4 --json --no-timings \
+        --checkpoint "$ckpt" --inject-panic 2 >/dev/null 2>"$crashdir/panic.log"; then
+        echo "error: exp_all with --inject-panic 2 exited zero" >&2
+        exit 1
+    fi
+    "$bin" --lint-checkpoint "$ckpt" >/dev/null
+    "$bin" --quick --threads 4 --json --no-timings \
+        --checkpoint "$ckpt" --resume >"$crashdir/resumed.json" 2>/dev/null
+    if ! cmp -s "$crashdir/ref.json" "$crashdir/resumed.json"; then
+        echo "error: resumed exp_all --json differs from an uninterrupted run" >&2
+        diff "$crashdir/ref.json" "$crashdir/resumed.json" | head -20 >&2
+        exit 1
+    fi
+
+    echo "==> crash safety: SIGKILL mid-grid leaves no truncated checkpoint line"
+    killckpt="$crashdir/killed.checkpoint.jsonl"
+    "$bin" --threads 1 --checkpoint "$killckpt" >/dev/null 2>&1 &
+    victim=$!
+    # Wait for at least one journaled cell, then kill -9 mid-grid.
+    for _ in $(seq 1 200); do
+        [[ -s "$killckpt" ]] && break
+        sleep 0.05
+    done
+    if [[ ! -s "$killckpt" ]]; then
+        echo "error: no checkpoint line appeared before the kill window closed" >&2
+        kill -9 "$victim" 2>/dev/null || true
+        exit 1
+    fi
+    kill -9 "$victim" 2>/dev/null || true
+    wait "$victim" 2>/dev/null || true
+    "$bin" --lint-checkpoint "$killckpt" >/dev/null
+fi
+
 echo "All checks passed."
