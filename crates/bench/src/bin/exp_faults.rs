@@ -1,0 +1,29 @@
+//! Regenerates E22: the safety envelope under fault injection.
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_faults [--smoke] [--json] [--csv] [--threads N] [--checkpoint PATH [--resume]]`
+//!
+//! `--smoke` runs the reduced corpus with the same in-process safety
+//! assertion (a guarded run reporting a wrong count panics the cell and
+//! the binary exits non-zero), making this binary the CI gate for *zero
+//! silent-wrong counts with watchdogs on*.
+//!
+//! Crash-safe flags (checkpoint/resume, fault injection of the *runner
+//! process* — unrelated to the network faults measured here) are shared
+//! by every experiment binary — see `docs/RUNNER.md`.
+
+use anonet_bench::experiments::faults;
+use anonet_bench::experiments::runner::Cell;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    anonet_bench::run_and_emit(&[
+        Cell::new("faults_kernel", move || faults::faults_kernel(smoke)),
+        Cell::new("faults_general_k", move || faults::faults_general_k(smoke)),
+        Cell::new("faults_pd2", move || faults::faults_pd2(smoke)),
+        Cell::new("faults_oracle", move || faults::faults_oracle(smoke)),
+        Cell::new("faults_massdrain", move || faults::faults_massdrain(smoke)),
+        Cell::new("faults_pushsum", move || faults::faults_pushsum(smoke)),
+        Cell::new("faults_enum", move || faults::faults_enum(smoke)),
+        Cell::new("degradation", move || faults::fault_degradation(smoke)),
+    ]);
+}

@@ -3,6 +3,7 @@
 mod baselines;
 pub mod checkpoint;
 mod extensions;
+pub mod faults;
 mod figures;
 mod lemmas;
 pub mod linalg_scaling;
@@ -25,6 +26,10 @@ use runner::Cell;
 /// The complete experiment suite in paper order, as parallel-runnable
 /// cells (one per experiment; every experiment seeds itself, so cells
 /// are order- and thread-independent).
+///
+/// The fault-injection safety envelope ([`faults`]) is deliberately
+/// *not* part of this suite: it measures out-of-model behaviour and
+/// runs via its own `exp_faults` binary.
 pub fn all_cells(quick: bool) -> Vec<Cell> {
     vec![
         Cell::new("fig1", fig1),

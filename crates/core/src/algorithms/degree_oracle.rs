@@ -67,12 +67,24 @@ impl Process for DegreeOracleProcess {
         match (self.role, ctx.round) {
             (Role::Leader, 0) => DegreeMsg::Beacon,
             (Role::Anonymous, 1) if !self.is_relay => {
+                // `None` means the simulator has no degree oracle at all —
+                // the §3 base model, which this protocol must refuse
+                // loudly (a configuration error, not a network fault).
                 let degree = ctx
                     .degree
-                    .expect("degree-oracle protocol requires the degree oracle");
-                DegreeMsg::Share(
-                    Ratio::new(1, degree as i128).expect("pd2 leaves have positive degree"),
-                )
+                    .expect("degree-oracle protocol requires the degree oracle (§3)");
+                // On an in-model G(PD)_2 every leaf has positive degree; a
+                // faulted round can isolate one (degree 0), in which case
+                // it has nothing to share — the leader's fractional-sum
+                // check then withholds the output rather than this send
+                // panicking mid-protocol.
+                match degree {
+                    0 => DegreeMsg::Hello,
+                    d => match Ratio::new(1, d as i128) {
+                        Ok(share) => DegreeMsg::Share(share),
+                        Err(_) => DegreeMsg::Hello,
+                    },
+                }
             }
             (Role::Anonymous, 2) if self.is_relay => DegreeMsg::Sum(self.collected),
             _ => DegreeMsg::Hello,

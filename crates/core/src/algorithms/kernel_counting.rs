@@ -254,9 +254,14 @@ impl KernelCounting {
                 }
                 _ => 1, // Lemma 3 (re-proved by the verified prefix).
             };
-            let range = sol
-                .population_range()
-                .expect("observations of a real network are feasible");
+            // In-model observations are always feasible; out-of-model
+            // input (e.g. fault-injected deliveries replayed through the
+            // observation stream) must fail closed, not panic.
+            let range = sol.population_range().ok_or_else(|| {
+                CountingError::BadObservations(format!(
+                    "observation system infeasible at round {rounds} (out-of-model input)"
+                ))
+            })?;
             trace.candidate_ranges.push(range);
             sink.record(
                 &RoundEvent::new(rounds - 1)

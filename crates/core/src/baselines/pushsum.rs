@@ -49,7 +49,11 @@ impl Process for PushSumProcess {
     type Msg = (f64, f64);
 
     fn send(&mut self, ctx: &SendContext) -> (f64, f64) {
-        let degree = ctx.degree.expect("push-sum requires the degree oracle") as f64;
+        // Degree 0 (an isolated node on a faulted round) or a missing
+        // oracle reading degrades to parts = 1: the node keeps all its
+        // mass, which is exactly the push-sum semantics of having no
+        // neighbour to push to.
+        let degree = ctx.degree.unwrap_or(0) as f64;
         let parts = degree + 1.0;
         self.share_s = self.s / parts;
         self.share_w = self.w / parts;

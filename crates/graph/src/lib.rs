@@ -31,6 +31,7 @@
 mod corollary;
 pub mod dot;
 mod dynamic;
+pub mod faults;
 pub mod generators;
 #[allow(clippy::module_inception)]
 mod graph;

@@ -428,6 +428,25 @@ impl HistoryArena {
             .expect("history is not a k = 2 ternary history (or its index overflows)")
     }
 
+    /// Checked [`HistoryArena::ternary_index`]: `None` when the history is
+    /// not a `k = 2` ternary history (or its index overflows `usize`),
+    /// instead of panicking. This is the accessor for code paths that must
+    /// fail closed on malformed deliveries — e.g. the fault-aware leaders
+    /// in [`faults`](crate::faults).
+    pub fn checked_ternary_index(&self, id: HistoryId) -> Option<usize> {
+        self.entry(id).ternary
+    }
+
+    /// Whether `id` is a `k = 2` ternary history (every label set one of
+    /// `{1}`, `{2}`, `{1, 2}`). Unlike
+    /// [`HistoryArena::checked_ternary_index`] this holds at any depth:
+    /// the cached sign (a `±1` product) never overflows, while the
+    /// column index leaves `usize` around depth 41. Used by the
+    /// fault-aware leaders' deep confirmation screening.
+    pub fn is_ternary(&self, id: HistoryId) -> bool {
+        self.entry(id).sign.is_some()
+    }
+
     /// Cached [`History::sign`] — O(1) per query.
     ///
     /// # Panics

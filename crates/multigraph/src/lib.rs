@@ -42,6 +42,7 @@
 
 pub mod adversary;
 mod census;
+pub mod faults;
 mod history;
 mod label;
 mod leader;

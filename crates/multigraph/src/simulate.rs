@@ -18,7 +18,7 @@
 use crate::history::{ternary_count, HistoryArena, HistoryId};
 use crate::leader::LeaderState;
 use crate::multigraph::DblMultigraph;
-use crate::system::{AffineCensus, IncrementalSolver};
+use crate::system::{AffineCensus, IncrementalSolver, LevelError};
 use core::fmt;
 
 /// One message delivered to the leader: the edge label it arrived on plus
@@ -150,6 +150,17 @@ pub enum OnlineError {
         /// The state length received.
         got: usize,
     },
+    /// A delivery carried a state that is not a `k = 2` ternary history
+    /// (some label set outside `{{1}, {2}, {1,2}}`, or an index overflow).
+    NonTernaryState {
+        /// The round being ingested.
+        round: usize,
+    },
+    /// The incremental solver rejected an assembled observation level —
+    /// unreachable when deliveries pass the integrity checks above, but
+    /// surfaced as a typed error rather than a panic so fault-injected
+    /// runs fail closed.
+    Solver(LevelError),
     /// No rounds have been ingested yet.
     NoRounds,
 }
@@ -163,6 +174,10 @@ impl fmt::Display for OnlineError {
             OnlineError::BadStateLength { round, got } => {
                 write!(f, "round {round} delivery carries a state of length {got}")
             }
+            OnlineError::NonTernaryState { round } => {
+                write!(f, "round {round} delivery carries a non-ternary (k != 2) state")
+            }
+            OnlineError::Solver(e) => write!(f, "solver rejected level: {e}"),
             OnlineError::NoRounds => write!(f, "no rounds ingested yet"),
         }
     }
@@ -247,7 +262,9 @@ impl OnlineLeader {
                     got: arena.history_len(d.state),
                 });
             }
-            let idx = arena.ternary_index(d.state);
+            let idx = arena
+                .checked_ternary_index(d.state)
+                .ok_or(OnlineError::NonTernaryState { round })?;
             match d.label {
                 1 => al[idx] += 1,
                 2 => bl[idx] += 1,
@@ -257,7 +274,7 @@ impl OnlineLeader {
         let sol = self
             .solver
             .push_level(&al, &bl)
-            .expect("widths match by construction");
+            .map_err(OnlineError::Solver)?;
         if let Some(count) = sol.unique_population() {
             self.decided = Some(count as u64);
             return Ok(Some(count as u64));

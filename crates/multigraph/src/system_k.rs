@@ -466,13 +466,40 @@ impl GeneralSystem {
         rounds: usize,
         max_solutions: usize,
     ) -> Result<Vec<i64>, SystemKError> {
+        let rhs = self.observations(m, rounds)?;
+        self.feasible_populations_from_observations(&rhs, rounds, max_solutions)
+    }
+
+    /// [`GeneralSystem::feasible_populations`] from an already-assembled
+    /// constant-terms vector (ordered like
+    /// [`GeneralSystem::observations`]).
+    ///
+    /// This is the entry point for observations that did *not* come from
+    /// a well-formed multigraph — e.g. the fault-injection layer replays
+    /// perturbed delivery streams through it to ask which populations (if
+    /// any) remain consistent. An empty result means no census explains
+    /// the observations: the model was violated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemKError::TooLarge`] for oversized instances, a
+    /// mismatched `rhs` length, or an enumeration exceeding
+    /// `max_solutions`.
+    pub fn feasible_populations_from_observations(
+        &self,
+        rhs: &[i64],
+        rounds: usize,
+        max_solutions: usize,
+    ) -> Result<Vec<i64>, SystemKError> {
         let r = rounds.saturating_sub(1);
         let matrix = self.observation_matrix(r)?;
-        let rhs = self.observations(m, rounds)?;
+        if rhs.len() != self.row_count(r)? {
+            return Err(SystemKError::TooLarge);
+        }
         let cap = rhs.iter().copied().max().unwrap_or(0);
         let sols = anonet_linalg::enumerate::enumerate_nonnegative_solutions(
             &matrix,
-            &rhs,
+            rhs,
             cap,
             max_solutions,
         )?;

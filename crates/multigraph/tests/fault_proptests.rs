@@ -1,0 +1,104 @@
+//! Property-based tests for the fault-injection layer.
+//!
+//! The load-bearing property: an **empty [`FaultPlan`] is a proven
+//! no-op** — [`simulate_with_faults`] produces an [`Execution`] (and an
+//! interned-history arena) byte-identical to the plain simulator, for
+//! arbitrary multigraphs, adversary seeds and horizons. Every trace in
+//! the workspace is a pure function of the execution, so this single
+//! equality pins the empty-plan byte-identity of all downstream traces.
+
+use anonet_multigraph::adversary::{RandomDblAdversary, TwinBuilder};
+use anonet_multigraph::faults::{simulate_with_faults, watched_verdict, FaultPlan, Verdict};
+use anonet_multigraph::simulate::simulate;
+use anonet_multigraph::{DblMultigraph, LabelSet};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_labelset() -> impl Strategy<Value = LabelSet> {
+    prop_oneof![Just(LabelSet::L1), Just(LabelSet::L2), Just(LabelSet::L12)]
+}
+
+fn arb_multigraph() -> impl Strategy<Value = DblMultigraph> {
+    (1usize..6, 1usize..5).prop_flat_map(|(nodes, rounds)| {
+        proptest::collection::vec(proptest::collection::vec(arb_labelset(), nodes), rounds)
+            .prop_map(|r| DblMultigraph::new(2, r).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn empty_plan_is_a_noop_on_arbitrary_multigraphs(
+        m in arb_multigraph(),
+        horizon in 1usize..8,
+    ) {
+        let clean = simulate(&m, horizon);
+        let faulted = simulate_with_faults(&m, horizon, &FaultPlan::new());
+        prop_assert!(faulted.records.is_empty());
+        prop_assert_eq!(&faulted.execution, &clean);
+        // Arena layout included: the loop bodies are identical, so even
+        // the interning order matches.
+        prop_assert_eq!(faulted.execution.arena.interned(), clean.arena.interned());
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop_on_adversary_networks(
+        seed in any::<u64>(),
+        n in 1usize..30,
+        horizon in 1usize..7,
+    ) {
+        let m = RandomDblAdversary::new(StdRng::seed_from_u64(seed))
+            .generate(n as u64, horizon)
+            .unwrap();
+        let clean = simulate(&m, horizon);
+        let faulted = simulate_with_faults(&m, horizon, &FaultPlan::new());
+        prop_assert!(faulted.records.is_empty());
+        prop_assert_eq!(&faulted.execution, &clean);
+        prop_assert_eq!(faulted.execution.arena.interned(), clean.arena.interned());
+    }
+
+    #[test]
+    fn seeded_plans_replay_byte_identically(
+        plan_seed in any::<u64>(),
+        net_seed in any::<u64>(),
+        n in 2usize..20,
+        faults in 0u32..5,
+    ) {
+        // Same (seed, rounds, faults) triple: same plan; same plan on
+        // the same network: same execution and same fault records —
+        // the determinism the parallel experiment runner relies on.
+        let horizon = 6usize;
+        let a = FaultPlan::seeded(plan_seed, horizon as u32, faults);
+        let b = FaultPlan::seeded(plan_seed, horizon as u32, faults);
+        prop_assert_eq!(&a, &b);
+        let m = RandomDblAdversary::new(StdRng::seed_from_u64(net_seed))
+            .generate(n as u64, horizon)
+            .unwrap();
+        let x = simulate_with_faults(&m, horizon, &a);
+        let y = simulate_with_faults(&m, horizon, &b);
+        prop_assert_eq!(&x.execution, &y.execution);
+        prop_assert_eq!(&x.records, &y.records);
+        prop_assert_eq!(
+            x.execution.arena.interned(),
+            y.execution.arena.interned()
+        );
+    }
+
+    #[test]
+    fn watchdogs_never_output_a_wrong_count(
+        plan_seed in any::<u64>(),
+        n in 1u64..25,
+        faults in 0u32..4,
+    ) {
+        // The fail-closed contract over random plans: a guarded run on a
+        // worst-case twin network either counts exactly n, stays
+        // undecided, or names a model violation.
+        let pair = TwinBuilder::new().build(n).unwrap();
+        let horizon = pair.horizon + 3;
+        let plan = FaultPlan::seeded(plan_seed, horizon, faults);
+        match watched_verdict(&pair.smaller, horizon, &plan) {
+            Verdict::Correct { count, .. } => prop_assert_eq!(count, n),
+            Verdict::Undecided { .. } | Verdict::ModelViolation { .. } => {}
+        }
+    }
+}

@@ -89,6 +89,14 @@ pub struct RoundEvent {
     /// Size of the algorithm's round state (e.g. distinct `(label,
     /// state)` pairs in the leader's observation, or solver unknowns).
     pub state_size: Option<u64>,
+    /// A label for injected faults active this round (e.g.
+    /// `"drop(4+0)"`, `"crash(2)+dup(3+1)"`); set by the fault-injection
+    /// layer, absent on clean runs.
+    pub fault: Option<String>,
+    /// A label for a model violation detected this round by a watchdog
+    /// (e.g. `"connectivity"`, `"census-conservation"`); absent when no
+    /// detector fired.
+    pub violation: Option<String>,
 }
 
 impl RoundEvent {
@@ -157,6 +165,20 @@ impl RoundEvent {
         self
     }
 
+    /// Sets the injected-fault label.
+    #[must_use]
+    pub fn fault(mut self, label: impl Into<String>) -> RoundEvent {
+        self.fault = Some(label.into());
+        self
+    }
+
+    /// Sets the detected-violation label.
+    #[must_use]
+    pub fn violation(mut self, label: impl Into<String>) -> RoundEvent {
+        self.violation = Some(label.into());
+        self
+    }
+
     /// Renders the event as one compact JSON object (no trailing
     /// newline). Unset facets are omitted; field order is fixed, so equal
     /// events render to identical lines.
@@ -183,20 +205,10 @@ impl RoundEvent {
             "candidate_count",
             self.candidate_count.map(i128::from),
         );
-        if let Some(a) = &self.adversary {
-            s.push_str(",\"adversary\":\"");
-            for c in a.chars() {
-                match c {
-                    '"' => s.push_str("\\\""),
-                    '\\' => s.push_str("\\\\"),
-                    '\n' => s.push_str("\\n"),
-                    c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => s.push(c),
-                }
-            }
-            s.push('"');
-        }
+        string_field(&mut s, "adversary", self.adversary.as_deref());
         num(&mut s, "state_size", self.state_size.map(i128::from));
+        string_field(&mut s, "fault", self.fault.as_deref());
+        string_field(&mut s, "violation", self.violation.as_deref());
         s.push('}');
         s
     }
@@ -231,47 +243,16 @@ impl RoundEvent {
             let after_key = key_start[key_end + 1..]
                 .strip_prefix(':')
                 .ok_or_else(|| TraceParseError::new(line, "expected ':'"))?;
-            if key == "adversary" {
+            if matches!(key, "adversary" | "fault" | "violation") {
                 let body = after_key
                     .strip_prefix('"')
-                    .ok_or_else(|| TraceParseError::new(line, "adversary must be a string"))?;
-                let mut value = String::new();
-                let mut chars = body.char_indices();
-                let end;
-                loop {
-                    match chars.next() {
-                        Some((i, '"')) => {
-                            end = i;
-                            break;
-                        }
-                        Some((_, '\\')) => match chars.next() {
-                            Some((_, '"')) => value.push('"'),
-                            Some((_, '\\')) => value.push('\\'),
-                            Some((_, 'n')) => value.push('\n'),
-                            Some((_, 'u')) => {
-                                let mut code = 0u32;
-                                for _ in 0..4 {
-                                    let (_, h) = chars.next().ok_or_else(|| {
-                                        TraceParseError::new(line, "truncated \\u escape")
-                                    })?;
-                                    code = code * 16
-                                        + h.to_digit(16).ok_or_else(|| {
-                                            TraceParseError::new(line, "bad \\u escape")
-                                        })?;
-                                }
-                                value.push(char::from_u32(code).ok_or_else(|| {
-                                    TraceParseError::new(line, "bad \\u code point")
-                                })?);
-                            }
-                            _ => return Err(TraceParseError::new(line, "bad escape")),
-                        },
-                        Some((_, c)) => value.push(c),
-                        None => {
-                            return Err(TraceParseError::new(line, "unterminated string"))
-                        }
-                    }
+                    .ok_or_else(|| TraceParseError::new(line, "expected a string value"))?;
+                let (value, end) = parse_string_body(line, body)?;
+                match key {
+                    "adversary" => event.adversary = Some(value),
+                    "fault" => event.fault = Some(value),
+                    _ => event.violation = Some(value),
                 }
-                event.adversary = Some(value);
                 rest = &body[end + 1..];
                 continue;
             }
@@ -307,6 +288,59 @@ impl RoundEvent {
             return Err(TraceParseError::new(line, "missing `round`"));
         }
         Ok(event)
+    }
+}
+
+/// Appends `,"key":"escaped value"` to `s` when `value` is set.
+fn string_field(s: &mut String, key: &str, value: Option<&str>) {
+    let Some(v) = value else { return };
+    s.push_str(",\"");
+    s.push_str(key);
+    s.push_str("\":\"");
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Parses an escaped JSON string body (after the opening quote),
+/// returning the decoded value and the byte index of the closing quote.
+fn parse_string_body(line: &str, body: &str) -> Result<(String, usize), TraceParseError> {
+    let mut value = String::new();
+    let mut chars = body.char_indices();
+    loop {
+        match chars.next() {
+            Some((i, '"')) => return Ok((value, i)),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => value.push('"'),
+                Some((_, '\\')) => value.push('\\'),
+                Some((_, 'n')) => value.push('\n'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars
+                            .next()
+                            .ok_or_else(|| TraceParseError::new(line, "truncated \\u escape"))?;
+                        code = code * 16
+                            + h.to_digit(16)
+                                .ok_or_else(|| TraceParseError::new(line, "bad \\u escape"))?;
+                    }
+                    value.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| TraceParseError::new(line, "bad \\u code point"))?,
+                    );
+                }
+                _ => return Err(TraceParseError::new(line, "bad escape")),
+            },
+            Some((_, c)) => value.push(c),
+            None => return Err(TraceParseError::new(line, "unterminated string")),
+        }
     }
 }
 
@@ -515,6 +549,33 @@ mod tests {
         let line = e.to_json_line();
         assert_eq!(line, r#"{"round":0,"leader_inbox":3}"#);
         assert_eq!(RoundEvent::from_json_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn json_roundtrip_fault_and_violation() {
+        let e = RoundEvent::new(2)
+            .deliveries(5)
+            .fault("drop(4+0)+dup(3+1)")
+            .violation("census-conservation");
+        let line = e.to_json_line();
+        assert_eq!(
+            line,
+            r#"{"round":2,"deliveries":5,"fault":"drop(4+0)+dup(3+1)","violation":"census-conservation"}"#
+        );
+        assert_eq!(RoundEvent::from_json_line(&line).unwrap(), e);
+        // Escapes work in the new string fields too.
+        let tricky = RoundEvent::new(0).fault("a\"b\\c\nd");
+        let line = tricky.to_json_line();
+        assert_eq!(RoundEvent::from_json_line(&line).unwrap(), tricky);
+    }
+
+    #[test]
+    fn clean_events_render_without_fault_fields() {
+        // The fault/violation keys are omitted when unset, so traces of
+        // unfaulted runs are byte-identical to pre-fault-layer traces.
+        let line = sample().to_json_line();
+        assert!(!line.contains("fault"));
+        assert!(!line.contains("violation"));
     }
 
     #[test]

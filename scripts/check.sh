@@ -38,6 +38,27 @@ if [[ $fast -eq 0 ]]; then
 fi
 
 if [[ $fast -eq 0 ]]; then
+    echo "==> fault-injection safety gate (exp_faults --smoke: zero silent-wrong with watchdogs on)"
+    cargo build --release -p anonet-bench --quiet
+    # The smoke corpus asserts in-process that no guarded run reports a
+    # wrong count; an escape panics the cell and exits non-zero.
+    target/release/exp_faults --smoke >/dev/null
+
+    echo "==> fault-injection determinism: exp_faults --smoke, 1 vs 4 threads"
+    fbin=target/release/exp_faults
+    fserial=$(mktemp) fparallel=$(mktemp)
+    "$fbin" --smoke --threads 1 --json --no-timings >"$fserial"
+    "$fbin" --smoke --threads 4 --json --no-timings >"$fparallel"
+    if ! cmp -s "$fserial" "$fparallel"; then
+        echo "error: exp_faults output differs between 1 and 4 threads" >&2
+        diff "$fserial" "$fparallel" | head -20 >&2
+        rm -f "$fserial" "$fparallel"
+        exit 1
+    fi
+    rm -f "$fserial" "$fparallel"
+fi
+
+if [[ $fast -eq 0 ]]; then
     echo "==> parallel determinism: exp_all --quick, 1 vs 4 threads"
     cargo build --release -p anonet-bench --quiet
     bin=target/release/exp_all
