@@ -9,6 +9,7 @@ mod lemmas;
 pub mod linalg_scaling;
 pub mod modp_scaling;
 pub mod runner;
+pub mod scale;
 mod theorems;
 
 pub use baselines::{discussion, enumeration, gossip, mass_drain};
@@ -29,7 +30,9 @@ use runner::Cell;
 ///
 /// The fault-injection safety envelope ([`faults`]) is deliberately
 /// *not* part of this suite: it measures out-of-model behaviour and
-/// runs via its own `exp_faults` binary.
+/// runs via its own `exp_faults` binary. The large-`n` scaling grid
+/// ([`scale`]) likewise runs via its own `exp_scale` binary: its cells
+/// need the machine to themselves for timing fidelity.
 pub fn all_cells(quick: bool) -> Vec<Cell> {
     vec![
         Cell::new("fig1", fig1),

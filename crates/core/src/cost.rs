@@ -257,17 +257,26 @@ pub struct StateGrowth {
 /// Returns [`CostError`] for `n = 0`.
 pub fn measure_state_growth(n: u64) -> Result<StateGrowth, CostError> {
     use anonet_multigraph::simulate::simulate;
+    use anonet_multigraph::RoundColumns;
     let pair = TwinBuilder::new().build(n)?;
     let rounds = pair.horizon as usize + 2;
     let exec = simulate(&pair.smaller, rounds);
-    let deliveries = exec.rounds.iter().map(Vec::len).collect();
+    let deliveries = exec.rounds.iter().map(RoundColumns::len).collect();
     let distinct_states = exec
         .rounds
         .iter()
         .map(|round| {
-            let mut sorted = round.clone();
-            sorted.dedup();
-            sorted.len()
+            // Columns are canonically sorted, so distinct (label, state)
+            // pairs are exactly the runs.
+            let mut distinct = 0usize;
+            let mut prev = None;
+            for d in round.iter() {
+                if prev != Some(d) {
+                    distinct += 1;
+                    prev = Some(d);
+                }
+            }
+            distinct
         })
         .collect();
     Ok(StateGrowth {

@@ -59,10 +59,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::history::{ternary_count, HistoryArena, HistoryId};
+use crate::history::{ternary_count, HistoryArena};
 use crate::label::LabelSet;
 use crate::multigraph::{DblError, DblMultigraph};
-use crate::simulate::{Delivery, Execution};
+use crate::simulate::Execution;
+use crate::soa::{RoundColumns, RoundEngine};
 use crate::system::{IncrementalSolver, ObservationKernel};
 use anonet_graph::faults::NetworkFaultPlan;
 use core::fmt;
@@ -335,9 +336,23 @@ pub fn simulate_with_faults(
     rounds: usize,
     plan: &FaultPlan,
 ) -> FaultedExecution {
-    let mut arena = HistoryArena::new();
-    let mut states: Vec<HistoryId> = vec![HistoryArena::empty(); m.nodes()];
-    let mut crashed = vec![false; m.nodes()];
+    simulate_with_faults_threaded(m, rounds, plan, 1)
+}
+
+/// [`simulate_with_faults`] with the node-parallel phases of the round
+/// step run on up to `threads` workers (0 acts as 1) — byte-identical at
+/// every thread count, exactly like
+/// [`simulate_threaded`](crate::simulate::simulate_threaded). Faults
+/// perturb the emitted columns *between* the engine's emit and advance
+/// phases, so the perturbation itself is always serial and
+/// deterministic.
+pub fn simulate_with_faults_threaded(
+    m: &DblMultigraph,
+    rounds: usize,
+    plan: &FaultPlan,
+    threads: usize,
+) -> FaultedExecution {
+    let mut engine = RoundEngine::with_threads(m.nodes(), m.k(), threads);
     let mut out = Vec::with_capacity(rounds);
     let mut records = Vec::new();
     for r in 0..rounds {
@@ -345,40 +360,15 @@ pub fn simulate_with_faults(
         // Crashes act at max(round, 1): every node completes round 0.
         for ev in plan.events().iter().filter(|e| e.round.max(1) == r32) {
             if let FaultKind::CrashNodes { count } = ev.kind {
-                let mut newly = 0u64;
-                for node in (0..m.nodes()).rev() {
-                    if newly == u64::from(count) {
-                        break;
-                    }
-                    if !crashed[node] {
-                        crashed[node] = true;
-                        newly += 1;
-                    }
-                }
                 records.push(FaultRecord {
                     round: r32,
                     kind: ev.kind,
-                    affected: newly,
+                    affected: engine.crash_highest(count),
                 });
             }
         }
-        let mut deliveries = Vec::with_capacity(m.edge_count(r));
-        #[allow(clippy::needless_range_loop)] // node indexes the multigraph, not just `states`
-        for node in 0..m.nodes() {
-            if crashed[node] {
-                continue;
-            }
-            let set = m.label_set(r, node);
-            for label in set.iter() {
-                deliveries.push(Delivery {
-                    label,
-                    state: states[node],
-                });
-            }
-        }
-        deliveries.sort_by(|a, b| {
-            (a.label, arena.masks(a.state)).cmp(&(b.label, arena.masks(b.state)))
-        });
+        let mut deliveries = RoundColumns::with_capacity(m.edge_count(r));
+        engine.emit_round(m, r, &mut deliveries);
         for ev in plan.events_at(r32) {
             match ev.kind {
                 FaultKind::Disconnect => {
@@ -392,12 +382,7 @@ pub fn simulate_with_faults(
                 FaultKind::DropDeliveries { stride, offset } => {
                     let stride = stride.max(1) as usize;
                     let before = deliveries.len();
-                    let mut i = 0usize;
-                    deliveries.retain(|_| {
-                        let keep = i % stride != (offset as usize) % stride;
-                        i += 1;
-                        keep
-                    });
+                    deliveries.retain_indexed(|i| i % stride != (offset as usize) % stride);
                     records.push(FaultRecord {
                         round: r32,
                         kind: ev.kind,
@@ -406,21 +391,21 @@ pub fn simulate_with_faults(
                 }
                 FaultKind::DuplicateDeliveries { stride, offset } => {
                     let stride = stride.max(1) as usize;
-                    let dups: Vec<Delivery> = deliveries
+                    let dups: Vec<_> = deliveries
                         .iter()
                         .enumerate()
                         .filter(|(i, _)| i % stride == (offset as usize) % stride)
-                        .map(|(_, d)| *d)
+                        .map(|(_, d)| d)
                         .collect();
                     records.push(FaultRecord {
                         round: r32,
                         kind: ev.kind,
                         affected: dups.len() as u64,
                     });
-                    deliveries.extend(dups);
-                    deliveries.sort_by(|a, b| {
-                        (a.label, arena.masks(a.state)).cmp(&(b.label, arena.masks(b.state)))
-                    });
+                    for d in dups {
+                        deliveries.push(d.label, d.state);
+                    }
+                    deliveries.canonical_sort(engine.arena());
                 }
                 FaultKind::LeaderRestart => {
                     records.push(FaultRecord {
@@ -433,17 +418,13 @@ pub fn simulate_with_faults(
             }
         }
         out.push(deliveries);
-        #[allow(clippy::needless_range_loop)] // node indexes the multigraph, not just `states`
-        for node in 0..m.nodes() {
-            if crashed[node] {
-                continue;
-            }
-            let set = m.label_set(r, node);
-            states[node] = arena.child(states[node], set);
-        }
+        engine.advance(m, r);
     }
     FaultedExecution {
-        execution: Execution { arena, rounds: out },
+        execution: Execution {
+            arena: engine.into_arena(),
+            rounds: out,
+        },
         records,
     }
 }
@@ -687,6 +668,9 @@ pub struct WatchedLeader {
     absolute_round: u32,
     violation: Option<Violation>,
     decided: Option<u64>,
+    // Reusable observation scratch, as in `OnlineLeader`.
+    al: Vec<i64>,
+    bl: Vec<i64>,
 }
 
 impl Default for WatchedLeader {
@@ -705,6 +689,8 @@ impl WatchedLeader {
             absolute_round: 0,
             violation: None,
             decided: None,
+            al: Vec::new(),
+            bl: Vec::new(),
         }
     }
 
@@ -762,13 +748,13 @@ impl WatchedLeader {
     pub fn confirm_screen(
         &mut self,
         arena: &HistoryArena,
-        deliveries: &[Delivery],
+        deliveries: &RoundColumns,
         expected_len: usize,
     ) -> Result<(), Violation> {
         if let Some(v) = self.violation {
             return Err(v);
         }
-        for d in deliveries {
+        for d in deliveries.iter() {
             if arena.history_len(d.state) != expected_len
                 || !arena.is_ternary(d.state)
                 || !matches!(d.label, 1 | 2)
@@ -808,17 +794,19 @@ impl WatchedLeader {
     pub fn ingest(
         &mut self,
         arena: &HistoryArena,
-        deliveries: &[Delivery],
+        deliveries: &RoundColumns,
     ) -> Result<WatchedRound, Violation> {
         if let Some(v) = self.violation {
             return Err(v);
         }
         let level = self.solver.levels();
         let width = ternary_count(level);
-        let mut al = vec![0i64; width];
-        let mut bl = vec![0i64; width];
+        self.al.clear();
+        self.al.resize(width, 0);
+        self.bl.clear();
+        self.bl.resize(width, 0);
         // Watchdog 1: delivery integrity.
-        for d in deliveries {
+        for d in deliveries.iter() {
             if arena.history_len(d.state) != level {
                 return Err(self.trip(ViolationKind::DeliveryIntegrity));
             }
@@ -826,8 +814,8 @@ impl WatchedLeader {
                 return Err(self.trip(ViolationKind::DeliveryIntegrity));
             };
             match d.label {
-                1 => al[idx] += 1,
-                2 => bl[idx] += 1,
+                1 => self.al[idx] += 1,
+                2 => self.bl[idx] += 1,
                 _ => return Err(self.trip(ViolationKind::DeliveryIntegrity)),
             }
         }
@@ -843,7 +831,7 @@ impl WatchedLeader {
                 return Err(self.trip(ViolationKind::Connectivity));
             }
         }
-        let sol = match self.solver.push_level(&al, &bl) {
+        let sol = match self.solver.push_level(&self.al, &self.bl) {
             Ok(sol) => sol,
             // Unreachable after the integrity checks; typed, not a panic.
             Err(_) => return Err(self.trip(ViolationKind::DeliveryIntegrity)),

@@ -16,7 +16,11 @@
 //!   multigraphs;
 //! * [`adversary`] — the executable Lemma 5: twin networks of sizes `n` and
 //!   `n+1` indistinguishable through `⌊log₃(2n+1)⌋ - 1` rounds;
-//! * [`transform`] — the Lemma 1 reduction to `G(PD)_2` graphs (Figure 2).
+//! * [`transform`] — the Lemma 1 reduction to `G(PD)_2` graphs (Figure 2);
+//! * [`soa`] — the struct-of-arrays round engine behind
+//!   [`simulate`](crate::simulate::simulate): flat `(label, state)`
+//!   delivery columns and a sort-free, node-parallel round step whose
+//!   output is byte-identical at every thread count.
 //!
 //! # Examples
 //!
@@ -38,7 +42,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adversary;
 mod census;
@@ -50,6 +54,7 @@ mod leader;
 mod multigraph;
 pub mod render;
 pub mod simulate;
+pub mod soa;
 pub mod system;
 pub mod system_k;
 pub mod transform;
@@ -60,6 +65,7 @@ pub use history::{ternary_count, History, HistoryArena, HistoryId, ParseHistoryE
 pub use label::{LabelError, LabelSet, MAX_LABELS};
 pub use leader::{LeaderState, ObservationError, Observations, ObservationStream};
 pub use multigraph::{DblError, DblMultigraph};
+pub use soa::{RoundColumns, RoundEngine};
 
 /// Structured round tracing ([`TraceSink`](anonet_trace::TraceSink),
 /// [`RoundEvent`](anonet_trace::RoundEvent), the JSONL sinks), re-exported

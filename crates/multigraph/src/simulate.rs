@@ -9,15 +9,21 @@
 //! ingests deliveries round by round, maintains the observation system
 //! incrementally, and decides the count the moment it becomes unique.
 //!
-//! [`simulate`] runs the whole protocol and is checked (in tests and
-//! property tests) to agree with the offline
-//! [`LeaderState::observe`]/[`KernelCounting`]-style analysis.
+//! Rounds are stored as flat struct-of-arrays columns
+//! ([`RoundColumns`]) and produced by the allocation-free, node-parallel
+//! [`RoundEngine`](crate::soa::RoundEngine) — see [`crate::soa`] for the
+//! layout and the determinism guarantees. [`simulate`] runs the whole
+//! protocol and is checked (in tests and property tests) to agree with
+//! the offline [`LeaderState::observe`]/[`KernelCounting`]-style
+//! analysis and with the retired array-of-structs baseline
+//! ([`simulate_reference`]).
 //!
 //! [`KernelCounting`]: https://docs.rs/anonet-core
 
 use crate::history::{ternary_count, HistoryArena, HistoryId};
 use crate::leader::LeaderState;
 use crate::multigraph::DblMultigraph;
+use crate::soa::{RoundColumns, RoundEngine};
 use crate::system::{AffineCensus, IncrementalSolver, LevelError};
 use core::fmt;
 
@@ -27,9 +33,8 @@ use core::fmt;
 /// The state is a 4-byte [`HistoryId`] handle into the owning
 /// [`Execution`]'s [`HistoryArena`]; resolve it with
 /// [`HistoryArena::resolve`] when the owned [`History`](crate::History) is
-/// needed. Keeping
-/// deliveries handle-sized is what lets [`simulate`] emit one message per
-/// edge per round without cloning a growing label-set vector each time.
+/// needed. Deliveries are stored column-wise ([`RoundColumns`]); this
+/// struct is the value the column iterators yield.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Delivery {
     /// The label of the edge the message used (the receiver learns it on
@@ -50,10 +55,10 @@ pub struct Delivery {
 pub struct Execution {
     /// The arena interning every state history of this execution.
     pub arena: HistoryArena,
-    /// `rounds[r]` holds every message the leader received in round `r`,
-    /// sorted by `(label, history)` (the multiset order carries no
-    /// information).
-    pub rounds: Vec<Vec<Delivery>>,
+    /// `rounds[r]` holds every message the leader received in round `r`
+    /// as flat `(label, state)` columns in canonical `(label, history)`
+    /// order (the multiset order carries no information).
+    pub rounds: Vec<RoundColumns>,
 }
 
 impl PartialEq for Execution {
@@ -61,7 +66,7 @@ impl PartialEq for Execution {
         self.rounds.len() == other.rounds.len()
             && self.rounds.iter().zip(&other.rounds).all(|(a, b)| {
                 a.len() == b.len()
-                    && a.iter().zip(b).all(|(x, y)| {
+                    && a.iter().zip(b.iter()).all(|(x, y)| {
                         x.label == y.label
                             && self.arena.masks(x.state) == other.arena.masks(y.state)
                     })
@@ -97,11 +102,49 @@ impl Execution {
 /// 3. every non-leader node appends its (just learned) label set to its
 ///    state.
 ///
-/// States are hash-consed in the returned execution's [`HistoryArena`]:
-/// each delivery carries a 4-byte handle, and extending a node's history
-/// in the receive phase is a single arena probe instead of a
-/// clone-and-push of the full label-set vector.
+/// States are hash-consed in the returned execution's [`HistoryArena`]
+/// (each delivery carries a 4-byte handle) and the round step runs on
+/// the struct-of-arrays [`RoundEngine`](crate::soa::RoundEngine): no
+/// per-node `Vec` is built and no comparison sort runs — rounds are
+/// emitted directly in canonical order from a `(rank, label-set)`
+/// histogram. Equivalent to `simulate_threaded(m, rounds, 1)`.
 pub fn simulate(m: &DblMultigraph, rounds: usize) -> Execution {
+    simulate_threaded(m, rounds, 1)
+}
+
+/// [`simulate`] with the node-parallel phases of the round step run on
+/// up to `threads` workers (0 acts as 1).
+///
+/// The output — including raw [`HistoryId`] handle values and arena
+/// layout — is **byte-identical for every thread count**; see
+/// [`crate::soa`] for why. Parallelism pays off from roughly `n ≥ 10^4`;
+/// below that the engine runs its serial path.
+pub fn simulate_threaded(m: &DblMultigraph, rounds: usize, threads: usize) -> Execution {
+    let mut engine = RoundEngine::with_threads(m.nodes(), m.k(), threads);
+    let mut out = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        let mut cols = RoundColumns::with_capacity(m.edge_count(r));
+        engine.emit_round(m, r, &mut cols);
+        engine.advance(m, r);
+        out.push(cols);
+    }
+    Execution {
+        arena: engine.into_arena(),
+        rounds: out,
+    }
+}
+
+/// The retired array-of-structs simulator, kept as a differential
+/// baseline: per node, one [`Delivery`] pushed per edge, then a
+/// comparison sort through the arena's mask vectors.
+///
+/// Produces an [`Execution`] equal (under [`Execution`]'s
+/// history-resolving equality) to [`simulate`]'s, with the same number
+/// of interned histories — property-tested on 50 seeds — but costs
+/// `O(E log E · depth)` mask-word comparisons per round where the
+/// engine costs `O(E + n)`. The `exp_scale` benchmark measures the gap;
+/// nothing else should call this.
+pub fn simulate_reference(m: &DblMultigraph, rounds: usize) -> Execution {
     let mut arena = HistoryArena::new();
     let mut states: Vec<HistoryId> = vec![HistoryArena::empty(); m.nodes()];
     let mut out = Vec::with_capacity(rounds);
@@ -122,7 +165,7 @@ pub fn simulate(m: &DblMultigraph, rounds: usize) -> Execution {
         deliveries.sort_by(|a, b| {
             (a.label, arena.masks(a.state)).cmp(&(b.label, arena.masks(b.state)))
         });
-        out.push(deliveries);
+        out.push(RoundColumns::from_deliveries(&deliveries));
         // Receive phase: each node learns the labels of the edges it was
         // given this round and appends them to its state.
         #[allow(clippy::needless_range_loop)] // node indexes the multigraph, not just `states`
@@ -186,8 +229,8 @@ impl fmt::Display for OnlineError {
 impl std::error::Error for OnlineError {}
 
 /// The online counting leader for `k = 2` executions: feed it each round's
-/// deliveries; it answers with the count as soon as the observation system
-/// pins a unique census.
+/// delivery columns; it answers with the count as soon as the observation
+/// system pins a unique census.
 ///
 /// # Examples
 ///
@@ -213,6 +256,10 @@ impl std::error::Error for OnlineError {}
 pub struct OnlineLeader {
     solver: IncrementalSolver,
     decided: Option<u64>,
+    // Reusable observation scratch (`a_l`/`b_l` of Definition 7), so a
+    // long ingest loop allocates only when the level width grows.
+    al: Vec<i64>,
+    bl: Vec<i64>,
 }
 
 impl OnlineLeader {
@@ -221,6 +268,8 @@ impl OnlineLeader {
         OnlineLeader {
             solver: IncrementalSolver::new(),
             decided: None,
+            al: Vec::new(),
+            bl: Vec::new(),
         }
     }
 
@@ -249,13 +298,15 @@ impl OnlineLeader {
     pub fn ingest(
         &mut self,
         arena: &HistoryArena,
-        deliveries: &[Delivery],
+        deliveries: &RoundColumns,
     ) -> Result<Option<u64>, OnlineError> {
         let round = self.solver.levels();
         let width = ternary_count(round);
-        let mut al = vec![0i64; width];
-        let mut bl = vec![0i64; width];
-        for d in deliveries {
+        self.al.clear();
+        self.al.resize(width, 0);
+        self.bl.clear();
+        self.bl.resize(width, 0);
+        for d in deliveries.iter() {
             if arena.history_len(d.state) != round {
                 return Err(OnlineError::BadStateLength {
                     round,
@@ -266,14 +317,14 @@ impl OnlineLeader {
                 .checked_ternary_index(d.state)
                 .ok_or(OnlineError::NonTernaryState { round })?;
             match d.label {
-                1 => al[idx] += 1,
-                2 => bl[idx] += 1,
+                1 => self.al[idx] += 1,
+                2 => self.bl[idx] += 1,
                 label => return Err(OnlineError::BadLabel { label }),
             }
         }
         let sol = self
             .solver
-            .push_level(&al, &bl)
+            .push_level(&self.al, &self.bl)
             .map_err(OnlineError::Solver)?;
         if let Some(count) = sol.unique_population() {
             self.decided = Some(count as u64);
@@ -342,10 +393,29 @@ mod tests {
         // one new entry per round beyond the root.
         assert!(exec.arena.interned() <= 1 + 4);
         for round in &exec.rounds {
-            let mut states: Vec<_> = round.iter().map(|d| d.state).collect();
+            let mut states: Vec<_> = round.states().to_vec();
             states.dedup();
             assert_eq!(states.len(), 1, "identical nodes share one handle");
         }
+    }
+
+    #[test]
+    fn engine_matches_reference_representation() {
+        let pair = TwinBuilder::new().build(17).unwrap();
+        let engine = simulate(&pair.smaller, 5);
+        let reference = simulate_reference(&pair.smaller, 5);
+        assert_eq!(engine, reference);
+        assert_eq!(engine.arena.interned(), reference.arena.interned());
+    }
+
+    #[test]
+    fn threaded_simulation_is_byte_identical() {
+        let pair = TwinBuilder::new().build(40).unwrap();
+        let serial = simulate_threaded(&pair.smaller, 6, 1);
+        let threaded = simulate_threaded(&pair.smaller, 6, 4);
+        // Raw columns (not just resolved histories) must match.
+        assert_eq!(serial.rounds, threaded.rounds);
+        assert_eq!(serial.arena.interned(), threaded.arena.interned());
     }
 
     #[test]
@@ -391,19 +461,19 @@ mod tests {
     fn online_rejects_malformed_deliveries() {
         let mut arena = HistoryArena::new();
         let mut leader = OnlineLeader::new();
-        let bad_label = vec![Delivery {
+        let bad_label = RoundColumns::from_deliveries(&[Delivery {
             label: 3,
             state: HistoryArena::empty(),
-        }];
+        }]);
         assert_eq!(
             leader.ingest(&arena, &bad_label),
             Err(OnlineError::BadLabel { label: 3 })
         );
         let mut leader = OnlineLeader::new();
-        let bad_len = vec![Delivery {
+        let bad_len = RoundColumns::from_deliveries(&[Delivery {
             label: 1,
             state: arena.child(HistoryArena::empty(), LabelSet::L1),
-        }];
+        }]);
         assert!(matches!(
             leader.ingest(&arena, &bad_len),
             Err(OnlineError::BadStateLength { round: 0, got: 1 })
@@ -421,12 +491,8 @@ mod tests {
         // Deliver round 0 intact, then round 1 with a quarter of the
         // messages dropped.
         leader.ingest(&exec.arena, &exec.rounds[0]).unwrap();
-        let dropped: Vec<Delivery> = exec.rounds[1]
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % 4 != 0)
-            .map(|(_, d)| *d)
-            .collect();
+        let mut dropped = exec.rounds[1].clone();
+        dropped.retain_indexed(|i| i % 4 != 0);
         assert!(dropped.len() < exec.rounds[1].len());
         let outcome = leader.ingest(&exec.arena, &dropped).unwrap();
         // Either the system became infeasible (detected corruption) or the
@@ -458,7 +524,7 @@ mod tests {
         honest.ingest(&exec.arena, &exec.rounds[0]).unwrap();
         let mut duped = OnlineLeader::new();
         let mut round = exec.rounds[0].clone();
-        round.extend(exec.rounds[0].clone());
+        round.extend_from(&exec.rounds[0]);
         duped.ingest(&exec.arena, &round).unwrap();
         let (hlo, hhi) = honest.candidates().unwrap();
         let (dlo, dhi) = duped.candidates().unwrap();

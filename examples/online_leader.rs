@@ -26,9 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let decided = leader.ingest(&exec.arena, round)?;
         let (lo, hi) = leader.candidates().expect("real executions are feasible");
         let distinct = {
-            let mut d = round.clone();
-            d.dedup();
-            d.len()
+            // Canonical order: distinct (label, state) pairs are runs.
+            let mut states: Vec<_> = round.iter().collect();
+            states.dedup();
+            states.len()
         };
         println!(
             "round {r}: {} deliveries ({distinct} distinct states) -> candidates [{lo}, {hi}]",

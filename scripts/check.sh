@@ -38,6 +38,33 @@ if [[ $fast -eq 0 ]]; then
 fi
 
 if [[ $fast -eq 0 ]]; then
+    echo "==> SoA round-engine determinism: exp_scale --smoke (one n=10^5 execution), 1 vs 4 threads"
+    cargo build --release -p anonet-bench --quiet
+    # Each run re-proves in-process that the threaded engine is
+    # byte-identical to the serial one and that the leader decides the
+    # exact count at horizon + 2; the cmp additionally pins the
+    # timing-stripped document across thread counts.
+    sbin=target/release/exp_scale
+    sserial=$(mktemp) sparallel=$(mktemp)
+    "$sbin" --smoke --threads 1 --json --no-timings >"$sserial"
+    "$sbin" --smoke --threads 4 --json --no-timings >"$sparallel"
+    if ! cmp -s "$sserial" "$sparallel"; then
+        echo "error: exp_scale output differs between 1 and 4 threads" >&2
+        diff "$sserial" "$sparallel" | head -20 >&2
+        rm -f "$sserial" "$sparallel"
+        exit 1
+    fi
+    rm -f "$sserial" "$sparallel"
+
+    echo "==> committed BENCH_scale.json gates (exp_scale --lint-bench: speedup floor, n >= 10^5)"
+    "$sbin" --lint-bench BENCH_scale.json >/dev/null
+fi
+
+echo "==> strict missing-docs on the simulation core (anonet-multigraph, anonet-netsim)"
+cargo rustc -p anonet-multigraph --lib --quiet -- -D missing-docs
+cargo rustc -p anonet-netsim --lib --quiet -- -D missing-docs
+
+if [[ $fast -eq 0 ]]; then
     echo "==> fault-injection safety gate (exp_faults --smoke: zero silent-wrong with watchdogs on)"
     cargo build --release -p anonet-bench --quiet
     # The smoke corpus asserts in-process that no guarded run reports a
