@@ -1,0 +1,154 @@
+//! Coverage-guided adversary search (E23, `docs/SEARCH.md`).
+//!
+//! Runs one seeded search campaign per `(algorithm, n)` cell of
+//! `experiments::search::campaign_specs`, each mutating adversary
+//! schedules to maximize (verdict class, decision round) against the
+//! guarded verdict oracles, and reports every campaign against its E22
+//! seeded-random baseline.
+//!
+//! Flags:
+//!
+//! * `--smoke` — bounded CI grid (24 iterations per campaign, no
+//!   beats-baseline gate); `--quick` — the same reduced iteration
+//!   budget with the gate kept;
+//! * `--threads N` — campaigns run in parallel; never changes any
+//!   output byte (campaigns are pure functions of their specs);
+//! * `--json` — print the campaign document (float-free, byte-stable;
+//!   `scripts/check.sh` byte-compares it across thread counts) instead
+//!   of the summary table;
+//! * `--out PATH` — also write the document to `PATH`;
+//! * `--write-corpus DIR` — write the regression corpus (the E22a
+//!   silent-wrong representatives plus each campaign's champion) as
+//!   pretty-rendered `DIR/<name>.json` files — the generator of
+//!   `tests/corpus/`;
+//! * `--checkpoint PATH` / `--resume` — journal each completed campaign
+//!   to `PATH` and replay it on resume (kill-safe; see
+//!   `docs/RUNNER.md`);
+//! * `--inject-panic N` / `ANONET_FAIL_CELL=N` — fault-injection hook;
+//! * `--lint-checkpoint PATH` — validate a journal and exit.
+//!
+//! Before anything is emitted, every archived schedule is replayed
+//! through the oracle and must reproduce its recorded verdict exactly;
+//! full/quick runs must additionally have at least one campaign beat
+//! its E22 baseline (the brief's acceptance gate).
+
+use anonet_bench::experiments::checkpoint::{lint_journal, run_parallel_checkpointed};
+use anonet_bench::experiments::runner::{arg_value, GridConfig, RunOutcome};
+use anonet_bench::experiments::search::{
+    campaign_specs, corpus_entries, decode_campaign, encode_campaign, run_campaign, summary_table,
+    verify_archives, CampaignResult,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    if let Some(path) = arg_value(&args, "--lint-checkpoint") {
+        match lint_journal(std::path::Path::new(&path)) {
+            Ok(n) => {
+                println!("checkpoint ok: {n} records, no truncated lines");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: checkpoint lint failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let smoke = has("--smoke");
+    let quick = smoke || has("--quick");
+
+    let cfg = GridConfig::from_args(&args);
+    let specs = campaign_specs(quick);
+    let ids: Vec<String> = specs.iter().map(|s| s.id()).collect();
+    let result = match run_parallel_checkpointed(
+        &ids,
+        &cfg,
+        |r: &CampaignResult| encode_campaign(r),
+        decode_campaign,
+        |i| run_campaign(&specs[i], quick),
+    ) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failed = 0usize;
+    for (i, outcome) in result.outcomes.iter().enumerate() {
+        match outcome {
+            RunOutcome::Skipped { resumed: true } => {
+                eprintln!("campaign {i} (`{}`): resumed from checkpoint", ids[i]);
+            }
+            RunOutcome::Failed { panic_msg } => {
+                failed += 1;
+                eprintln!("error: campaign {i} (`{}`) failed: {panic_msg}", ids[i]);
+            }
+            _ => {}
+        }
+    }
+    let Some(results) = result.complete() else {
+        eprintln!(
+            "error: {failed} of {} campaigns failed{}",
+            ids.len(),
+            if cfg.checkpoint.is_some() {
+                "; completed campaigns are journaled — rerun with --resume to finish"
+            } else {
+                ""
+            }
+        );
+        std::process::exit(1);
+    };
+
+    if let Err(e) = verify_archives(&results) {
+        eprintln!("error: archive replay check failed: {e}");
+        std::process::exit(1);
+    }
+    if !smoke {
+        let winners = results.iter().filter(|r| r.beats_baseline()).count();
+        if winners == 0 {
+            eprintln!("error: no campaign beat its E22 seeded-random baseline");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "{winners} of {} campaigns beat their E22 baseline",
+            results.len()
+        );
+    }
+
+    let doc = search_doc(&results);
+    if has("--json") {
+        println!("{doc}");
+    } else {
+        println!("{}", summary_table(&results));
+    }
+    if let Some(p) = arg_value(&args, "--out") {
+        if let Err(e) = std::fs::write(&p, format!("{doc}\n")) {
+            eprintln!("error: cannot write {p}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {p} ({} campaigns)", results.len());
+    }
+    if let Some(dir) = arg_value(&args, "--write-corpus") {
+        let dir = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        let entries = corpus_entries(&results, quick);
+        for entry in &entries {
+            let path = dir.join(format!("{}.json", entry.name));
+            if let Err(e) = std::fs::write(&path, entry.render()) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        eprintln!("wrote {} corpus schedules to {}", entries.len(), dir.display());
+    }
+}
+
+/// The byte-stable campaign document: a fixed header and one
+/// [`encode_campaign`] line per campaign, in grid order.
+fn search_doc(results: &[CampaignResult]) -> String {
+    let lines: Vec<String> = results.iter().map(encode_campaign).collect();
+    format!("{{\"v\":1,\"campaigns\":[\n{}\n]}}", lines.join(",\n"))
+}

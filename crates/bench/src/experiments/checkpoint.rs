@@ -396,6 +396,112 @@ pub fn run_serial_checkpointed<T>(
     Ok(SerialGrid { items, outcomes })
 }
 
+/// Runs a grid of cells in *parallel* (via
+/// [`run_grid`](super::runner::run_grid), so results land in input
+/// order at any thread count) with the crash safety of
+/// [`run_serial_checkpointed`]: panic isolation per cell, checkpoint
+/// journaling of completed cells, and resume. The generic payload `T`
+/// is what distinguishes this from
+/// [`run_cells_checked`](super::runner::run_cells_checked), which is
+/// specialized to [`Table`] cells — the adversary-search campaigns
+/// journal whole campaign results instead.
+///
+/// Journal records are appended in *completion* order under a mutex;
+/// replay is index-keyed, so record order never affects resume.
+///
+/// # Errors
+///
+/// Same as [`run_serial_checkpointed`]: configuration or journal
+/// errors. Panicking cells are reported, not propagated.
+pub fn run_parallel_checkpointed<T: Send>(
+    ids: &[String],
+    cfg: &super::runner::GridConfig,
+    encode: impl Fn(&T) -> String + Sync,
+    decode: impl Fn(&JsonValue) -> Result<T, String>,
+    run: impl Fn(usize) -> T + Sync,
+) -> Result<SerialGrid<T>, String> {
+    use super::runner::RunOutcome;
+    use std::sync::Mutex;
+
+    let mut resumed: Vec<Option<(u64, T)>> = (0..ids.len()).map(|_| None).collect();
+    if cfg.resume {
+        let path = cfg
+            .checkpoint
+            .as_deref()
+            .ok_or("--resume requires --checkpoint PATH")?;
+        for (i, slot) in load_resume(path, ids)?.into_iter().enumerate() {
+            if let Some((micros, payload)) = slot {
+                let item =
+                    decode(&payload).map_err(|e| format!("{} cell {i}: {e}", path.display()))?;
+                resumed[i] = Some((micros, item));
+            }
+        }
+    }
+    let journal = match &cfg.checkpoint {
+        Some(path) => Some(Mutex::new(open_journal(path)?)),
+        None => None,
+    };
+
+    let pending: Vec<usize> = (0..ids.len()).filter(|&i| resumed[i].is_none()).collect();
+    let fresh = super::runner::run_grid(&pending, cfg.threads, |&i| {
+        let start = std::time::Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if cfg.inject_panic == Some(i) {
+                panic!("injected panic at cell {i} (`{}`)", ids[i]);
+            }
+            run(i)
+        }));
+        let micros = start.elapsed().as_micros() as u64;
+        match result {
+            Ok(item) => {
+                if let Some(journal) = &journal {
+                    let line = encode_record(i, &ids[i], micros, &encode(&item));
+                    // A journal append failure must not fail the cell —
+                    // the result is in hand; the cell simply re-runs on
+                    // a future resume.
+                    if let Err(e) = journal.lock().expect("journal lock").append_line(&line) {
+                        eprintln!(
+                            "warning: checkpoint append failed for cell {i} (`{}`): {e}",
+                            ids[i]
+                        );
+                    }
+                }
+                (Some(item), RunOutcome::Ok)
+            }
+            Err(payload) => {
+                let panic_msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                (None, RunOutcome::Failed { panic_msg })
+            }
+        }
+    });
+
+    let mut fresh_iter = fresh.into_iter().map(|(slot, _micros)| slot);
+    let mut items = Vec::with_capacity(ids.len());
+    let mut outcomes = Vec::with_capacity(ids.len());
+    for slot in resumed {
+        match slot {
+            Some((_micros, item)) => {
+                items.push(Some(item));
+                outcomes.push(RunOutcome::Skipped { resumed: true });
+            }
+            None => {
+                let (item, outcome) = fresh_iter
+                    .next()
+                    .expect("one fresh result per pending cell");
+                items.push(item);
+                outcomes.push(outcome);
+            }
+        }
+    }
+    Ok(SerialGrid { items, outcomes })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +582,53 @@ mod tests {
             .contains("different grid"));
         // So is an out-of-range index.
         assert!(load_resume(&path, &[]).unwrap_err().contains("outside"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parallel_checkpointed_resumes_and_matches_any_thread_count() {
+        use crate::experiments::runner::{GridConfig, RunOutcome};
+        let path = std::env::temp_dir().join(format!(
+            "anonet-par-ckpt-{}.checkpoint.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let ids: Vec<String> = (0..6).map(|i| format!("cell-{i}")).collect();
+        let encode = |v: &u64| v.to_string();
+        let decode = |p: &JsonValue| {
+            p.as_int()
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| "not a u64".to_string())
+        };
+        let run = |i: usize| (i as u64) * 10 + 1;
+
+        // Interrupted first run: cell 4 panics, the rest journal.
+        let interrupted = GridConfig {
+            threads: 1,
+            checkpoint: Some(path.clone()),
+            inject_panic: Some(4),
+            ..GridConfig::default()
+        };
+        let grid =
+            run_parallel_checkpointed(&ids, &interrupted, encode, decode, run).expect("runs");
+        assert!(matches!(grid.outcomes[4], RunOutcome::Failed { .. }));
+        assert_eq!(grid.failures(&ids)[0].id, "cell-4");
+        assert!(grid.items[4].is_none());
+
+        // Resume at a different thread count: journaled cells replay,
+        // cell 4 re-runs, and the completed values match a fresh run.
+        let resumed_cfg = GridConfig {
+            threads: 4,
+            checkpoint: Some(path.clone()),
+            resume: true,
+            ..GridConfig::default()
+        };
+        let resumed =
+            run_parallel_checkpointed(&ids, &resumed_cfg, encode, decode, run).expect("resumes");
+        assert_eq!(resumed.outcomes[0], RunOutcome::Skipped { resumed: true });
+        assert_eq!(resumed.outcomes[4], RunOutcome::Ok);
+        let values = resumed.complete().expect("all cells complete");
+        assert_eq!(values, vec![1, 11, 21, 31, 41, 51]);
         std::fs::remove_file(&path).unwrap();
     }
 

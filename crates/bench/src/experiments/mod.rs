@@ -10,6 +10,7 @@ pub mod linalg_scaling;
 pub mod modp_scaling;
 pub mod runner;
 pub mod scale;
+pub mod search;
 mod theorems;
 
 pub use baselines::{discussion, enumeration, gossip, mass_drain};
@@ -32,7 +33,9 @@ use runner::Cell;
 /// *not* part of this suite: it measures out-of-model behaviour and
 /// runs via its own `exp_faults` binary. The large-`n` scaling grid
 /// ([`scale`]) likewise runs via its own `exp_scale` binary: its cells
-/// need the machine to themselves for timing fidelity.
+/// need the machine to themselves for timing fidelity. The adversary
+/// search ([`search`]) runs via `exp_search`: its campaigns are
+/// open-ended optimisation, not paper reproductions.
 pub fn all_cells(quick: bool) -> Vec<Cell> {
     vec![
         Cell::new("fig1", fig1),

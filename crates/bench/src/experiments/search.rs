@@ -1,0 +1,826 @@
+//! Coverage-guided search over the adversary space (`exp_search`).
+//!
+//! The paper's twin adversary is the proven worst case for the *kernel*
+//! algorithm only; for the other baselines the worst-case schedules are
+//! unknown. This module searches for them: a seeded, deterministic
+//! loop mutates [`AdversarySchedule`]s (round-row splices/extensions/
+//! label perturbations, fault-round shifts, crash/restart flips — the
+//! operators of [`anonet_multigraph::mutate`]) and judges every mutant
+//! with a guarded [`schedule_verdict`] oracle.
+//!
+//! # Fitness and coverage
+//!
+//! Fitness is lexicographic in (verdict class, termination round),
+//! packed into a `u64` by [`fitness`]: `ModelViolation` beats
+//! `Undecided` beats `Correct`, and within a class a *later* round is
+//! worse for the algorithm, hence fitter for the adversary. Selection
+//! alone would collapse the population onto one behavior, so the
+//! archive is a **coverage map** ([`coverage_key`]): one slot per
+//! `(algorithm, verdict class, decision-round bucket, fault-kind
+//! multiset)`, each slot keeping its fittest schedule. A novel behavior
+//! thus survives even when its fitness ties or loses globally — it owns
+//! its slot.
+//!
+//! # Campaigns
+//!
+//! One campaign per `(algorithm, n)` cell ([`campaign_specs`]), each a
+//! pure function of its spec: the RNG is seeded from the spec, the
+//! starting population is the clean twin schedule plus the E22
+//! seeded-random plans, and every improvement is reproducible. The
+//! campaign also replays the E22 plans through the *same* oracle to get
+//! [`BaselineStats`] — the bar the search must clear
+//! ([`CampaignResult::beats_baseline`]): a strictly fitter schedule, or
+//! a strictly later guarded-`Correct` decision round, than anything in
+//! the seeded-random set.
+//!
+//! Campaigns run as cells of the checkpointed parallel grid runner
+//! (kill/resume-safe, byte-identical at any `--threads`); results
+//! serialize with the float-free JSON layer ([`encode_campaign`] /
+//! [`decode_campaign`]), and the winners feed the committed regression
+//! corpus under `tests/corpus/` ([`corpus_entries`]), which
+//! `tests/adversary_corpus.rs` replays forever.
+
+use anonet_core::experiment::Table;
+use anonet_core::verdict::{schedule_verdict, FaultKind, FaultPlan, SearchAlgorithm, Verdict};
+use anonet_multigraph::adversary::TwinBuilder;
+use anonet_multigraph::corpus::ArchivedSchedule;
+use anonet_multigraph::mutate::AdversarySchedule;
+use anonet_trace::json::{escape_into, JsonValue};
+use anonet_trace::{NullSink, RoundEvent, TraceSink};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Packs a verdict into the search's lexicographic fitness: the verdict
+/// class in the high bits (`ModelViolation` = 2 > `Undecided` = 1 >
+/// `Correct` = 0), the termination/detection round in the low bits. A
+/// plain `u64` compare then orders schedules by how badly they hurt the
+/// algorithm.
+pub fn fitness(verdict: &Verdict) -> u64 {
+    let (class, round) = match verdict {
+        Verdict::Correct { rounds, .. } => (0u64, *rounds),
+        Verdict::Undecided { rounds, .. } => (1, *rounds),
+        Verdict::ModelViolation { round, .. } => (2, *round),
+    };
+    (class << 32) | u64::from(round)
+}
+
+/// Human-readable form of a packed [`fitness`] value, e.g.
+/// `"violation@2"`, `"correct@5"`.
+pub fn fitness_label(f: u64) -> String {
+    let class = match f >> 32 {
+        0 => "correct",
+        1 => "undecided",
+        _ => "violation",
+    };
+    format!("{class}@{}", f & 0xFFFF_FFFF)
+}
+
+/// The short fault-kind name used in coverage keys (kind only — the
+/// multiset deliberately ignores strides, counts and rounds, so that
+/// "a drop plus a crash" is one behavior family, not hundreds).
+fn kind_name(kind: &FaultKind) -> &'static str {
+    match kind {
+        FaultKind::DropDeliveries { .. } => "drop",
+        FaultKind::DuplicateDeliveries { .. } => "dup",
+        FaultKind::CrashNodes { .. } => "crash",
+        FaultKind::LeaderRestart => "restart",
+        FaultKind::Disconnect => "disconnect",
+    }
+}
+
+/// The coverage-map key of a judged schedule:
+/// `algorithm|class|round-bucket|fault-kind-multiset`, e.g.
+/// `"kernel|violation:connectivity|r1|crash,drop"`. Rounds are bucketed
+/// in pairs (`r{round/2}`) so near-identical decision rounds share a
+/// slot, and the fault multiset is sorted so plans differing only in
+/// event order collide.
+pub fn coverage_key(alg: SearchAlgorithm, verdict: &Verdict, plan: &FaultPlan) -> String {
+    let class = match verdict {
+        Verdict::Correct { .. } => "correct".to_string(),
+        Verdict::Undecided { .. } => "undecided".to_string(),
+        Verdict::ModelViolation { kind, .. } => format!("violation:{}", kind.label()),
+    };
+    let bucket = (fitness(verdict) & 0xFFFF_FFFF) / 2;
+    let mut kinds: Vec<&'static str> = plan.events().iter().map(|e| kind_name(&e.kind)).collect();
+    kinds.sort_unstable();
+    let kinds = if kinds.is_empty() {
+        "clean".to_string()
+    } else {
+        kinds.join(",")
+    };
+    format!("{}|{class}|r{bucket}|{kinds}", alg.name())
+}
+
+/// A one-line label of a whole plan (`"drop(4+0)+crash(1)"`, `"clean"`)
+/// for the `fault` trace facet of improvement events.
+fn plan_label(plan: &FaultPlan) -> String {
+    if plan.is_empty() {
+        return "clean".to_string();
+    }
+    plan.events()
+        .iter()
+        .map(|e| e.kind.label())
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// One search campaign: an `(algorithm, n)` cell with its horizon,
+/// iteration budget and RNG seed. Campaigns are pure functions of this
+/// spec — identical specs produce identical [`CampaignResult`]s on any
+/// thread of any run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// The oracle under attack.
+    pub alg: SearchAlgorithm,
+    /// Twin-network size (the search perturbs `TwinBuilder` schedules
+    /// of this size).
+    pub n: u64,
+    /// Run horizon (matches the E22 horizon formula for the same
+    /// algorithm, so baseline comparisons are apples-to-apples).
+    pub horizon: u32,
+    /// Mutation iterations.
+    pub iterations: u64,
+    /// Campaign RNG seed.
+    pub seed: u64,
+}
+
+impl CampaignSpec {
+    /// Stable cell/corpus identifier, e.g. `"search-pd2-views-n9"`.
+    pub fn id(&self) -> String {
+        format!("search-{}-n{}", self.alg.name(), self.n)
+    }
+}
+
+/// The E22 horizon formula of each algorithm — duplicated from
+/// `experiments::faults` deliberately, as a named function the corpus
+/// replay tests can call: the committed archive is only meaningful if
+/// every replay uses the horizon the schedule was judged at.
+pub fn campaign_horizon(alg: SearchAlgorithm, n: u64) -> u32 {
+    let pair_horizon = TwinBuilder::new()
+        .build(n)
+        .expect("twins build")
+        .horizon;
+    match alg {
+        SearchAlgorithm::Kernel => (pair_horizon + 3).max(5),
+        SearchAlgorithm::GeneralK => (pair_horizon + 2).max(5),
+        SearchAlgorithm::Pd2View => pair_horizon + 2,
+        // The oracle's window is 3 rounds; the transform needs >= 4.
+        SearchAlgorithm::DegreeOracle => 4,
+    }
+}
+
+/// Default iteration budget per campaign (documented in
+/// `docs/SEARCH.md`): 160 mutants for full campaigns, 24 for the
+/// `--smoke` grid — enough for the smoke grid to exercise every
+/// operator while staying inside the CI time budget.
+pub fn iteration_budget(quick: bool) -> u64 {
+    if quick {
+        24
+    } else {
+        160
+    }
+}
+
+/// The campaign grid: one cell per searchable `(algorithm, n)`,
+/// mirroring the sizes of the E22 envelope (minus the largest, which
+/// buy breadth the mutation operators don't need).
+pub fn campaign_specs(quick: bool) -> Vec<CampaignSpec> {
+    let iterations = iteration_budget(quick);
+    let mut specs = Vec::new();
+    let sizes: &[(SearchAlgorithm, &[u64])] = &[
+        (SearchAlgorithm::Kernel, &[4, 9, 13]),
+        (SearchAlgorithm::GeneralK, &[3, 4]),
+        (SearchAlgorithm::Pd2View, &[4, 9]),
+        (SearchAlgorithm::DegreeOracle, &[4, 13]),
+    ];
+    for &(alg, ns) in sizes {
+        for &n in ns {
+            specs.push(CampaignSpec {
+                alg,
+                n,
+                horizon: campaign_horizon(alg, n),
+                iterations,
+                seed: 0x5EA2C4 ^ (u64::from(fitness_class_bits(alg)) << 32) ^ n,
+            });
+        }
+    }
+    specs
+}
+
+/// Distinct per-algorithm seed salt (any injective map works; the
+/// discriminant is stable because [`SearchAlgorithm::ALL`] is).
+fn fitness_class_bits(alg: SearchAlgorithm) -> u8 {
+    SearchAlgorithm::ALL
+        .iter()
+        .position(|a| *a == alg)
+        .expect("alg in ALL") as u8
+}
+
+/// Seeds per E22 corpus family (duplicated from `experiments::faults`
+/// so the baseline set replayed here is exactly E22's).
+fn e22_seeds(quick: bool, full: u64) -> u64 {
+    if quick {
+        (full / 4).max(2)
+    } else {
+        full
+    }
+}
+
+/// The E22 seeded-random fault plans for one `(algorithm, n)` cell —
+/// the baseline population the search must beat, with the exact seed
+/// formulas of `faults_kernel` / `faults_general_k` / `faults_pd2` /
+/// `faults_oracle`.
+pub fn e22_plans(alg: SearchAlgorithm, n: u64, horizon: u32, quick: bool) -> Vec<FaultPlan> {
+    let (salt, full): (u64, u64) = match alg {
+        SearchAlgorithm::Kernel => (1_000, 15),
+        SearchAlgorithm::GeneralK => (2_000, 10),
+        SearchAlgorithm::Pd2View => (3_000, 10),
+        SearchAlgorithm::DegreeOracle => (4_000, 10),
+    };
+    (0..e22_seeds(quick, full))
+        .map(|seed| match alg {
+            SearchAlgorithm::Kernel => {
+                FaultPlan::seeded(salt * n + seed, horizon - 2, 1 + (seed % 2) as u32)
+            }
+            SearchAlgorithm::GeneralK => FaultPlan::seeded(salt * n + seed, horizon - 2, 1),
+            SearchAlgorithm::Pd2View => {
+                FaultPlan::seeded(salt * n + seed, horizon, 1 + (seed % 2) as u32)
+            }
+            SearchAlgorithm::DegreeOracle => {
+                FaultPlan::seeded(salt * n + seed, 3, 1 + (seed % 2) as u32)
+            }
+        })
+        .collect()
+}
+
+/// What the E22 seeded-random set achieves on one `(algorithm, n)`
+/// cell, judged by the *same* guarded oracle as the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaselineStats {
+    /// Plans judged (invalid schedules — e.g. over-budget crash totals —
+    /// are skipped, like dead genomes).
+    pub plans: u32,
+    /// Best packed [`fitness`] across the set.
+    pub best_fitness: u64,
+    /// Latest `Correct` decision round across the set (0 when the set
+    /// has no `Correct` verdict) — the second arm of the
+    /// beats-baseline gate.
+    pub max_correct_round: u32,
+}
+
+/// Replays the E22 seeded-random plans for `(alg, n)` through the
+/// guarded [`schedule_verdict`] oracle and summarizes the result.
+pub fn baseline_stats(alg: SearchAlgorithm, n: u64, quick: bool) -> BaselineStats {
+    let horizon = campaign_horizon(alg, n);
+    let base = clean_schedule(n, horizon);
+    let mut stats = BaselineStats {
+        plans: 0,
+        best_fitness: 0,
+        max_correct_round: 0,
+    };
+    for plan in e22_plans(alg, n, horizon, quick) {
+        let Ok(schedule) = AdversarySchedule::new(base.rounds().to_vec(), plan, horizon) else {
+            continue;
+        };
+        let verdict = schedule_verdict(alg, &schedule, true);
+        stats.plans += 1;
+        stats.best_fitness = stats.best_fitness.max(fitness(&verdict));
+        if let Verdict::Correct { rounds, .. } = verdict {
+            stats.max_correct_round = stats.max_correct_round.max(rounds);
+        }
+    }
+    stats
+}
+
+/// The clean (fault-free) twin schedule of size `n` at `horizon` — the
+/// root genome of every campaign.
+fn clean_schedule(n: u64, horizon: u32) -> AdversarySchedule {
+    let pair = TwinBuilder::new().build(n).expect("twins build");
+    AdversarySchedule::from_multigraph(&pair.smaller, horizon).expect("clean schedule is valid")
+}
+
+/// One archive slot: the fittest schedule seen for its coverage key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveEntry {
+    /// The slot's [`coverage_key`].
+    pub key: String,
+    /// Packed [`fitness`] of the slot's schedule.
+    pub fitness: u64,
+    /// The archived schedule (verdict recorded, watchdogs on).
+    pub entry: ArchivedSchedule,
+}
+
+/// The result of one campaign — everything needed for the summary
+/// table, the acceptance gate, the corpus, and byte-identical
+/// checkpoint resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignResult {
+    /// The campaign's [`CampaignSpec::id`].
+    pub id: String,
+    /// The oracle searched.
+    pub alg: SearchAlgorithm,
+    /// Twin size.
+    pub n: u64,
+    /// Run horizon.
+    pub horizon: u32,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Baseline (E22 seeded-random) statistics.
+    pub baseline: BaselineStats,
+    /// Archive improvements (new slot, or a fitter schedule in an
+    /// existing slot) over the whole campaign.
+    pub improvements: u64,
+    /// Latest guarded-`Correct` decision round in the final archive.
+    pub best_correct_round: u32,
+    /// The final coverage archive, in key order.
+    pub archive: Vec<ArchiveEntry>,
+}
+
+impl CampaignResult {
+    /// Best packed fitness in the archive (0 for an empty archive,
+    /// which cannot happen for a run campaign — the clean schedule
+    /// always lands a slot).
+    pub fn best_fitness(&self) -> u64 {
+        self.archive.iter().map(|e| e.fitness).max().unwrap_or(0)
+    }
+
+    /// The acceptance gate of the search brief: did the campaign find a
+    /// schedule strictly worse for the algorithm than anything in the
+    /// E22 seeded-random set — either a strictly greater (class, round)
+    /// fitness, or a strictly later guarded-`Correct` decision round?
+    pub fn beats_baseline(&self) -> bool {
+        self.best_fitness() > self.baseline.best_fitness
+            || self.best_correct_round > self.baseline.max_correct_round
+    }
+
+    /// The campaign's champion, named [`CampaignSpec::id`]: the fittest
+    /// archive entry, preferring a strictly-later `Correct` round as
+    /// the tie-breaking trophy when that is what beat the baseline.
+    pub fn best_entry(&self) -> Option<ArchivedSchedule> {
+        let by_fitness = self.archive.iter().max_by_key(|e| e.fitness)?;
+        let chosen = if self.best_fitness() > self.baseline.best_fitness {
+            by_fitness
+        } else {
+            // The fitness arm ties the baseline; the trophy is the
+            // late-deciding Correct schedule (if the campaign has one).
+            self.archive
+                .iter()
+                .filter(|e| matches!(e.entry.verdict, Verdict::Correct { .. }))
+                .max_by_key(|e| e.fitness)
+                .unwrap_or(by_fitness)
+        };
+        let mut entry = chosen.entry.clone();
+        entry.name = self.id.clone();
+        Some(entry)
+    }
+}
+
+/// Runs one campaign (see the [module docs](self) for the loop
+/// structure). Pure in `spec` and `quick`.
+pub fn run_campaign(spec: &CampaignSpec, quick: bool) -> CampaignResult {
+    run_campaign_with_sink(spec, quick, &mut NullSink)
+}
+
+/// Like [`run_campaign`], additionally emitting one [`RoundEvent`] per
+/// archive improvement to `sink`: `round` is the iteration index,
+/// `adversary` the campaign id, `fault` the mutant's plan label, and
+/// the new `fitness`/`coverage` facets carry the packed fitness and the
+/// slot key.
+pub fn run_campaign_with_sink<S: TraceSink>(
+    spec: &CampaignSpec,
+    quick: bool,
+    sink: &mut S,
+) -> CampaignResult {
+    let base = clean_schedule(spec.n, spec.horizon);
+    let baseline = baseline_stats(spec.alg, spec.n, quick);
+
+    // Working archive: coverage key -> (fitness, schedule, verdict,
+    // found-at iteration). BTreeMap so every traversal (parent
+    // selection, final serialization) is in deterministic key order.
+    let mut archive: BTreeMap<String, (u64, AdversarySchedule, Verdict, u64)> = BTreeMap::new();
+    let mut improvements = 0u64;
+    let admit = |schedule: AdversarySchedule,
+                     iteration: u64,
+                     archive: &mut BTreeMap<String, (u64, AdversarySchedule, Verdict, u64)>,
+                     sink: &mut S|
+     -> bool {
+        let verdict = schedule_verdict(spec.alg, &schedule, true);
+        let f = fitness(&verdict);
+        let key = coverage_key(spec.alg, &verdict, schedule.plan());
+        let improved = archive.get(&key).is_none_or(|(best, ..)| f > *best);
+        if improved {
+            sink.record(
+                &RoundEvent::new(iteration as u32)
+                    .adversary(spec.id())
+                    .fault(plan_label(schedule.plan()))
+                    .fitness(f)
+                    .coverage(key.clone()),
+            );
+            archive.insert(key, (f, schedule, verdict, iteration));
+        }
+        improved
+    };
+
+    // Starting population: the clean twin schedule plus the E22
+    // seeded-random plans (the baseline's own genomes — the search
+    // starts where the random corpus left off).
+    admit(base.clone(), 0, &mut archive, sink);
+    for plan in e22_plans(spec.alg, spec.n, spec.horizon, quick) {
+        if let Ok(s) = AdversarySchedule::new(base.rounds().to_vec(), plan, spec.horizon) {
+            admit(s, 0, &mut archive, sink);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    for iteration in 1..=spec.iterations {
+        let parent_idx = rng.gen_range(0..archive.len());
+        let parent = archive
+            .values()
+            .nth(parent_idx)
+            .expect("index in range")
+            .1
+            .clone();
+        let mutation_seed = rng.gen_range(0..u64::MAX);
+        let child = parent.mutate(mutation_seed);
+        if admit(child, iteration, &mut archive, sink) {
+            improvements += 1;
+        }
+    }
+    sink.flush();
+
+    let mut best_correct_round = 0u32;
+    let archive: Vec<ArchiveEntry> = archive
+        .into_iter()
+        .enumerate()
+        .map(|(i, (key, (f, schedule, verdict, iteration)))| {
+            if let Verdict::Correct { rounds, .. } = verdict {
+                best_correct_round = best_correct_round.max(rounds);
+            }
+            ArchiveEntry {
+                key,
+                fitness: f,
+                entry: ArchivedSchedule {
+                    name: format!("{}-k{i}", spec.id()),
+                    algorithm: spec.alg.name().to_string(),
+                    watchdogs: true,
+                    schedule,
+                    verdict,
+                    seed: spec.seed,
+                    iteration,
+                },
+            }
+        })
+        .collect();
+
+    CampaignResult {
+        id: spec.id(),
+        alg: spec.alg,
+        n: spec.n,
+        horizon: spec.horizon,
+        seed: spec.seed,
+        iterations: spec.iterations,
+        baseline,
+        improvements,
+        best_correct_round,
+        archive,
+    }
+}
+
+/// Encodes a campaign result as one line of float-free JSON — the
+/// checkpoint payload format, and the `campaigns` array element of the
+/// `--json` document.
+pub fn encode_campaign(r: &CampaignResult) -> String {
+    let mut s = String::with_capacity(512);
+    s.push_str("{\"v\":1,\"id\":\"");
+    escape_into(&r.id, &mut s);
+    s.push_str("\",\"alg\":\"");
+    escape_into(r.alg.name(), &mut s);
+    s.push_str("\",\"n\":");
+    s.push_str(&r.n.to_string());
+    s.push_str(",\"horizon\":");
+    s.push_str(&r.horizon.to_string());
+    s.push_str(",\"seed\":");
+    s.push_str(&r.seed.to_string());
+    s.push_str(",\"iterations\":");
+    s.push_str(&r.iterations.to_string());
+    s.push_str(",\"baseline\":{\"plans\":");
+    s.push_str(&r.baseline.plans.to_string());
+    s.push_str(",\"best_fitness\":");
+    s.push_str(&r.baseline.best_fitness.to_string());
+    s.push_str(",\"max_correct_round\":");
+    s.push_str(&r.baseline.max_correct_round.to_string());
+    s.push_str("},\"improvements\":");
+    s.push_str(&r.improvements.to_string());
+    s.push_str(",\"best_correct_round\":");
+    s.push_str(&r.best_correct_round.to_string());
+    s.push_str(",\"archive\":[");
+    for (i, e) in r.archive.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"key\":\"");
+        escape_into(&e.key, &mut s);
+        s.push_str("\",\"fitness\":");
+        s.push_str(&e.fitness.to_string());
+        s.push_str(",\"entry\":");
+        s.push_str(&e.entry.render_line());
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Decodes a campaign checkpoint payload — the inverse of
+/// [`encode_campaign`], used on `--resume`.
+///
+/// # Errors
+///
+/// Returns a description of the first missing/mistyped field.
+pub fn decode_campaign(payload: &JsonValue) -> Result<CampaignResult, String> {
+    let str_field = |v: &JsonValue, key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("campaign payload is missing string `{key}`"))
+    };
+    let u64_field = |v: &JsonValue, key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(JsonValue::as_int)
+            .and_then(|n| u64::try_from(n).ok())
+            .ok_or_else(|| format!("campaign payload is missing non-negative integer `{key}`"))
+    };
+    let version = u64_field(payload, "v")?;
+    if version != 1 {
+        return Err(format!("unsupported campaign payload version {version}"));
+    }
+    let alg_name = str_field(payload, "alg")?;
+    let alg = SearchAlgorithm::from_name(&alg_name)
+        .ok_or_else(|| format!("unknown search algorithm `{alg_name}`"))?;
+    let baseline_json = payload
+        .get("baseline")
+        .ok_or("campaign payload is missing `baseline`")?;
+    let baseline = BaselineStats {
+        plans: u64_field(baseline_json, "plans")? as u32,
+        best_fitness: u64_field(baseline_json, "best_fitness")?,
+        max_correct_round: u64_field(baseline_json, "max_correct_round")? as u32,
+    };
+    let archive = payload
+        .get("archive")
+        .and_then(JsonValue::as_array)
+        .ok_or("campaign payload is missing array `archive`")?
+        .iter()
+        .map(|slot| {
+            let entry_json = slot.get("entry").ok_or("archive slot is missing `entry`")?;
+            Ok(ArchiveEntry {
+                key: str_field(slot, "key")?,
+                fitness: u64_field(slot, "fitness")?,
+                entry: ArchivedSchedule::from_json(entry_json).map_err(|e| e.to_string())?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(CampaignResult {
+        id: str_field(payload, "id")?,
+        alg,
+        n: u64_field(payload, "n")?,
+        horizon: u64_field(payload, "horizon")? as u32,
+        seed: u64_field(payload, "seed")?,
+        iterations: u64_field(payload, "iterations")?,
+        baseline,
+        improvements: u64_field(payload, "improvements")?,
+        best_correct_round: u64_field(payload, "best_correct_round")? as u32,
+        archive,
+    })
+}
+
+/// The `exp_search` summary table: one row per campaign.
+pub fn summary_table(results: &[CampaignResult]) -> Table {
+    let mut t = Table::new(
+        "E23 (adversary search)",
+        "coverage-guided adversary search vs the E22 seeded-random baseline",
+        &[
+            "campaign",
+            "iterations",
+            "coverage slots",
+            "improvements",
+            "baseline best",
+            "search best",
+            "baseline max correct round",
+            "search max correct round",
+            "beats baseline",
+        ],
+    );
+    for r in results {
+        t.push_row(vec![
+            r.id.clone(),
+            r.iterations.to_string(),
+            r.archive.len().to_string(),
+            r.improvements.to_string(),
+            fitness_label(r.baseline.best_fitness),
+            fitness_label(r.best_fitness()),
+            r.baseline.max_correct_round.to_string(),
+            r.best_correct_round.to_string(),
+            if r.beats_baseline() { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The E22a *silent-wrong representatives*: seeded kernel plans whose
+/// **unguarded** run reports a confidently wrong count (the 43/210
+/// phenomenon of PR 5), archived with `watchdogs: false` so the corpus
+/// replay pins the silent-wrong count itself — if a future change makes
+/// the unguarded leader answer differently (or, fine, refuse), the
+/// regression test will say exactly where behavior moved.
+pub fn silent_wrong_representatives(quick: bool) -> Vec<ArchivedSchedule> {
+    let mut reps = Vec::new();
+    for &n in &[4u64, 9, 13, 25] {
+        let horizon = campaign_horizon(SearchAlgorithm::Kernel, n);
+        let base = clean_schedule(n, horizon);
+        for seed in 0..e22_seeds(quick, 15) {
+            let plan = FaultPlan::seeded(1_000 * n + seed, horizon - 2, 1 + (seed % 2) as u32);
+            let Ok(schedule) = AdversarySchedule::new(base.rounds().to_vec(), plan, horizon) else {
+                continue;
+            };
+            let verdict = schedule_verdict(SearchAlgorithm::Kernel, &schedule, false);
+            if let Verdict::Correct { count, .. } = verdict {
+                if count != n {
+                    reps.push(ArchivedSchedule {
+                        name: format!("e22a-silent-wrong-n{n}-s{seed}"),
+                        algorithm: SearchAlgorithm::Kernel.name().to_string(),
+                        watchdogs: false,
+                        schedule,
+                        verdict,
+                        seed: 1_000 * n + seed,
+                        iteration: 0,
+                    });
+                    break; // one representative per n keeps the corpus lean
+                }
+            }
+        }
+    }
+    reps
+}
+
+/// Assembles the committed corpus: the E22a silent-wrong
+/// representatives plus every campaign's champion ([`best_entry`]
+/// renamed to the campaign id), in stable order.
+///
+/// [`best_entry`]: CampaignResult::best_entry
+pub fn corpus_entries(results: &[CampaignResult], quick: bool) -> Vec<ArchivedSchedule> {
+    let mut entries = silent_wrong_representatives(quick);
+    entries.extend(results.iter().filter_map(CampaignResult::best_entry));
+    entries
+}
+
+/// Sanity-check used by `exp_search` before emitting anything: the
+/// verdict recorded in every archive entry must replay exactly through
+/// the oracle — the same invariant `tests/adversary_corpus.rs` pins for
+/// the committed corpus.
+///
+/// # Errors
+///
+/// Returns a description of the first entry whose replay diverges.
+pub fn verify_archives(results: &[CampaignResult]) -> Result<(), String> {
+    for r in results {
+        for e in &r.archive {
+            let replayed = schedule_verdict(r.alg, &e.entry.schedule, e.entry.watchdogs);
+            if replayed != e.entry.verdict {
+                return Err(format!(
+                    "{}: archived verdict `{}` but replay produced `{replayed}`",
+                    e.entry.name, e.entry.verdict
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_core::verdict::kernel_verdict;
+
+    #[test]
+    fn fitness_orders_verdict_classes_lexicographically() {
+        let correct_late = fitness(&Verdict::Correct { count: 4, rounds: 9 });
+        let undecided_early = fitness(&Verdict::Undecided {
+            rounds: 1,
+            candidates: None,
+        });
+        let violation = fitness(&Verdict::ModelViolation {
+            kind: anonet_core::verdict::ViolationKind::Connectivity,
+            round: 0,
+        });
+        assert!(correct_late < undecided_early, "class dominates round");
+        assert!(undecided_early < violation);
+        assert_eq!(fitness_label(correct_late), "correct@9");
+        assert_eq!(fitness_label(violation), "violation@0");
+    }
+
+    #[test]
+    fn coverage_key_buckets_rounds_and_sorts_kinds() {
+        let plan = FaultPlan::new().disconnect(3).crash_nodes(1, 1);
+        let v = Verdict::Undecided {
+            rounds: 5,
+            candidates: None,
+        };
+        assert_eq!(
+            coverage_key(SearchAlgorithm::Kernel, &v, &plan),
+            "kernel|undecided|r2|crash,disconnect"
+        );
+        let clean = Verdict::Correct { count: 4, rounds: 4 };
+        assert_eq!(
+            coverage_key(SearchAlgorithm::Pd2View, &clean, &FaultPlan::new()),
+            "pd2-views|correct|r2|clean"
+        );
+    }
+
+    #[test]
+    fn smoke_campaign_is_deterministic_and_replayable() {
+        let specs = campaign_specs(true);
+        let spec = specs
+            .iter()
+            .find(|s| s.alg == SearchAlgorithm::DegreeOracle && s.n == 4)
+            .expect("grid has the oracle cell");
+        let a = run_campaign(spec, true);
+        let b = run_campaign(spec, true);
+        assert_eq!(a, b, "campaigns are pure in their spec");
+        assert!(!a.archive.is_empty(), "clean schedule always lands a slot");
+        verify_archives(&[a]).expect("archived verdicts replay");
+    }
+
+    #[test]
+    fn campaign_payload_round_trips() {
+        let specs = campaign_specs(true);
+        let spec = specs
+            .iter()
+            .find(|s| s.alg == SearchAlgorithm::Kernel && s.n == 4)
+            .expect("grid has the kernel cell");
+        let r = run_campaign(spec, true);
+        let line = encode_campaign(&r);
+        assert!(!line.contains('\n'));
+        let parsed = JsonValue::parse(&line).expect("payload parses");
+        let decoded = decode_campaign(&parsed).expect("payload decodes");
+        assert_eq!(decoded, r);
+        assert_eq!(encode_campaign(&decoded), line, "encode ∘ decode is id");
+    }
+
+    #[test]
+    fn improvement_events_carry_search_facets() {
+        let specs = campaign_specs(true);
+        let spec = specs
+            .iter()
+            .find(|s| s.alg == SearchAlgorithm::DegreeOracle && s.n == 4)
+            .expect("grid has the oracle cell");
+        let mut sink = anonet_trace::MemorySink::new();
+        let r = run_campaign_with_sink(spec, true, &mut sink);
+        let events = sink.events();
+        assert!(!events.is_empty(), "the seed population emits events");
+        for e in events {
+            assert_eq!(e.adversary.as_deref(), Some(r.id.as_str()));
+            assert!(e.fitness.is_some() && e.coverage.is_some());
+            assert!(e.fault.is_some());
+        }
+        // Improvement count matches mutation-phase events (iteration > 0).
+        let mutation_events = events.iter().filter(|e| e.round > 0).count() as u64;
+        assert_eq!(mutation_events, r.improvements);
+    }
+
+    #[test]
+    fn silent_wrong_reps_pin_unguarded_wrong_counts() {
+        let reps = silent_wrong_representatives(false);
+        assert!(!reps.is_empty(), "E22a has silent-wrong cells");
+        for rep in &reps {
+            assert!(!rep.watchdogs);
+            let replayed = schedule_verdict(
+                SearchAlgorithm::from_name(&rep.algorithm).expect("known alg"),
+                &rep.schedule,
+                false,
+            );
+            assert_eq!(replayed, rep.verdict, "{}", rep.name);
+            // The recorded count really is wrong — that's the point.
+            if let Verdict::Correct { count, .. } = rep.verdict {
+                assert_ne!(count, rep.schedule.nodes() as u64, "{}", rep.name);
+            } else {
+                panic!("{} must record a (wrong) Correct verdict", rep.name);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_uses_guarded_oracle_and_matches_direct_replay() {
+        let stats = baseline_stats(SearchAlgorithm::Kernel, 4, true);
+        assert!(stats.plans > 0);
+        // Recompute by hand: same formulas, same oracle.
+        let horizon = campaign_horizon(SearchAlgorithm::Kernel, 4);
+        let pair = TwinBuilder::new().build(4).unwrap();
+        let mut best = 0u64;
+        for plan in e22_plans(SearchAlgorithm::Kernel, 4, horizon, true) {
+            best = best.max(fitness(&kernel_verdict(&pair.smaller, horizon, &plan, true)));
+        }
+        assert_eq!(stats.best_fitness, best);
+    }
+}

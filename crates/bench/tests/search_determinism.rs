@@ -1,0 +1,98 @@
+//! Determinism contract of the adversary search (`exp_search`).
+//!
+//! Campaigns are pure functions of their [`CampaignSpec`]: the same
+//! spec must produce the same serialized archive on any run, any
+//! thread count, and any kill/resume split. These tests pin that
+//! contract in-process; `scripts/check.sh` additionally pins the
+//! binary's 1-vs-4-thread document bytes and its SIGKILL journal
+//! hygiene.
+
+use anonet_bench::experiments::checkpoint::run_parallel_checkpointed;
+use anonet_bench::experiments::runner::GridConfig;
+use anonet_bench::experiments::search::{
+    campaign_specs, decode_campaign, encode_campaign, run_campaign, verify_archives,
+    CampaignResult, CampaignSpec,
+};
+use anonet_core::verdict::SearchAlgorithm;
+
+/// Two runs of the same campaign spec serialize byte-identically, for
+/// 50 distinct seeds — the archive (keys, fitnesses, schedules,
+/// verdicts, found-at iterations) is a pure function of the spec.
+#[test]
+fn fifty_seeds_of_identical_campaign_archives() {
+    let base = campaign_specs(true)
+        .into_iter()
+        .find(|s| s.alg == SearchAlgorithm::Kernel && s.n == 4)
+        .expect("grid has the kernel n=4 cell");
+    for seed in 0..50u64 {
+        let spec = CampaignSpec {
+            seed: 0xD15EA5E ^ (seed * 0x9E37_79B9),
+            ..base
+        };
+        let a = encode_campaign(&run_campaign(&spec, true));
+        let b = encode_campaign(&run_campaign(&spec, true));
+        assert_eq!(a, b, "seed {seed} diverged between identical runs");
+    }
+}
+
+/// A campaign grid interrupted mid-run (a panic injected into one
+/// cell, standing in for a SIGKILL — the journal machinery is the
+/// same fsync-per-line path either way) and then resumed produces
+/// payloads byte-identical to an uninterrupted run, even at a
+/// different thread count.
+#[test]
+fn interrupted_and_resumed_grid_matches_uninterrupted() {
+    let specs = campaign_specs(true);
+    let ids: Vec<String> = specs.iter().map(|s| s.id()).collect();
+    let run = |i: usize| run_campaign(&specs[i], true);
+    let encode = |r: &CampaignResult| encode_campaign(r);
+
+    let plain = GridConfig {
+        threads: 2,
+        checkpoint: None,
+        resume: false,
+        inject_panic: None,
+    };
+    let reference = run_parallel_checkpointed(&ids, &plain, encode, decode_campaign, run)
+        .expect("uninterrupted grid runs")
+        .complete()
+        .expect("uninterrupted grid completes");
+    verify_archives(&reference).expect("reference archives replay");
+
+    let dir = std::env::temp_dir().join(format!("anonet-search-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt = dir.join("search.checkpoint.jsonl");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let crashing = GridConfig {
+        threads: 2,
+        checkpoint: Some(ckpt.clone()),
+        resume: false,
+        inject_panic: Some(3),
+    };
+    let crashed = run_parallel_checkpointed(&ids, &crashing, encode, decode_campaign, run)
+        .expect("crashing grid still returns");
+    assert!(
+        crashed.complete().is_none(),
+        "the injected panic must leave the grid incomplete"
+    );
+
+    let resuming = GridConfig {
+        threads: 4, // a different thread count must not matter
+        checkpoint: Some(ckpt),
+        resume: true,
+        inject_panic: None,
+    };
+    let resumed = run_parallel_checkpointed(&ids, &resuming, encode, decode_campaign, run)
+        .expect("resumed grid runs")
+        .complete()
+        .expect("resumed grid completes");
+
+    let reference_lines: Vec<String> = reference.iter().map(encode_campaign).collect();
+    let resumed_lines: Vec<String> = resumed.iter().map(encode_campaign).collect();
+    assert_eq!(
+        resumed_lines, reference_lines,
+        "resume after a mid-grid crash changed the campaign payloads"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

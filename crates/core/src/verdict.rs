@@ -65,8 +65,10 @@ use crate::baselines::mass_drain::run_mass_drain;
 use crate::baselines::pushsum::run_pushsum;
 use anonet_graph::faults::FaultyNetwork;
 use anonet_graph::{check_interval_connectivity, DynamicNetwork};
+use anonet_multigraph::mutate::AdversarySchedule;
 use anonet_multigraph::simulate::OnlineLeader;
 use anonet_multigraph::system_k::GeneralSystem;
+use anonet_multigraph::transform;
 use anonet_multigraph::DblMultigraph;
 use anonet_trace::{NullSink, RoundEvent, TraceSink};
 
@@ -881,6 +883,120 @@ pub fn enumeration_verdict<N: DynamicNetwork + Clone>(
     }
 }
 
+/// The counting algorithms exposed as **search oracles**: the
+/// coverage-guided adversary search (`exp_search`) mutates
+/// [`AdversarySchedule`]s and judges every mutant by feeding it to one
+/// of these through [`schedule_verdict`]. Only the four deterministic
+/// exact-counting rules are searchable — the float-valued baselines
+/// (mass-drain, push-sum) would put `f64`s in fitness comparisons and
+/// break the byte-identical-archive contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchAlgorithm {
+    /// The paper's kernel counting rule on `M(DBL)_2` executions
+    /// ([`kernel_verdict`]).
+    Kernel,
+    /// The exhaustive general-`k` rule ([`general_k_verdict`]).
+    GeneralK,
+    /// `G(PD)_2` view counting on the transformed network
+    /// ([`pd2_view_verdict`]).
+    Pd2View,
+    /// The O(1) degree oracle on the transformed network
+    /// ([`degree_oracle_verdict`]).
+    DegreeOracle,
+}
+
+impl SearchAlgorithm {
+    /// Every searchable oracle, in the canonical (archive) order.
+    pub const ALL: [SearchAlgorithm; 4] = [
+        SearchAlgorithm::Kernel,
+        SearchAlgorithm::GeneralK,
+        SearchAlgorithm::Pd2View,
+        SearchAlgorithm::DegreeOracle,
+    ];
+
+    /// Stable name used in coverage keys, archive files and cell ids.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchAlgorithm::Kernel => "kernel",
+            SearchAlgorithm::GeneralK => "general-k",
+            SearchAlgorithm::Pd2View => "pd2-views",
+            SearchAlgorithm::DegreeOracle => "degree-oracle",
+        }
+    }
+
+    /// Inverse of [`SearchAlgorithm::name`].
+    pub fn from_name(name: &str) -> Option<SearchAlgorithm> {
+        SearchAlgorithm::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
+/// Candidate-set budget handed to [`general_k_verdict`] by
+/// [`schedule_verdict`] — matches the `exp_faults` E22 grid so archived
+/// verdicts replay against the same truncation behavior.
+pub const SEARCH_GENERAL_K_BUDGET: usize = 10_000;
+
+/// Candidate-set budget handed to [`pd2_view_verdict`] by
+/// [`schedule_verdict`] — matches the `exp_faults` E22 grid.
+pub const SEARCH_PD2_BUDGET: usize = 50_000;
+
+/// Judges one [`AdversarySchedule`] with oracle `alg` — the single
+/// entry point the search loop, the archive replay tests and the
+/// corpus-seeding code all share, so a schedule's verdict means the
+/// same thing everywhere.
+///
+/// The multigraph oracles ([`SearchAlgorithm::Kernel`],
+/// [`SearchAlgorithm::GeneralK`]) replay the schedule's `M(DBL)_2`
+/// execution directly under its [`FaultPlan`]. The graph oracles
+/// ([`SearchAlgorithm::Pd2View`], [`SearchAlgorithm::DegreeOracle`])
+/// run on the Lemma 1 transform of the schedule's network
+/// ([`anonet_multigraph::transform::to_pd2`]) under the plan's
+/// graph-level projection, exactly as in the E22 grid; the transform is
+/// built over `max(horizon, 4)` rounds so the oracle's fixed 3-round
+/// window always exists.
+///
+/// A schedule whose rows no longer assemble into a [`DblMultigraph`] or
+/// transform into a `G(PD)_2` (impossible for
+/// [validated](AdversarySchedule::validate) schedules, kept total for
+/// robustness) maps to `Undecided { rounds: 0 }` — the worst possible
+/// fitness, so malformed genomes die out instead of crashing a
+/// campaign.
+pub fn schedule_verdict(
+    alg: SearchAlgorithm,
+    schedule: &AdversarySchedule,
+    watchdogs: bool,
+) -> Verdict {
+    let dead = Verdict::Undecided {
+        rounds: 0,
+        candidates: None,
+    };
+    let Ok(m) = schedule.multigraph() else {
+        return dead;
+    };
+    let horizon = schedule.horizon();
+    match alg {
+        SearchAlgorithm::Kernel => kernel_verdict(&m, horizon, schedule.plan(), watchdogs),
+        SearchAlgorithm::GeneralK => general_k_verdict(
+            &m,
+            horizon,
+            SEARCH_GENERAL_K_BUDGET,
+            schedule.plan(),
+            watchdogs,
+        ),
+        SearchAlgorithm::Pd2View => {
+            let Ok(net) = transform::to_pd2(&m, (horizon as usize).max(4)) else {
+                return dead;
+            };
+            pd2_view_verdict(net, horizon, SEARCH_PD2_BUDGET, schedule.plan(), watchdogs)
+        }
+        SearchAlgorithm::DegreeOracle => {
+            let Ok(net) = transform::to_pd2(&m, (horizon as usize).max(4)) else {
+                return dead;
+            };
+            degree_oracle_verdict(net, schedule.plan(), watchdogs)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1031,6 +1147,40 @@ mod tests {
         let plan = FaultPlan::new().disconnect(1);
         let v = enumeration_verdict(net, 3, 4, &plan, true);
         assert!(v.is_fail_closed(), "{v}");
+    }
+
+    #[test]
+    fn schedule_verdict_agrees_with_the_direct_runners() {
+        use anonet_multigraph::mutate::AdversarySchedule;
+        let pair = TwinBuilder::new().build(4).unwrap();
+        let horizon = pair.horizon + 3;
+        let schedule = AdversarySchedule::from_multigraph(&pair.smaller, horizon).unwrap();
+        let m = schedule.multigraph().unwrap();
+        assert_eq!(
+            schedule_verdict(SearchAlgorithm::Kernel, &schedule, true),
+            kernel_verdict(&m, horizon, schedule.plan(), true),
+        );
+        assert_eq!(
+            schedule_verdict(SearchAlgorithm::GeneralK, &schedule, true),
+            general_k_verdict(&m, horizon, SEARCH_GENERAL_K_BUDGET, schedule.plan(), true),
+        );
+        let net = transform::to_pd2(&m, (horizon as usize).max(4)).unwrap();
+        assert_eq!(
+            schedule_verdict(SearchAlgorithm::Pd2View, &schedule, true),
+            pd2_view_verdict(net.clone(), horizon, SEARCH_PD2_BUDGET, schedule.plan(), true),
+        );
+        assert_eq!(
+            schedule_verdict(SearchAlgorithm::DegreeOracle, &schedule, true),
+            degree_oracle_verdict(net, schedule.plan(), true),
+        );
+    }
+
+    #[test]
+    fn search_algorithm_names_round_trip() {
+        for alg in SearchAlgorithm::ALL {
+            assert_eq!(SearchAlgorithm::from_name(alg.name()), Some(alg));
+        }
+        assert_eq!(SearchAlgorithm::from_name("push-sum"), None);
     }
 
     #[test]

@@ -1,0 +1,643 @@
+//! Float-free serialization of adversarial schedules and their verdicts.
+//!
+//! The coverage-guided search archives its worst findings as
+//! **replayable regression cases**: each [`ArchivedSchedule`] pins an
+//! [`AdversarySchedule`], the oracle it was judged by, whether the
+//! watchdogs were on, and the exact [`Verdict`] the run produced. The
+//! committed corpus under `tests/corpus/*.json` is rendered with
+//! [`ArchivedSchedule::render`] and replayed by `tests/adversary_corpus.rs`,
+//! which re-runs every schedule and asserts the recorded verdict (class,
+//! count *and* round) is reproduced byte-for-byte.
+//!
+//! # Canonical rendering
+//!
+//! Both renderers emit a fixed field order with no floats, so
+//! `render ∘ parse` is the identity on anything either renderer
+//! produced — the property that makes "re-serialize the committed file
+//! and compare bytes" a meaningful test:
+//!
+//! * [`ArchivedSchedule::render`] — the committed-corpus form: one field
+//!   per line, round rows and plan events one per line, trailing
+//!   newline;
+//! * [`ArchivedSchedule::render_line`] — the compact single-line form
+//!   used for archive journals and checkpoint payloads.
+//!
+//! Parsing ([`ArchivedSchedule::parse`]) accepts any whitespace (it goes
+//! through [`anonet_trace::json::JsonValue`]), so hand-edited files are
+//! readable — they are simply re-rendered canonically on the next
+//! archive write.
+//!
+//! # Archive journals
+//!
+//! [`write_archive`] / [`read_archive`] store a whole archive as JSON
+//! Lines through [`anonet_trace::journal`] (line-atomic appends,
+//! fsync-per-line). A read tolerates a torn trailing fragment — the
+//! crash-safety contract of the journal layer — and reports it instead
+//! of failing, so a search campaign killed mid-append loses at most the
+//! entry being written.
+
+use crate::faults::{FaultEvent, FaultKind, FaultPlan, Verdict, ViolationKind};
+use crate::label::LabelSet;
+use crate::mutate::{AdversarySchedule, ScheduleError};
+use anonet_trace::journal::{read_journal, JournalWriter};
+use anonet_trace::json::{escape_into, JsonValue};
+use core::fmt;
+use std::path::Path;
+
+/// The corpus/archive record format version this module writes and
+/// accepts.
+pub const CORPUS_VERSION: i128 = 1;
+
+/// One archived adversarial schedule: the genome, the oracle that judged
+/// it, and the verdict it must keep reproducing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchivedSchedule {
+    /// Stable name (doubles as the corpus file stem).
+    pub name: String,
+    /// Oracle name (an `anonet-core` `SearchAlgorithm` name, e.g.
+    /// `"pd2-views"`).
+    pub algorithm: String,
+    /// Whether the verdict was produced with watchdogs on. Silent-wrong
+    /// representatives record `false`: their value *is* the wrong count
+    /// an unguarded run reproduces.
+    pub watchdogs: bool,
+    /// The schedule itself.
+    pub schedule: AdversarySchedule,
+    /// The recorded verdict the replay test asserts.
+    pub verdict: Verdict,
+    /// The campaign seed that found the schedule (provenance).
+    pub seed: u64,
+    /// The campaign iteration that found it (provenance; 0 for seeded
+    /// representatives).
+    pub iteration: u64,
+}
+
+/// Why a corpus document failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusError(String);
+
+impl CorpusError {
+    fn new(msg: impl Into<String>) -> CorpusError {
+        CorpusError(msg.into())
+    }
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid corpus record: {}", self.0)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<ScheduleError> for CorpusError {
+    fn from(e: ScheduleError) -> CorpusError {
+        CorpusError::new(format!("decoded schedule is invalid: {e}"))
+    }
+}
+
+/// Appends one fault event as a compact JSON object.
+fn event_into(e: &FaultEvent, out: &mut String) {
+    out.push_str("{\"round\": ");
+    out.push_str(&e.round.to_string());
+    out.push_str(", \"kind\": ");
+    match e.kind {
+        FaultKind::DropDeliveries { stride, offset } => {
+            out.push_str(&format!("\"drop\", \"stride\": {stride}, \"offset\": {offset}"));
+        }
+        FaultKind::DuplicateDeliveries { stride, offset } => {
+            out.push_str(&format!("\"dup\", \"stride\": {stride}, \"offset\": {offset}"));
+        }
+        FaultKind::CrashNodes { count } => {
+            out.push_str(&format!("\"crash\", \"count\": {count}"));
+        }
+        FaultKind::LeaderRestart => out.push_str("\"restart\""),
+        FaultKind::Disconnect => out.push_str("\"disconnect\""),
+    }
+    out.push('}');
+}
+
+/// Decodes one fault event object.
+fn event_from(v: &JsonValue) -> Result<FaultEvent, CorpusError> {
+    let round = v
+        .get("round")
+        .and_then(JsonValue::as_int)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| CorpusError::new("plan event is missing `round`"))?;
+    let kind = v
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| CorpusError::new("plan event is missing string `kind`"))?;
+    let int_field = |key: &str| -> Result<u32, CorpusError> {
+        v.get(key)
+            .and_then(JsonValue::as_int)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| CorpusError::new(format!("`{kind}` event is missing `{key}`")))
+    };
+    let kind = match kind {
+        "drop" => FaultKind::DropDeliveries {
+            stride: int_field("stride")?,
+            offset: int_field("offset")?,
+        },
+        "dup" => FaultKind::DuplicateDeliveries {
+            stride: int_field("stride")?,
+            offset: int_field("offset")?,
+        },
+        "crash" => FaultKind::CrashNodes {
+            count: int_field("count")?,
+        },
+        "restart" => FaultKind::LeaderRestart,
+        "disconnect" => FaultKind::Disconnect,
+        other => return Err(CorpusError::new(format!("unknown fault kind `{other}`"))),
+    };
+    Ok(FaultEvent { round, kind })
+}
+
+/// Appends a verdict as a compact JSON object.
+fn verdict_into(v: &Verdict, out: &mut String) {
+    match v {
+        Verdict::Correct { count, rounds } => {
+            out.push_str(&format!(
+                "{{\"class\": \"correct\", \"count\": {count}, \"rounds\": {rounds}}}"
+            ));
+        }
+        Verdict::Undecided { rounds, candidates } => {
+            out.push_str(&format!("{{\"class\": \"undecided\", \"rounds\": {rounds}"));
+            if let Some((lo, hi)) = candidates {
+                out.push_str(&format!(", \"lo\": {lo}, \"hi\": {hi}"));
+            }
+            out.push('}');
+        }
+        Verdict::ModelViolation { kind, round } => {
+            out.push_str(&format!(
+                "{{\"class\": \"violation\", \"kind\": \"{}\", \"round\": {round}}}",
+                kind.label()
+            ));
+        }
+    }
+}
+
+/// Decodes a verdict object.
+fn verdict_from(v: &JsonValue) -> Result<Verdict, CorpusError> {
+    let class = v
+        .get("class")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| CorpusError::new("verdict is missing string `class`"))?;
+    let u32_field = |key: &str| -> Result<u32, CorpusError> {
+        v.get(key)
+            .and_then(JsonValue::as_int)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| CorpusError::new(format!("`{class}` verdict is missing `{key}`")))
+    };
+    match class {
+        "correct" => Ok(Verdict::Correct {
+            count: v
+                .get("count")
+                .and_then(JsonValue::as_int)
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| CorpusError::new("`correct` verdict is missing `count`"))?,
+            rounds: u32_field("rounds")?,
+        }),
+        "undecided" => {
+            let lo = v.get("lo").and_then(JsonValue::as_int);
+            let hi = v.get("hi").and_then(JsonValue::as_int);
+            let candidates = match (lo, hi) {
+                (Some(lo), Some(hi)) => {
+                    let lo = i64::try_from(lo)
+                        .map_err(|_| CorpusError::new("`lo` out of range"))?;
+                    let hi = i64::try_from(hi)
+                        .map_err(|_| CorpusError::new("`hi` out of range"))?;
+                    Some((lo, hi))
+                }
+                (None, None) => None,
+                _ => return Err(CorpusError::new("`undecided` verdict has only one of lo/hi")),
+            };
+            Ok(Verdict::Undecided {
+                rounds: u32_field("rounds")?,
+                candidates,
+            })
+        }
+        "violation" => {
+            let kind = v
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| CorpusError::new("`violation` verdict is missing `kind`"))?;
+            let kind = violation_kind_from_label(kind)
+                .ok_or_else(|| CorpusError::new(format!("unknown violation kind `{kind}`")))?;
+            Ok(Verdict::ModelViolation {
+                kind,
+                round: u32_field("round")?,
+            })
+        }
+        other => Err(CorpusError::new(format!("unknown verdict class `{other}`"))),
+    }
+}
+
+/// Inverse of [`ViolationKind::label`].
+pub fn violation_kind_from_label(label: &str) -> Option<ViolationKind> {
+    match label {
+        "delivery-integrity" => Some(ViolationKind::DeliveryIntegrity),
+        "connectivity" => Some(ViolationKind::Connectivity),
+        "census-conservation" => Some(ViolationKind::CensusConservation),
+        "kernel-consistency" => Some(ViolationKind::KernelConsistency),
+        _ => None,
+    }
+}
+
+impl ArchivedSchedule {
+    /// Renders the canonical multi-line committed-corpus form (trailing
+    /// newline included): fixed field order, round rows and plan events
+    /// one per line, label sets as their bit masks (`1` = `{1}`, `2` =
+    /// `{2}`, `3` = `{1,2}`).
+    pub fn render(&self) -> String {
+        self.render_with(RenderStyle::Pretty)
+    }
+
+    /// Renders the compact single-line form (no trailing newline) used
+    /// for archive journal lines and checkpoint payloads.
+    pub fn render_line(&self) -> String {
+        self.render_with(RenderStyle::Compact)
+    }
+
+    fn render_with(&self, style: RenderStyle) -> String {
+        let (nl, ind, ind2) = match style {
+            RenderStyle::Pretty => ("\n", "  ", "    "),
+            RenderStyle::Compact => ("", "", ""),
+        };
+        let mut s = String::with_capacity(256);
+        s.push('{');
+        s.push_str(nl);
+        let field = |s: &mut String, key: &str, last: bool, write: &dyn Fn(&mut String)| {
+            s.push_str(ind);
+            s.push('"');
+            s.push_str(key);
+            s.push_str("\": ");
+            write(s);
+            if !last {
+                s.push(',');
+                if nl.is_empty() {
+                    s.push(' ');
+                }
+            }
+            s.push_str(nl);
+        };
+        field(&mut s, "v", false, &|s| s.push_str(&CORPUS_VERSION.to_string()));
+        field(&mut s, "name", false, &|s| {
+            s.push('"');
+            escape_into(&self.name, s);
+            s.push('"');
+        });
+        field(&mut s, "algorithm", false, &|s| {
+            s.push('"');
+            escape_into(&self.algorithm, s);
+            s.push('"');
+        });
+        field(&mut s, "watchdogs", false, &|s| {
+            s.push_str(if self.watchdogs { "true" } else { "false" })
+        });
+        field(&mut s, "horizon", false, &|s| {
+            s.push_str(&self.schedule.horizon().to_string())
+        });
+        field(&mut s, "nodes", false, &|s| {
+            s.push_str(&self.schedule.nodes().to_string())
+        });
+        field(&mut s, "rounds", false, &|s| {
+            s.push('[');
+            s.push_str(nl);
+            for (i, row) in self.schedule.rounds().iter().enumerate() {
+                s.push_str(ind2);
+                s.push('[');
+                for (j, set) in row.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str(&set.mask().to_string());
+                }
+                s.push(']');
+                if i + 1 < self.schedule.rounds().len() {
+                    s.push(',');
+                    if nl.is_empty() {
+                        s.push(' ');
+                    }
+                }
+                s.push_str(nl);
+            }
+            s.push_str(ind);
+            s.push(']');
+        });
+        field(&mut s, "plan", false, &|s| {
+            if self.schedule.plan().is_empty() {
+                s.push_str("[]");
+                return;
+            }
+            s.push('[');
+            s.push_str(nl);
+            let events = self.schedule.plan().events();
+            for (i, e) in events.iter().enumerate() {
+                s.push_str(ind2);
+                event_into(e, s);
+                if i + 1 < events.len() {
+                    s.push(',');
+                    if nl.is_empty() {
+                        s.push(' ');
+                    }
+                }
+                s.push_str(nl);
+            }
+            s.push_str(ind);
+            s.push(']');
+        });
+        field(&mut s, "verdict", false, &|s| verdict_into(&self.verdict, s));
+        field(&mut s, "seed", false, &|s| s.push_str(&self.seed.to_string()));
+        field(&mut s, "iteration", true, &|s| {
+            s.push_str(&self.iteration.to_string())
+        });
+        s.push('}');
+        if matches!(style, RenderStyle::Pretty) {
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses either rendered form (or any equivalent JSON with
+    /// different whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CorpusError`] on malformed JSON, a missing or mistyped
+    /// field, an unsupported version, or a decoded schedule that fails
+    /// [`AdversarySchedule::validate`].
+    pub fn parse(text: &str) -> Result<ArchivedSchedule, CorpusError> {
+        let doc = JsonValue::parse(text).map_err(|e| CorpusError::new(e.to_string()))?;
+        ArchivedSchedule::from_json(&doc)
+    }
+
+    /// Decodes an already-parsed document (for embedding archive entries
+    /// inside larger payloads, e.g. checkpoint records).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ArchivedSchedule::parse`].
+    pub fn from_json(doc: &JsonValue) -> Result<ArchivedSchedule, CorpusError> {
+        let version = doc
+            .get("v")
+            .and_then(JsonValue::as_int)
+            .ok_or_else(|| CorpusError::new("missing integer `v`"))?;
+        if version != CORPUS_VERSION {
+            return Err(CorpusError::new(format!(
+                "unsupported corpus version {version} (expected {CORPUS_VERSION})"
+            )));
+        }
+        let str_field = |key: &str| -> Result<String, CorpusError> {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| CorpusError::new(format!("missing string `{key}`")))
+        };
+        let u64_field = |key: &str| -> Result<u64, CorpusError> {
+            doc.get(key)
+                .and_then(JsonValue::as_int)
+                .and_then(|n| u64::try_from(n).ok())
+                .ok_or_else(|| CorpusError::new(format!("missing non-negative integer `{key}`")))
+        };
+        let watchdogs = match doc.get("watchdogs") {
+            Some(JsonValue::Bool(b)) => *b,
+            _ => return Err(CorpusError::new("missing boolean `watchdogs`")),
+        };
+        let horizon = u32::try_from(u64_field("horizon")?)
+            .map_err(|_| CorpusError::new("`horizon` out of range"))?;
+        let nodes = u64_field("nodes")? as usize;
+        let rows_json = doc
+            .get("rounds")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| CorpusError::new("missing array `rounds`"))?;
+        let mut rows = Vec::with_capacity(rows_json.len());
+        for row in rows_json {
+            let cells = row
+                .as_array()
+                .ok_or_else(|| CorpusError::new("`rounds` rows must be arrays"))?;
+            let mut decoded = Vec::with_capacity(cells.len());
+            for cell in cells {
+                let mask = cell
+                    .as_int()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| CorpusError::new("`rounds` cells must be label masks"))?;
+                decoded.push(
+                    LabelSet::from_mask(mask, 2)
+                        .map_err(|e| CorpusError::new(format!("bad label mask {mask}: {e}")))?,
+                );
+            }
+            rows.push(decoded);
+        }
+        let plan_json = doc
+            .get("plan")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| CorpusError::new("missing array `plan`"))?;
+        let events = plan_json
+            .iter()
+            .map(event_from)
+            .collect::<Result<Vec<_>, _>>()?;
+        let schedule = AdversarySchedule::new(rows, FaultPlan::from_events(events), horizon)?;
+        if schedule.nodes() != nodes {
+            return Err(CorpusError::new(format!(
+                "`nodes` says {nodes} but rows are {} wide",
+                schedule.nodes()
+            )));
+        }
+        let verdict = verdict_from(
+            doc.get("verdict")
+                .ok_or_else(|| CorpusError::new("missing `verdict`"))?,
+        )?;
+        Ok(ArchivedSchedule {
+            name: str_field("name")?,
+            algorithm: str_field("algorithm")?,
+            watchdogs,
+            schedule,
+            verdict,
+            seed: u64_field("seed")?,
+            iteration: u64_field("iteration")?,
+        })
+    }
+}
+
+#[derive(Clone, Copy)]
+enum RenderStyle {
+    Pretty,
+    Compact,
+}
+
+/// The result of reading an archive journal: the decoded entries plus
+/// the torn trailing fragment, if the file ends mid-line (a campaign
+/// killed mid-append).
+#[derive(Debug)]
+pub struct ArchiveRead {
+    /// Every complete, decoded entry, in file order.
+    pub entries: Vec<ArchivedSchedule>,
+    /// The torn trailing fragment, if any (its entry was lost; all
+    /// preceding entries are intact).
+    pub truncated_tail: Option<String>,
+}
+
+/// Writes `entries` as an archive journal (one compact line per entry,
+/// line-atomic fsync'd appends). The file is created if missing and
+/// **appended to** if present, matching journal semantics.
+///
+/// # Errors
+///
+/// Returns a description of the underlying I/O error.
+pub fn write_archive(path: &Path, entries: &[ArchivedSchedule]) -> Result<(), String> {
+    let mut w = JournalWriter::append(path)
+        .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    for entry in entries {
+        w.append_line(&entry.render_line())
+            .map_err(|e| format!("cannot append to {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// Reads an archive journal, tolerating a torn trailing fragment (kill
+/// mid-append): complete lines decode normally, the fragment is
+/// reported in [`ArchiveRead::truncated_tail`] instead of failing.
+///
+/// # Errors
+///
+/// Returns a description of an I/O error or of a *complete* line that
+/// does not decode ([`write_archive`] only ever appends whole valid
+/// records, so that is corruption, not a crash artifact).
+pub fn read_archive(path: &Path) -> Result<ArchiveRead, String> {
+    let replay = read_journal(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut entries = Vec::with_capacity(replay.lines.len());
+    for (lineno, line) in replay.lines.iter().enumerate() {
+        entries.push(
+            ArchivedSchedule::parse(line)
+                .map_err(|e| format!("{} line {}: {e}", path.display(), lineno + 1))?,
+        );
+    }
+    Ok(ArchiveRead {
+        entries,
+        truncated_tail: replay.truncated_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ArchivedSchedule {
+        ArchivedSchedule {
+            name: "search-kernel-n4".to_string(),
+            algorithm: "kernel".to_string(),
+            watchdogs: true,
+            schedule: AdversarySchedule::new(
+                vec![
+                    vec![LabelSet::L12, LabelSet::L1, LabelSet::L2],
+                    vec![LabelSet::L1, LabelSet::L1, LabelSet::L12],
+                ],
+                FaultPlan::new()
+                    .drop_deliveries(1, 4, 2)
+                    .crash_nodes(2, 1)
+                    .leader_restart(0)
+                    .duplicate_deliveries(3, 3, 0)
+                    .disconnect(4),
+                5,
+            )
+            .unwrap(),
+            verdict: Verdict::ModelViolation {
+                kind: ViolationKind::Connectivity,
+                round: 4,
+            },
+            seed: 99,
+            iteration: 12,
+        }
+    }
+
+    #[test]
+    fn pretty_render_parses_back_byte_identically() {
+        let a = sample();
+        let text = a.render();
+        assert!(text.ends_with("}\n"));
+        let b = ArchivedSchedule::parse(&text).expect("parses");
+        assert_eq!(a, b);
+        assert_eq!(b.render(), text, "render ∘ parse is the identity");
+    }
+
+    #[test]
+    fn compact_render_parses_back_byte_identically() {
+        let a = sample();
+        let line = a.render_line();
+        assert!(!line.contains('\n'));
+        let b = ArchivedSchedule::parse(&line).expect("parses");
+        assert_eq!(a, b);
+        assert_eq!(b.render_line(), line);
+    }
+
+    #[test]
+    fn every_verdict_class_round_trips() {
+        let mut a = sample();
+        for verdict in [
+            Verdict::Correct { count: 9, rounds: 3 },
+            Verdict::Undecided {
+                rounds: 5,
+                candidates: None,
+            },
+            Verdict::Undecided {
+                rounds: 5,
+                candidates: Some((-2, 17)),
+            },
+            Verdict::ModelViolation {
+                kind: ViolationKind::KernelConsistency,
+                round: 1,
+            },
+        ] {
+            a.verdict = verdict;
+            let b = ArchivedSchedule::parse(&a.render()).unwrap();
+            assert_eq!(b.verdict, verdict);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_documents() {
+        assert!(ArchivedSchedule::parse("not json").is_err());
+        let good = sample().render();
+        assert!(ArchivedSchedule::parse(&good.replace("\"v\": 1", "\"v\": 2"))
+            .unwrap_err()
+            .to_string()
+            .contains("version 2"));
+        // A schedule that fails validation is rejected even if the JSON
+        // is well-formed (fault round 4 with horizon 2).
+        assert!(ArchivedSchedule::parse(&good.replace("\"horizon\": 5", "\"horizon\": 2"))
+            .is_err());
+        // Node-count mismatch between the header and the rows.
+        assert!(ArchivedSchedule::parse(&good.replace("\"nodes\": 3", "\"nodes\": 7"))
+            .unwrap_err()
+            .to_string()
+            .contains("wide"));
+    }
+
+    #[test]
+    fn archive_journal_round_trips_and_tolerates_torn_tail() {
+        let path = std::env::temp_dir().join(format!(
+            "anonet-corpus-{}.archive.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut second = sample();
+        second.name = "search-kernel-n4-alt".to_string();
+        second.verdict = Verdict::Correct { count: 3, rounds: 5 };
+        write_archive(&path, &[sample(), second.clone()]).expect("writes");
+        let read = read_archive(&path).expect("reads");
+        assert_eq!(read.entries, vec![sample(), second]);
+        assert!(read.truncated_tail.is_none());
+
+        // Tear the tail: append a fragment without a newline. The two
+        // complete entries survive; the fragment is reported, not fatal.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"v\": 1, \"name\": \"torn").unwrap();
+        drop(f);
+        let read = read_archive(&path).expect("torn tail tolerated");
+        assert_eq!(read.entries.len(), 2);
+        assert_eq!(read.truncated_tail.as_deref(), Some("{\"v\": 1, \"name\": \"torn"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

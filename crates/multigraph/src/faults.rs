@@ -233,6 +233,16 @@ impl FaultPlan {
         plan
     }
 
+    /// Builds a plan directly from an event list (insertion order is
+    /// preserved, exactly as if the chainable constructors had been
+    /// called in sequence). This is the entry point of the mutation
+    /// operators in [`mutate`](crate::mutate) and of corpus replay
+    /// ([`corpus`](crate::corpus)), which edit or decode event lists
+    /// rather than re-deriving builder chains.
+    pub fn from_events(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan { events }
+    }
+
     /// True when no fault is scheduled.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()

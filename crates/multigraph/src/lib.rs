@@ -46,12 +46,14 @@
 
 pub mod adversary;
 mod census;
+pub mod corpus;
 pub mod faults;
 mod history;
 mod label;
 mod leader;
 #[allow(clippy::module_inception)]
 mod multigraph;
+pub mod mutate;
 pub mod render;
 pub mod simulate;
 pub mod soa;
@@ -61,10 +63,12 @@ pub mod transform;
 
 pub use adversary::{AdversaryError, TwinBuilder, TwinError, TwinPair};
 pub use census::{Census, CensusError};
+pub use corpus::{read_archive, write_archive, ArchiveRead, ArchivedSchedule, CorpusError};
 pub use history::{ternary_count, History, HistoryArena, HistoryId, ParseHistoryError};
 pub use label::{LabelError, LabelSet, MAX_LABELS};
 pub use leader::{LeaderState, ObservationError, Observations, ObservationStream};
 pub use multigraph::{DblError, DblMultigraph};
+pub use mutate::{AdversarySchedule, ScheduleError};
 pub use soa::{RoundColumns, RoundEngine};
 
 /// Structured round tracing ([`TraceSink`](anonet_trace::TraceSink),

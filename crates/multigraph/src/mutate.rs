@@ -1,0 +1,478 @@
+//! Seeded mutation operators over the adversary space.
+//!
+//! The coverage-guided search in `anonet-bench` explores the space of
+//! *adversarial schedules*: a dynamic-graph schedule (the explicit round
+//! rows of a [`DblMultigraph`]) paired with a [`FaultPlan`] and a run
+//! horizon. This module owns that genome ([`AdversarySchedule`]) and its
+//! mutation operators:
+//!
+//! * **perturb** — cycle one node's label set in one round
+//!   (`{1} → {2} → {1,2} → {1}`), an in-model network edit;
+//! * **splice** — copy one round row over another;
+//! * **extend** — append a copy of the last explicit row (up to the
+//!   horizon; beyond the prefix the multigraph holds its last row
+//!   anyway, so extending materializes a row the other operators can
+//!   then edit);
+//! * **shift** — move one fault event to a different round;
+//! * **flip** — swap a fault's kind for its natural dual
+//!   (crash ↔ restart, drop ↔ duplicate, disconnect → restart);
+//! * **re-stride** — redraw the stride/offset of a drop/duplicate;
+//! * **add** / **remove** — insert a fresh seeded fault or delete one.
+//!
+//! Every operator is **closed over validity** ([`AdversarySchedule::validate`]):
+//! mutants keep every fault round inside the horizon and never schedule
+//! more cumulative crashes than the network has nodes (a crash of an
+//! already-dead node would be a silent no-op, which the proptests in
+//! `fault_proptests.rs` reject). Mutation is a pure function of
+//! `(schedule, seed)` — the same seed always yields the same mutant —
+//! which is what keeps search campaigns byte-identical across thread
+//! counts and kill/resume cycles.
+
+use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+use crate::label::LabelSet;
+use crate::multigraph::{DblError, DblMultigraph};
+use core::fmt;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One point of the adversary search space: an explicit dynamic-graph
+/// schedule, a fault plan, and the horizon the oracle runs it for.
+///
+/// The row matrix is the *explicit prefix* of a [`DblMultigraph`]
+/// (hold-last semantics apply past it, exactly as in
+/// [`DblMultigraph::new`]); the plan's events all strike before
+/// `horizon`; the label universe is fixed at `k = 2` — the paper's
+/// `M(DBL)_2` model, which is what every oracle in `anonet-core`
+/// expects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdversarySchedule {
+    rounds: Vec<Vec<LabelSet>>,
+    plan: FaultPlan,
+    horizon: u32,
+}
+
+/// Why an [`AdversarySchedule`] (or a would-be mutant) is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The row matrix violates a multigraph invariant.
+    Graph(DblError),
+    /// The horizon is zero — no oracle can run zero rounds.
+    ZeroHorizon,
+    /// The explicit prefix is longer than the horizon; the surplus rows
+    /// could never be played.
+    PrefixBeyondHorizon {
+        /// Explicit rows.
+        prefix: usize,
+        /// Run horizon.
+        horizon: u32,
+    },
+    /// A fault event strikes at or after the horizon.
+    FaultBeyondHorizon {
+        /// The offending event's round.
+        round: u32,
+        /// Run horizon.
+        horizon: u32,
+    },
+    /// The plan schedules more cumulative crashes than the network has
+    /// nodes — some crash would hit an already-dead node.
+    CrashBudget {
+        /// Total crash count across all events.
+        scheduled: u64,
+        /// Node count.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Graph(e) => write!(f, "invalid round rows: {e}"),
+            ScheduleError::ZeroHorizon => write!(f, "horizon must be at least 1"),
+            ScheduleError::PrefixBeyondHorizon { prefix, horizon } => write!(
+                f,
+                "{prefix} explicit rows but horizon {horizon}: surplus rows are unreachable"
+            ),
+            ScheduleError::FaultBeyondHorizon { round, horizon } => {
+                write!(f, "fault at round {round} >= horizon {horizon}")
+            }
+            ScheduleError::CrashBudget { scheduled, nodes } => write!(
+                f,
+                "{scheduled} crashes scheduled against {nodes} nodes: some crash hits a dead node"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<DblError> for ScheduleError {
+    fn from(e: DblError) -> ScheduleError {
+        ScheduleError::Graph(e)
+    }
+}
+
+/// Total crash count scheduled by `plan`.
+fn crash_total(plan: &FaultPlan) -> u64 {
+    plan.events()
+        .iter()
+        .map(|e| match e.kind {
+            FaultKind::CrashNodes { count } => u64::from(count),
+            _ => 0,
+        })
+        .sum()
+}
+
+impl AdversarySchedule {
+    /// Builds and validates a schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ScheduleError`] rule.
+    pub fn new(
+        rounds: Vec<Vec<LabelSet>>,
+        plan: FaultPlan,
+        horizon: u32,
+    ) -> Result<AdversarySchedule, ScheduleError> {
+        let s = AdversarySchedule {
+            rounds,
+            plan,
+            horizon,
+        };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Builds the clean schedule of an existing multigraph: its explicit
+    /// prefix (truncated to `horizon` rows), an empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ScheduleError`] rule.
+    pub fn from_multigraph(
+        m: &DblMultigraph,
+        horizon: u32,
+    ) -> Result<AdversarySchedule, ScheduleError> {
+        let prefix = m.prefix_len().min(horizon.max(1) as usize);
+        let rows = (0..prefix).map(|r| m.round(r).to_vec()).collect();
+        AdversarySchedule::new(rows, FaultPlan::new(), horizon)
+    }
+
+    /// Re-checks every invariant (the constructors already did; mutants
+    /// are closed over this, which the proptests verify directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ScheduleError`] rule.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        DblMultigraph::new(2, self.rounds.clone())?;
+        if self.horizon == 0 {
+            return Err(ScheduleError::ZeroHorizon);
+        }
+        if self.rounds.len() > self.horizon as usize {
+            return Err(ScheduleError::PrefixBeyondHorizon {
+                prefix: self.rounds.len(),
+                horizon: self.horizon,
+            });
+        }
+        if let Some(e) = self
+            .plan
+            .events()
+            .iter()
+            .find(|e| e.round >= self.horizon)
+        {
+            return Err(ScheduleError::FaultBeyondHorizon {
+                round: e.round,
+                horizon: self.horizon,
+            });
+        }
+        let scheduled = crash_total(&self.plan);
+        let nodes = self.nodes();
+        if scheduled > nodes as u64 {
+            return Err(ScheduleError::CrashBudget { scheduled, nodes });
+        }
+        Ok(())
+    }
+
+    /// The explicit round rows (the multigraph prefix).
+    pub fn rounds(&self) -> &[Vec<LabelSet>] {
+        &self.rounds
+    }
+
+    /// The fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The run horizon (rounds the oracle plays the schedule for).
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// Node count (width of every row).
+    pub fn nodes(&self) -> usize {
+        self.rounds.first().map_or(0, Vec::len)
+    }
+
+    /// Materializes the schedule's network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DblError`] (unreachable for a validated schedule).
+    pub fn multigraph(&self) -> Result<DblMultigraph, DblError> {
+        DblMultigraph::new(2, self.rounds.clone())
+    }
+
+    /// Applies one seeded mutation operator, returning the mutant.
+    ///
+    /// Pure in `(self, seed)`: the same inputs always produce the same
+    /// mutant, and every mutant satisfies [`AdversarySchedule::validate`].
+    /// Operators that cannot apply (e.g. *remove* on an empty plan)
+    /// deterministically fall through to one that always can.
+    #[must_use]
+    pub fn mutate(&self, seed: u64) -> AdversarySchedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut next = self.clone();
+        match rng.gen_range(0..8u32) {
+            0 => next.perturb_label(&mut rng),
+            1 => next.splice_rounds(&mut rng),
+            2 => next.extend_rounds(&mut rng),
+            3 => next.shift_fault(&mut rng),
+            4 => next.flip_fault(&mut rng),
+            5 => next.restride_fault(&mut rng),
+            6 => next.add_fault(&mut rng),
+            _ => next.remove_fault(&mut rng),
+        }
+        debug_assert!(next.validate().is_ok(), "mutants stay valid");
+        next
+    }
+
+    /// Cycles one node's label set in one explicit round.
+    fn perturb_label(&mut self, rng: &mut StdRng) {
+        let r = rng.gen_range(0..self.rounds.len());
+        let node = rng.gen_range(0..self.nodes());
+        let cell = &mut self.rounds[r][node];
+        *cell = match *cell {
+            LabelSet::L1 => LabelSet::L2,
+            LabelSet::L2 => LabelSet::L12,
+            _ => LabelSet::L1,
+        };
+    }
+
+    /// Copies one explicit row over another (perturbs when there is only
+    /// one row to copy).
+    fn splice_rounds(&mut self, rng: &mut StdRng) {
+        if self.rounds.len() < 2 {
+            self.perturb_label(rng);
+            return;
+        }
+        let src = rng.gen_range(0..self.rounds.len());
+        let dst = rng.gen_range(0..self.rounds.len());
+        if src == dst {
+            self.perturb_label(rng);
+            return;
+        }
+        let row = self.rounds[src].clone();
+        self.rounds[dst] = row;
+    }
+
+    /// Appends a copy of the last explicit row (the row hold-last
+    /// semantics would have played anyway), making it editable by later
+    /// mutations; perturbs when the prefix already reaches the horizon.
+    fn extend_rounds(&mut self, rng: &mut StdRng) {
+        if self.rounds.len() >= self.horizon as usize {
+            self.perturb_label(rng);
+            return;
+        }
+        let last = self.rounds[self.rounds.len() - 1].clone();
+        self.rounds.push(last);
+    }
+
+    /// Moves one fault event to a fresh round inside the horizon (adds a
+    /// fault when the plan is empty).
+    fn shift_fault(&mut self, rng: &mut StdRng) {
+        let mut events = self.plan.events().to_vec();
+        if events.is_empty() {
+            self.add_fault(rng);
+            return;
+        }
+        let i = rng.gen_range(0..events.len());
+        events[i].round = rng.gen_range(0..self.horizon);
+        self.plan = FaultPlan::from_events(events);
+    }
+
+    /// Swaps one fault's kind for its dual: crash ↔ restart (the
+    /// crash/restart flip of the search brief), drop ↔ duplicate,
+    /// disconnect → restart. Adds a fault when the plan is empty. A
+    /// restart→crash flip that would exceed the crash budget becomes a
+    /// disconnect instead.
+    fn flip_fault(&mut self, rng: &mut StdRng) {
+        let mut events = self.plan.events().to_vec();
+        if events.is_empty() {
+            self.add_fault(rng);
+            return;
+        }
+        let i = rng.gen_range(0..events.len());
+        let budget_left = self.nodes() as u64 - crash_total(&self.plan);
+        events[i].kind = match events[i].kind {
+            FaultKind::CrashNodes { .. } => FaultKind::LeaderRestart,
+            FaultKind::LeaderRestart | FaultKind::Disconnect if budget_left >= 1 => {
+                FaultKind::CrashNodes { count: 1 }
+            }
+            FaultKind::LeaderRestart => FaultKind::Disconnect,
+            FaultKind::Disconnect => FaultKind::LeaderRestart,
+            FaultKind::DropDeliveries { stride, offset } => {
+                FaultKind::DuplicateDeliveries { stride, offset }
+            }
+            FaultKind::DuplicateDeliveries { stride, offset } => {
+                FaultKind::DropDeliveries { stride, offset }
+            }
+        };
+        self.plan = FaultPlan::from_events(events);
+    }
+
+    /// Redraws the stride/offset of one drop/duplicate event (falls
+    /// through to *shift* when the plan has none).
+    fn restride_fault(&mut self, rng: &mut StdRng) {
+        let mut events = self.plan.events().to_vec();
+        let strided: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                matches!(
+                    e.kind,
+                    FaultKind::DropDeliveries { .. } | FaultKind::DuplicateDeliveries { .. }
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if strided.is_empty() {
+            self.shift_fault(rng);
+            return;
+        }
+        let i = strided[rng.gen_range(0..strided.len())];
+        let stride = rng.gen_range(2..5u32);
+        let offset = rng.gen_range(0..stride);
+        events[i].kind = match events[i].kind {
+            FaultKind::DropDeliveries { .. } => FaultKind::DropDeliveries { stride, offset },
+            _ => FaultKind::DuplicateDeliveries { stride, offset },
+        };
+        self.plan = FaultPlan::from_events(events);
+    }
+
+    /// Appends one fresh seeded fault (shape drawn like
+    /// [`FaultPlan::seeded`]); a crash that would exceed the budget
+    /// becomes a restart.
+    fn add_fault(&mut self, rng: &mut StdRng) {
+        let round = rng.gen_range(0..self.horizon);
+        let budget_left = self.nodes() as u64 - crash_total(&self.plan);
+        let kind = match rng.gen_range(0..5u32) {
+            0 => {
+                let stride = rng.gen_range(2..5u32);
+                FaultKind::DropDeliveries {
+                    stride,
+                    offset: rng.gen_range(0..stride),
+                }
+            }
+            1 => {
+                let stride = rng.gen_range(2..5u32);
+                FaultKind::DuplicateDeliveries {
+                    stride,
+                    offset: rng.gen_range(0..stride),
+                }
+            }
+            2 if budget_left >= 1 => FaultKind::CrashNodes { count: 1 },
+            2 | 3 => FaultKind::LeaderRestart,
+            _ => FaultKind::Disconnect,
+        };
+        let mut events = self.plan.events().to_vec();
+        events.push(FaultEvent { round, kind });
+        self.plan = FaultPlan::from_events(events);
+    }
+
+    /// Deletes one fault event (perturbs a label when the plan is
+    /// already empty).
+    fn remove_fault(&mut self, rng: &mut StdRng) {
+        let mut events = self.plan.events().to_vec();
+        if events.is_empty() {
+            self.perturb_label(rng);
+            return;
+        }
+        let i = rng.gen_range(0..events.len());
+        events.remove(i);
+        self.plan = FaultPlan::from_events(events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> AdversarySchedule {
+        AdversarySchedule::new(
+            vec![vec![LabelSet::L12; 4], vec![LabelSet::L1; 4]],
+            FaultPlan::new().disconnect(1),
+            5,
+        )
+        .expect("valid base")
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(AdversarySchedule::new(vec![vec![LabelSet::L1; 3]], FaultPlan::new(), 0).is_err());
+        assert!(matches!(
+            AdversarySchedule::new(
+                vec![vec![LabelSet::L1; 3]],
+                FaultPlan::new().disconnect(7),
+                4
+            ),
+            Err(ScheduleError::FaultBeyondHorizon { round: 7, .. })
+        ));
+        assert!(matches!(
+            AdversarySchedule::new(
+                vec![vec![LabelSet::L1; 2]],
+                FaultPlan::new().crash_nodes(1, 2).crash_nodes(2, 1),
+                4
+            ),
+            Err(ScheduleError::CrashBudget { scheduled: 3, .. })
+        ));
+        assert!(matches!(
+            AdversarySchedule::new(vec![vec![LabelSet::L1; 2]; 6], FaultPlan::new(), 4),
+            Err(ScheduleError::PrefixBeyondHorizon { prefix: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn mutation_is_deterministic_and_valid() {
+        let s = base();
+        for seed in 0..64u64 {
+            let a = s.mutate(seed);
+            let b = s.mutate(seed);
+            assert_eq!(a, b, "seed {seed}");
+            assert!(a.validate().is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mutation_chains_stay_valid() {
+        let mut s = base();
+        for seed in 0..200u64 {
+            s = s.mutate(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            assert!(s.validate().is_ok(), "step {seed}");
+        }
+    }
+
+    #[test]
+    fn from_multigraph_round_trips_rows() {
+        let m = DblMultigraph::new(
+            2,
+            vec![vec![LabelSet::L12, LabelSet::L2], vec![LabelSet::L1, LabelSet::L1]],
+        )
+        .unwrap();
+        let s = AdversarySchedule::from_multigraph(&m, 6).unwrap();
+        assert_eq!(s.rounds().len(), 2);
+        assert_eq!(s.multigraph().unwrap().round(0), m.round(0));
+        // A horizon shorter than the prefix truncates instead of failing.
+        let t = AdversarySchedule::from_multigraph(&m, 1).unwrap();
+        assert_eq!(t.rounds().len(), 1);
+    }
+}

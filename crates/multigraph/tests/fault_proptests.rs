@@ -8,7 +8,11 @@
 //! equality pins the empty-plan byte-identity of all downstream traces.
 
 use anonet_multigraph::adversary::{RandomDblAdversary, TwinBuilder};
-use anonet_multigraph::faults::{simulate_with_faults, watched_verdict, FaultPlan, Verdict};
+use anonet_multigraph::corpus::ArchivedSchedule;
+use anonet_multigraph::faults::{
+    simulate_with_faults, watched_verdict, FaultEvent, FaultKind, FaultPlan, Verdict, ViolationKind,
+};
+use anonet_multigraph::mutate::AdversarySchedule;
 use anonet_multigraph::simulate::simulate;
 use anonet_multigraph::{DblMultigraph, LabelSet};
 use proptest::prelude::*;
@@ -24,6 +28,76 @@ fn arb_multigraph() -> impl Strategy<Value = DblMultigraph> {
         proptest::collection::vec(proptest::collection::vec(arb_labelset(), nodes), rounds)
             .prop_map(|r| DblMultigraph::new(2, r).unwrap())
     })
+}
+
+/// An in-bounds fault plan for a `nodes`-wide schedule at `horizon`:
+/// every round below the horizon, crash total capped at the node count.
+fn arb_plan(nodes: u32, horizon: u32) -> impl Strategy<Value = FaultPlan> {
+    let event = (0..horizon, 0u8..5, 1u32..5, 0u32..4).prop_map(|(round, kind, stride, offset)| {
+        let kind = match kind {
+            0 => FaultKind::DropDeliveries {
+                stride,
+                offset: offset % stride,
+            },
+            1 => FaultKind::DuplicateDeliveries {
+                stride,
+                offset: offset % stride,
+            },
+            2 => FaultKind::LeaderRestart,
+            3 => FaultKind::Disconnect,
+            _ => FaultKind::CrashNodes { count: 1 },
+        };
+        FaultEvent { round, kind }
+    });
+    proptest::collection::vec(event, 0..4).prop_map(move |events| {
+        let mut crashes = 0u32;
+        let events = events
+            .into_iter()
+            .filter(|e| match e.kind {
+                FaultKind::CrashNodes { count } => {
+                    crashes += count;
+                    crashes <= nodes
+                }
+                _ => true,
+            })
+            .collect();
+        FaultPlan::from_events(events)
+    })
+}
+
+/// An arbitrary valid [`AdversarySchedule`]: arbitrary round rows, a
+/// horizon at or past the prefix, and an in-bounds fault plan.
+fn arb_schedule() -> impl Strategy<Value = AdversarySchedule> {
+    (arb_multigraph(), 0u32..4).prop_flat_map(|(m, slack)| {
+        let base = AdversarySchedule::from_multigraph(&m, u32::MAX).unwrap();
+        let horizon = base.rounds().len() as u32 + slack;
+        let nodes = base.nodes() as u32;
+        let rows = base.rounds().to_vec();
+        arb_plan(nodes, horizon)
+            .prop_map(move |plan| AdversarySchedule::new(rows.clone(), plan, horizon).unwrap())
+    })
+}
+
+fn arb_verdict() -> impl Strategy<Value = Verdict> {
+    prop_oneof![
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(count, rounds)| Verdict::Correct { count, rounds }),
+        (any::<u32>(), any::<bool>(), any::<u32>(), any::<u32>()).prop_map(
+            |(rounds, has, lo, hi)| Verdict::Undecided {
+                rounds,
+                candidates: has.then(|| (i64::from(lo) - 7, i64::from(hi))),
+            }
+        ),
+        (0u8..4, any::<u32>()).prop_map(|(kind, round)| Verdict::ModelViolation {
+            kind: match kind {
+                0 => ViolationKind::DeliveryIntegrity,
+                1 => ViolationKind::Connectivity,
+                2 => ViolationKind::CensusConservation,
+                _ => ViolationKind::KernelConsistency,
+            },
+            round,
+        }),
+    ]
 }
 
 proptest! {
@@ -100,5 +174,65 @@ proptest! {
             Verdict::Correct { count, .. } => prop_assert_eq!(count, n),
             Verdict::Undecided { .. } | Verdict::ModelViolation { .. } => {}
         }
+    }
+
+    #[test]
+    fn every_mutant_is_a_valid_schedule(
+        schedule in arb_schedule(),
+        seed in any::<u64>(),
+        chain in 1usize..6,
+    ) {
+        // The closure property the search loop relies on: mutation never
+        // leaves the valid-genome space — every event round stays below
+        // the horizon and the crash total stays within the node budget,
+        // over arbitrary operator chains.
+        let mut current = schedule;
+        for step in 0..chain {
+            current = current.mutate(seed.wrapping_add(step as u64));
+            prop_assert!(current.validate().is_ok(), "step {}: {:?}", step, current.validate());
+            prop_assert!(current.rounds().len() as u32 <= current.horizon());
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed(
+        schedule in arb_schedule(),
+        seed in any::<u64>(),
+    ) {
+        // Same parent, same seed: the same child, field for field — the
+        // determinism that makes search campaigns pure functions of
+        // their specs.
+        prop_assert_eq!(schedule.mutate(seed), schedule.mutate(seed));
+    }
+
+    #[test]
+    fn archived_schedules_round_trip_byte_identically(
+        schedule in arb_schedule(),
+        verdict in arb_verdict(),
+        name_tag in any::<u32>(),
+        watchdogs in any::<bool>(),
+        seed in any::<u64>(),
+        iteration in any::<u64>(),
+    ) {
+        // Corpus files are canonical: render ∘ parse is the identity on
+        // both the pretty (committed-file) and compact (checkpoint
+        // payload) forms, for arbitrary schedules and verdicts.
+        let entry = ArchivedSchedule {
+            name: format!("sched-{name_tag}"),
+            algorithm: "kernel".to_string(),
+            watchdogs,
+            schedule,
+            verdict,
+            seed,
+            iteration,
+        };
+        let pretty = entry.render();
+        let reparsed = ArchivedSchedule::parse(&pretty).unwrap();
+        prop_assert_eq!(&reparsed, &entry);
+        prop_assert_eq!(reparsed.render(), pretty);
+        let compact = entry.render_line();
+        let reparsed_line = ArchivedSchedule::parse(&compact).unwrap();
+        prop_assert_eq!(&reparsed_line, &entry);
+        prop_assert_eq!(reparsed_line.render_line(), compact);
     }
 }

@@ -97,6 +97,14 @@ pub struct RoundEvent {
     /// (e.g. `"connectivity"`, `"census-conservation"`); absent when no
     /// detector fired.
     pub violation: Option<String>,
+    /// Packed fitness of an adversary-search candidate (verdict class in
+    /// the high bits, termination round in the low bits); set by the
+    /// coverage-guided search when it records an archive improvement.
+    pub fitness: Option<u64>,
+    /// The coverage-map key an adversary-search candidate landed in
+    /// (e.g. `"kernel|violation:connectivity|r2|crash,drop"`); set
+    /// alongside [`fitness`](RoundEvent::fitness).
+    pub coverage: Option<String>,
 }
 
 impl RoundEvent {
@@ -179,6 +187,20 @@ impl RoundEvent {
         self
     }
 
+    /// Sets the search-candidate fitness.
+    #[must_use]
+    pub fn fitness(mut self, f: u64) -> RoundEvent {
+        self.fitness = Some(f);
+        self
+    }
+
+    /// Sets the coverage-map key.
+    #[must_use]
+    pub fn coverage(mut self, key: impl Into<String>) -> RoundEvent {
+        self.coverage = Some(key.into());
+        self
+    }
+
     /// Renders the event as one compact JSON object (no trailing
     /// newline). Unset facets are omitted; field order is fixed, so equal
     /// events render to identical lines.
@@ -209,6 +231,8 @@ impl RoundEvent {
         num(&mut s, "state_size", self.state_size.map(i128::from));
         string_field(&mut s, "fault", self.fault.as_deref());
         string_field(&mut s, "violation", self.violation.as_deref());
+        num(&mut s, "fitness", self.fitness.map(i128::from));
+        string_field(&mut s, "coverage", self.coverage.as_deref());
         s.push('}');
         s
     }
@@ -243,7 +267,7 @@ impl RoundEvent {
             let after_key = key_start[key_end + 1..]
                 .strip_prefix(':')
                 .ok_or_else(|| TraceParseError::new(line, "expected ':'"))?;
-            if matches!(key, "adversary" | "fault" | "violation") {
+            if matches!(key, "adversary" | "fault" | "violation" | "coverage") {
                 let body = after_key
                     .strip_prefix('"')
                     .ok_or_else(|| TraceParseError::new(line, "expected a string value"))?;
@@ -251,6 +275,7 @@ impl RoundEvent {
                 match key {
                     "adversary" => event.adversary = Some(value),
                     "fault" => event.fault = Some(value),
+                    "coverage" => event.coverage = Some(value),
                     _ => event.violation = Some(value),
                 }
                 rest = &body[end + 1..];
@@ -275,6 +300,7 @@ impl RoundEvent {
                 "candidate_hi" => event.candidate_hi = Some(n as i64),
                 "candidate_count" => event.candidate_count = Some(n as u64),
                 "state_size" => event.state_size = Some(n as u64),
+                "fitness" => event.fitness = Some(n as u64),
                 other => {
                     return Err(TraceParseError::new(
                         line,
@@ -567,6 +593,25 @@ mod tests {
         let tricky = RoundEvent::new(0).fault("a\"b\\c\nd");
         let line = tricky.to_json_line();
         assert_eq!(RoundEvent::from_json_line(&line).unwrap(), tricky);
+    }
+
+    #[test]
+    fn json_roundtrip_search_facets() {
+        let e = RoundEvent::new(7)
+            .adversary("n=9")
+            .fault("crash(2)")
+            .fitness((2 << 32) | 5)
+            .coverage("kernel|violation:connectivity|r2|crash");
+        let line = e.to_json_line();
+        assert_eq!(
+            line,
+            r#"{"round":7,"adversary":"n=9","fault":"crash(2)","fitness":8589934597,"coverage":"kernel|violation:connectivity|r2|crash"}"#
+        );
+        assert_eq!(RoundEvent::from_json_line(&line).unwrap(), e);
+        // Unset search facets are omitted, keeping pre-search traces
+        // byte-identical.
+        let plain = sample().to_json_line();
+        assert!(!plain.contains("fitness") && !plain.contains("coverage"));
     }
 
     #[test]

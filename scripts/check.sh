@@ -86,6 +86,48 @@ if [[ $fast -eq 0 ]]; then
 fi
 
 if [[ $fast -eq 0 ]]; then
+    echo "==> adversary-search gate (exp_search --smoke: every archive replays its verdict)"
+    cargo build --release -p anonet-bench --quiet
+    # Bounded iteration budget (24 mutants/campaign); each run replays
+    # every archived schedule through the verdict oracle in-process.
+    target/release/exp_search --smoke >/dev/null
+
+    echo "==> adversary-search determinism: exp_search --smoke, 1 vs 4 threads"
+    xbin=target/release/exp_search
+    xserial=$(mktemp) xparallel=$(mktemp)
+    "$xbin" --smoke --threads 1 --json >"$xserial"
+    "$xbin" --smoke --threads 4 --json >"$xparallel"
+    if ! cmp -s "$xserial" "$xparallel"; then
+        echo "error: exp_search output differs between 1 and 4 threads" >&2
+        diff "$xserial" "$xparallel" | head -20 >&2
+        rm -f "$xserial" "$xparallel"
+        exit 1
+    fi
+    rm -f "$xserial" "$xparallel"
+
+    echo "==> adversary-search crash safety: inject-panic -> lint -> resume -> byte-compare"
+    xdir=$(mktemp -d)
+    xckpt="$xdir/search.checkpoint.jsonl"
+    "$xbin" --smoke --threads 4 --json >"$xdir/ref.json"
+    if "$xbin" --smoke --threads 4 --json \
+        --checkpoint "$xckpt" --inject-panic 2 >/dev/null 2>"$xdir/panic.log"; then
+        echo "error: exp_search with --inject-panic 2 exited zero" >&2
+        rm -rf "$xdir"
+        exit 1
+    fi
+    "$xbin" --lint-checkpoint "$xckpt" >/dev/null
+    "$xbin" --smoke --threads 4 --json \
+        --checkpoint "$xckpt" --resume >"$xdir/resumed.json" 2>/dev/null
+    if ! cmp -s "$xdir/ref.json" "$xdir/resumed.json"; then
+        echo "error: resumed exp_search --json differs from an uninterrupted run" >&2
+        diff "$xdir/ref.json" "$xdir/resumed.json" | head -20 >&2
+        rm -rf "$xdir"
+        exit 1
+    fi
+    rm -rf "$xdir"
+fi
+
+if [[ $fast -eq 0 ]]; then
     echo "==> parallel determinism: exp_all --quick, 1 vs 4 threads"
     cargo build --release -p anonet-bench --quiet
     bin=target/release/exp_all
