@@ -1,8 +1,12 @@
 //! Benchmarks for the exact linear-algebra substrate.
 
-use anonet_linalg::{gauss, KernelTracker, Matrix, ModpKernelTracker, Ratio, SolverBackend};
+use anonet_linalg::{
+    gauss, CrtKernelTracker, KernelTracker, Matrix, ModpKernelTracker, Ratio, SolverBackend,
+};
 use anonet_multigraph::system::{self, ObservationKernel};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn dense_m_r(r: usize) -> Matrix {
@@ -150,6 +154,93 @@ fn bench_modp_tracker(c: &mut Criterion) {
     });
 }
 
+/// Seeded low-rank trajectory, same construction as `exp_modp_scaling`.
+fn low_rank_rows(n: usize, cols: usize, rank: usize, seed: u64) -> Vec<Vec<i64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let basis: Vec<Vec<i64>> = (0..rank)
+        .map(|_| (0..cols).map(|_| rng.gen_range(-1i64..=1)).collect())
+        .collect();
+    (0..n)
+        .map(|_| {
+            let mut row = vec![0i64; cols];
+            for _ in 0..3 {
+                let b = rng.gen_range(0..rank);
+                let c = rng.gen_range(-1i64..=1);
+                for (x, y) in row.iter_mut().zip(&basis[b]) {
+                    *x += c * *y;
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+fn bench_fused_vs_scalar(c: &mut Criterion) {
+    // The delayed-reduction fused append path (MontPrime::accumulate4 /
+    // fold_sub) against the scalar reference elimination, on the dense
+    // low-rank regime the `fast` family of `exp_modp_scaling` gates.
+    let mut g = c.benchmark_group("modp_fused_vs_scalar");
+    g.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let rows = low_rank_rows(n, 81, 40, 808);
+        g.bench_with_input(BenchmarkId::new("scalar", n), &rows, |b, rows| {
+            b.iter(|| {
+                let mut t = ModpKernelTracker::new(81);
+                for row in rows {
+                    t.append_row_scalar_i64(black_box(row)).expect("append");
+                }
+                black_box(t.rank());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fused", n), &rows, |b, rows| {
+            b.iter(|| {
+                let mut t = ModpKernelTracker::new(81);
+                for row in rows {
+                    t.append_row_i64(black_box(row)).expect("append");
+                }
+                black_box(t.rank());
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_crt_tracker(c: &mut Criterion) {
+    // Three-lane maintenance plus decision-time CRT certification,
+    // against the one-lane tracker it replaces the exact replay of.
+    let mut g = c.benchmark_group("crt_vs_modp_trajectory");
+    g.sample_size(10);
+    for n in [500usize, 2_000] {
+        let rows = low_rank_rows(n, 81, 24, 909);
+        g.bench_with_input(BenchmarkId::new("modp", n), &rows, |b, rows| {
+            b.iter(|| {
+                let mut t = ModpKernelTracker::new(81);
+                for row in rows {
+                    t.append_row_i64(black_box(row)).expect("append");
+                }
+                black_box(t.rank());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("crt", n), &rows, |b, rows| {
+            b.iter(|| {
+                let mut t = CrtKernelTracker::new(81);
+                for row in rows {
+                    t.append_row_i64(black_box(row)).expect("append");
+                }
+                black_box(t.rank());
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("crt_certify", n), &rows, |b, rows| {
+            let mut t = CrtKernelTracker::new(81);
+            for row in rows {
+                t.append_row_i64(row).expect("append");
+            }
+            b.iter(|| black_box(&t).certify().expect("certifies"))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_rref,
@@ -158,6 +249,8 @@ criterion_group!(
     bench_incremental_vs_batch,
     bench_tracker_append,
     bench_ratio_ops,
-    bench_modp_tracker
+    bench_modp_tracker,
+    bench_fused_vs_scalar,
+    bench_crt_tracker
 );
 criterion_main!(benches);

@@ -12,17 +12,25 @@
 //!   `PATH` and, on resume, replay it instead of re-timing (see
 //!   `docs/RUNNER.md`);
 //! * `--inject-panic N` / `ANONET_FAIL_CELL=N` — fault-injection hook;
-//! * `--lint-checkpoint PATH` — validate a journal and exit.
+//! * `--threads N` — worker count for the fast cells' un-timed
+//!   batch-eliminator determinism check (timed arms stay serial);
+//! * `--no-timings` — omit every wall-clock field from the document,
+//!   leaving only deterministic facts (rank, echelon digest), so runs
+//!   at different thread counts emit byte-identical documents;
+//! * `--lint-checkpoint PATH` — validate a journal and exit;
+//! * `--lint-bench PATH` — re-parse and gate a committed
+//!   `BENCH_modp.json` and exit.
 //!
 //! The document is always schema-validated in-process before anything
 //! is written, and full-grid runs must additionally pass the
 //! acceptance gates (≥ 5× speedup at the largest shared cell, one
-//! `n ≥ 512` cell under the exact `n = 128` baseline).
+//! `n ≥ 512` cell under the exact `n = 128` baseline, and the largest
+//! fast cell reaching `n ≥ 10^5` rows at ≥ 3× over the scalar path).
 
 use anonet_bench::experiments::checkpoint::{lint_journal, run_serial_checkpointed};
 use anonet_bench::experiments::modp_scaling::{
-    bench_doc, cell_from_payload, cell_payload, check_gates, grid_specs, scaling_table,
-    validate_doc, CellSpec, Grid,
+    bench_doc, cell_from_payload, cell_payload, check_gates, grid_specs, lint_committed,
+    scaling_table, validate_doc, CellSpec, Grid,
 };
 use anonet_bench::experiments::runner::{arg_value, GridConfig, RunOutcome};
 
@@ -41,6 +49,32 @@ fn main() {
             }
         }
     }
+    if let Some(path) = arg_value(&args, "--lint-bench") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let doc = match anonet_trace::json::JsonValue::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("error: {path} is not float-free JSON: {e}");
+                std::process::exit(1);
+            }
+        };
+        match lint_committed(&doc) {
+            Ok(()) => {
+                println!("{path}: schema, speedup floors and fast scaling target ok");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: BENCH_modp lint failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let grid = if has("--smoke") {
         Grid::Smoke
     } else if has("--quick") {
@@ -51,7 +85,7 @@ fn main() {
     let out_flag = arg_value(&args, "--out");
 
     let cfg = GridConfig::from_args(&args);
-    let specs = grid_specs(grid);
+    let specs = grid_specs(grid, cfg.threads.max(1));
     let ids: Vec<String> = specs.iter().map(CellSpec::id).collect();
     let result = match run_serial_checkpointed(&ids, &cfg, cell_payload, cell_from_payload, |i| {
         specs[i].run()
@@ -88,7 +122,7 @@ fn main() {
         std::process::exit(1);
     };
 
-    let doc = bench_doc(&cells);
+    let doc = bench_doc(&cells, !has("--no-timings"));
     if let Err(e) = validate_doc(&doc) {
         eprintln!("error: BENCH_modp schema check failed: {e}");
         std::process::exit(1);

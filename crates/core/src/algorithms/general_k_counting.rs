@@ -107,7 +107,10 @@ impl GeneralKCounting {
     /// Selects the arithmetic backing the per-round kernel-dimension
     /// verification: [`SolverBackend::ModpCertified`] maintains the
     /// incremental echelon mod `p = 2^62 − 57` and certifies it against
-    /// one exact elimination at the decision round. Decision rounds and
+    /// one exact elimination at the decision round;
+    /// [`SolverBackend::CrtCertified`] runs three Montgomery primes in
+    /// lockstep and certifies by CRT reconstruction of the kernel basis
+    /// (falling back to the same exact replay). Decision rounds and
     /// traces are bit-identical to [`SolverBackend::Exact`] (the
     /// enumeration itself is always exact).
     pub fn with_backend(mut self, backend: SolverBackend) -> GeneralKCounting {
@@ -186,10 +189,10 @@ impl GeneralKCounting {
             }
             sink.record(&ev);
             if pops.len() == 1 {
-                // Second tier of the ModpCertified protocol: one exact
-                // elimination certifies the watched kernel dimensions
-                // before the leader outputs.
-                if self.backend == SolverBackend::ModpCertified {
+                // Second tier of the fast-backend protocol: the watched
+                // kernel dimensions are certified (CRT reconstruction or
+                // one exact elimination) before the leader outputs.
+                if self.backend != SolverBackend::Exact {
                     if let Some(v) = verifier.as_ref().filter(|v| v.rounds() > 0) {
                         let exact = v.certify()?;
                         if exact != v.nullity() {
@@ -260,6 +263,11 @@ mod tests {
         let modp = algo.run_with_sink(&m, 6, &mut modp_sink).unwrap();
         assert_eq!(exact, modp, "outcome is backend-independent");
         assert_eq!(exact_sink.events(), modp_sink.events());
+        let mut crt_sink = MemorySink::new();
+        let algo = GeneralKCounting::new(500_000).with_backend(SolverBackend::CrtCertified);
+        let crt = algo.run_with_sink(&m, 6, &mut crt_sink).unwrap();
+        assert_eq!(exact, crt, "outcome is backend-independent");
+        assert_eq!(exact_sink.events(), crt_sink.events());
     }
 
     #[test]

@@ -91,6 +91,7 @@ pub struct CountingTrace {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct KernelCounting {
     verify_kernel: bool,
+    trace_certification: bool,
     backend: SolverBackend,
 }
 
@@ -98,14 +99,18 @@ pub struct KernelCounting {
 /// (rounds ≤ 5). Beyond it the leader reports the Lemma 3 value without
 /// re-verifying — the verified and assumed values provably coincide.
 /// The same budget caps the one-shot exact certification replay of the
-/// [`SolverBackend::ModpCertified`] backend.
+/// fast backends (the [`SolverBackend::CrtCertified`] *reconstruction*
+/// certificate has no such cliff and runs at any watched depth; only
+/// its replay fallback is capped here).
 const KERNEL_VERIFY_MAX_COLUMNS: usize = 243;
 
-/// Column budget for the mod-p per-round watcher of
-/// [`SolverBackend::ModpCertified`]: single-word arithmetic affords one
-/// more refinement (`3^6 = 729` unknowns, rounds ≤ 6) than the exact
-/// verifier.
-const MODP_WATCH_MAX_COLUMNS: usize = 729;
+/// Column budget for the per-round watcher of the fast backends
+/// ([`SolverBackend::ModpCertified`] / [`SolverBackend::CrtCertified`]):
+/// `3^7 = 2187` unknowns (rounds ≤ 7) — two refinements past the exact
+/// verifier. Raised from `3^6` once the delayed-reduction kernels made
+/// watched appends cheap enough; the boundary regression tests cover
+/// both the old (`729`) and new (`2187`) limits.
+const MODP_WATCH_MAX_COLUMNS: usize = 2187;
 
 /// Whether a round-`rounds` system (`3^rounds` unknowns) fits a column
 /// budget. Computed with checked arithmetic so that depths whose column
@@ -125,6 +130,7 @@ impl KernelCounting {
     pub fn new() -> KernelCounting {
         KernelCounting {
             verify_kernel: false,
+            trace_certification: false,
             backend: SolverBackend::Exact,
         }
     }
@@ -147,14 +153,28 @@ impl KernelCounting {
     ///
     /// [`SolverBackend::Exact`] (the default) is the PR 2 behaviour.
     /// [`SolverBackend::ModpCertified`] always maintains a mod-p
-    /// [`ObservationKernel`] (columns ≤ `3^6 = 729`) for the per-round
+    /// [`ObservationKernel`] (columns ≤ `3^7 = 2187`) for the per-round
     /// kernel dimension, and certifies it against a one-shot exact
     /// elimination at the decision round (columns ≤ `3^5 = 243`) before
-    /// the leader outputs. Decision rounds, candidate ranges and traces
-    /// are bit-identical to the exact backend — the cross-oracle suite
-    /// in `tests/tracing.rs` pins this over 50 seeds.
+    /// the leader outputs. [`SolverBackend::CrtCertified`] watches with
+    /// a three-prime tracker under the same column budget and replaces
+    /// the decision-round replay with a *reconstructed* certificate —
+    /// CRT + rational reconstruction + exact verification of the kernel
+    /// basis — at any watched depth, falling back to the exact replay
+    /// only if reconstruction fails. Decision rounds, candidate ranges
+    /// and traces are bit-identical to the exact backend — the
+    /// cross-oracle suite in `tests/tracing.rs` pins this over 50 seeds.
     pub fn with_backend(mut self, backend: SolverBackend) -> KernelCounting {
         self.backend = backend;
+        self
+    }
+
+    /// Additionally labels the decision round's trace event with the
+    /// certification method used (`"crt"` or `"exact-replay"`). Off by
+    /// default so fast-backend traces stay byte-identical to the exact
+    /// backend's.
+    pub fn with_certification_trace(mut self) -> KernelCounting {
+        self.trace_certification = true;
         self
     }
 
@@ -223,9 +243,9 @@ impl KernelCounting {
                 self.verify_kernel.then(ObservationKernel::new),
                 KERNEL_VERIFY_MAX_COLUMNS,
             ),
-            // The mod-p watcher is cheap enough to always run.
-            SolverBackend::ModpCertified => (
-                Some(ObservationKernel::with_backend(SolverBackend::ModpCertified)),
+            // The fast watchers are cheap enough to always run.
+            SolverBackend::ModpCertified | SolverBackend::CrtCertified => (
+                Some(ObservationKernel::with_backend(self.backend)),
                 MODP_WATCH_MAX_COLUMNS,
             ),
         };
@@ -263,37 +283,65 @@ impl KernelCounting {
                 ))
             })?;
             trace.candidate_ranges.push(range);
-            sink.record(
-                &RoundEvent::new(rounds - 1)
-                    .candidates(range.0, range.1)
-                    .candidate_count(sol.solution_count() as u64)
-                    .kernel_dim(kernel_dim)
-                    .state_size(state_size),
-            );
-            if let Some(count) = sol.unique_population() {
-                // Second tier of the ModpCertified protocol: before the
-                // leader outputs, replay the exact elimination once and
-                // check it against the mod-p watcher (skipped past the
-                // exact column budget, where Lemma 3's closed form is
-                // the certificate).
-                if self.backend == SolverBackend::ModpCertified {
-                    if let Some(v) = verifier.as_ref() {
-                        if v.rounds() > 0
-                            && within_column_budget(v.rounds(), KERNEL_VERIFY_MAX_COLUMNS)
-                        {
-                            let exact = v
-                                .certify()
-                                .map_err(|e| CountingError::BadObservations(e.to_string()))?;
-                            if exact != v.nullity() {
-                                return Err(CountingError::BadObservations(format!(
-                                    "mod-p certification failed at decision round {rounds}: \
-                                     exact nullity {exact} != mod-p nullity {}",
-                                    v.nullity()
-                                )));
+            // Second tier of the fast-backend protocols, run *before* the
+            // decision event is recorded so the certification method can
+            // be traced on it. ModpCertified replays the exact
+            // elimination once (skipped past the exact column budget,
+            // where Lemma 3's closed form is the certificate);
+            // CrtCertified reconstructs the certificate from its three
+            // prime lanes at any watched depth — no exact re-elimination
+            // — and only replays if reconstruction fails (fail-closed).
+            let decided = sol.unique_population();
+            let mut certification: Option<&'static str> = None;
+            if decided.is_some() {
+                if let Some(v) = verifier.as_ref().filter(|v| v.rounds() > 0) {
+                    let replay_ok =
+                        within_column_budget(v.rounds(), KERNEL_VERIFY_MAX_COLUMNS);
+                    let exact = match self.backend {
+                        SolverBackend::Exact => None,
+                        SolverBackend::ModpCertified if replay_ok => {
+                            certification = Some("exact-replay");
+                            Some(v.certify())
+                        }
+                        SolverBackend::CrtCertified => match v.crt_certificate() {
+                            Some(cert) => {
+                                certification = Some("crt");
+                                Some(Ok(cert.nullity))
                             }
+                            None if replay_ok => {
+                                certification = Some("exact-replay");
+                                Some(v.certify())
+                            }
+                            None => None,
+                        },
+                        _ => None,
+                    };
+                    if let Some(exact) = exact {
+                        let exact = exact
+                            .map_err(|e| CountingError::BadObservations(e.to_string()))?;
+                        if exact != v.nullity() {
+                            return Err(CountingError::BadObservations(format!(
+                                "{} certification failed at decision round {rounds}: \
+                                 exact nullity {exact} != watched nullity {}",
+                                certification.unwrap_or("fast-backend"),
+                                v.nullity()
+                            )));
                         }
                     }
                 }
+            }
+            let mut event = RoundEvent::new(rounds - 1)
+                .candidates(range.0, range.1)
+                .candidate_count(sol.solution_count() as u64)
+                .kernel_dim(kernel_dim)
+                .state_size(state_size);
+            if self.trace_certification {
+                if let Some(method) = certification {
+                    event = event.certification(method);
+                }
+            }
+            sink.record(&event);
+            if let Some(count) = decided {
                 sink.flush();
                 return Ok((
                     CountingOutcome {
@@ -461,7 +509,7 @@ mod tests {
     #[test]
     fn modp_backend_decides_past_the_certification_budget() {
         // n = 121 decides after 6 rounds (729 columns): the watcher still
-        // runs (mod-p budget 3^6) but the exact certification replay is
+        // runs (watch budget 3^7) but the exact certification replay is
         // skipped (exact budget 3^5) — Lemma 3 is the certificate there.
         let pair = TwinBuilder::new().build(121).unwrap();
         let exact = KernelCounting::new().run(&pair.smaller, 32).unwrap();
@@ -476,14 +524,17 @@ mod tests {
     #[test]
     fn column_budgets_sit_on_exact_round_boundaries() {
         use anonet_multigraph::ternary_count;
-        // The budget constants are 3^5 and 3^6: the exact verifier covers
-        // rounds <= 5, the mod-p watcher exactly one refinement more.
+        // The budget constants are 3^5 and 3^7: the exact verifier covers
+        // rounds <= 5, the fast watchers exactly two refinements more.
         assert_eq!(ternary_count(5), KERNEL_VERIFY_MAX_COLUMNS);
-        assert_eq!(ternary_count(6), MODP_WATCH_MAX_COLUMNS);
+        assert_eq!(ternary_count(7), MODP_WATCH_MAX_COLUMNS);
         assert!(within_column_budget(5, KERNEL_VERIFY_MAX_COLUMNS));
         assert!(!within_column_budget(6, KERNEL_VERIFY_MAX_COLUMNS));
-        assert!(within_column_budget(6, MODP_WATCH_MAX_COLUMNS));
-        assert!(!within_column_budget(7, MODP_WATCH_MAX_COLUMNS));
+        // The old 3^6 watch limit stays strictly inside the new one.
+        assert!(within_column_budget(6, 729));
+        assert!(!within_column_budget(7, 729));
+        assert!(within_column_budget(7, MODP_WATCH_MAX_COLUMNS));
+        assert!(!within_column_budget(8, MODP_WATCH_MAX_COLUMNS));
     }
 
     #[test]
@@ -500,12 +551,12 @@ mod tests {
     }
 
     #[test]
-    fn watcher_fails_closed_past_its_column_budget() {
-        // n = 364 decides after 7 rounds (2187 columns): the decision
-        // round is past even the mod-p watch budget (3^6 = 729), so the
-        // watcher is gated off mid-run and kernel_dim falls back to
-        // Lemma 3's closed form. The run must complete cleanly — same
-        // outcome as the exact backend, no certification, no panic.
+    fn watcher_covers_the_old_budget_boundary() {
+        // n = 364 decides after 7 rounds (2187 columns) — past the old
+        // 3^6 watch budget, exactly *at* the new 3^7 one. The watcher
+        // now runs through the decision round (the raised-budget
+        // regression) while the exact certification replay is still
+        // skipped (past 3^5). Same outcome as the exact backend.
         let pair = TwinBuilder::new().build(364).unwrap();
         let exact = KernelCounting::new().run(&pair.smaller, 32).unwrap();
         let modp = KernelCounting::new()
@@ -515,6 +566,91 @@ mod tests {
         assert_eq!(exact, modp);
         assert_eq!(modp.rounds, 7);
         assert_eq!(modp.count, 364);
+    }
+
+    #[test]
+    fn watcher_fails_closed_past_its_column_budget() {
+        // n = 1093 decides after 8 rounds (6561 columns): the decision
+        // round is past even the raised watch budget (3^7 = 2187), so
+        // the watcher is gated off mid-run and kernel_dim falls back to
+        // Lemma 3's closed form. The run must complete cleanly — same
+        // outcome as the exact backend, no certification, no panic.
+        let pair = TwinBuilder::new().build(1093).unwrap();
+        let exact = KernelCounting::new().run(&pair.smaller, 32).unwrap();
+        let fast = KernelCounting::new()
+            .with_backend(SolverBackend::CrtCertified)
+            .run(&pair.smaller, 32)
+            .unwrap();
+        assert_eq!(exact, fast);
+        assert_eq!(fast.rounds, 8);
+        assert_eq!(fast.count, 1093);
+    }
+
+    #[test]
+    fn crt_backend_is_bit_identical_to_exact() {
+        use anonet_trace::MemorySink;
+        // n = 40 decides after 5 rounds (243 columns): the CRT watcher
+        // runs every round and the decision round is certified by
+        // reconstruction — no exact re-elimination.
+        let pair = TwinBuilder::new().build(40).unwrap();
+        let mut exact_sink = MemorySink::new();
+        let exact = KernelCounting::new()
+            .run_with_sink(&pair.smaller, 32, &mut exact_sink)
+            .unwrap();
+        let mut crt_sink = MemorySink::new();
+        let algo = KernelCounting::new().with_backend(SolverBackend::CrtCertified);
+        assert_eq!(algo.backend(), SolverBackend::CrtCertified);
+        let crt = algo.run_with_sink(&pair.smaller, 32, &mut crt_sink).unwrap();
+        assert_eq!(exact, crt, "outcome and trace are backend-independent");
+        assert_eq!(exact_sink.events(), crt_sink.events());
+    }
+
+    #[test]
+    fn certification_trace_labels_the_decision_round() {
+        use anonet_trace::MemorySink;
+        let pair = TwinBuilder::new().build(40).unwrap();
+        // CrtCertified decides via the reconstructed certificate: the
+        // decision event carries "crt", earlier events carry nothing —
+        // the decision round no longer invokes exact rational
+        // elimination.
+        let mut crt_sink = MemorySink::new();
+        KernelCounting::new()
+            .with_backend(SolverBackend::CrtCertified)
+            .with_certification_trace()
+            .run_with_sink(&pair.smaller, 32, &mut crt_sink)
+            .unwrap();
+        let (last, earlier) = crt_sink.events().split_last().unwrap();
+        assert_eq!(last.certification.as_deref(), Some("crt"));
+        assert!(earlier.iter().all(|ev| ev.certification.is_none()));
+        // ModpCertified still pays the exact replay at the same depth.
+        let mut modp_sink = MemorySink::new();
+        KernelCounting::new()
+            .with_backend(SolverBackend::ModpCertified)
+            .with_certification_trace()
+            .run_with_sink(&pair.smaller, 32, &mut modp_sink)
+            .unwrap();
+        let (last, _) = modp_sink.events().split_last().unwrap();
+        assert_eq!(last.certification.as_deref(), Some("exact-replay"));
+        // The exact backend certifies nothing, and without the opt-in
+        // the facet never appears (byte-identity of default traces).
+        let mut exact_sink = MemorySink::new();
+        KernelCounting::new()
+            .with_certification_trace()
+            .run_with_sink(&pair.smaller, 32, &mut exact_sink)
+            .unwrap();
+        assert!(exact_sink
+            .events()
+            .iter()
+            .all(|ev| ev.certification.is_none()));
+        let mut default_sink = MemorySink::new();
+        KernelCounting::new()
+            .with_backend(SolverBackend::CrtCertified)
+            .run_with_sink(&pair.smaller, 32, &mut default_sink)
+            .unwrap();
+        assert!(default_sink
+            .events()
+            .iter()
+            .all(|ev| ev.certification.is_none()));
     }
 
     #[test]

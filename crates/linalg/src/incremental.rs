@@ -215,6 +215,42 @@ impl KernelTracker {
         Ok(self.commit(reduced))
     }
 
+    /// Appends a row given as strictly-ascending `(column, value)` pairs.
+    ///
+    /// The observation rows of the counting game have 2–3 non-zeros
+    /// across thousands of columns; this entry point skips materializing
+    /// the caller-side dense row. The committed state is identical to
+    /// [`KernelTracker::append_row_i64`] on the densified row (the sparse
+    /// form only changes how the input is *spelled*, not the arithmetic).
+    /// Returns `true` iff the row increased the rank. On error the
+    /// tracker is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] for an out-of-range column or
+    /// non-ascending column order; [`LinalgError::Overflow`] as for
+    /// [`KernelTracker::append_row_i64`].
+    pub fn append_row_sparse_i64(&mut self, entries: &[(usize, i64)]) -> Result<bool> {
+        let mut v = vec![0i128; self.cols];
+        let mut prev: Option<usize> = None;
+        for &(c, x) in entries {
+            if c >= self.cols {
+                return Err(LinalgError::dims(format!(
+                    "sparse entry at column {c} in {}-column tracker",
+                    self.cols
+                )));
+            }
+            if prev.is_some_and(|p| p >= c) {
+                return Err(LinalgError::dims(format!(
+                    "sparse entries must have strictly ascending columns (column {c})"
+                )));
+            }
+            prev = Some(c);
+            v[c] = x as i128;
+        }
+        self.append_row_i128(&v)
+    }
+
     /// Appends every row of `m` in order.
     ///
     /// # Errors
@@ -255,6 +291,13 @@ impl KernelTracker {
             .cols
             .checked_mul(factor)
             .ok_or(LinalgError::Overflow)?;
+        // Scale the pivots first, with checked arithmetic, so a failure
+        // leaves the tracker untouched instead of half-widened.
+        let pivots: Vec<usize> = self
+            .pivots
+            .iter()
+            .map(|p| p.checked_mul(factor).ok_or(LinalgError::Overflow))
+            .collect::<Result<_>>()?;
         for row in &mut self.rows {
             let mut wide = Vec::with_capacity(new_cols);
             for &x in row.iter() {
@@ -264,9 +307,7 @@ impl KernelTracker {
             }
             *row = wide;
         }
-        for p in &mut self.pivots {
-            *p *= factor;
-        }
+        self.pivots = pivots;
         self.cols = new_cols;
         Ok(())
     }
@@ -551,6 +592,33 @@ mod tests {
             t.kernel_basis().unwrap(),
             gauss::kernel_basis(&batch(&refs)).unwrap()
         );
+    }
+
+    #[test]
+    fn sparse_append_matches_dense_and_validates() {
+        let mut dense = KernelTracker::new(6);
+        let mut sparse = KernelTracker::new(6);
+        dense.append_row_i64(&[1, 0, 1, 0, 0, 0]).unwrap();
+        sparse.append_row_sparse_i64(&[(0, 1), (2, 1)]).unwrap();
+        dense.append_row_i64(&[0, 3, 0, 0, -2, 0]).unwrap();
+        sparse.append_row_sparse_i64(&[(1, 3), (4, -2)]).unwrap();
+        assert_eq!(dense, sparse);
+        // The empty sparse row is the zero row: dependent, but counted.
+        assert!(!sparse.append_row_sparse_i64(&[]).unwrap());
+        assert_eq!(sparse.appended_rows(), 3);
+        // Validation failures leave the tracker unchanged.
+        let before = sparse.clone();
+        for bad in [
+            &[(6, 1)][..],                // out of range
+            &[(2, 1), (2, 5)][..],        // duplicate column
+            &[(3, 1), (1, 1)][..],        // descending
+        ] {
+            assert!(matches!(
+                sparse.append_row_sparse_i64(bad),
+                Err(LinalgError::DimensionMismatch { .. })
+            ));
+            assert_eq!(sparse, before);
+        }
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! [`SolverBackend::ModpCertified`] protocol therefore re-checks the
 //! final answer against the exact tracker before anything is output.
 
+use crate::crt::PrimeEchelon;
 use crate::error::{LinalgError, Result};
+use crate::montops::MontPrime;
 
 /// The field modulus: `2^62 − 57`, the largest 62-bit prime.
 ///
@@ -195,27 +197,47 @@ impl core::ops::Mul for Fp {
 /// [`LinalgError::DivisionByZero`] if any input is zero (no partial
 /// output is produced).
 pub fn batch_inverse(xs: &[Fp]) -> Result<Vec<Fp>> {
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    batch_inverse_into(xs, &mut out, &mut scratch)?;
+    Ok(out)
+}
+
+/// Scratch-buffer variant of [`batch_inverse`]: writes the inverses into
+/// `out` and uses `scratch` for the prefix products, clearing both first.
+/// Callers inverting many batches reuse the buffers' capacity and perform
+/// no steady-state allocation — the runtime-prime twin
+/// [`MontPrime::batch_inverse_into`](crate::MontPrime::batch_inverse_into)
+/// is what the CRT certificate's lane-2 screen calls per kernel vector.
+///
+/// # Errors
+///
+/// [`LinalgError::DivisionByZero`] if any input is zero; `out` and
+/// `scratch` contents are unspecified afterwards.
+pub fn batch_inverse_into(xs: &[Fp], out: &mut Vec<Fp>, scratch: &mut Vec<Fp>) -> Result<()> {
+    out.clear();
+    scratch.clear();
     if xs.is_empty() {
-        return Ok(Vec::new());
+        return Ok(());
     }
-    // prefix[i] = xs[0] · … · xs[i]
-    let mut prefix = Vec::with_capacity(xs.len());
+    // scratch[i] = xs[0] · … · xs[i]
+    scratch.reserve(xs.len());
     let mut acc = Fp::ONE;
     for &x in xs {
         if x.is_zero() {
             return Err(LinalgError::DivisionByZero);
         }
         acc = acc * x;
-        prefix.push(acc);
+        scratch.push(acc);
     }
-    let mut inv_acc = prefix[xs.len() - 1].inv()?;
-    let mut out = vec![Fp::ZERO; xs.len()];
+    let mut inv_acc = scratch[xs.len() - 1].inv()?;
+    out.resize(xs.len(), Fp::ZERO);
     for i in (1..xs.len()).rev() {
-        out[i] = inv_acc * prefix[i - 1];
+        out[i] = inv_acc * scratch[i - 1];
         inv_acc = inv_acc * xs[i];
     }
     out[0] = inv_acc;
-    Ok(out)
+    Ok(())
 }
 
 /// Append-only rank/nullity tracker over `F_p`, mirroring
@@ -248,58 +270,64 @@ pub fn batch_inverse(xs: &[Fp]) -> Result<Vec<Fp>> {
 /// assert!(!t.append_row_i64(&[1, 1, 2]).unwrap()); // dependent: the sum
 /// assert_eq!((t.rank(), t.nullity()), (2, 1));     // Lemma 2 at r = 0
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModpKernelTracker {
-    cols: usize,
-    appended: usize,
-    rows: Vec<Vec<Fp>>,
-    pivots: Vec<usize>,
+    inner: PrimeEchelon,
+}
+
+impl Default for ModpKernelTracker {
+    fn default() -> ModpKernelTracker {
+        ModpKernelTracker::new(0)
+    }
 }
 
 impl ModpKernelTracker {
     /// An empty tracker over `cols` columns (rank 0, nullity `cols`).
     pub fn new(cols: usize) -> ModpKernelTracker {
         ModpKernelTracker {
-            cols,
-            appended: 0,
-            rows: Vec::new(),
-            pivots: Vec::new(),
+            inner: PrimeEchelon::new(MontPrime::new(P), cols),
         }
     }
 
     /// Number of columns currently tracked.
     pub fn cols(&self) -> usize {
-        self.cols
+        self.inner.cols()
     }
 
     /// Total number of rows ever appended (independent or not).
     pub fn appended_rows(&self) -> usize {
-        self.appended
+        self.inner.appended_rows()
     }
 
     /// Rank of the appended matrix over `F_p`.
     pub fn rank(&self) -> usize {
-        self.rows.len()
+        self.inner.rank()
     }
 
     /// Kernel dimension of the appended matrix over `F_p`.
     pub fn nullity(&self) -> usize {
-        self.cols - self.rank()
+        self.inner.nullity()
     }
 
     /// Pivot columns, in increasing order.
     pub fn pivots(&self) -> &[usize] {
-        &self.pivots
+        self.inner.pivots()
     }
 
     /// The stored echelon row with index `i`, as canonical `0..p`
     /// representatives (leading entry `1`). Rows are ordered by pivot
     /// column, matching [`ModpKernelTracker::pivots`].
     pub fn echelon_row(&self, i: usize) -> Vec<u64> {
-        self.rows[i].iter().map(|x| x.to_u64()).collect()
+        self.inner.row_canonical(i)
     }
 
-    /// Appends one row of `i64` entries, reduced into `F_p`.
+    /// Appends one row of `i64` entries, reduced into `F_p` through the
+    /// delayed-reduction kernel pair ([`MontPrime::accumulate4`] /
+    /// [`MontPrime::fold_sub`]): stored rows are streamed four at a time
+    /// into per-column `u128` accumulators, with a single Montgomery
+    /// reduction per column at the end. All arithmetic yields canonical
+    /// residues, so the committed state is byte-identical to the scalar
+    /// reference path ([`ModpKernelTracker::append_row_scalar_i64`]).
     ///
     /// Returns `true` iff the row increased the rank. On error the
     /// tracker is unchanged.
@@ -309,40 +337,48 @@ impl ModpKernelTracker {
     /// [`LinalgError::DimensionMismatch`] if the row width differs from
     /// [`ModpKernelTracker::cols`].
     pub fn append_row_i64(&mut self, row: &[i64]) -> Result<bool> {
-        if row.len() != self.cols {
-            return Err(LinalgError::dims(format!(
-                "append of length-{} row to {}-column tracker",
-                row.len(),
-                self.cols
-            )));
-        }
-        let mut v: Vec<Fp> = row.iter().map(|&x| Fp::from_i64(x)).collect();
-        self.appended += 1;
-        // Ascending pivot order: every stored row is zero strictly left
-        // of its pivot, so eliminating at pivot `pc` touches only
-        // columns >= pc and never disturbs the pivots already cleared.
-        for (i, &pc) in self.pivots.iter().enumerate() {
-            let a = v[pc];
-            if a.is_zero() {
-                continue;
-            }
-            for (dst, src) in v[pc..].iter_mut().zip(&self.rows[i][pc..]) {
-                *dst = *dst - a * *src;
-            }
-        }
-        let Some(lead) = v.iter().position(|x| !x.is_zero()) else {
-            return Ok(false);
-        };
-        // Normalise to a leading 1: one Fermat inversion per *committed*
-        // row, amortised away by the dependent-row common case.
-        let scale = v[lead].inv().expect("leading entry is non-zero");
-        for x in &mut v[lead..] {
-            *x = *x * scale;
-        }
-        let at = self.pivots.partition_point(|&p| p < lead);
-        self.pivots.insert(at, lead);
-        self.rows.insert(at, v);
-        Ok(true)
+        self.inner.append_row_i64(row)
+    }
+
+    /// Appends one row through the scalar one-multiply-per-element loop —
+    /// the pre-fused hot path, kept as the baseline arm of
+    /// `exp_modp_scaling` and for differential tests against the fused and
+    /// batched paths.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if the row width differs from
+    /// [`ModpKernelTracker::cols`].
+    pub fn append_row_scalar_i64(&mut self, row: &[i64]) -> Result<bool> {
+        self.inner.append_row_scalar_i64(row)
+    }
+
+    /// Appends a row of strictly-ascending `(column, value)` pairs,
+    /// converting only the non-zeros into `F_p` — the sparse-aware path
+    /// for observation rows (2–3 non-zeros across thousands of columns).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] for out-of-range or
+    /// non-ascending columns; the tracker is unchanged.
+    pub fn append_row_sparse_i64(&mut self, entries: &[(usize, i64)]) -> Result<bool> {
+        self.inner.append_row_sparse_i64(entries)
+    }
+
+    /// Appends a block of rows: each row is reduced against a snapshot of
+    /// the tracker in parallel (`threads` workers claiming fixed-size
+    /// chunks), then committed sequentially in input order. Byte-identical
+    /// to appending the rows one by one at any thread count; see
+    /// `crt::PrimeEchelon::append_rows_i64` for the argument.
+    ///
+    /// Returns the number of rows that increased the rank.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::DimensionMismatch`] if any row width differs from
+    /// [`ModpKernelTracker::cols`]; the tracker is unchanged.
+    pub fn append_rows_i64(&mut self, rows: &[Vec<i64>], threads: usize) -> Result<usize> {
+        self.inner.append_rows_i64(rows, threads)
     }
 
     /// Replaces every column by `factor` adjacent copies of itself: the
@@ -355,27 +391,7 @@ impl ModpKernelTracker {
     /// [`LinalgError::DimensionMismatch`] for `factor == 0`;
     /// [`LinalgError::Overflow`] if the new width exceeds `usize`.
     pub fn extend_columns(&mut self, factor: usize) -> Result<()> {
-        if factor == 0 {
-            return Err(LinalgError::dims("column extension factor must be >= 1"));
-        }
-        if factor == 1 {
-            return Ok(());
-        }
-        let new_cols = self.cols.checked_mul(factor).ok_or(LinalgError::Overflow)?;
-        for row in &mut self.rows {
-            let mut wide = Vec::with_capacity(new_cols);
-            for &x in row.iter() {
-                for _ in 0..factor {
-                    wide.push(x);
-                }
-            }
-            *row = wide;
-        }
-        for p in &mut self.pivots {
-            *p *= factor;
-        }
-        self.cols = new_cols;
-        Ok(())
+        self.inner.extend_columns(factor)
     }
 }
 
@@ -391,6 +407,14 @@ impl ModpKernelTracker {
 ///   answer before the leader outputs. Decision rounds and traces are
 ///   bit-identical to `Exact` (asserted by the cross-oracle tests);
 ///   only the arithmetic under the hood changes.
+/// * [`SolverBackend::CrtCertified`] — per-round queries run over three
+///   independent primes in lockstep
+///   ([`CrtKernelTracker`](crate::CrtKernelTracker)); at the decision
+///   round the rational kernel is *reconstructed by CRT* and verified
+///   exactly against the appended rows, so no exact rational elimination
+///   runs at all unless the reconstruction fails (then the exact replay
+///   of `ModpCertified` is the fallback — fail-closed). Decision rounds
+///   and traces remain bit-identical to `Exact`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SolverBackend {
     /// Exact integer/rational elimination everywhere.
@@ -398,6 +422,9 @@ pub enum SolverBackend {
     Exact,
     /// Mod-p elimination per round, exact certification at decision time.
     ModpCertified,
+    /// Three-prime elimination per round, CRT reconstruction + exact
+    /// verification at decision time, exact replay only as fallback.
+    CrtCertified,
 }
 
 #[cfg(test)]

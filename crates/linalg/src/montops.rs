@@ -1,0 +1,537 @@
+//! Runtime-prime Montgomery arithmetic and fused elimination kernels.
+//!
+//! [`modp`](crate::modp) fixes a single compile-time prime so that its
+//! constants fold away; the CRT engine in [`crt`](crate::crt) needs the same
+//! arithmetic over *several* primes chosen at construction time.
+//! [`MontPrime`] packages the Montgomery constants of one odd prime
+//! `p < 2^62` and exposes:
+//!
+//! * scalar field operations mirroring [`Fp`](crate::Fp) exactly (same
+//!   Newton–Hensel `-p^{-1} mod 2^64`, same REDC, same canonical
+//!   representatives), so the lane over the [`modp`](crate::modp) prime `P`
+//!   reproduces [`ModpKernelTracker`](crate::ModpKernelTracker) bit for bit;
+//! * a **fused 4-row axpy kernel** ([`MontPrime::eliminate4`]) that
+//!   accumulates four 126-bit products in a `u128` before a single REDC —
+//!   the `p < 2^62` bound guarantees `4·(p-1)^2 < p·2^64`, the REDC input
+//!   domain — cutting the per-term cost from one full Montgomery multiply
+//!   to roughly a quarter of one reduction plus a widening multiply;
+//! * a scratch-buffer batch inversion ([`MontPrime::batch_inverse_into`])
+//!   that reuses caller-owned buffers on hot certification paths.
+//!
+//! All arithmetic is plain `u64`/`u128`; values in "Montgomery form" are
+//! `x·2^64 mod p` stored canonically in `[0, p)`.
+
+use crate::error::{LinalgError, Result};
+
+/// Montgomery multiplication context for one odd prime `p < 2^62`.
+///
+/// The `< 2^62` bound is what licenses the delayed reduction in
+/// [`MontPrime::eliminate4`]: four products of canonical residues sum to at
+/// most `4(p-1)^2 < p·2^64`, the REDC input domain.
+///
+/// # Examples
+///
+/// ```
+/// use anonet_linalg::MontPrime;
+///
+/// let m = MontPrime::new((1 << 61) - 1); // the Mersenne prime 2^61 - 1
+/// let a = m.from_i64(-7);
+/// let b = m.from_u64(3);
+/// assert_eq!(m.to_u64(m.mul(a, b)), m.modulus() - 21);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MontPrime {
+    p: u64,
+    ninv: u64,
+    r2: u64,
+    one: u64,
+}
+
+impl MontPrime {
+    /// Builds the context for an odd modulus `3 <= p < 2^62`.
+    ///
+    /// Primality is the caller's responsibility; the arithmetic is well
+    /// defined for any odd modulus, but [`MontPrime::inv`] (Fermat) and the
+    /// CRT reconstruction in [`crt`](crate::crt) require a prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is even, below 3, or not below `2^62`.
+    pub const fn new(p: u64) -> MontPrime {
+        assert!(p >= 3, "modulus must be at least 3");
+        assert!(p % 2 == 1, "modulus must be odd");
+        assert!(p < (1u64 << 62), "modulus must be below 2^62");
+        // Newton–Hensel: doubles correct low bits each step, 6 steps from a
+        // 1-bit seed cover all 64 (same scheme as `modp::NINV`).
+        let mut inv: u64 = 1;
+        let mut i = 0;
+        while i < 6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(p.wrapping_mul(inv)));
+            i += 1;
+        }
+        let r = ((1u128 << 64) % (p as u128)) as u64;
+        let r2 = ((r as u128 * r as u128) % (p as u128)) as u64;
+        MontPrime {
+            p,
+            ninv: inv.wrapping_neg(),
+            r2,
+            one: r,
+        }
+    }
+
+    /// The modulus `p`.
+    #[inline]
+    pub const fn modulus(self) -> u64 {
+        self.p
+    }
+
+    /// The Montgomery form of `1` (that is, `2^64 mod p`).
+    #[inline]
+    pub const fn one(self) -> u64 {
+        self.one
+    }
+
+    /// Montgomery reduction: for `t < p·2^64` returns `t·2^{-64} mod p`,
+    /// canonical in `[0, p)`.
+    #[inline(always)]
+    pub fn redc(self, t: u128) -> u64 {
+        let m = (t as u64).wrapping_mul(self.ninv);
+        let t2 = ((t.wrapping_add(m as u128 * self.p as u128)) >> 64) as u64;
+        if t2 >= self.p { t2 - self.p } else { t2 }
+    }
+
+    /// Sum of two canonical residues.
+    #[inline(always)]
+    pub fn add(self, a: u64, b: u64) -> u64 {
+        // p < 2^62, so a + b cannot wrap u64.
+        let s = a + b;
+        if s >= self.p { s - self.p } else { s }
+    }
+
+    /// Difference of two canonical residues.
+    #[inline(always)]
+    pub fn sub(self, a: u64, b: u64) -> u64 {
+        let (d, borrow) = a.overflowing_sub(b);
+        if borrow { d.wrapping_add(self.p) } else { d }
+    }
+
+    /// Additive inverse of a canonical residue.
+    #[inline]
+    pub fn neg(self, a: u64) -> u64 {
+        if a == 0 { 0 } else { self.p - a }
+    }
+
+    /// Montgomery product of two canonical residues.
+    #[inline(always)]
+    pub fn mul(self, a: u64, b: u64) -> u64 {
+        self.redc(a as u128 * b as u128)
+    }
+
+    /// Converts any `u64` into Montgomery form.
+    #[inline]
+    pub fn from_u64(self, x: u64) -> u64 {
+        // x·r2 <= (2^64-1)(p-1) < p·2^64, inside the REDC domain, so no
+        // pre-reduction of x is needed.
+        self.redc(x as u128 * self.r2 as u128)
+    }
+
+    /// Converts a signed integer into Montgomery form.
+    #[inline]
+    pub fn from_i64(self, x: i64) -> u64 {
+        let m = self.from_u64(x.unsigned_abs());
+        if x < 0 { self.neg(m) } else { m }
+    }
+
+    /// Converts from Montgomery form back to the canonical residue.
+    #[inline]
+    pub fn to_u64(self, x: u64) -> u64 {
+        self.redc(x as u128)
+    }
+
+    /// Montgomery-form exponentiation by square and multiply.
+    pub fn pow(self, mut base: u64, mut e: u64) -> u64 {
+        let mut acc = self.one;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Montgomery-form multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DivisionByZero`] for the zero residue.
+    pub fn inv(self, x: u64) -> Result<u64> {
+        if x == 0 {
+            return Err(LinalgError::DivisionByZero);
+        }
+        Ok(self.pow(x, self.p - 2))
+    }
+
+    /// Batch inversion of Montgomery-form residues into caller-owned
+    /// buffers (Montgomery's trick: one Fermat inversion plus `3(n-1)`
+    /// multiplications).
+    ///
+    /// `out` receives the inverses (same order as `xs`); `scratch` holds
+    /// the prefix products. Both are cleared first and their capacity is
+    /// reused across calls, so a caller inverting many small batches — the
+    /// CRT certificate's per-vector denominator check — performs no
+    /// steady-state allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DivisionByZero`] if any input is zero; `out`
+    /// and `scratch` contents are unspecified afterwards.
+    pub fn batch_inverse_into(
+        self,
+        xs: &[u64],
+        out: &mut Vec<u64>,
+        scratch: &mut Vec<u64>,
+    ) -> Result<()> {
+        out.clear();
+        scratch.clear();
+        if xs.is_empty() {
+            return Ok(());
+        }
+        scratch.reserve(xs.len());
+        let mut acc = self.one;
+        for &x in xs {
+            if x == 0 {
+                return Err(LinalgError::DivisionByZero);
+            }
+            acc = self.mul(acc, x);
+            scratch.push(acc);
+        }
+        let mut inv_acc = self.inv(acc)?;
+        out.resize(xs.len(), 0);
+        for i in (1..xs.len()).rev() {
+            out[i] = self.mul(inv_acc, scratch[i - 1]);
+            inv_acc = self.mul(inv_acc, xs[i]);
+        }
+        out[0] = inv_acc;
+        Ok(())
+    }
+
+    /// Guarded delayed accumulation:
+    /// `acc[c] += f0·r0[c] + f1·r1[c] + f2·r2[c] + f3·r3[c]` for every `c`.
+    ///
+    /// `acc` holds *unreduced* `u128` sums of Montgomery products; the only
+    /// reduction is a conditional subtraction of `C = p·2^64` before each
+    /// add. Subtracting `C` changes the eventual REDC value by exactly `p ≡
+    /// 0`, and it keeps the invariant `acc[c] < 2C` across any number of
+    /// calls: entering below `2C`, the guard brings the value below `C`,
+    /// and the four products add less than `4(p-1)² < C` (here the
+    /// `p < 2^62` bound earns its keep). One widening multiply and one
+    /// 128-bit add per term — no REDC in the loop at all; callers settle
+    /// with [`MontPrime::fold_sub`] once per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row slice is shorter than `acc`.
+    #[inline]
+    pub fn accumulate4(self, acc: &mut [u128], factors: [u64; 4], rows: [&[u64]; 4]) {
+        let c_bound = (self.p as u128) << 64;
+        let n = acc.len();
+        let [f0, f1, f2, f3] = factors;
+        let (r0, r1, r2, r3) = (&rows[0][..n], &rows[1][..n], &rows[2][..n], &rows[3][..n]);
+        for (c, a) in acc.iter_mut().enumerate() {
+            let mut t = *a;
+            if t >= c_bound {
+                t -= c_bound;
+            }
+            t += f0 as u128 * r0[c] as u128
+                + f1 as u128 * r1[c] as u128
+                + f2 as u128 * r2[c] as u128
+                + f3 as u128 * r3[c] as u128;
+            *a = t;
+        }
+    }
+
+    /// Settles an [`MontPrime::accumulate4`] buffer into `v`:
+    /// `v[c] -= acc[c]` in Montgomery form, accepting accumulator entries
+    /// below `2·p·2^64` (the accumulation invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` is shorter than `v`.
+    #[inline]
+    pub fn fold_sub(self, v: &mut [u64], acc: &[u128]) {
+        let c_bound = (self.p as u128) << 64;
+        let acc = &acc[..v.len()];
+        for (c, dst) in v.iter_mut().enumerate() {
+            let a = acc[c];
+            let a = if a >= c_bound { a - c_bound } else { a };
+            *dst = self.sub(*dst, self.redc(a));
+        }
+    }
+
+    /// Fused four-row elimination: `v[c] -= f0·r0[c] + f1·r1[c] + f2·r2[c]
+    /// + f3·r3[c]` for every `c`, all values in Montgomery form.
+    ///
+    /// The four products are accumulated in a `u128` and reduced by a
+    /// *single* REDC per output element (valid because `4(p-1)^2 <
+    /// p·2^64` for `p < 2^62`), which is what lets LLVM keep the inner
+    /// loop in registers and the per-term cost well below one scalar
+    /// Montgomery multiply. Callers with fewer than four live rows pad
+    /// `factors` with zeros and repeat a row slice; `0·x` terms do not
+    /// perturb the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row slice is shorter than `v`.
+    #[inline]
+    pub fn eliminate4(self, v: &mut [u64], factors: [u64; 4], rows: [&[u64]; 4]) {
+        let n = v.len();
+        let [f0, f1, f2, f3] = factors;
+        let (r0, r1, r2, r3) = (&rows[0][..n], &rows[1][..n], &rows[2][..n], &rows[3][..n]);
+        for (c, dst) in v.iter_mut().enumerate() {
+            let acc = f0 as u128 * r0[c] as u128
+                + f1 as u128 * r1[c] as u128
+                + f2 as u128 * r2[c] as u128
+                + f3 as u128 * r3[c] as u128;
+            *dst = self.sub(*dst, self.redc(acc));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modp::{Fp, P};
+
+    /// Deterministic Miller–Rabin, exact for all `u64` with these bases.
+    fn is_prime_u64(n: u64) -> bool {
+        if n < 2 {
+            return false;
+        }
+        for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+            if n == p {
+                return true;
+            }
+            if n.is_multiple_of(p) {
+                return false;
+            }
+        }
+        let mut d = n - 1;
+        let mut s = 0;
+        while d.is_multiple_of(2) {
+            d /= 2;
+            s += 1;
+        }
+        let mulmod = |a: u64, b: u64| ((a as u128 * b as u128) % n as u128) as u64;
+        let powmod = |mut b: u64, mut e: u64| {
+            let mut acc = 1u64;
+            b %= n;
+            while e > 0 {
+                if e & 1 == 1 {
+                    acc = mulmod(acc, b);
+                }
+                b = mulmod(b, b);
+                e >>= 1;
+            }
+            acc
+        };
+        'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+            let mut x = powmod(a, d);
+            if x == 1 || x == n - 1 {
+                continue;
+            }
+            for _ in 0..s - 1 {
+                x = mulmod(x, x);
+                if x == n - 1 {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    #[test]
+    fn crt_lane_moduli_are_prime_and_in_range() {
+        for &p in &crate::crt::CRT_PRIMES {
+            assert!(is_prime_u64(p), "{p} is not prime");
+            assert!(p < 1 << 62, "{p} breaks the delayed-reduction bound");
+        }
+        // Pairwise distinct, lane 0 is the modp prime.
+        assert_eq!(crate::crt::CRT_PRIMES[0], P);
+        assert_ne!(crate::crt::CRT_PRIMES[0], crate::crt::CRT_PRIMES[1]);
+        assert_ne!(crate::crt::CRT_PRIMES[1], crate::crt::CRT_PRIMES[2]);
+        assert_ne!(crate::crt::CRT_PRIMES[0], crate::crt::CRT_PRIMES[2]);
+    }
+
+    #[test]
+    fn lane_zero_matches_compile_time_fp() {
+        // The runtime context over `modp::P` must reproduce the
+        // compile-time field exactly — lane 0 of the CRT tracker relies on
+        // this to stay bit-identical to `ModpKernelTracker`.
+        let m = MontPrime::new(P);
+        assert_eq!(m.modulus(), P);
+        assert_eq!(m.to_u64(m.one()), 1);
+        for x in [0i64, 1, -1, 57, -(1 << 40), i64::MAX, i64::MIN] {
+            for y in [1i64, 2, -3, 1 << 31] {
+                let (fx, fy) = (Fp::from_i64(x), Fp::from_i64(y));
+                assert_eq!(m.to_u64(m.from_i64(x)), fx.to_u64());
+                assert_eq!(
+                    m.to_u64(m.mul(m.from_i64(x), m.from_i64(y))),
+                    (fx * fy).to_u64()
+                );
+                assert_eq!(
+                    m.to_u64(m.sub(m.from_i64(x), m.from_i64(y))),
+                    (fx - fy).to_u64()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_reference_arithmetic() {
+        for &p in &crate::crt::CRT_PRIMES {
+            let m = MontPrime::new(p);
+            let samples = [0u64, 1, 2, 57, p - 1, p / 2, 1 << 40];
+            for &a in &samples {
+                assert_eq!(m.to_u64(m.from_u64(a)), a % p);
+                for &b in &samples {
+                    let (ma, mb) = (m.from_u64(a), m.from_u64(b));
+                    let wide = |x: u64| x as u128;
+                    assert_eq!(
+                        m.to_u64(m.add(ma, mb)),
+                        ((wide(a) + wide(b)) % p as u128) as u64
+                    );
+                    assert_eq!(
+                        m.to_u64(m.sub(ma, mb)),
+                        ((wide(a) + wide(p) - wide(b) % p as u128) % p as u128) as u64
+                    );
+                    assert_eq!(
+                        m.to_u64(m.mul(ma, mb)),
+                        ((wide(a) % p as u128 * (wide(b) % p as u128)) % p as u128) as u64
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_embedding() {
+        for &p in &crate::crt::CRT_PRIMES {
+            let m = MontPrime::new(p);
+            assert_eq!(m.to_u64(m.from_i64(-1)), p - 1);
+            assert_eq!(m.to_u64(m.from_i64(i64::MIN)), p - (i64::MIN.unsigned_abs() % p));
+            assert_eq!(m.to_u64(m.from_i64(i64::MAX)), i64::MAX as u64 % p);
+            assert_eq!(m.from_i64(0), 0);
+        }
+    }
+
+    #[test]
+    fn fermat_inverse_and_batch_inverse() {
+        let m = MontPrime::new(crate::crt::CRT_PRIMES[1]);
+        assert!(matches!(m.inv(0), Err(LinalgError::DivisionByZero)));
+        let xs: Vec<u64> = (1..=9).map(|x| m.from_i64(x * 7 - 30)).collect();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        m.batch_inverse_into(&xs, &mut out, &mut scratch).unwrap();
+        assert_eq!(out.len(), xs.len());
+        for (&x, &ix) in xs.iter().zip(&out) {
+            assert_eq!(m.inv(x).unwrap(), ix);
+            assert_eq!(m.mul(x, ix), m.one());
+        }
+        // A zero anywhere fails the whole batch.
+        let mut with_zero = xs.clone();
+        with_zero[4] = 0;
+        assert!(matches!(
+            m.batch_inverse_into(&with_zero, &mut out, &mut scratch),
+            Err(LinalgError::DivisionByZero)
+        ));
+        // Buffers are reusable after both success and failure.
+        m.batch_inverse_into(&xs[..3], &mut out, &mut scratch).unwrap();
+        assert_eq!(out.len(), 3);
+        m.batch_inverse_into(&[], &mut out, &mut scratch).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fused_eliminate4_matches_scalar_axpy() {
+        for &p in &crate::crt::CRT_PRIMES {
+            let m = MontPrime::new(p);
+            let cols = 37;
+            let mk = |seed: i64| -> Vec<u64> {
+                (0..cols)
+                    .map(|c| m.from_i64(seed * 7919 + c as i64 * 104729 - 50_000))
+                    .collect()
+            };
+            let rows = [mk(1), mk(2), mk(3), mk(4)];
+            let factors = [m.from_i64(-3), 0, m.from_i64(11), m.from_i64(1 << 30)];
+            let v0 = mk(9);
+
+            let mut scalar = v0.clone();
+            for (f, r) in factors.iter().zip(&rows) {
+                for (dst, &src) in scalar.iter_mut().zip(r) {
+                    *dst = m.sub(*dst, m.mul(*f, src));
+                }
+            }
+            let mut fused = v0.clone();
+            m.eliminate4(
+                &mut fused,
+                factors,
+                [&rows[0], &rows[1], &rows[2], &rows[3]],
+            );
+            assert_eq!(fused, scalar, "p = {p}");
+        }
+    }
+
+    /// Many stacked `accumulate4` passes (worst case for the guard
+    /// invariant: every factor and row element near `p - 1`) settled by
+    /// `fold_sub` must agree with the plain scalar axpy chain.
+    #[test]
+    fn delayed_accumulation_matches_scalar_axpy() {
+        for &p in &crate::crt::CRT_PRIMES {
+            let m = MontPrime::new(p);
+            let cols = 29;
+            let top = m.from_i64(-1); // residue p - 1, the largest canonical value
+            let mk = |seed: i64| -> Vec<u64> {
+                (0..cols)
+                    .map(|c| {
+                        if (c + seed as usize).is_multiple_of(5) {
+                            top
+                        } else {
+                            m.from_i64(seed * 104_729 + c as i64 * 7919 - 40_000)
+                        }
+                    })
+                    .collect()
+            };
+            let v0 = mk(99);
+            let mut scalar = v0.clone();
+            let mut delayed = v0.clone();
+            let mut acc = vec![0u128; cols];
+            // 12 groups of 4 rows = 48 stacked eliminations without settling.
+            for g in 0..12i64 {
+                let rows = [mk(4 * g + 1), mk(4 * g + 2), mk(4 * g + 3), mk(4 * g + 4)];
+                let factors = [top, m.from_i64(g + 7), top, m.from_i64(-g - 3)];
+                for (f, r) in factors.iter().zip(&rows) {
+                    for (dst, &src) in scalar.iter_mut().zip(r) {
+                        *dst = m.sub(*dst, m.mul(*f, src));
+                    }
+                }
+                m.accumulate4(&mut acc, factors, [&rows[0], &rows[1], &rows[2], &rows[3]]);
+            }
+            m.fold_sub(&mut delayed, &acc);
+            assert_eq!(delayed, scalar, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let m = MontPrime::new(crate::crt::CRT_PRIMES[2]);
+        let b = m.from_u64(123_456_789);
+        let mut acc = m.one();
+        for e in 0..20 {
+            assert_eq!(m.pow(b, e), acc);
+            acc = m.mul(acc, b);
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! Property-based tests for the exact linear-algebra substrate.
 
 use anonet_linalg::{
-    gauss, vector, KernelTracker, LinalgError, Matrix, ModpKernelTracker, Ratio, SparseIntMatrix,
+    gauss, vector, CrtKernelTracker, KernelTracker, LinalgError, Matrix, ModpKernelTracker, Ratio,
+    SparseIntMatrix, CRT_PRIMES,
 };
 use proptest::prelude::*;
 
@@ -330,5 +331,88 @@ proptest! {
         prop_assert_eq!(modp.rank(), exact.rank());
         prop_assert_eq!(modp.nullity(), exact.nullity());
         prop_assert_eq!(modp.pivots(), exact.pivots());
+    }
+
+    #[test]
+    fn crt_certificate_is_byte_identical_to_exact_elimination(
+        rows in proptest::collection::vec(proptest::collection::vec(-30i64..=30, 5), 1..8),
+    ) {
+        // The CRT-reconstructed kernel basis must be the SAME Vec<Ratio>
+        // values exact elimination produces — not merely an equivalent
+        // basis. (Both are pinned to the unit-at-free-column form, so
+        // byte identity is the correct requirement.)
+        let mut exact = KernelTracker::new(5);
+        let mut crt = CrtKernelTracker::new(5);
+        for row in &rows {
+            let as128: Vec<i128> = row.iter().map(|&x| x as i128).collect();
+            exact.append_row_i128(&as128).unwrap();
+            crt.append_row_i64(row).unwrap();
+            prop_assert_eq!(crt.rank(), exact.rank());
+            prop_assert_eq!(crt.pivots(), exact.pivots());
+        }
+        let cert = crt.certify().expect("entries ≤ 30 certify at depth 5");
+        prop_assert_eq!(cert.nullity, exact.nullity());
+        prop_assert_eq!(cert.basis, exact.kernel_basis().unwrap());
+    }
+
+    #[test]
+    fn crt_certify_fails_closed_on_prime_aliasing_rows(
+        base in proptest::collection::vec(proptest::collection::vec(-1i64..=1, 4), 1..6),
+        aliased in 0usize..6,
+        lane in 0usize..3,
+    ) {
+        // A row scaled by one CRT prime vanishes in that lane but not in
+        // the others (and not over ℚ), so the aliased lane may lose rank
+        // relative to the rational matrix. certify() must never return a
+        // wrong certificate: it either fails closed (None) or the exact
+        // verification passed, in which case the basis must still be
+        // byte-identical to exact elimination.
+        let p = CRT_PRIMES[lane] as i64;
+        let mut exact = KernelTracker::new(4);
+        let mut crt = CrtKernelTracker::new(4);
+        let mut lane_zeroed = false;
+        for (i, row) in base.iter().enumerate() {
+            let scale = if i == aliased { p } else { 1 };
+            lane_zeroed |= i == aliased && row.iter().any(|&x| x != 0);
+            let scaled: Vec<i64> = row.iter().map(|&x| x * scale).collect();
+            let as128: Vec<i128> = scaled.iter().map(|&x| x as i128).collect();
+            exact.append_row_i128(&as128).unwrap();
+            crt.append_row_i64(&scaled).unwrap();
+        }
+        match crt.certify() {
+            Some(cert) => {
+                prop_assert_eq!(cert.nullity, exact.nullity());
+                prop_assert_eq!(cert.basis, exact.kernel_basis().unwrap());
+            }
+            None => prop_assert!(
+                lane_zeroed,
+                "certify refused an instance with no prime-aliased row"
+            ),
+        }
+    }
+
+    #[test]
+    fn modp_batch_append_matches_sequential_at_any_thread_count(
+        rows in proptest::collection::vec(proptest::collection::vec(-3i64..=3, 6), 1..12),
+        threads in 1usize..=4,
+    ) {
+        // The chunk-claiming parallel eliminator must leave the tracker
+        // in EXACTLY the state the one-row-at-a-time path produces —
+        // same echelon residues, same pivots — for every thread count.
+        let mut seq = ModpKernelTracker::new(6);
+        let mut added_seq = 0usize;
+        for row in &rows {
+            if seq.append_row_i64(row).unwrap() {
+                added_seq += 1;
+            }
+        }
+        let mut batch = ModpKernelTracker::new(6);
+        let added = batch.append_rows_i64(&rows, threads).unwrap();
+        prop_assert_eq!(added, added_seq);
+        prop_assert_eq!(&batch, &seq, "threads={}", threads);
+
+        let mut single = ModpKernelTracker::new(6);
+        single.append_rows_i64(&rows, 1).unwrap();
+        prop_assert_eq!(&single, &batch, "1 vs {} threads", threads);
     }
 }

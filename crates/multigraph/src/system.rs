@@ -17,7 +17,10 @@
 
 use crate::history::ternary_count;
 use crate::leader::Observations;
-use anonet_linalg::{KernelTracker, LinalgError, ModpKernelTracker, SolverBackend, SparseIntMatrix};
+use anonet_linalg::{
+    CrtCertificate, CrtKernelTracker, KernelTracker, LinalgError, ModpKernelTracker,
+    SolverBackend, SparseIntMatrix,
+};
 use core::fmt;
 
 /// Number of columns of `M_r`: all length-`r+1` histories, `3^{r+1}`.
@@ -469,7 +472,12 @@ impl IncrementalSolver {
 /// [`ModpKernelTracker`] over `p = 2^62 − 57` instead — single-word
 /// arithmetic, no gcds — and defers exactness to a one-shot
 /// [`certify`](ObservationKernel::certify) replay at decision time.
-/// Both backends report the same rank/nullity on every `M_r` (the
+/// [`SolverBackend::CrtCertified`] maintains a three-prime
+/// [`CrtKernelTracker`] whose decision-time certificate is
+/// *reconstructed* (CRT + rational reconstruction + exact verification,
+/// see [`crt_certificate`](ObservationKernel::crt_certificate)) instead
+/// of replayed, falling back to the exact replay only if reconstruction
+/// fails. All backends report the same rank/nullity on every `M_r` (the
 /// cross-oracle tests pin this); only the cost differs.
 ///
 /// # Examples
@@ -497,6 +505,7 @@ pub struct ObservationKernel {
     backend: SolverBackend,
     exact: Option<KernelTracker>,
     modp: Option<ModpKernelTracker>,
+    crt: Option<CrtKernelTracker>,
     rounds: usize,
 }
 
@@ -516,14 +525,16 @@ impl ObservationKernel {
 
     /// A tracker over zero observed rounds on the chosen backend.
     pub fn with_backend(backend: SolverBackend) -> ObservationKernel {
-        let (exact, modp) = match backend {
-            SolverBackend::Exact => (Some(KernelTracker::new(1)), None),
-            SolverBackend::ModpCertified => (None, Some(ModpKernelTracker::new(1))),
+        let (exact, modp, crt) = match backend {
+            SolverBackend::Exact => (Some(KernelTracker::new(1)), None, None),
+            SolverBackend::ModpCertified => (None, Some(ModpKernelTracker::new(1)), None),
+            SolverBackend::CrtCertified => (None, None, Some(CrtKernelTracker::new(1))),
         };
         ObservationKernel {
             backend,
             exact,
             modp,
+            crt,
             rounds: 0,
         }
     }
@@ -554,20 +565,24 @@ impl ObservationKernel {
         if let Some(t) = &mut self.modp {
             t.extend_columns(3)?;
         }
+        if let Some(t) = &mut self.crt {
+            t.extend_columns(3)?;
+        }
+        // Each connection row has exactly two non-zeros out of 3^{r+1}
+        // columns, so every lane takes the sparse append path.
         let prefixes = ternary_count(self.rounds);
-        let mut row = vec![0i64; prefixes * 3];
         for j in 0..2usize {
             for p in 0..prefixes {
-                row[p * 3 + j] = 1;
-                row[p * 3 + 2] = 1;
+                let entries = [(p * 3 + j, 1i64), (p * 3 + 2, 1i64)];
                 if let Some(t) = &mut self.exact {
-                    t.append_row_i64(&row)?;
+                    t.append_row_sparse_i64(&entries)?;
                 }
                 if let Some(t) = &mut self.modp {
-                    t.append_row_i64(&row)?;
+                    t.append_row_sparse_i64(&entries)?;
                 }
-                row[p * 3 + j] = 0;
-                row[p * 3 + 2] = 0;
+                if let Some(t) = &mut self.crt {
+                    t.append_row_sparse_i64(&entries)?;
+                }
             }
         }
         self.rounds += 1;
@@ -577,19 +592,21 @@ impl ObservationKernel {
     /// Rank of `M_{rounds-1}` (equals its row count: the rows are
     /// independent).
     pub fn rank(&self) -> usize {
-        match (&self.exact, &self.modp) {
-            (Some(t), _) => t.rank(),
-            (None, Some(t)) => t.rank(),
-            (None, None) => unreachable!("one tracker always present"),
+        match (&self.exact, &self.modp, &self.crt) {
+            (Some(t), _, _) => t.rank(),
+            (_, Some(t), _) => t.rank(),
+            (_, _, Some(t)) => t.rank(),
+            _ => unreachable!("one tracker always present"),
         }
     }
 
     /// Verified kernel dimension — `1` at every round (Lemma 2).
     pub fn nullity(&self) -> usize {
-        match (&self.exact, &self.modp) {
-            (Some(t), _) => t.nullity(),
-            (None, Some(t)) => t.nullity(),
-            (None, None) => unreachable!("one tracker always present"),
+        match (&self.exact, &self.modp, &self.crt) {
+            (Some(t), _, _) => t.nullity(),
+            (_, Some(t), _) => t.nullity(),
+            (_, _, Some(t)) => t.nullity(),
+            _ => unreachable!("one tracker always present"),
         }
     }
 
@@ -600,7 +617,10 @@ impl ObservationKernel {
     /// on [`SolverBackend::ModpCertified`] it replays the full exact
     /// elimination from scratch — the one-shot second tier of the
     /// certification protocol, paid only at the candidate decision
-    /// round. The caller compares it against the mod-p
+    /// round. On [`SolverBackend::CrtCertified`] it first attempts the
+    /// replay-free [`crt_certificate`](Self::crt_certificate) and only
+    /// falls back to the exact replay when reconstruction fails
+    /// (fail-closed). The caller compares the result against the mod-p
     /// [`nullity`](Self::nullity) before trusting the output.
     ///
     /// # Errors
@@ -609,14 +629,33 @@ impl ObservationKernel {
     pub fn certify(&self) -> Result<usize, LinalgError> {
         match self.backend {
             SolverBackend::Exact => Ok(self.nullity()),
-            SolverBackend::ModpCertified => {
-                let mut exact = ObservationKernel::new();
-                for _ in 0..self.rounds {
-                    exact.push_round()?;
-                }
-                Ok(exact.nullity())
-            }
+            SolverBackend::ModpCertified => self.certify_by_replay(),
+            SolverBackend::CrtCertified => match self.crt_certificate() {
+                Some(cert) => Ok(cert.nullity),
+                None => self.certify_by_replay(),
+            },
         }
+    }
+
+    /// The one-shot exact replay: re-runs every observed round on the
+    /// exact backend and reports its nullity.
+    fn certify_by_replay(&self) -> Result<usize, LinalgError> {
+        let mut exact = ObservationKernel::new();
+        for _ in 0..self.rounds {
+            exact.push_round()?;
+        }
+        Ok(exact.nullity())
+    }
+
+    /// Attempts the replay-free certificate on the
+    /// [`SolverBackend::CrtCertified`] backend: the rational kernel basis
+    /// is CRT-reconstructed from the three prime lanes and *verified
+    /// exactly* against every appended row
+    /// ([`CrtKernelTracker::certify`]). `None` on other backends or when
+    /// any reconstruction / verification step fails — callers then fall
+    /// back to the exact replay.
+    pub fn crt_certificate(&self) -> Option<CrtCertificate> {
+        self.crt.as_ref().and_then(CrtKernelTracker::certify)
     }
 
     /// The underlying exact tracker (for echelon / rational-kernel
@@ -624,10 +663,11 @@ impl ObservationKernel {
     ///
     /// # Panics
     ///
-    /// Panics on the [`SolverBackend::ModpCertified`] backend, which
-    /// maintains no exact echelon (use
-    /// [`certify`](Self::certify) / [`modp_tracker`](Self::modp_tracker)
-    /// there).
+    /// Panics on the [`SolverBackend::ModpCertified`] and
+    /// [`SolverBackend::CrtCertified`] backends, which maintain no exact
+    /// echelon (use [`certify`](Self::certify) /
+    /// [`modp_tracker`](Self::modp_tracker) /
+    /// [`crt_tracker`](Self::crt_tracker) there).
     pub fn tracker(&self) -> &KernelTracker {
         self.exact
             .as_ref()
@@ -640,6 +680,12 @@ impl ObservationKernel {
         self.modp.as_ref()
     }
 
+    /// The underlying three-prime tracker, when on
+    /// [`SolverBackend::CrtCertified`].
+    pub fn crt_tracker(&self) -> Option<&CrtKernelTracker> {
+        self.crt.as_ref()
+    }
+
     /// The verified integer kernel vector, sign-normalized so the
     /// all-singleton history has coefficient `+1` — equal to
     /// [`kernel_vector`]`(rounds - 1)` by Lemma 3, but *computed* rather
@@ -649,15 +695,16 @@ impl ObservationKernel {
     ///
     /// Returns [`LinalgError::Overflow`] if integerizing the basis
     /// overflows (impossible for genuine `M_r`, whose kernel entries are
-    /// ±1), and [`LinalgError::DimensionMismatch`] on the
-    /// [`SolverBackend::ModpCertified`] backend (which keeps no exact
-    /// echelon; see [`tracker`](Self::tracker)) or if the kernel is not
+    /// ±1), and [`LinalgError::DimensionMismatch`] on the fast
+    /// ([`SolverBackend::ModpCertified`] / [`SolverBackend::CrtCertified`])
+    /// backends (which keep no exact echelon; see
+    /// [`tracker`](Self::tracker)) or if the kernel is not
     /// one-dimensional — which would refute Lemma 2. Both used to be
     /// panics; as errors, a violated invariant inside a grid cell is a
     /// typed `CellFailure` instead of a worker panic.
     pub fn kernel_vector(&self) -> Result<Vec<i64>, LinalgError> {
         let tracker = self.exact.as_ref().ok_or_else(|| {
-            LinalgError::dims("kernel_vector requires the exact backend (ModpCertified keeps no exact echelon)")
+            LinalgError::dims("kernel_vector requires the exact backend (fast backends keep no exact echelon)")
         })?;
         let basis = tracker.kernel_basis_integer()?;
         if basis.len() != 1 {
@@ -991,6 +1038,37 @@ mod tests {
     fn modp_backend_has_no_exact_tracker() {
         let fast = ObservationKernel::with_backend(SolverBackend::ModpCertified);
         let _ = fast.tracker();
+    }
+
+    #[test]
+    fn crt_backend_agrees_with_exact_and_certifies_without_replay() {
+        let mut exact = ObservationKernel::new();
+        let mut fast = ObservationKernel::with_backend(SolverBackend::CrtCertified);
+        assert_eq!(fast.backend(), SolverBackend::CrtCertified);
+        assert!(fast.modp_tracker().is_none());
+        for r in 0..4usize {
+            exact.push_round().unwrap();
+            fast.push_round().unwrap();
+            assert_eq!(fast.rank(), exact.rank(), "crt rank at r={r}");
+            assert_eq!(fast.nullity(), 1, "crt Lemma 2 at r={r}");
+            assert_eq!(
+                fast.crt_tracker().unwrap().pivots(),
+                exact.tracker().pivots(),
+                "pivot columns at r={r}"
+            );
+            // The replay-free certificate reconstructs the exact basis:
+            // nullity 1 with the paper's ±1 kernel vector.
+            let cert = fast.crt_certificate().expect("reconstruction certificate");
+            assert_eq!(cert.nullity, 1, "certificate nullity at r={r}");
+            assert_eq!(
+                cert.basis,
+                exact.tracker().kernel_basis().unwrap(),
+                "certificate basis at r={r}"
+            );
+        }
+        assert_eq!(fast.certify().unwrap(), 1);
+        // Other backends never issue a CRT certificate.
+        assert!(exact.crt_certificate().is_none());
     }
 
     #[test]

@@ -19,7 +19,10 @@
 use crate::history::History;
 use crate::label::LabelSet;
 use crate::multigraph::DblMultigraph;
-use anonet_linalg::{KernelTracker, LinalgError, ModpKernelTracker, SolverBackend, SparseIntMatrix};
+use anonet_linalg::{
+    CrtCertificate, CrtKernelTracker, KernelTracker, LinalgError, ModpKernelTracker,
+    SolverBackend, SparseIntMatrix,
+};
 use core::fmt;
 
 /// The observation system builder for a given label budget `k`.
@@ -282,6 +285,7 @@ pub struct GeneralObservationKernel {
     backend: SolverBackend,
     exact: Option<KernelTracker>,
     modp: Option<ModpKernelTracker>,
+    crt: Option<CrtKernelTracker>,
     rounds: usize,
 }
 
@@ -307,10 +311,11 @@ impl GeneralObservationKernel {
     }
 
     fn cols(&self) -> usize {
-        match (&self.exact, &self.modp) {
-            (Some(t), _) => t.cols(),
-            (None, Some(t)) => t.cols(),
-            (None, None) => unreachable!("one tracker always present"),
+        match (&self.exact, &self.modp, &self.crt) {
+            (Some(t), _, _) => t.cols(),
+            (_, Some(t), _) => t.cols(),
+            (_, _, Some(t)) => t.cols(),
+            _ => unreachable!("one tracker always present"),
         }
     }
 
@@ -335,24 +340,31 @@ impl GeneralObservationKernel {
         if let Some(t) = &mut self.modp {
             t.extend_columns(q)?;
         }
+        if let Some(t) = &mut self.crt {
+            t.extend_columns(q)?;
+        }
         debug_assert_eq!(self.cols(), new_cols);
+        // A label-j constraint row is supported on the single width-q
+        // block of its prefix — a handful of non-zeros across `q^{r+1}`
+        // columns, so every lane takes the sparse append path.
         let prefixes = q.pow(self.rounds as u32);
-        let mut row = vec![0i64; new_cols];
+        let mut entries: Vec<(usize, i64)> = Vec::with_capacity(q);
         for j in 1..=self.sys.k() {
             for p in 0..prefixes {
+                entries.clear();
                 for digit in 0..q {
                     if (digit as u32 + 1) & (1 << (j - 1)) != 0 {
-                        row[p * q + digit] = 1;
+                        entries.push((p * q + digit, 1));
                     }
                 }
                 if let Some(t) = &mut self.exact {
-                    t.append_row_i64(&row)?;
+                    t.append_row_sparse_i64(&entries)?;
                 }
                 if let Some(t) = &mut self.modp {
-                    t.append_row_i64(&row)?;
+                    t.append_row_sparse_i64(&entries)?;
                 }
-                for x in &mut row[p * q..(p + 1) * q] {
-                    *x = 0;
+                if let Some(t) = &mut self.crt {
+                    t.append_row_sparse_i64(&entries)?;
                 }
             }
         }
@@ -362,10 +374,11 @@ impl GeneralObservationKernel {
 
     /// Verified rank of `M_{rounds-1}^{(k)}`.
     pub fn rank(&self) -> usize {
-        match (&self.exact, &self.modp) {
-            (Some(t), _) => t.rank(),
-            (None, Some(t)) => t.rank(),
-            (None, None) => unreachable!("one tracker always present"),
+        match (&self.exact, &self.modp, &self.crt) {
+            (Some(t), _, _) => t.rank(),
+            (_, Some(t), _) => t.rank(),
+            (_, _, Some(t)) => t.rank(),
+            _ => unreachable!("one tracker always present"),
         }
     }
 
@@ -381,7 +394,9 @@ impl GeneralObservationKernel {
     /// backend: the identity on [`SolverBackend::Exact`], a one-shot
     /// exact replay on [`SolverBackend::ModpCertified`] — the second
     /// tier of the certification protocol, paid only at the candidate
-    /// decision round.
+    /// decision round. [`SolverBackend::CrtCertified`] first attempts
+    /// the replay-free [`crt_certificate`](Self::crt_certificate) and
+    /// only replays when reconstruction fails (fail-closed).
     ///
     /// # Errors
     ///
@@ -389,14 +404,30 @@ impl GeneralObservationKernel {
     pub fn certify(&self) -> Result<usize, SystemKError> {
         match self.backend {
             SolverBackend::Exact => Ok(self.nullity()),
-            SolverBackend::ModpCertified => {
-                let mut exact = self.sys.observation_kernel();
-                for _ in 0..self.rounds {
-                    exact.push_round()?;
-                }
-                Ok(exact.nullity())
-            }
+            SolverBackend::ModpCertified => self.certify_by_replay(),
+            SolverBackend::CrtCertified => match self.crt_certificate() {
+                Some(cert) => Ok(cert.nullity),
+                None => self.certify_by_replay(),
+            },
         }
+    }
+
+    /// The one-shot exact replay: re-runs every observed round on the
+    /// exact backend and reports its nullity.
+    fn certify_by_replay(&self) -> Result<usize, SystemKError> {
+        let mut exact = self.sys.observation_kernel();
+        for _ in 0..self.rounds {
+            exact.push_round()?;
+        }
+        Ok(exact.nullity())
+    }
+
+    /// Attempts the replay-free certificate on the
+    /// [`SolverBackend::CrtCertified`] backend
+    /// ([`CrtKernelTracker::certify`]); `None` on other backends or when
+    /// any reconstruction / verification step fails.
+    pub fn crt_certificate(&self) -> Option<CrtCertificate> {
+        self.crt.as_ref().and_then(CrtKernelTracker::certify)
     }
 
     /// The underlying exact tracker (for echelon / kernel-basis
@@ -404,9 +435,11 @@ impl GeneralObservationKernel {
     ///
     /// # Panics
     ///
-    /// Panics on the [`SolverBackend::ModpCertified`] backend, which
-    /// maintains no exact echelon (use [`certify`](Self::certify) /
-    /// [`modp_tracker`](Self::modp_tracker) there).
+    /// Panics on the [`SolverBackend::ModpCertified`] and
+    /// [`SolverBackend::CrtCertified`] backends, which maintain no exact
+    /// echelon (use [`certify`](Self::certify) /
+    /// [`modp_tracker`](Self::modp_tracker) /
+    /// [`crt_tracker`](Self::crt_tracker) there).
     pub fn tracker(&self) -> &KernelTracker {
         self.exact
             .as_ref()
@@ -417,6 +450,12 @@ impl GeneralObservationKernel {
     /// [`SolverBackend::ModpCertified`].
     pub fn modp_tracker(&self) -> Option<&ModpKernelTracker> {
         self.modp.as_ref()
+    }
+
+    /// The underlying three-prime tracker, when on
+    /// [`SolverBackend::CrtCertified`].
+    pub fn crt_tracker(&self) -> Option<&CrtKernelTracker> {
+        self.crt.as_ref()
     }
 }
 
@@ -433,15 +472,17 @@ impl GeneralSystem {
         &self,
         backend: SolverBackend,
     ) -> GeneralObservationKernel {
-        let (exact, modp) = match backend {
-            SolverBackend::Exact => (Some(KernelTracker::new(1)), None),
-            SolverBackend::ModpCertified => (None, Some(ModpKernelTracker::new(1))),
+        let (exact, modp, crt) = match backend {
+            SolverBackend::Exact => (Some(KernelTracker::new(1)), None, None),
+            SolverBackend::ModpCertified => (None, Some(ModpKernelTracker::new(1)), None),
+            SolverBackend::CrtCertified => (None, None, Some(CrtKernelTracker::new(1))),
         };
         GeneralObservationKernel {
             sys: *self,
             backend,
             exact,
             modp,
+            crt,
             rounds: 0,
         }
     }
@@ -713,6 +754,34 @@ mod tests {
             // Second tier: one exact replay certifies the final nullity.
             assert_eq!(fast.certify().unwrap(), exact.nullity(), "k={k}");
             assert_eq!(exact.certify().unwrap(), exact.nullity(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn crt_general_kernel_agrees_with_exact() {
+        for k in [1u8, 2, 3, 4] {
+            let sys = GeneralSystem::new(k).unwrap();
+            let mut exact = sys.observation_kernel();
+            let mut fast = sys.observation_kernel_with_backend(SolverBackend::CrtCertified);
+            assert_eq!(fast.backend(), SolverBackend::CrtCertified);
+            let max_r = if k <= 2 { 3 } else { 1 };
+            for r in 0..=max_r {
+                exact.push_round().unwrap();
+                fast.push_round().unwrap();
+                assert_eq!(fast.rank(), exact.rank(), "k={k} r={r}");
+                assert_eq!(fast.nullity(), exact.nullity(), "k={k} r={r}");
+                assert_eq!(
+                    fast.crt_tracker().unwrap().pivots(),
+                    exact.tracker().pivots(),
+                    "k={k} r={r}"
+                );
+            }
+            // Replay-free second tier: the reconstructed certificate
+            // matches the exact kernel basis byte for byte.
+            let cert = fast.crt_certificate().expect("reconstruction certificate");
+            assert_eq!(cert.nullity, exact.nullity(), "k={k}");
+            assert_eq!(cert.basis, exact.tracker().kernel_basis().unwrap(), "k={k}");
+            assert_eq!(fast.certify().unwrap(), exact.nullity(), "k={k}");
         }
     }
 

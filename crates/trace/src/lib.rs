@@ -105,6 +105,12 @@ pub struct RoundEvent {
     /// (e.g. `"kernel|violation:connectivity|r2|crash,drop"`); set
     /// alongside [`fitness`](RoundEvent::fitness).
     pub coverage: Option<String>,
+    /// How the decision round's kernel dimension was certified by a fast
+    /// solver backend (`"crt"` for a reconstructed CRT certificate,
+    /// `"exact-replay"` for the one-shot exact re-elimination); absent on
+    /// non-decision rounds, on the exact backend, and unless the
+    /// algorithm opts in to certification tracing.
+    pub certification: Option<String>,
 }
 
 impl RoundEvent {
@@ -201,6 +207,13 @@ impl RoundEvent {
         self
     }
 
+    /// Sets the decision-round certification method label.
+    #[must_use]
+    pub fn certification(mut self, label: impl Into<String>) -> RoundEvent {
+        self.certification = Some(label.into());
+        self
+    }
+
     /// Renders the event as one compact JSON object (no trailing
     /// newline). Unset facets are omitted; field order is fixed, so equal
     /// events render to identical lines.
@@ -233,6 +246,7 @@ impl RoundEvent {
         string_field(&mut s, "violation", self.violation.as_deref());
         num(&mut s, "fitness", self.fitness.map(i128::from));
         string_field(&mut s, "coverage", self.coverage.as_deref());
+        string_field(&mut s, "certification", self.certification.as_deref());
         s.push('}');
         s
     }
@@ -267,7 +281,10 @@ impl RoundEvent {
             let after_key = key_start[key_end + 1..]
                 .strip_prefix(':')
                 .ok_or_else(|| TraceParseError::new(line, "expected ':'"))?;
-            if matches!(key, "adversary" | "fault" | "violation" | "coverage") {
+            if matches!(
+                key,
+                "adversary" | "fault" | "violation" | "coverage" | "certification"
+            ) {
                 let body = after_key
                     .strip_prefix('"')
                     .ok_or_else(|| TraceParseError::new(line, "expected a string value"))?;
@@ -276,6 +293,7 @@ impl RoundEvent {
                     "adversary" => event.adversary = Some(value),
                     "fault" => event.fault = Some(value),
                     "coverage" => event.coverage = Some(value),
+                    "certification" => event.certification = Some(value),
                     _ => event.violation = Some(value),
                 }
                 rest = &body[end + 1..];
@@ -621,6 +639,28 @@ mod tests {
         let line = sample().to_json_line();
         assert!(!line.contains("fault"));
         assert!(!line.contains("violation"));
+    }
+
+    #[test]
+    fn json_roundtrip_certification_facet() {
+        let e = RoundEvent::new(4)
+            .candidates(13, 13)
+            .kernel_dim(1)
+            .certification("crt");
+        let line = e.to_json_line();
+        assert_eq!(
+            line,
+            r#"{"round":4,"kernel_dim":1,"candidate_lo":13,"candidate_hi":13,"certification":"crt"}"#
+        );
+        assert_eq!(RoundEvent::from_json_line(&line).unwrap(), e);
+        let replay = RoundEvent::from_json_line(
+            r#"{"round":4,"certification":"exact-replay"}"#,
+        )
+        .unwrap();
+        assert_eq!(replay.certification.as_deref(), Some("exact-replay"));
+        // Unset certification is omitted, keeping pre-CRT traces
+        // byte-identical.
+        assert!(!sample().to_json_line().contains("certification"));
     }
 
     #[test]

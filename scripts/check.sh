@@ -35,6 +35,26 @@ if [[ $fast -eq 0 ]]; then
     cargo build --release -p anonet-bench --quiet
     target/release/exp_linalg_scaling --smoke >/dev/null
     target/release/exp_modp_scaling --smoke >/dev/null
+
+    echo "==> mod-p elimination determinism: exp_modp_scaling --smoke, 1 vs 4 threads"
+    # The smoke fast cell re-proves in-process that the fused append and
+    # the chunk-claiming batch eliminator are byte-identical to the
+    # scalar path; the cmp additionally pins the timing-stripped
+    # document (rank + echelon digest) across thread counts.
+    mbin=target/release/exp_modp_scaling
+    mserial=$(mktemp) mparallel=$(mktemp)
+    "$mbin" --smoke --threads 1 --json --no-timings >"$mserial"
+    "$mbin" --smoke --threads 4 --json --no-timings >"$mparallel"
+    if ! cmp -s "$mserial" "$mparallel"; then
+        echo "error: exp_modp_scaling output differs between 1 and 4 threads" >&2
+        diff "$mserial" "$mparallel" | head -20 >&2
+        rm -f "$mserial" "$mparallel"
+        exit 1
+    fi
+    rm -f "$mserial" "$mparallel"
+
+    echo "==> committed BENCH_modp.json gates (exp_modp_scaling --lint-bench: speedup floors, fast n >= 10^5)"
+    "$mbin" --lint-bench BENCH_modp.json >/dev/null
 fi
 
 if [[ $fast -eq 0 ]]; then

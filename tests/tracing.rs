@@ -182,6 +182,55 @@ fn modp_certified_backend_is_byte_identical_to_exact() {
 }
 
 #[test]
+fn crt_certified_backend_is_byte_identical_to_exact() {
+    // 50 seeded random G(DBL)_2 instances. The three-prime CRT backend
+    // must reproduce the exact backend's outcome, candidate trace, and
+    // event stream byte for byte: lane 0 is the single-prime watcher, so
+    // every per-round rank agrees, and the decision round is certified
+    // by CRT reconstruction (verified exactly) instead of a full exact
+    // replay.
+    use anonet::linalg::SolverBackend;
+    for seed in 0..50u64 {
+        let n = 1 + seed % 12;
+        let budget = bounds::counting_rounds_lower_bound(n) + 2;
+        let m = RandomDblAdversary::new(StdRng::seed_from_u64(seed))
+            .generate(n, budget as usize)
+            .unwrap();
+
+        let mut exact_sink = MemorySink::new();
+        let (exact, exact_trace) = KernelCounting::new()
+            .run_with_sink(&m, budget, &mut exact_sink)
+            .unwrap_or_else(|e| panic!("seed={seed} n={n}: {e}"));
+
+        let mut crt_sink = MemorySink::new();
+        let (crt, crt_trace) = KernelCounting::new()
+            .with_backend(SolverBackend::CrtCertified)
+            .run_with_sink(&m, budget, &mut crt_sink)
+            .unwrap_or_else(|e| panic!("seed={seed} n={n} (crt): {e}"));
+
+        assert_eq!(crt, exact, "seed={seed}: outcome must not depend on backend");
+        assert_eq!(
+            crt_trace.candidate_ranges, exact_trace.candidate_ranges,
+            "seed={seed}: candidate trace must not depend on backend"
+        );
+        assert_eq!(
+            crt_sink.events(),
+            exact_sink.events(),
+            "seed={seed}: event stream must not depend on backend"
+        );
+
+        if n <= 6 {
+            let exact_general = GeneralKCounting::new(5_000_000).run(&m, budget).unwrap();
+            let crt_general = GeneralKCounting::new(5_000_000)
+                .with_backend(SolverBackend::CrtCertified)
+                .run(&m, budget)
+                .unwrap();
+            assert_eq!(crt_general, exact_general, "seed={seed}: general-k backend");
+        }
+    }
+}
+
+#[test]
 fn custom_sinks_compose_with_the_simulator() {
     // A user-written sink: counts events, proving the trait is open.
     struct Counter(u32);
