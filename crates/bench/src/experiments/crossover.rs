@@ -1,0 +1,872 @@
+//! Kernel vs history-tree vs degree-oracle head-to-head
+//! (`exp_crossover`, `BENCH_crossover.json`).
+//!
+//! The paper's kernel counting pays for anonymity with a `3^r`-column
+//! observation system; the history-tree algorithm
+//! ([`HistoryTreeCounting`](anonet_core::algorithms::HistoryTreeCounting))
+//! pays `O(deliveries)` per round but only decides when the tree's
+//! spine dies; the degree oracle is `O(1)` rounds but needs the
+//! restricted `G(PD)_2` model. This grid runs all three — through their
+//! **unguarded** verdict runners, so each reports whatever its decision
+//! rule says — on identical twin-adversary executions and identical
+//! [`FaultPlan`]s, and records termination round and wall-clock per
+//! arm. The committed document locates the *crossover*: the cells where
+//! the history-tree algorithm terminates in fewer rounds **and** less
+//! wall-clock than the kernel solver.
+//!
+//! Two cell families per size `n` (even-depth twin sizes
+//! `n = (3^{2j} − 1)/2`, where the spine dies at `horizon + 1` and the
+//! history-tree decision ties the kernel's `horizon + 2` bound):
+//!
+//! * **clean** — the empty plan. The kernel algorithm is *optimal* (it
+//!   decides at the first information-theoretically decidable round),
+//!   so no clean cell can ever show a round win; both exact algorithms
+//!   decide `n` at `horizon + 2` and the comparison is wall-clock only.
+//! * **fault** — one duplicated delivery at round `horizon + 1`
+//!   ([`fault_plan`]): the canonical-first delivery of the spine-death
+//!   round, which is *off-spine* (the spine is already silent), so the
+//!   history-tree sums are untouched and it still reports exactly `n`
+//!   at `horizon + 2` — while the kernel's observation system stays
+//!   feasible-but-ambiguous and burns the whole `horizon + 4` budget
+//!   undecided. Fewer rounds *and* less wall-clock, under the identical
+//!   schedule: the crossover the `--lint-bench` gate pins.
+//!
+//! Every cell re-proves correctness in-process before anything is
+//! recorded: the history-tree arm must report exactly `n` at
+//! `horizon + 2` on **both** families, the kernel arm must report
+//! exactly `n` at `horizon + 2` on clean cells and must *not* report
+//! `n` on fault cells, and the degree oracle must count its transformed
+//! network (`n + 3`: Lemma 1's transform adds three auxiliary nodes) on
+//! every cell — delivery-level faults do not project to graph edges.
+//!
+//! The emitted document holds only strings and integers (ratios in
+//! permille) so the committed file re-parses under the float-free
+//! [`anonet_trace::json`] reader; `bench_doc(cells, false)` omits the
+//! timing fields, and `scripts/check.sh` byte-compares that form across
+//! thread counts.
+
+use anonet_core::experiment::Table;
+use anonet_core::verdict::{
+    degree_oracle_verdict, history_tree_verdict, kernel_verdict, FaultPlan, Verdict,
+};
+use anonet_multigraph::adversary::TwinBuilder;
+use anonet_multigraph::transform;
+use serde::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Stride of the fault plan's duplicated-delivery residue class — far
+/// larger than any round's delivery count, so exactly one delivery
+/// (canonical index 0) is duplicated.
+pub const DUP_STRIDE: u32 = 1 << 20;
+
+/// Minimum size the largest cell of a committed full run must reach
+/// (`n = (3^10 − 1)/2`, horizon 9 — deep enough that the kernel's
+/// observation system tops out at `3^10 = 59049` columns).
+pub const MIN_LARGEST_N: u64 = 29_524;
+
+/// Grid size selector for [`grid_specs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grid {
+    /// One clean and one fault cell at `n = 40` (the CI smoke).
+    Smoke,
+    /// Reduced grid for `--quick` runs.
+    Quick,
+    /// The full grid behind the committed `BENCH_crossover.json`,
+    /// topping out at `n = 29524`.
+    Full,
+}
+
+/// One algorithm arm of a crossover cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmResult {
+    /// The verdict's stable label (`"correct(40)"`, `"undecided"`, …).
+    pub verdict: String,
+    /// The decided count, `-1` when the arm refused to output one.
+    pub count: i64,
+    /// Termination round: the decision round for `Correct`, the
+    /// consumed budget for `Undecided`, the detection round for
+    /// `ModelViolation`.
+    pub rounds: u32,
+    /// Wall-clock microseconds (min over the cell's reps).
+    pub micros: u64,
+}
+
+impl ArmResult {
+    fn new(v: &Verdict, micros: u64) -> ArmResult {
+        let rounds = match v {
+            Verdict::Correct { rounds, .. } | Verdict::Undecided { rounds, .. } => *rounds,
+            Verdict::ModelViolation { round, .. } => *round,
+        };
+        ArmResult {
+            verdict: v.label(),
+            count: v.count().map_or(-1, |c| c as i64),
+            rounds,
+            micros,
+        }
+    }
+}
+
+/// One cell of the crossover grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossoverCell {
+    /// Network size (the smaller twin).
+    pub n: u64,
+    /// Whether the [`fault_plan`] was applied (else the empty plan).
+    pub fault: bool,
+    /// The Lemma 5 indistinguishability horizon for `n`.
+    pub horizon: u32,
+    /// Round budget handed to every arm (`horizon + 4`).
+    pub max_rounds: u32,
+    /// The kernel (affine-solver) arm.
+    pub kernel: ArmResult,
+    /// The history-tree (alternating spine sum) arm.
+    pub ht: ArmResult,
+    /// The degree-oracle arm (on the Lemma 1 `G(PD)_2` transform).
+    pub oracle: ArmResult,
+}
+
+impl CrossoverCell {
+    /// History-tree-over-kernel wall-clock ratio in permille (< 1000
+    /// means the history-tree arm was faster).
+    pub fn ht_over_kernel_permille(&self) -> u64 {
+        self.ht.micros.saturating_mul(1000) / self.kernel.micros.max(1)
+    }
+
+    /// True when this cell shows the crossover: the history-tree arm
+    /// reported exactly `n` in strictly fewer rounds *and* strictly
+    /// less wall-clock than the kernel arm, which did not report `n`.
+    pub fn is_crossover(&self) -> bool {
+        self.ht.verdict == format!("correct({})", self.n)
+            && self.kernel.verdict != format!("correct({})", self.n)
+            && self.ht.rounds < self.kernel.rounds
+            && self.ht.micros < self.kernel.micros
+    }
+}
+
+/// The canonical fault plan of the grid's fault cells: duplicate the
+/// single canonical-first delivery of round `horizon + 1` (the
+/// spine-death round; the duplicate is off-spine by construction, so
+/// the history-tree sums are unchanged).
+pub fn fault_plan(horizon: u32) -> FaultPlan {
+    FaultPlan::new().duplicate_deliveries(horizon + 1, DUP_STRIDE, 0)
+}
+
+/// Minimum wall-clock micros of `reps` executions of `f` (at least 1).
+fn time_micros(reps: usize, mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_micros() as u64);
+    }
+    best.max(1)
+}
+
+/// Pre-run coordinates of one grid cell (what the checkpoint runner
+/// journals cells under across resumes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Network size (an even-depth twin size).
+    pub n: u64,
+    /// Whether to apply the [`fault_plan`].
+    pub fault: bool,
+}
+
+impl CellSpec {
+    /// Stable identifier used in checkpoint journals.
+    pub fn id(&self) -> String {
+        format!(
+            "crossover:n={},{}",
+            self.n,
+            if self.fault { "fault" } else { "clean" }
+        )
+    }
+
+    /// Runs the cell (serially, for timing fidelity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any correctness gate fails — the twin construction,
+    /// the history-tree arm deciding anything but exactly `n` at
+    /// `horizon + 2`, the kernel arm deciding off that bound on a clean
+    /// cell or reporting `n` on a fault cell, or the oracle miscounting
+    /// its transform — the checkpoint runner catches this into a cell
+    /// failure.
+    pub fn run(&self) -> CrossoverCell {
+        let CellSpec { n, fault } = *self;
+        let pair = TwinBuilder::new().build(n).expect("twin construction");
+        let m = &pair.smaller;
+        let horizon = pair.horizon;
+        let max_rounds = horizon + 4;
+        let plan = if fault {
+            fault_plan(horizon)
+        } else {
+            FaultPlan::new()
+        };
+        // All arms run unguarded: the grid measures what each decision
+        // rule *reports*, not the watchdogs (exp_faults covers those).
+        let kernel_v = kernel_verdict(m, max_rounds, &plan, false);
+        let ht_v = history_tree_verdict(m, max_rounds, &plan, false);
+        let net = transform::to_pd2(m, max_rounds as usize)
+            .expect("twin executions transform to G(PD)_2");
+        let oracle_v = degree_oracle_verdict(net.clone(), &plan, false);
+
+        // In-process correctness before anything is timed.
+        assert_eq!(
+            ht_v,
+            Verdict::Correct {
+                count: n,
+                rounds: horizon + 2
+            },
+            "n={n} fault={fault}: history-tree must report exactly n at horizon + 2"
+        );
+        if fault {
+            assert_ne!(
+                kernel_v.count(),
+                Some(n),
+                "n={n}: the faulted kernel run must not report the true count"
+            );
+        } else {
+            assert_eq!(
+                kernel_v,
+                Verdict::Correct {
+                    count: n,
+                    rounds: horizon + 2
+                },
+                "n={n}: the clean kernel run must decide exactly n at horizon + 2"
+            );
+        }
+        // Delivery-level faults do not project onto graph edges, so the
+        // oracle counts its transformed network on both families.
+        assert_eq!(
+            oracle_v.count(),
+            Some(n + 3),
+            "n={n} fault={fault}: the oracle must count the n + 3 transform nodes"
+        );
+
+        // Timing: min-of-reps per arm; small cells are noise-prone and
+        // re-run more. The arm includes its full pipeline — simulation
+        // (or, for the oracle, a clone of the pre-built transform) plus
+        // the leader — so the wall-clock comparison is end to end.
+        let reps = if n < 10_000 { 3 } else { 1 };
+        let kernel_micros = time_micros(reps, || {
+            black_box(kernel_verdict(m, max_rounds, &plan, false));
+        });
+        let ht_micros = time_micros(reps, || {
+            black_box(history_tree_verdict(m, max_rounds, &plan, false));
+        });
+        let oracle_micros = time_micros(reps, || {
+            black_box(degree_oracle_verdict(net.clone(), &plan, false));
+        });
+
+        CrossoverCell {
+            n,
+            fault,
+            horizon,
+            max_rounds,
+            kernel: ArmResult::new(&kernel_v, kernel_micros),
+            ht: ArmResult::new(&ht_v, ht_micros),
+            oracle: ArmResult::new(&oracle_v, oracle_micros),
+        }
+    }
+}
+
+/// The grid's cell specs, in grid order (all clean cells, then all
+/// fault cells, each by ascending `n`). All sizes are even-depth twin
+/// sizes `n = (3^{2j} − 1)/2` — the family where the truncated
+/// spine-death rule terminates.
+pub fn grid_specs(grid: Grid) -> Vec<CellSpec> {
+    let (clean, fault): (&[u64], &[u64]) = match grid {
+        Grid::Smoke => (&[40], &[40]),
+        Grid::Quick => (&[4, 40, 364], &[40, 364]),
+        Grid::Full => (&[4, 40, 364, 3_280, 29_524], &[40, 364, 3_280, 29_524]),
+    };
+    let spec = |&n: &u64, fault: bool| CellSpec { n, fault };
+    clean
+        .iter()
+        .map(|n| spec(n, false))
+        .chain(fault.iter().map(|n| spec(n, true)))
+        .collect()
+}
+
+/// Runs the crossover grid serially (timing fidelity) and returns its
+/// cells in grid order.
+pub fn run_crossover(grid: Grid) -> Vec<CrossoverCell> {
+    grid_specs(grid).iter().map(CellSpec::run).collect()
+}
+
+/// Serializes a cell as a single-line checkpoint payload (strings and
+/// integers only — see the module docs).
+pub fn cell_payload(cell: &CrossoverCell) -> String {
+    serde_json::to_string(&cell_value(cell, true)).expect("cell serializes")
+}
+
+/// Rebuilds a cell from a checkpoint payload.
+///
+/// # Errors
+///
+/// Returns a description of the first missing/mistyped field.
+pub fn cell_from_payload(payload: &anonet_trace::json::JsonValue) -> Result<CrossoverCell, String> {
+    use anonet_trace::json::JsonValue;
+    let int_field = |key: &str| -> Result<i128, String> {
+        payload
+            .get(key)
+            .and_then(JsonValue::as_int)
+            .ok_or_else(|| format!("cell payload is missing integer `{key}`"))
+    };
+    let str_field = |key: &str| -> Result<String, String> {
+        payload
+            .get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("cell payload is missing string `{key}`"))
+    };
+    let as_u64 =
+        |v: i128, key: &str| u64::try_from(v).map_err(|_| format!("cell payload `{key}` out of range"));
+    let as_u32 =
+        |v: i128, key: &str| u32::try_from(v).map_err(|_| format!("cell payload `{key}` out of range"));
+    let as_i64 =
+        |v: i128, key: &str| i64::try_from(v).map_err(|_| format!("cell payload `{key}` out of range"));
+    let arm = |prefix: &str| -> Result<ArmResult, String> {
+        Ok(ArmResult {
+            verdict: str_field(&format!("{prefix}_verdict"))?,
+            count: as_i64(int_field(&format!("{prefix}_count"))?, prefix)?,
+            rounds: as_u32(int_field(&format!("{prefix}_rounds"))?, prefix)?,
+            micros: as_u64(int_field(&format!("{prefix}_micros"))?, prefix)?,
+        })
+    };
+    Ok(CrossoverCell {
+        n: as_u64(int_field("n")?, "n")?,
+        fault: int_field("fault")? != 0,
+        horizon: as_u32(int_field("horizon")?, "horizon")?,
+        max_rounds: as_u32(int_field("max_rounds")?, "max_rounds")?,
+        kernel: arm("kernel")?,
+        ht: arm("ht")?,
+        oracle: arm("oracle")?,
+    })
+}
+
+/// Renders the grid as the `crossover` experiment table.
+pub fn crossover_table(cells: &[CrossoverCell]) -> Table {
+    let mut t = Table::new(
+        "crossover",
+        "kernel vs history-tree vs degree-oracle under identical schedules (µs per run)",
+        &[
+            "n",
+            "plan",
+            "kernel",
+            "kernel_r",
+            "kernel_us",
+            "ht",
+            "ht_r",
+            "ht_us",
+            "oracle_us",
+            "ht/kernel",
+        ],
+    );
+    for c in cells {
+        t.push_row(vec![
+            c.n.to_string(),
+            if c.fault { "fault" } else { "clean" }.to_string(),
+            c.kernel.verdict.clone(),
+            c.kernel.rounds.to_string(),
+            c.kernel.micros.to_string(),
+            c.ht.verdict.clone(),
+            c.ht.rounds.to_string(),
+            c.ht.micros.to_string(),
+            c.oracle.micros.to_string(),
+            format!("{}m", c.ht_over_kernel_permille()),
+        ]);
+    }
+    t
+}
+
+/// The crossover cell with the best (lowest) history-tree-over-kernel
+/// wall-clock ratio, if any ([`CrossoverCell::is_crossover`]).
+pub fn best_crossover(cells: &[CrossoverCell]) -> Option<&CrossoverCell> {
+    cells
+        .iter()
+        .filter(|c| c.is_crossover())
+        .min_by_key(|c| c.ht_over_kernel_permille())
+}
+
+/// Acceptance gates for full runs of the grid.
+///
+/// * at least one fault cell must show the crossover
+///   ([`CrossoverCell::is_crossover`]: exact count in strictly fewer
+///   rounds and strictly less wall-clock than the kernel arm);
+/// * the grid must reach [`MIN_LARGEST_N`].
+///
+/// (Per-cell correctness — the history-tree bound, the kernel's clean
+/// optimality, the oracle count — is asserted inside [`CellSpec::run`]
+/// on every grid size, not here.)
+///
+/// # Errors
+///
+/// Returns a description of the first violated gate.
+pub fn check_gates(cells: &[CrossoverCell]) -> Result<(), String> {
+    if best_crossover(cells).is_none() {
+        return Err(
+            "no fault cell shows the history-tree arm beating the kernel on rounds and wall-clock"
+                .to_string(),
+        );
+    }
+    let max_n = cells.iter().map(|c| c.n).max().unwrap_or(0);
+    if max_n < MIN_LARGEST_N {
+        return Err(format!(
+            "grid tops out at n={max_n}, below the n={MIN_LARGEST_N} target"
+        ));
+    }
+    Ok(())
+}
+
+/// One cell as a document value; `timings` false omits the timing
+/// fields, leaving only columns that are bit-for-bit reproducible on
+/// any machine at any thread count (the `--no-timings` byte-compare
+/// form — every verdict, count and round here is deterministic).
+fn cell_value(c: &CrossoverCell, timings: bool) -> Value {
+    let mut entries = vec![
+        ("n".to_string(), Value::Int(c.n as i128)),
+        ("fault".to_string(), Value::Int(i128::from(c.fault))),
+        ("horizon".to_string(), Value::Int(c.horizon as i128)),
+        ("max_rounds".to_string(), Value::Int(c.max_rounds as i128)),
+    ];
+    for (prefix, arm) in [("kernel", &c.kernel), ("ht", &c.ht), ("oracle", &c.oracle)] {
+        entries.push((
+            format!("{prefix}_verdict"),
+            Value::Str(arm.verdict.clone()),
+        ));
+        entries.push((format!("{prefix}_count"), Value::Int(arm.count as i128)));
+        entries.push((format!("{prefix}_rounds"), Value::Int(arm.rounds as i128)));
+        if timings {
+            entries.push((format!("{prefix}_micros"), Value::Int(arm.micros as i128)));
+        }
+    }
+    if timings {
+        entries.push((
+            "ht_over_kernel_permille".to_string(),
+            Value::Int(c.ht_over_kernel_permille() as i128),
+        ));
+    }
+    Value::Object(entries)
+}
+
+/// Builds the `BENCH_crossover.json` document for a finished grid.
+/// `timings` false produces the deterministic `--no-timings` form (see
+/// [`cell_value`]).
+pub fn bench_doc(cells: &[CrossoverCell], timings: bool) -> Value {
+    let mut entries = vec![
+        ("bench".to_string(), Value::Str("crossover".to_string())),
+        ("schema_version".to_string(), Value::Int(1)),
+        (
+            "fault_stride".to_string(),
+            Value::Int(DUP_STRIDE as i128),
+        ),
+        (
+            "grid".to_string(),
+            Value::Array(cells.iter().map(|c| cell_value(c, timings)).collect()),
+        ),
+    ];
+    if timings {
+        if let Some(best) = best_crossover(cells) {
+            entries.push(("best_crossover_cell".to_string(), cell_value(best, true)));
+        }
+    }
+    Value::Object(entries)
+}
+
+/// Looks up a key in a [`Value::Object`].
+fn field<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key {key:?}")),
+        _ => Err(format!("expected object around {key:?}")),
+    }
+}
+
+/// In-process schema check for a [`bench_doc`] document (either form),
+/// run before anything is written or printed: top-level keys, per-cell
+/// shape, the history-tree arm pinned to `correct(n)` at
+/// `horizon + 2`, `max_rounds = horizon + 4`, and timing fields
+/// present/absent consistently.
+///
+/// # Errors
+///
+/// Returns a description of the first violated rule.
+pub fn validate_doc(doc: &Value) -> Result<(), String> {
+    match field(doc, "bench")? {
+        Value::Str(s) if s == "crossover" => {}
+        other => return Err(format!("bad bench name: {other:?}")),
+    }
+    match field(doc, "schema_version")? {
+        Value::Int(1) => {}
+        other => return Err(format!("bad schema_version: {other:?}")),
+    }
+    match field(doc, "fault_stride")? {
+        Value::Int(v) if *v == DUP_STRIDE as i128 => {}
+        other => return Err(format!("bad fault_stride: {other:?}")),
+    }
+    let cell_shape = |cell: &Value| -> Result<bool, String> {
+        let int = |key: &str| -> Result<i128, String> {
+            match field(cell, key)? {
+                Value::Int(v) => Ok(*v),
+                other => Err(format!("bad {key}: {other:?}")),
+            }
+        };
+        let n = int("n")?;
+        if n <= 0 {
+            return Err("n must be positive".to_string());
+        }
+        if !matches!(int("fault")?, 0 | 1) {
+            return Err(format!("cell n={n}: fault must be 0 or 1"));
+        }
+        if int("max_rounds")? != int("horizon")? + 4 {
+            return Err(format!("cell n={n}: max_rounds must be horizon + 4"));
+        }
+        match field(cell, "ht_verdict")? {
+            Value::Str(s) if *s == format!("correct({n})") => {}
+            other => {
+                return Err(format!(
+                    "cell n={n}: history-tree arm must report correct({n}), got {other:?}"
+                ))
+            }
+        }
+        if int("ht_rounds")? != int("horizon")? + 2 {
+            return Err(format!("cell n={n}: history-tree decided off horizon + 2"));
+        }
+        for prefix in ["kernel", "ht", "oracle"] {
+            if field(cell, &format!("{prefix}_verdict")).is_err() {
+                return Err(format!("cell n={n}: missing {prefix} arm"));
+            }
+            if int(&format!("{prefix}_rounds"))? <= 0 {
+                return Err(format!("cell n={n}: {prefix}_rounds must be positive"));
+            }
+        }
+        let timed = field(cell, "ht_micros").is_ok();
+        if timed {
+            for prefix in ["kernel", "ht", "oracle"] {
+                if int(&format!("{prefix}_micros"))? <= 0 {
+                    return Err(format!("cell n={n}: {prefix}_micros must be positive"));
+                }
+            }
+            if int("ht_over_kernel_permille")? <= 0 {
+                return Err(format!("cell n={n}: ht_over_kernel_permille must be positive"));
+            }
+        }
+        Ok(timed)
+    };
+    let Value::Array(grid) = field(doc, "grid")? else {
+        return Err("grid must be an array".to_string());
+    };
+    if grid.is_empty() {
+        return Err("grid must be non-empty".to_string());
+    }
+    let timed = cell_shape(&grid[0])?;
+    for cell in grid {
+        if cell_shape(cell)? != timed {
+            return Err("grid mixes timed and timing-free cells".to_string());
+        }
+    }
+    if timed {
+        if let Ok(best) = field(doc, "best_crossover_cell") {
+            cell_shape(best)?;
+        }
+    } else if field(doc, "best_crossover_cell").is_ok() {
+        return Err("timing-free docs must omit best_crossover_cell".to_string());
+    }
+    Ok(())
+}
+
+/// Gates a *committed* `BENCH_crossover.json`, re-parsed through the
+/// vendored [`anonet_trace::json`] reader (the `--lint-bench` CI
+/// check): full schema including timings, at least one fault cell
+/// showing the crossover (history-tree arm `correct(n)` in strictly
+/// fewer rounds and strictly less wall-clock than a kernel arm that
+/// did not report `n`), and the [`MIN_LARGEST_N`] target.
+///
+/// # Errors
+///
+/// Returns a description of the first violated rule.
+pub fn lint_committed(doc: &anonet_trace::json::JsonValue) -> Result<(), String> {
+    use anonet_trace::json::JsonValue;
+    let str_field = |v: &JsonValue, key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string `{key}`"))
+    };
+    let int_field = |v: &JsonValue, key: &str| -> Result<i128, String> {
+        v.get(key)
+            .and_then(JsonValue::as_int)
+            .ok_or_else(|| format!("missing integer `{key}`"))
+    };
+    if str_field(doc, "bench")? != "crossover" {
+        return Err("bad bench name".to_string());
+    }
+    if int_field(doc, "schema_version")? != 1 {
+        return Err("bad schema_version".to_string());
+    }
+    if int_field(doc, "fault_stride")? != DUP_STRIDE as i128 {
+        return Err(format!(
+            "committed fault stride differs from the compiled {DUP_STRIDE}"
+        ));
+    }
+    let grid = doc
+        .get("grid")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing array `grid`")?;
+    if grid.is_empty() {
+        return Err("grid must be non-empty".to_string());
+    }
+    let mut max_n = 0i128;
+    let mut crossover_seen = false;
+    for cell in grid {
+        let n = int_field(cell, "n")?;
+        if str_field(cell, "ht_verdict")? != format!("correct({n})") {
+            return Err(format!("cell n={n}: history-tree arm is not correct({n})"));
+        }
+        if int_field(cell, "ht_rounds")? != int_field(cell, "horizon")? + 2 {
+            return Err(format!("cell n={n}: history-tree decided off horizon + 2"));
+        }
+        for key in ["kernel_micros", "ht_micros", "oracle_micros"] {
+            if int_field(cell, key)? <= 0 {
+                return Err(format!("cell n={n}: {key} must be positive"));
+            }
+        }
+        let kernel_true = str_field(cell, "kernel_verdict")? == format!("correct({n})");
+        let fault = int_field(cell, "fault")? != 0;
+        if !fault && !kernel_true {
+            return Err(format!("cell n={n}: clean kernel arm must be correct({n})"));
+        }
+        if fault && kernel_true {
+            return Err(format!(
+                "cell n={n}: faulted kernel arm silently reported the true count"
+            ));
+        }
+        max_n = max_n.max(n);
+        if fault
+            && !kernel_true
+            && int_field(cell, "ht_rounds")? < int_field(cell, "kernel_rounds")?
+            && int_field(cell, "ht_micros")? < int_field(cell, "kernel_micros")?
+        {
+            crossover_seen = true;
+        }
+    }
+    if !crossover_seen {
+        return Err(
+            "no committed fault cell shows the history-tree arm beating the kernel on rounds and wall-clock"
+                .to_string(),
+        );
+    }
+    if max_n < MIN_LARGEST_N as i128 {
+        return Err(format!(
+            "committed grid tops out at n={max_n}, below the n={MIN_LARGEST_N} target"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anonet_trace::json::JsonValue;
+
+    /// Debug-build-sized cells (the committed grid's large cells are
+    /// release-only territory).
+    fn tiny_cells() -> Vec<CrossoverCell> {
+        [
+            CellSpec { n: 4, fault: false },
+            CellSpec { n: 4, fault: true },
+        ]
+        .iter()
+        .map(CellSpec::run)
+        .collect()
+    }
+
+    #[test]
+    fn cells_run_validate_and_tabulate() {
+        let cells = tiny_cells();
+        // Both arms tie on the clean cell (the kernel is optimal)…
+        assert_eq!(cells[0].kernel.rounds, cells[0].ht.rounds);
+        assert_eq!(cells[0].kernel.count, 4);
+        // …and the fault cell shows the round win (wall-clock is too
+        // noisy to assert at this size; the committed gate covers it).
+        assert_eq!(cells[1].ht.verdict, "correct(4)");
+        assert_ne!(cells[1].kernel.verdict, "correct(4)");
+        assert!(cells[1].ht.rounds < cells[1].kernel.rounds);
+        for timings in [true, false] {
+            validate_doc(&bench_doc(&cells, timings)).expect("doc validates");
+        }
+        assert_eq!(crossover_table(&cells).rows.len(), cells.len());
+    }
+
+    #[test]
+    fn no_timings_doc_is_thread_and_machine_free() {
+        let cells = tiny_cells();
+        let doc = serde_json::to_string(&bench_doc(&cells, false)).expect("serializes");
+        assert!(!doc.contains("micros"), "timings leaked: {doc}");
+        assert!(!doc.contains("permille"), "derived ratio leaked: {doc}");
+        // Two runs of the same grid agree bit-for-bit once stripped.
+        let again = serde_json::to_string(&bench_doc(&tiny_cells(), false)).expect("serializes");
+        assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn cell_round_trips_through_payload() {
+        for cell in tiny_cells() {
+            let payload = cell_payload(&cell);
+            assert!(!payload.contains('\n'));
+            let parsed = JsonValue::parse(&payload).expect("payload parses");
+            assert_eq!(cell_from_payload(&parsed).expect("rebuilds"), cell);
+        }
+    }
+
+    fn synthetic_cell(n: u64, fault: bool, crossover: bool) -> CrossoverCell {
+        let arm = |verdict: &str, rounds: u32, micros: u64| ArmResult {
+            verdict: verdict.to_string(),
+            count: if verdict.starts_with("correct(") {
+                n as i64
+            } else {
+                -1
+            },
+            rounds,
+            micros,
+        };
+        let correct = format!("correct({n})");
+        CrossoverCell {
+            n,
+            fault,
+            horizon: 9,
+            max_rounds: 13,
+            kernel: if crossover {
+                arm("undecided", 13, 900)
+            } else {
+                arm(&correct, 11, 500)
+            },
+            ht: arm(&correct, 11, 300),
+            oracle: ArmResult {
+                verdict: format!("correct({})", n + 3),
+                count: (n + 3) as i64,
+                rounds: 4,
+                micros: 100,
+            },
+        }
+    }
+
+    #[test]
+    fn gates_judge_the_crossover_and_size() {
+        let good = vec![
+            synthetic_cell(29_524, false, false),
+            synthetic_cell(29_524, true, true),
+        ];
+        check_gates(&good).expect("crossover at the target size passes");
+        assert!(good[1].is_crossover());
+        assert!(!good[0].is_crossover());
+        assert_eq!(best_crossover(&good).unwrap().n, 29_524);
+
+        let no_win = vec![synthetic_cell(29_524, false, false)];
+        assert!(check_gates(&no_win).unwrap_err().contains("crossover") ||
+            check_gates(&no_win).unwrap_err().contains("beating"));
+
+        let small = vec![
+            synthetic_cell(40, false, false),
+            synthetic_cell(40, true, true),
+        ];
+        assert!(check_gates(&small).unwrap_err().contains("target"));
+    }
+
+    #[test]
+    fn lint_gates_the_committed_document() {
+        // A structurally valid doc that still fails the committed gates
+        // (tiny n): lint must reject on the size target.
+        let cells = vec![
+            synthetic_cell(40, false, false),
+            synthetic_cell(40, true, true),
+        ];
+        let doc = serde_json::to_string(&bench_doc(&cells, true)).expect("serializes");
+        let parsed = JsonValue::parse(&doc).expect("document re-parses float-free");
+        assert!(lint_committed(&parsed).unwrap_err().contains("target"));
+
+        // The full-size document passes…
+        let cells = vec![
+            synthetic_cell(29_524, false, false),
+            synthetic_cell(29_524, true, true),
+        ];
+        let doc = serde_json::to_string(&bench_doc(&cells, true)).expect("serializes");
+        let parsed = JsonValue::parse(&doc).expect("re-parses");
+        lint_committed(&parsed).expect("full synthetic doc lints");
+
+        // …and tampering with the history-tree bound is caught.
+        let bad = doc.replace("\"ht_rounds\":11", "\"ht_rounds\":12");
+        let parsed = JsonValue::parse(&bad).expect("still json");
+        assert!(lint_committed(&parsed)
+            .unwrap_err()
+            .contains("horizon + 2"));
+
+        // A fault cell whose kernel arm reports the true count is a
+        // silent-wrong escape: the lint refuses it.
+        let cells = vec![
+            synthetic_cell(29_524, false, false),
+            synthetic_cell(29_524, true, false),
+        ];
+        let doc = serde_json::to_string(&bench_doc(&cells, true)).expect("serializes");
+        let parsed = JsonValue::parse(&doc).expect("re-parses");
+        assert!(lint_committed(&parsed)
+            .unwrap_err()
+            .contains("silently reported"));
+    }
+
+    #[test]
+    fn validation_rejects_tampered_docs() {
+        let cells = tiny_cells();
+        let doc = bench_doc(&cells, true);
+
+        let mut bad = doc.clone();
+        if let Value::Object(entries) = &mut bad {
+            entries[0].1 = Value::Str("other".to_string());
+        }
+        assert!(validate_doc(&bad).unwrap_err().contains("bench name"));
+
+        let mut bad = doc.clone();
+        if let Value::Object(entries) = &mut bad {
+            for (k, v) in entries.iter_mut() {
+                if k == "grid" {
+                    *v = Value::Array(Vec::new());
+                }
+            }
+        }
+        assert!(validate_doc(&bad).unwrap_err().contains("non-empty"));
+
+        // A timing-free doc must not carry the best-crossover summary.
+        let mut bad = bench_doc(&cells, false);
+        if let Value::Object(entries) = &mut bad {
+            entries.push(("best_crossover_cell".to_string(), doc.clone()));
+        }
+        assert!(validate_doc(&bad)
+            .unwrap_err()
+            .contains("best_crossover_cell"));
+    }
+
+    #[test]
+    fn grids_scale_to_the_issue_targets() {
+        let smoke = grid_specs(Grid::Smoke);
+        assert!(smoke.iter().any(|s| s.fault), "smoke must cover a fault cell");
+        assert!(smoke.iter().any(|s| !s.fault), "smoke must cover a clean cell");
+        let full = grid_specs(Grid::Full);
+        assert!(
+            full.iter().any(|s| s.n == MIN_LARGEST_N && !s.fault),
+            "full must reach the clean size target"
+        );
+        assert!(
+            full.iter().any(|s| s.n == MIN_LARGEST_N && s.fault),
+            "full must reach the faulted size target"
+        );
+        for spec in smoke.iter().chain(&full) {
+            assert!(spec.id().starts_with("crossover:n="));
+        }
+    }
+}

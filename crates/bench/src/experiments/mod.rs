@@ -2,6 +2,7 @@
 
 mod baselines;
 pub mod checkpoint;
+pub mod crossover;
 mod extensions;
 pub mod faults;
 mod figures;

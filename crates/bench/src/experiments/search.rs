@@ -167,6 +167,9 @@ pub fn campaign_horizon(alg: SearchAlgorithm, n: u64) -> u32 {
         SearchAlgorithm::Pd2View => pair_horizon + 2,
         // The oracle's window is 3 rounds; the transform needs >= 4.
         SearchAlgorithm::DegreeOracle => 4,
+        // Spine death on even-depth twins happens at horizon + 1; the
+        // same slack as the kernel oracle keeps decisions in-window.
+        SearchAlgorithm::HistoryTree => (pair_horizon + 3).max(5),
     }
 }
 
@@ -237,6 +240,7 @@ pub fn e22_plans(alg: SearchAlgorithm, n: u64, horizon: u32, quick: bool) -> Vec
         SearchAlgorithm::GeneralK => (2_000, 10),
         SearchAlgorithm::Pd2View => (3_000, 10),
         SearchAlgorithm::DegreeOracle => (4_000, 10),
+        SearchAlgorithm::HistoryTree => (5_000, 10),
     };
     (0..e22_seeds(quick, full))
         .map(|seed| match alg {
@@ -249,6 +253,9 @@ pub fn e22_plans(alg: SearchAlgorithm, n: u64, horizon: u32, quick: bool) -> Vec
             }
             SearchAlgorithm::DegreeOracle => {
                 FaultPlan::seeded(salt * n + seed, 3, 1 + (seed % 2) as u32)
+            }
+            SearchAlgorithm::HistoryTree => {
+                FaultPlan::seeded(salt * n + seed, horizon - 2, 1 + (seed % 2) as u32)
             }
         })
         .collect()

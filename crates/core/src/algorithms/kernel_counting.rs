@@ -253,7 +253,9 @@ impl KernelCounting {
         let mut last: Option<AffineCensus> = None;
         for rounds in 1..=max_rounds {
             let level = rounds as usize - 1;
-            let (a, b) = stream.push_round();
+            let (a, b) = stream
+                .push_round()
+                .map_err(|e| CountingError::BadObservations(e.to_string()))?;
             let sol = solver
                 .push_level(a, b)
                 .map_err(|e| CountingError::BadObservations(e.to_string()))?;

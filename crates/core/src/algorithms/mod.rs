@@ -3,6 +3,11 @@
 //! * [`KernelCounting`] — the optimal leader algorithm in `M(DBL)_2`
 //!   (decides exactly when the observation system has a unique
 //!   non-negative solution); tight against the worst-case adversary.
+//! * [`HistoryTreeCounting`] — the linear-round history-tree algorithm
+//!   (Di Luna–Viglietta): alternating spine sums over the interned
+//!   history tree, O(deliveries) per round, deciding the round the
+//!   spine dies — the kernel solver's head-to-head rival in
+//!   `exp_crossover`.
 //! * [`run_degree_oracle`] — the O(1) algorithm of the paper's Discussion
 //!   for restricted `G(PD)_2` networks with a local degree detector.
 //! * [`learn_layers`] — beacon layering: nodes of a persistent-distance
@@ -14,6 +19,7 @@
 
 mod degree_oracle;
 mod general_k_counting;
+mod history_tree_counting;
 mod kernel_counting;
 mod layering;
 mod pd2_view_counting;
@@ -22,6 +28,7 @@ pub use degree_oracle::{
     run_degree_oracle, run_degree_oracle_with_sink, DegreeMsg, DegreeOracleProcess,
 };
 pub use general_k_counting::{GeneralKCounting, GeneralKError};
+pub use history_tree_counting::HistoryTreeCounting;
 pub use kernel_counting::{CountingError, CountingOutcome, CountingTrace, KernelCounting};
 pub use layering::{learn_layers, learn_layers_with_sink, LayeringProcess};
 pub use pd2_view_counting::{

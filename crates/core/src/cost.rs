@@ -24,6 +24,10 @@ pub enum CostError {
     Counting(CountingError),
     /// PD2 transformation failed.
     Transform(anonet_graph::pd::PdError),
+    /// A flooding/diameter probe found the network disconnected within
+    /// its round budget — impossible for an in-model `G(PD)_2` image, so
+    /// this names a harness bug instead of panicking on it.
+    Disconnected,
 }
 
 impl fmt::Display for CostError {
@@ -32,6 +36,9 @@ impl fmt::Display for CostError {
             CostError::Twin(e) => write!(f, "twin construction failed: {e}"),
             CostError::Counting(e) => write!(f, "counting failed: {e}"),
             CostError::Transform(e) => write!(f, "pd2 transform failed: {e}"),
+            CostError::Disconnected => {
+                write!(f, "pd2 network disconnected within the probe's round budget")
+            }
         }
     }
 }
@@ -114,7 +121,7 @@ pub fn measure_gap(n: u64) -> Result<GapPoint, CostError> {
     let mut net = transform::to_pd2(&pair.smaller, rounds)?;
     let flood = metrics::flood(&mut net, 0, 0, 64)
         .duration()
-        .expect("pd2 networks are connected");
+        .ok_or(CostError::Disconnected)?;
     let outcome = KernelCounting::new().run(&pair.smaller, pair.horizon + 8)?;
     Ok(GapPoint {
         order: net.order(),
@@ -166,7 +173,7 @@ pub fn measure_view_agreement(n: u64, chain: u32) -> Result<ViewAgreement, CostE
     let agreement = a.leader_agreement(&b, horizon_rounds as usize) as u32;
 
     let diameter = metrics::dynamic_diameter(&mut small, pair.horizon + 2, 256)
-        .expect("pd2 networks are connected");
+        .ok_or(CostError::Disconnected)?;
 
     Ok(ViewAgreement {
         n,

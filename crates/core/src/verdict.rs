@@ -19,6 +19,7 @@
 //! | runner | algorithm | fault layer |
 //! |---|---|---|
 //! | [`kernel_verdict`] | kernel counting (`M(DBL)_2`) | [`FaultPlan`] on deliveries |
+//! | [`history_tree_verdict`] | history-tree counting (`M(DBL)_2`) | [`FaultPlan`] on deliveries |
 //! | [`general_k_verdict`] | exhaustive general-`k` rule | [`FaultPlan`] on deliveries |
 //! | [`pd2_view_verdict`] | `G(PD)_2` view counting | [`FaultPlan::network_plan`] on edges |
 //! | [`degree_oracle_verdict`] | O(1) degree oracle | [`FaultPlan::network_plan`] on edges |
@@ -65,8 +66,10 @@ use crate::baselines::mass_drain::run_mass_drain;
 use crate::baselines::pushsum::run_pushsum;
 use anonet_graph::faults::FaultyNetwork;
 use anonet_graph::{check_interval_connectivity, DynamicNetwork};
+use anonet_multigraph::history_tree::{HistoryTreeError, HistoryTreeLeader};
 use anonet_multigraph::mutate::AdversarySchedule;
 use anonet_multigraph::simulate::OnlineLeader;
+use anonet_multigraph::LabelSet;
 use anonet_multigraph::system_k::GeneralSystem;
 use anonet_multigraph::transform;
 use anonet_multigraph::DblMultigraph;
@@ -235,6 +238,248 @@ fn kernel_unguarded<S: TraceSink>(
                 }
                 sink.record(&ev);
                 if let Some(count) = decision {
+                    sink.flush();
+                    return Verdict::Correct {
+                        count,
+                        rounds: r32 + 1,
+                    };
+                }
+            }
+        }
+    }
+    sink.flush();
+    Verdict::Undecided {
+        rounds: max_rounds,
+        candidates: leader.candidates(),
+    }
+}
+
+/// Runs the history-tree counting algorithm on `m` under `plan` and
+/// reduces the run to a [`Verdict`].
+///
+/// With `watchdogs = true` the alternating-spine-sum leader of
+/// [`HistoryTreeCounting`](crate::algorithms::HistoryTreeCounting) is
+/// wrapped in fail-closed screens: malformed deliveries are
+/// [`ViolationKind::DeliveryIntegrity`], an empty pre-decision round is
+/// [`ViolationKind::Connectivity`], a growing spine delivery count, an
+/// empty candidate intersection, a raw candidate interval escaping its
+/// predecessor (in-model the per-round intervals nest), a zero count or
+/// a post-decision spine *resurrection* (a full-spine history appearing
+/// after the spine died) are [`ViolationKind::CensusConservation`].
+///
+/// The screens are deliberately `O(1)` per round on top of the leader's
+/// own `O(deliveries)` — the whole point of this algorithm family is to
+/// avoid the kernel's observation system. The price is strictly weaker
+/// detection: a fault that leaves the delivery stream consistent with a
+/// clean execution of a *different* size at the spine statistics'
+/// granularity (e.g. crashing part of a history class mid-run) can slip
+/// through guarded — but only when the full observation system would
+/// also find that wrong size uniquely feasible, i.e. exactly when the
+/// *unguarded* kernel is fooled identically (pinned by the
+/// cross-algorithm agreement suite in `tests/algorithm_agreement.rs`). A leader restart leaves
+/// the fresh leader expecting round-0 histories, so the next faulted
+/// round trips the integrity screen — matching the kernel runner's
+/// restart semantics. With `watchdogs = false` the unguarded leader
+/// reports whatever the spine sums say (possibly silently wrong under
+/// faults) and maps ingestion errors to [`Verdict::Undecided`].
+pub fn history_tree_verdict(
+    m: &DblMultigraph,
+    max_rounds: u32,
+    plan: &FaultPlan,
+    watchdogs: bool,
+) -> Verdict {
+    history_tree_verdict_with_sink(m, max_rounds, plan, watchdogs, &mut NullSink)
+}
+
+/// Like [`history_tree_verdict`], additionally emitting one
+/// [`RoundEvent`] per observed round (up to the decision round) to
+/// `sink` with the same facets as
+/// [`HistoryTreeCounting::run_with_sink`](crate::algorithms::HistoryTreeCounting::run_with_sink),
+/// plus `fault` labels on faulted rounds and a final `violation` event
+/// when a watchdog fires. Empty-plan traces are byte-identical to the
+/// plain algorithm's.
+pub fn history_tree_verdict_with_sink<S: TraceSink>(
+    m: &DblMultigraph,
+    max_rounds: u32,
+    plan: &FaultPlan,
+    watchdogs: bool,
+    sink: &mut S,
+) -> Verdict {
+    let faulted = simulate_with_faults(m, max_rounds as usize, plan);
+    if watchdogs {
+        history_tree_guarded(&faulted, max_rounds, plan, sink)
+    } else {
+        history_tree_unguarded(&faulted, max_rounds, plan, sink)
+    }
+}
+
+/// Maps a leader error to the model assumption it breaks: spine-sum
+/// contradictions are conservation failures, everything else is a
+/// malformed delivery.
+fn history_tree_violation(e: &HistoryTreeError) -> ViolationKind {
+    match e {
+        HistoryTreeError::InconsistentCensus { .. } => ViolationKind::CensusConservation,
+        _ => ViolationKind::DeliveryIntegrity,
+    }
+}
+
+fn history_tree_guarded<S: TraceSink>(
+    faulted: &FaultedExecution,
+    max_rounds: u32,
+    plan: &FaultPlan,
+    sink: &mut S,
+) -> Verdict {
+    let arena = &faulted.execution.arena;
+    let mut leader = HistoryTreeLeader::new();
+    let mut prev_spine: Option<u64> = None;
+    let mut prev_raw: Option<(i64, i64)> = None;
+    let mut decided: Option<(u64, u32)> = None;
+    for (r, round) in faulted.execution.rounds.iter().enumerate() {
+        let r32 = r as u32;
+        if plan.has_restart_at(r32) {
+            // State loss: the fresh leader expects round-0 histories, so
+            // any further delivery fails the integrity screen below.
+            leader = HistoryTreeLeader::new();
+            prev_spine = None;
+            prev_raw = None;
+        }
+        if decided.is_some() {
+            // Post-decision confirmation screen: the spine is dead, so
+            // beyond well-formedness the only thing left to watch is a
+            // full-spine history coming back from the grave.
+            if round.is_empty() {
+                return violation_verdict(ViolationKind::Connectivity, r32, plan, sink);
+            }
+            for d in round.iter() {
+                let well_formed = arena.history_len(d.state) == r
+                    && arena.is_ternary(d.state)
+                    && (d.label == 1 || d.label == 2);
+                if !well_formed {
+                    return violation_verdict(ViolationKind::DeliveryIntegrity, r32, plan, sink);
+                }
+                let resurrected = arena
+                    .masks(d.state)
+                    .iter()
+                    .all(|&mask| mask == LabelSet::L12.mask());
+                if resurrected {
+                    return violation_verdict(
+                        ViolationKind::CensusConservation,
+                        r32,
+                        plan,
+                        sink,
+                    );
+                }
+            }
+            continue;
+        }
+        // In-model every live node delivers at least one message per
+        // round; an empty round would otherwise read as spine death.
+        if round.is_empty() {
+            return violation_verdict(ViolationKind::Connectivity, r32, plan, sink);
+        }
+        match leader.ingest(arena, round) {
+            Err(e) => {
+                return violation_verdict(history_tree_violation(&e), r32, plan, sink);
+            }
+            Ok(step) => {
+                // In-model d_r = g_r + g_{r+1} is non-increasing; growth
+                // means deliveries were forged or replayed.
+                let spine = leader.spine_deliveries();
+                if prev_spine.is_some_and(|p| spine > p) {
+                    return violation_verdict(ViolationKind::CensusConservation, r32, plan, sink);
+                }
+                prev_spine = Some(spine);
+                // In-model the raw per-round intervals nest (the spine
+                // telescope only ever tightens); a raw interval escaping
+                // its predecessor witnesses an out-of-model census even
+                // while the running intersection stays non-empty —
+                // the same screen the kernel's watcher applies to its
+                // per-level population ranges.
+                if let (Some((plo, phi)), Some((lo, hi))) = (prev_raw, leader.raw_candidates()) {
+                    if lo < plo || hi > phi {
+                        return violation_verdict(
+                            ViolationKind::CensusConservation,
+                            r32,
+                            plan,
+                            sink,
+                        );
+                    }
+                }
+                prev_raw = leader.raw_candidates();
+                let (lo, hi) = leader
+                    .candidates()
+                    .unwrap_or((0, i64::MAX));
+                let mut ev = RoundEvent::new(r32)
+                    .deliveries(round.len() as u64)
+                    .candidates(lo, hi)
+                    .candidate_count((hi - lo + 1) as u64)
+                    .state_size(leader.classes())
+                    .spine(spine);
+                if let Some(f) = plan.labels_at(r32) {
+                    ev = ev.fault(&f);
+                }
+                sink.record(&ev);
+                if let Some(count) = step {
+                    if count == 0 {
+                        // A non-empty round cannot come from zero nodes.
+                        return violation_verdict(
+                            ViolationKind::CensusConservation,
+                            r32,
+                            plan,
+                            sink,
+                        );
+                    }
+                    decided = Some((count, r32 + 1));
+                }
+            }
+        }
+    }
+    sink.flush();
+    match decided {
+        Some((count, rounds)) => Verdict::Correct { count, rounds },
+        None => Verdict::Undecided {
+            rounds: max_rounds,
+            candidates: leader.candidates(),
+        },
+    }
+}
+
+fn history_tree_unguarded<S: TraceSink>(
+    faulted: &FaultedExecution,
+    max_rounds: u32,
+    plan: &FaultPlan,
+    sink: &mut S,
+) -> Verdict {
+    let arena = &faulted.execution.arena;
+    let mut leader = HistoryTreeLeader::new();
+    for (r, round) in faulted.execution.rounds.iter().enumerate() {
+        let r32 = r as u32;
+        if plan.has_restart_at(r32) {
+            // State loss: the unguarded leader starts over, oblivious.
+            leader = HistoryTreeLeader::new();
+        }
+        match leader.ingest(arena, round) {
+            // Typed error path: a decision-less horizon, never a panic.
+            Err(_) => {
+                sink.flush();
+                return Verdict::Undecided {
+                    rounds: r32 + 1,
+                    candidates: None,
+                };
+            }
+            Ok(step) => {
+                let (lo, hi) = leader.candidates().unwrap_or((0, i64::MAX));
+                let mut ev = RoundEvent::new(r32)
+                    .deliveries(round.len() as u64)
+                    .candidates(lo, hi)
+                    .candidate_count((hi - lo + 1) as u64)
+                    .state_size(leader.classes())
+                    .spine(leader.spine_deliveries());
+                if let Some(f) = plan.labels_at(r32) {
+                    ev = ev.fault(&f);
+                }
+                sink.record(&ev);
+                if let Some(count) = step {
                     sink.flush();
                     return Verdict::Correct {
                         count,
@@ -886,7 +1131,7 @@ pub fn enumeration_verdict<N: DynamicNetwork + Clone>(
 /// The counting algorithms exposed as **search oracles**: the
 /// coverage-guided adversary search (`exp_search`) mutates
 /// [`AdversarySchedule`]s and judges every mutant by feeding it to one
-/// of these through [`schedule_verdict`]. Only the four deterministic
+/// of these through [`schedule_verdict`]. Only the five deterministic
 /// exact-counting rules are searchable — the float-valued baselines
 /// (mass-drain, push-sum) would put `f64`s in fitness comparisons and
 /// break the byte-identical-archive contract.
@@ -903,15 +1148,21 @@ pub enum SearchAlgorithm {
     /// The O(1) degree oracle on the transformed network
     /// ([`degree_oracle_verdict`]).
     DegreeOracle,
+    /// The history-tree alternating-spine-sum rule on `M(DBL)_2`
+    /// executions ([`history_tree_verdict`]). Appended after the
+    /// original four so archived fitness-class bits keep their
+    /// positions.
+    HistoryTree,
 }
 
 impl SearchAlgorithm {
     /// Every searchable oracle, in the canonical (archive) order.
-    pub const ALL: [SearchAlgorithm; 4] = [
+    pub const ALL: [SearchAlgorithm; 5] = [
         SearchAlgorithm::Kernel,
         SearchAlgorithm::GeneralK,
         SearchAlgorithm::Pd2View,
         SearchAlgorithm::DegreeOracle,
+        SearchAlgorithm::HistoryTree,
     ];
 
     /// Stable name used in coverage keys, archive files and cell ids.
@@ -921,6 +1172,7 @@ impl SearchAlgorithm {
             SearchAlgorithm::GeneralK => "general-k",
             SearchAlgorithm::Pd2View => "pd2-views",
             SearchAlgorithm::DegreeOracle => "degree-oracle",
+            SearchAlgorithm::HistoryTree => "history-tree",
         }
     }
 
@@ -993,6 +1245,9 @@ pub fn schedule_verdict(
                 return dead;
             };
             degree_oracle_verdict(net, schedule.plan(), watchdogs)
+        }
+        SearchAlgorithm::HistoryTree => {
+            history_tree_verdict(&m, horizon, schedule.plan(), watchdogs)
         }
     }
 }

@@ -59,7 +59,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::history::{ternary_count, HistoryArena};
+use crate::history::{checked_ternary_count, HistoryArena};
 use crate::label::LabelSet;
 use crate::multigraph::{DblError, DblMultigraph};
 use crate::simulate::Execution;
@@ -810,7 +810,13 @@ impl WatchedLeader {
             return Err(v);
         }
         let level = self.solver.levels();
-        let width = ternary_count(level);
+        // Fail closed if the ternary index space leaves `usize` (level
+        // ≥ 40 on 64-bit): no screen can run without the index, and no
+        // in-model run reaches this depth, so refusing the round as a
+        // consistency trip replaces the panic it would otherwise be.
+        let Some(width) = checked_ternary_count(level) else {
+            return Err(self.trip(ViolationKind::KernelConsistency));
+        };
         self.al.clear();
         self.al.resize(width, 0);
         self.bl.clear();

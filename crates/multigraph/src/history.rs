@@ -20,11 +20,19 @@ use std::collections::HashMap;
 ///
 /// # Panics
 ///
-/// Panics if `3^len` overflows `usize` (len ≥ 40 on 64-bit).
+/// Panics if `3^len` overflows `usize` (len ≥ 41 on 64-bit). Fallible
+/// callers — everything on an algorithm-runner path — should use
+/// [`checked_ternary_count`] and surface a typed error instead.
 pub fn ternary_count(len: usize) -> usize {
-    3usize
-        .checked_pow(len as u32)
-        .expect("3^len overflows usize")
+    checked_ternary_count(len).expect("3^len overflows usize")
+}
+
+/// [`ternary_count`] without the panic: `None` when `3^len` overflows
+/// `usize` (len ≥ 41 on 64-bit).
+pub fn checked_ternary_count(len: usize) -> Option<usize> {
+    u32::try_from(len)
+        .ok()
+        .and_then(|len| 3usize.checked_pow(len))
 }
 
 /// A node state history: the list `[L(v,0), …, L(v,r-1)]` of per-round edge

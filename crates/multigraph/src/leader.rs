@@ -12,7 +12,7 @@
 //! [`solver`](crate::system::solve_census) and equal to the paper's
 //! constant-terms vector `m_r`.
 
-use crate::history::{ternary_count, History, HistoryArena, HistoryId};
+use crate::history::{checked_ternary_count, ternary_count, History, HistoryArena, HistoryId};
 use crate::multigraph::DblMultigraph;
 use anonet_trace::{RoundEvent, TraceSink};
 use core::fmt;
@@ -202,6 +202,13 @@ pub enum ObservationError {
     },
     /// At least one observation count was negative.
     Negative,
+    /// The level's prefix count `3^level` overflows `usize` — the dense
+    /// observation form cannot represent rounds this deep (level ≥ 41 on
+    /// 64-bit).
+    LevelOverflow {
+        /// The offending level.
+        level: usize,
+    },
 }
 
 impl fmt::Display for ObservationError {
@@ -219,6 +226,9 @@ impl fmt::Display for ObservationError {
                 "level {level} has width {got}, expected 3^{level} = {expected}"
             ),
             ObservationError::Negative => write!(f, "observation counts must be non-negative"),
+            ObservationError::LevelOverflow { level } => {
+                write!(f, "level {level}: 3^{level} prefixes overflow usize")
+            }
         }
     }
 }
@@ -233,11 +243,13 @@ impl Observations {
     ///
     /// # Errors
     ///
-    /// Returns [`ObservationError::NotK2`] if `m.k() != 2`.
+    /// Returns [`ObservationError::NotK2`] if `m.k() != 2` and
+    /// [`ObservationError::LevelOverflow`] when `rounds` exceeds the
+    /// representable ternary depth.
     pub fn observe(m: &DblMultigraph, rounds: usize) -> Result<Observations, ObservationError> {
         let mut stream = ObservationStream::new(m)?;
         for _ in 0..rounds {
-            stream.push_round();
+            stream.push_round()?;
         }
         Ok(stream.into_observations())
     }
@@ -257,11 +269,13 @@ impl Observations {
             return Err(ObservationError::BadLevelWidth {
                 level: a.len().min(b.len()),
                 got: 0,
-                expected: ternary_count(a.len().min(b.len())),
+                expected: checked_ternary_count(a.len().min(b.len())).unwrap_or(usize::MAX),
             });
         }
         for (level, (al, bl)) in a.iter().zip(&b).enumerate() {
-            let expected = ternary_count(level);
+            let Some(expected) = checked_ternary_count(level) else {
+                return Err(ObservationError::LevelOverflow { level });
+            };
             for side in [al, bl] {
                 if side.len() != expected {
                     return Err(ObservationError::BadLevelWidth {
@@ -345,7 +359,7 @@ impl Observations {
 ///
 /// let m = DblMultigraph::new(2, vec![vec![LabelSet::L12, LabelSet::L12]])?;
 /// let mut stream = ObservationStream::new(&m)?;
-/// let (a, b) = stream.push_round();
+/// let (a, b) = stream.push_round()?;
 /// assert_eq!((a, b), (&[2i64][..], &[2i64][..]));
 /// assert_eq!(stream.observations(), &Observations::observe(&m, 1)?);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -387,8 +401,18 @@ impl<'m> ObservationStream<'m> {
     /// `(a, b)` — `a[p] = |(1, p)|`, `b[p] = |(2, p)|` over the `3^level`
     /// prefixes — ready to feed an
     /// [`IncrementalSolver`](crate::system::IncrementalSolver) level.
-    pub fn push_round(&mut self) -> (&[i64], &[i64]) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ObservationError::LevelOverflow`] when the ternary index
+    /// space of the *next* level leaves `usize` (level ≥ 40 on 64-bit):
+    /// the per-node running prefix below is promoted to a length-`level+1`
+    /// index, so both widths must fit.
+    pub fn push_round(&mut self) -> Result<(&[i64], &[i64]), ObservationError> {
         let level = self.obs.rounds();
+        if checked_ternary_count(level + 1).is_none() {
+            return Err(ObservationError::LevelOverflow { level });
+        }
         let width = ternary_count(level);
         let mut al = vec![0i64; width];
         let mut bl = vec![0i64; width];
@@ -404,7 +428,7 @@ impl<'m> ObservationStream<'m> {
         }
         self.obs.a.push(al);
         self.obs.b.push(bl);
-        (&self.obs.a[level], &self.obs.b[level])
+        Ok((&self.obs.a[level], &self.obs.b[level]))
     }
 
     /// The observations accumulated so far.
@@ -539,7 +563,7 @@ mod tests {
         .unwrap();
         let mut stream = ObservationStream::new(&m).unwrap();
         for rounds in 1..=5usize {
-            let (a, b) = stream.push_round();
+            let (a, b) = stream.push_round().unwrap();
             let batch = Observations::observe(&m, rounds).unwrap();
             let level = rounds - 1;
             let wa: Vec<i64> = (0..ternary_count(level))

@@ -49,6 +49,7 @@ mod census;
 pub mod corpus;
 pub mod faults;
 mod history;
+pub mod history_tree;
 mod label;
 mod leader;
 #[allow(clippy::module_inception)]
@@ -64,11 +65,14 @@ pub mod transform;
 pub use adversary::{AdversaryError, TwinBuilder, TwinError, TwinPair};
 pub use census::{Census, CensusError};
 pub use corpus::{read_archive, write_archive, ArchiveRead, ArchivedSchedule, CorpusError};
-pub use history::{ternary_count, History, HistoryArena, HistoryId, ParseHistoryError};
+pub use history::{
+    checked_ternary_count, ternary_count, History, HistoryArena, HistoryId, ParseHistoryError,
+};
+pub use history_tree::{HistoryTreeError, HistoryTreeLeader};
 pub use label::{LabelError, LabelSet, MAX_LABELS};
 pub use leader::{LeaderState, ObservationError, Observations, ObservationStream};
 pub use multigraph::{DblError, DblMultigraph};
-pub use mutate::{AdversarySchedule, ScheduleError};
+pub use mutate::{AdversarySchedule, ScheduleError, MAX_HORIZON};
 pub use soa::{RoundColumns, RoundEngine};
 
 /// Structured round tracing ([`TraceSink`](anonet_trace::TraceSink),

@@ -51,6 +51,13 @@ pub struct AdversarySchedule {
     horizon: u32,
 }
 
+/// Largest horizon a schedule may declare. Far beyond anything a search
+/// campaign reaches (corpus horizons are single-digit), but small enough
+/// that every oracle's `horizon + c` round arithmetic stays inside `u32`
+/// and replaying an archived schedule can never be asked to materialize
+/// billions of rounds.
+pub const MAX_HORIZON: u32 = 1 << 20;
+
 /// Why an [`AdversarySchedule`] (or a would-be mutant) is invalid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScheduleError {
@@ -58,6 +65,13 @@ pub enum ScheduleError {
     Graph(DblError),
     /// The horizon is zero — no oracle can run zero rounds.
     ZeroHorizon,
+    /// The horizon exceeds [`MAX_HORIZON`] — oracles add small constants
+    /// to it and simulate that many rounds, so an absurd horizon would
+    /// overflow or exhaust memory instead of ever deciding.
+    HorizonTooLarge {
+        /// The declared horizon.
+        horizon: u32,
+    },
     /// The explicit prefix is longer than the horizon; the surplus rows
     /// could never be played.
     PrefixBeyondHorizon {
@@ -88,6 +102,9 @@ impl fmt::Display for ScheduleError {
         match self {
             ScheduleError::Graph(e) => write!(f, "invalid round rows: {e}"),
             ScheduleError::ZeroHorizon => write!(f, "horizon must be at least 1"),
+            ScheduleError::HorizonTooLarge { horizon } => {
+                write!(f, "horizon {horizon} exceeds the cap {MAX_HORIZON}")
+            }
             ScheduleError::PrefixBeyondHorizon { prefix, horizon } => write!(
                 f,
                 "{prefix} explicit rows but horizon {horizon}: surplus rows are unreachable"
@@ -167,6 +184,11 @@ impl AdversarySchedule {
         DblMultigraph::new(2, self.rounds.clone())?;
         if self.horizon == 0 {
             return Err(ScheduleError::ZeroHorizon);
+        }
+        if self.horizon > MAX_HORIZON {
+            return Err(ScheduleError::HorizonTooLarge {
+                horizon: self.horizon,
+            });
         }
         if self.rounds.len() > self.horizon as usize {
             return Err(ScheduleError::PrefixBeyondHorizon {

@@ -62,7 +62,13 @@ pub fn solution_line(sol: &AffineCensus) -> String {
             let _ = writeln!(out, "no feasible census (observations inconsistent)");
         }
         Some((lo, hi)) => {
-            let (nlo, nhi) = sol.population_range().expect("range exists");
+            // `population_range` is `Some` whenever `t_range` is, but a
+            // renderer must not be the thing that panics if that
+            // invariant ever slips.
+            let Some((nlo, nhi)) = sol.population_range() else {
+                let _ = writeln!(out, "feasible t in [{lo}, {hi}] but no population range");
+                return out;
+            };
             let _ = writeln!(
                 out,
                 "solutions s + t·k over t in [{lo}, {hi}] — populations {nlo}..={nhi}:"

@@ -20,7 +20,7 @@
 //!
 //! [`KernelCounting`]: https://docs.rs/anonet-core
 
-use crate::history::{ternary_count, HistoryArena, HistoryId};
+use crate::history::{checked_ternary_count, HistoryArena, HistoryId};
 use crate::leader::LeaderState;
 use crate::multigraph::DblMultigraph;
 use crate::soa::{RoundColumns, RoundEngine};
@@ -206,6 +206,13 @@ pub enum OnlineError {
     Solver(LevelError),
     /// No rounds have been ingested yet.
     NoRounds,
+    /// The round's ternary index space `3^round` overflows `usize`
+    /// (round ≥ 41 on 64-bit) — the dense kernel cannot track executions
+    /// this deep, so the leader fails closed instead of panicking.
+    RoundOverflow {
+        /// The round being ingested.
+        round: usize,
+    },
 }
 
 impl fmt::Display for OnlineError {
@@ -222,6 +229,9 @@ impl fmt::Display for OnlineError {
             }
             OnlineError::Solver(e) => write!(f, "solver rejected level: {e}"),
             OnlineError::NoRounds => write!(f, "no rounds ingested yet"),
+            OnlineError::RoundOverflow { round } => {
+                write!(f, "round {round}: 3^{round} histories overflow usize")
+            }
         }
     }
 }
@@ -294,14 +304,16 @@ impl OnlineLeader {
     /// # Errors
     ///
     /// Returns [`OnlineError`] for malformed deliveries (wrong label range
-    /// or state length).
+    /// or state length) and [`OnlineError::RoundOverflow`] when the round's
+    /// ternary index space leaves `usize`.
     pub fn ingest(
         &mut self,
         arena: &HistoryArena,
         deliveries: &RoundColumns,
     ) -> Result<Option<u64>, OnlineError> {
         let round = self.solver.levels();
-        let width = ternary_count(round);
+        let width =
+            checked_ternary_count(round).ok_or(OnlineError::RoundOverflow { round })?;
         self.al.clear();
         self.al.resize(width, 0);
         self.bl.clear();

@@ -59,6 +59,24 @@ use std::sync::Mutex;
 /// `k = 3`.
 const MAX_DENSE_K: u8 = 6;
 
+/// Dense histogram slot for a `(rank, label-set-mask)` pair.
+///
+/// Label sets are non-empty by construction ([`LabelSet`] rejects mask
+/// 0) and within the engine's `k ≤ MAX_DENSE_K = 6` budget (the
+/// `m.k()` asserts at every entry point), so `1 ≤ mask ≤ nsets ≤ 63`
+/// and the `mask - 1` cannot underflow; `u32` ranks widen to `usize`
+/// losslessly. Every mask-indexed access goes through here so the
+/// invariant is checked (in debug builds) in exactly one place.
+#[inline]
+fn pair_slot(rank: u32, nsets: usize, mask: u32) -> usize {
+    let mask = mask as usize;
+    debug_assert!(
+        mask >= 1 && mask <= nsets,
+        "label set empty or outside the k <= {MAX_DENSE_K} dense budget"
+    );
+    rank as usize * nsets + mask - 1
+}
+
 /// Node count below which parallel phases are not worth spawning for.
 const PAR_MIN_NODES: usize = 4096;
 
@@ -429,7 +447,9 @@ impl RoundEngine {
                     }
                 }
                 if count > 0 {
-                    out.push_run(label, id, count as usize);
+                    let count = usize::try_from(count)
+                        .expect("per-label run length bounded by the population");
+                    out.push_run(label, id, count);
                 }
             }
         }
@@ -470,7 +490,8 @@ impl RoundEngine {
                 if self.pair_counts[idx] == 0 {
                     continue;
                 }
-                let set = LabelSet::from_mask(mask as u32, self.k)
+                let mask = u32::try_from(mask).expect("nsets <= 63 for the dense path");
+                let set = LabelSet::from_mask(mask, self.k)
                     .expect("mask ranges over valid non-empty sets");
                 let child = self.arena.child(self.ids_by_rank[rank], set);
                 self.child_ids[idx] = child;
@@ -487,8 +508,7 @@ impl RoundEngine {
                 if !self.alive[node] {
                     continue;
                 }
-                let mask = m.label_set(r, node).mask() as usize;
-                let idx = self.node_rank[node] as usize * nsets + mask - 1;
+                let idx = pair_slot(self.node_rank[node], nsets, m.label_set(r, node).mask());
                 self.states[node] = self.child_ids[idx];
                 self.node_rank[node] = self.rank_of[idx];
             }
@@ -519,8 +539,8 @@ impl RoundEngine {
                             if !alive[node] {
                                 continue;
                             }
-                            let mask = m.label_set(r, node).mask() as usize;
-                            let idx = ranks[off] as usize * nsets + mask - 1;
+                            let idx =
+                                pair_slot(ranks[off], nsets, m.label_set(r, node).mask());
                             states[off] = child_ids[idx];
                             ranks[off] = rank_of[idx];
                         }
@@ -557,8 +577,8 @@ impl RoundEngine {
                 if !self.alive[node] {
                     continue;
                 }
-                let mask = m.label_set(r, node).mask() as usize;
-                self.pair_counts[self.node_rank[node] as usize * nsets + mask - 1] += 1;
+                let idx = pair_slot(self.node_rank[node], nsets, m.label_set(r, node).mask());
+                self.pair_counts[idx] += 1;
             }
         } else {
             self.chunk_counts.resize_with(chunks, Vec::new);
@@ -586,8 +606,9 @@ impl RoundEngine {
                             if !alive[node] {
                                 continue;
                             }
-                            let mask = m.label_set(r, node).mask() as usize;
-                            buf[node_rank[node] as usize * nsets + mask - 1] += 1;
+                            let idx =
+                                pair_slot(node_rank[node], nsets, m.label_set(r, node).mask());
+                            buf[idx] += 1;
                         }
                     });
                 }

@@ -1,0 +1,90 @@
+//! Regression tests for inputs that used to panic (or head for an
+//! allocation abort) instead of returning a typed error.
+//!
+//! Each test pins one previously-panicking input on an
+//! algorithm-runner-reachable path; if a refactor reintroduces the
+//! `unwrap`/`expect`, the test dies with the original panic message
+//! instead of the typed assertion.
+
+use anonet_multigraph::corpus::ArchivedSchedule;
+use anonet_multigraph::faults::FaultPlan;
+use anonet_multigraph::{
+    checked_ternary_count, AdversarySchedule, LabelSet, ObservationError, Observations,
+    ScheduleError, MAX_HORIZON,
+};
+
+/// `Observations::from_levels` with mismatched level counts past the
+/// ternary depth limit used to panic computing `3^41` for the error
+/// payload ("3^len overflows usize") before ever returning; now it is a
+/// plain `BadLevelWidth`.
+#[test]
+fn from_levels_with_deep_mismatched_levels_is_a_typed_error() {
+    let a = vec![Vec::new(); 41];
+    let b = vec![Vec::new(); 42];
+    match Observations::from_levels(a, b) {
+        Err(ObservationError::BadLevelWidth { level, .. }) => assert_eq!(level, 41),
+        other => panic!("expected BadLevelWidth, got {other:?}"),
+    }
+}
+
+/// A schedule declaring a near-`u32::MAX` horizon used to validate
+/// clean; replaying it through the verdict oracle then overflowed the
+/// oracle's `horizon + c` round arithmetic (a debug-build panic) and
+/// asked the simulator to materialize billions of rounds. The cap turns
+/// the bad document into a typed rejection at parse/validate time.
+#[test]
+fn absurd_horizon_is_rejected_at_validation() {
+    let rows = vec![vec![LabelSet::L12, LabelSet::L12]];
+    let err = AdversarySchedule::new(rows, FaultPlan::new(), u32::MAX - 1)
+        .expect_err("horizon cap must reject");
+    assert_eq!(
+        err,
+        ScheduleError::HorizonTooLarge {
+            horizon: u32::MAX - 1
+        }
+    );
+    // The cap itself stays usable.
+    let rows = vec![vec![LabelSet::L12, LabelSet::L12]];
+    AdversarySchedule::new(rows, FaultPlan::new(), MAX_HORIZON).expect("cap itself is valid");
+}
+
+/// The same bad horizon arriving through a corpus file — the route an
+/// `exp_search --replay` run would actually take — is rejected by
+/// `ArchivedSchedule::parse`, which validates the decoded schedule.
+#[test]
+fn corpus_documents_with_absurd_horizons_fail_to_parse() {
+    let doc = format!(
+        r#"{{
+  "v": 1,
+  "name": "absurd-horizon",
+  "algorithm": "kernel",
+  "watchdogs": false,
+  "horizon": {h},
+  "nodes": 2,
+  "rounds": [[3, 3]],
+  "plan": [],
+  "verdict": {{"class": "undecided", "rounds": 1}},
+  "seed": 1,
+  "iteration": 0
+}}"#,
+        h = u32::MAX - 1
+    );
+    let err = ArchivedSchedule::parse(&doc).expect_err("parse must reject the horizon");
+    assert!(
+        err.to_string().contains("exceeds the cap"),
+        "unexpected error: {err}"
+    );
+}
+
+/// The checked sibling of `ternary_count` agrees with the panicking one
+/// on every representable depth and reports the exact overflow boundary
+/// instead of panicking past it.
+#[test]
+fn checked_ternary_count_matches_the_overflow_boundary() {
+    for len in 0..=40usize {
+        let c = checked_ternary_count(len).expect("3^40 fits in 64-bit usize");
+        assert_eq!(c, anonet_multigraph::ternary_count(len));
+    }
+    assert_eq!(checked_ternary_count(41), None);
+    assert_eq!(checked_ternary_count(usize::MAX), None);
+}

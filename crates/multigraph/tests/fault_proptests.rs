@@ -69,7 +69,8 @@ fn arb_plan(nodes: u32, horizon: u32) -> impl Strategy<Value = FaultPlan> {
 /// horizon at or past the prefix, and an in-bounds fault plan.
 fn arb_schedule() -> impl Strategy<Value = AdversarySchedule> {
     (arb_multigraph(), 0u32..4).prop_flat_map(|(m, slack)| {
-        let base = AdversarySchedule::from_multigraph(&m, u32::MAX).unwrap();
+        let base =
+            AdversarySchedule::from_multigraph(&m, anonet_multigraph::MAX_HORIZON).unwrap();
         let horizon = base.rounds().len() as u32 + slack;
         let nodes = base.nodes() as u32;
         let rows = base.rounds().to_vec();

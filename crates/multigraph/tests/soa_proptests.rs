@@ -76,6 +76,40 @@ proptest! {
         }
     }
 
+    /// The `k = 6` dense-path boundary: `MAX_DENSE_K = 6` is the last
+    /// label budget routed through the dense `(rank, label-set)`
+    /// histogram, so masks range over the full `1..=63` slot space —
+    /// the exact indexing the cast audit in `soa.rs` centralizes in
+    /// `pair_slot`. Engine, threaded engine and reference must agree,
+    /// and `k = 7` (one past the boundary, the generic sort path) must
+    /// produce the same resolved execution as `k = 6` on the same rows.
+    #[test]
+    fn dense_path_k6_boundary_matches_reference(
+        (nodes, rounds) in (1usize..10, 1usize..4),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<LabelSet>> = (0..rounds)
+            .map(|_| {
+                (0..nodes)
+                    .map(|_| LabelSet::from_mask(rng.gen_range(1u32..64), 6).unwrap())
+                    .collect()
+            })
+            .collect();
+        let m6 = DblMultigraph::new(6, rows.clone()).unwrap();
+        let m7 = DblMultigraph::new(7, rows).unwrap();
+        let engine = simulate(&m6, rounds);
+        let reference = simulate_reference(&m6, rounds);
+        prop_assert_eq!(&engine, &reference);
+        prop_assert_eq!(engine.arena.interned(), reference.arena.interned());
+        let par = simulate_threaded(&m6, rounds, 4);
+        prop_assert_eq!(&engine.rounds, &par.rounds);
+        // One past the boundary: same rows through the sparse path.
+        let sparse = simulate(&m7, rounds);
+        prop_assert_eq!(&engine, &sparse);
+        prop_assert_eq!(engine.arena.interned(), sparse.arena.interned());
+    }
+
     /// The worst-case Lemma 5 twin executions: engine, threaded engine
     /// and reference agree end to end.
     #[test]

@@ -111,6 +111,11 @@ pub struct RoundEvent {
     /// non-decision rounds, on the exact backend, and unless the
     /// algorithm opts in to certification tracing.
     pub certification: Option<String>,
+    /// Deliveries observed on the history-tree *spine* (the all-`{1,2}`
+    /// history `T^r`) this round; set by the history-tree counting
+    /// leader, whose alternating spine sums decide the count the round
+    /// this drops to zero. Absent for the solver-based algorithms.
+    pub spine: Option<u64>,
 }
 
 impl RoundEvent {
@@ -214,6 +219,13 @@ impl RoundEvent {
         self
     }
 
+    /// Sets the history-tree spine delivery count.
+    #[must_use]
+    pub fn spine(mut self, n: u64) -> RoundEvent {
+        self.spine = Some(n);
+        self
+    }
+
     /// Renders the event as one compact JSON object (no trailing
     /// newline). Unset facets are omitted; field order is fixed, so equal
     /// events render to identical lines.
@@ -247,6 +259,9 @@ impl RoundEvent {
         num(&mut s, "fitness", self.fitness.map(i128::from));
         string_field(&mut s, "coverage", self.coverage.as_deref());
         string_field(&mut s, "certification", self.certification.as_deref());
+        // New facets append here so every pre-existing event keeps its
+        // exact byte form (unset facets are omitted).
+        num(&mut s, "spine", self.spine.map(i128::from));
         s.push('}');
         s
     }
@@ -319,6 +334,7 @@ impl RoundEvent {
                 "candidate_count" => event.candidate_count = Some(n as u64),
                 "state_size" => event.state_size = Some(n as u64),
                 "fitness" => event.fitness = Some(n as u64),
+                "spine" => event.spine = Some(n as u64),
                 other => {
                     return Err(TraceParseError::new(
                         line,
@@ -661,6 +677,28 @@ mod tests {
         // Unset certification is omitted, keeping pre-CRT traces
         // byte-identical.
         assert!(!sample().to_json_line().contains("certification"));
+    }
+
+    #[test]
+    fn json_roundtrip_spine_facet() {
+        let e = RoundEvent::new(3)
+            .deliveries(26)
+            .candidates(11, 13)
+            .spine(2);
+        let line = e.to_json_line();
+        assert_eq!(
+            line,
+            r#"{"round":3,"deliveries":26,"candidate_lo":11,"candidate_hi":13,"spine":2}"#
+        );
+        assert_eq!(RoundEvent::from_json_line(&line).unwrap(), e);
+        // A dead spine still renders (0 is the decision signal, not an
+        // unset facet)…
+        let dead = RoundEvent::new(5).spine(0);
+        assert_eq!(dead.to_json_line(), r#"{"round":5,"spine":0}"#);
+        assert_eq!(RoundEvent::from_json_line(&dead.to_json_line()).unwrap(), dead);
+        // …while unset spine is omitted, keeping solver-algorithm traces
+        // byte-identical to their pre-history-tree form.
+        assert!(!sample().to_json_line().contains("spine"));
     }
 
     #[test]

@@ -80,6 +80,31 @@ if [[ $fast -eq 0 ]]; then
     "$sbin" --lint-bench BENCH_scale.json >/dev/null
 fi
 
+if [[ $fast -eq 0 ]]; then
+    echo "==> algorithm crossover grid: exp_crossover --smoke (kernel vs history-tree vs oracle)"
+    cargo build --release -p anonet-bench --quiet
+    # Each run re-proves in-process that the history-tree arm decides
+    # the exact count at horizon + 2 on both the clean and the faulted
+    # cell while the faulted kernel arm does not; the cmp additionally
+    # pins the timing-stripped document across thread counts (every
+    # deterministic column is serial, so the flag must be inert).
+    cbin=target/release/exp_crossover
+    "$cbin" --smoke >/dev/null
+    cserial=$(mktemp) cparallel=$(mktemp)
+    "$cbin" --smoke --threads 1 --json --no-timings >"$cserial"
+    "$cbin" --smoke --threads 4 --json --no-timings >"$cparallel"
+    if ! cmp -s "$cserial" "$cparallel"; then
+        echo "error: exp_crossover output differs between 1 and 4 threads" >&2
+        diff "$cserial" "$cparallel" | head -20 >&2
+        rm -f "$cserial" "$cparallel"
+        exit 1
+    fi
+    rm -f "$cserial" "$cparallel"
+
+    echo "==> committed BENCH_crossover.json gates (exp_crossover --lint-bench: crossover cell, n >= 29524)"
+    "$cbin" --lint-bench BENCH_crossover.json >/dev/null
+fi
+
 echo "==> strict missing-docs on the simulation core (anonet-multigraph, anonet-netsim)"
 cargo rustc -p anonet-multigraph --lib --quiet -- -D missing-docs
 cargo rustc -p anonet-netsim --lib --quiet -- -D missing-docs
