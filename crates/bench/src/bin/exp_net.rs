@@ -1,0 +1,33 @@
+//! Regenerates E24: the socketed peer runtime over loopback TCP,
+//! cross-validated against the in-memory oracle.
+//!
+//! Usage: `cargo run -p anonet-bench --bin exp_net [--smoke] [--json] [--csv] [--threads N] [--checkpoint PATH [--resume]]`
+//!
+//! `--smoke` runs the reduced grid (8-peer clusters, two archived E22a
+//! schedules) with the same in-process assertions — a socketed verdict
+//! differing from the oracle's, a wrong count, an untyped wire error,
+//! or an unbounded timeout panics the cell and the binary exits
+//! non-zero — making this binary the CI gate for the wire-level safety
+//! contract.
+//!
+//! Every cell spawns its own loopback cluster (leader, ≥ 8 peer
+//! threads, fault proxies), so cells are order- and
+//! thread-independent like every other experiment grid.
+//!
+//! Crash-safe flags (checkpoint/resume, `--inject-panic` of the *runner
+//! process* — unrelated to the wire faults measured here) are shared by
+//! every experiment binary — see `docs/RUNNER.md`.
+
+use anonet_bench::experiments::net;
+use anonet_bench::experiments::runner::Cell;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    anonet_bench::run_and_emit(&[
+        Cell::new("net_cross_validation", move || {
+            net::net_cross_validation(smoke)
+        }),
+        Cell::new("net_watchdog", move || net::net_watchdog(smoke)),
+        Cell::new("net_e22_replay", move || net::net_e22_replay(smoke)),
+    ]);
+}

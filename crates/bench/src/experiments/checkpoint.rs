@@ -40,10 +40,124 @@
 use anonet_core::experiment::Table;
 use anonet_trace::journal::{read_journal, JournalWriter};
 use anonet_trace::json::{escape_into, JsonValue};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// The journal record format version this module writes and accepts.
 pub const FORMAT_VERSION: i128 = 1;
+
+/// A typed checkpoint/journal failure.
+///
+/// Every file-reachable error of the checkpoint machinery surfaces as
+/// one of these variants — opening, reading, or replaying a journal can
+/// fail because of the *disk* ([`JournalError::Io`]), the *file
+/// contents* ([`JournalError::BadRecord`], [`JournalError::BadPayload`],
+/// [`JournalError::TruncatedTail`]), or the *operator*
+/// ([`JournalError::ForeignJournal`], [`JournalError::Config`]). None of
+/// them panic: a corrupt or foreign journal is an input problem, not a
+/// bug.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The journal file could not be opened or read.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// A complete journal line failed to decode (see [`decode_record`]).
+    BadRecord {
+        /// The journal path.
+        path: PathBuf,
+        /// The offending line, `1`-based.
+        line: usize,
+        /// The first violated format rule.
+        detail: String,
+    },
+    /// A journaled payload did not rebuild into a cell result.
+    BadPayload {
+        /// The journal path.
+        path: PathBuf,
+        /// The cell whose payload failed, `0`-based grid index.
+        cell: usize,
+        /// The first violated payload rule.
+        detail: String,
+    },
+    /// A record's `index`/`id` does not match this grid — the journal
+    /// was written by a *different* grid, and silently recomputing
+    /// would mask the operator error.
+    ForeignJournal {
+        /// The journal path.
+        path: PathBuf,
+        /// The offending line, `1`-based.
+        line: usize,
+        /// Which coordinate mismatched, and how.
+        detail: String,
+    },
+    /// The journal ends mid-record (reported by [`lint_journal`];
+    /// resume tolerates a torn tail by dropping it).
+    TruncatedTail {
+        /// The journal path.
+        path: PathBuf,
+        /// Length of the torn fragment, in bytes.
+        bytes: usize,
+    },
+    /// The runner flags are inconsistent (e.g. `--resume` without
+    /// `--checkpoint`).
+    Config {
+        /// What is inconsistent.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            JournalError::BadRecord { path, line, detail } => {
+                write!(f, "{} line {line}: {detail}", path.display())
+            }
+            JournalError::BadPayload { path, cell, detail } => {
+                write!(f, "{} cell {cell}: {detail}", path.display())
+            }
+            JournalError::ForeignJournal { path, line, detail } => {
+                write!(
+                    f,
+                    "{} line {line}: {detail} (journal belongs to a different grid?)",
+                    path.display()
+                )
+            }
+            JournalError::TruncatedTail { path, bytes } => {
+                write!(
+                    f,
+                    "{}: truncated trailing line ({bytes} bytes without a newline)",
+                    path.display()
+                )
+            }
+            JournalError::Config { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl JournalError {
+    /// The `--resume`-without-`--checkpoint` configuration error (the
+    /// one config rule both checkpointed runners enforce).
+    pub(crate) fn resume_requires_checkpoint() -> JournalError {
+        JournalError::Config {
+            detail: "--resume requires --checkpoint PATH".to_string(),
+        }
+    }
+}
 
 /// One decoded journal record (see the [module docs](self) for the
 /// line format).
@@ -131,17 +245,24 @@ pub fn decode_record(line: &str) -> Result<CheckpointRecord, String> {
 ///
 /// # Errors
 ///
-/// * the journal exists but cannot be read;
-/// * a complete line does not decode ([`decode_record`]);
-/// * a record's `index`/`id` does not match the grid — the journal
-///   belongs to a different grid, and silently recomputing would mask
-///   the operator error.
-pub fn load_resume(path: &Path, ids: &[String]) -> Result<Vec<Option<(u64, JsonValue)>>, String> {
+/// * [`JournalError::Io`] — the journal exists but cannot be read;
+/// * [`JournalError::BadRecord`] — a complete line does not decode
+///   ([`decode_record`]);
+/// * [`JournalError::ForeignJournal`] — a record's `index`/`id` does
+///   not match the grid: the journal belongs to a different grid, and
+///   silently recomputing would mask the operator error.
+pub fn load_resume(
+    path: &Path,
+    ids: &[String],
+) -> Result<Vec<Option<(u64, JsonValue)>>, JournalError> {
     let mut completed: Vec<Option<(u64, JsonValue)>> = vec![None; ids.len()];
     if !path.exists() {
         return Ok(completed);
     }
-    let replay = read_journal(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let replay = read_journal(path).map_err(|e| JournalError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    })?;
     if let Some(tail) = &replay.truncated_tail {
         eprintln!(
             "warning: {}: dropping torn trailing fragment ({} bytes) — its cell will re-run",
@@ -150,28 +271,29 @@ pub fn load_resume(path: &Path, ids: &[String]) -> Result<Vec<Option<(u64, JsonV
         );
     }
     for (lineno, line) in replay.lines.iter().enumerate() {
-        let record = decode_record(line)
-            .map_err(|e| format!("{} line {}: {e}", path.display(), lineno + 1))?;
-        let expected = ids.get(record.index).ok_or_else(|| {
-            format!(
-                "{} line {}: cell index {} is outside this grid of {} cells \
-                 (journal belongs to a different grid?)",
-                path.display(),
-                lineno + 1,
+        let record = decode_record(line).map_err(|e| JournalError::BadRecord {
+            path: path.to_path_buf(),
+            line: lineno + 1,
+            detail: e,
+        })?;
+        let expected = ids.get(record.index).ok_or_else(|| JournalError::ForeignJournal {
+            path: path.to_path_buf(),
+            line: lineno + 1,
+            detail: format!(
+                "cell index {} is outside this grid of {} cells",
                 record.index,
                 ids.len()
-            )
+            ),
         })?;
         if *expected != record.id {
-            return Err(format!(
-                "{} line {}: cell {} is `{}` in this grid but `{}` in the journal \
-                 (journal belongs to a different grid?)",
-                path.display(),
-                lineno + 1,
-                record.index,
-                expected,
-                record.id
-            ));
+            return Err(JournalError::ForeignJournal {
+                path: path.to_path_buf(),
+                line: lineno + 1,
+                detail: format!(
+                    "cell {} is `{}` in this grid but `{}` in the journal",
+                    record.index, expected, record.id
+                ),
+            });
         }
         completed[record.index] = Some((record.micros, record.payload));
     }
@@ -184,26 +306,40 @@ pub fn load_resume(path: &Path, ids: &[String]) -> Result<Vec<Option<(u64, JsonV
 ///
 /// # Errors
 ///
-/// Returns a description of the first unreadable, undecodable, or
-/// truncated line.
-pub fn lint_journal(path: &Path) -> Result<usize, String> {
-    let replay = read_journal(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+/// [`JournalError::Io`] for an unreadable file,
+/// [`JournalError::TruncatedTail`] for a torn trailing line,
+/// [`JournalError::BadRecord`] for the first undecodable record.
+pub fn lint_journal(path: &Path) -> Result<usize, JournalError> {
+    let replay = read_journal(path).map_err(|e| JournalError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    })?;
     if let Some(tail) = &replay.truncated_tail {
-        return Err(format!(
-            "{}: truncated trailing line ({} bytes without a newline)",
-            path.display(),
-            tail.len()
-        ));
+        return Err(JournalError::TruncatedTail {
+            path: path.to_path_buf(),
+            bytes: tail.len(),
+        });
     }
     for (lineno, line) in replay.lines.iter().enumerate() {
-        decode_record(line).map_err(|e| format!("{} line {}: {e}", path.display(), lineno + 1))?;
+        decode_record(line).map_err(|e| JournalError::BadRecord {
+            path: path.to_path_buf(),
+            line: lineno + 1,
+            detail: e,
+        })?;
     }
     Ok(replay.lines.len())
 }
 
 /// Serializes a [`Table`] as a single-line journal payload.
-pub fn table_payload(table: &Table) -> String {
-    serde_json::to_string(table).expect("tables serialize")
+///
+/// # Errors
+///
+/// Returns a description of the serializer failure. Tables are plain
+/// string grids, so this cannot fail today — but the journaling path
+/// must degrade (skip the record, keep the result) rather than panic,
+/// so the impossibility is the *caller's* to absorb.
+pub fn table_payload(table: &Table) -> Result<String, String> {
+    serde_json::to_string(table).map_err(|e| format!("table does not serialize: {e}"))
 }
 
 /// Rebuilds a [`Table`] from a journaled payload.
@@ -266,9 +402,12 @@ pub fn table_from_payload(payload: &JsonValue) -> Result<Table, String> {
 ///
 /// # Errors
 ///
-/// Returns a description of the underlying open error.
-pub fn open_journal(path: &Path) -> Result<JournalWriter, String> {
-    JournalWriter::append(path).map_err(|e| format!("cannot open {}: {e}", path.display()))
+/// [`JournalError::Io`] wrapping the underlying open error.
+pub fn open_journal(path: &Path) -> Result<JournalWriter, JournalError> {
+    JournalWriter::append(path).map_err(|e| JournalError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    })
 }
 
 /// The result of a serial checkpointed grid
@@ -320,15 +459,15 @@ impl<T> SerialGrid<T> {
 /// # Errors
 ///
 /// Same as [`run_cells_checked`](super::runner::run_cells_checked):
-/// configuration or journal errors. Panicking cells are reported, not
-/// propagated.
+/// configuration or journal errors, typed as [`JournalError`].
+/// Panicking cells are reported, not propagated.
 pub fn run_serial_checkpointed<T>(
     ids: &[String],
     cfg: &super::runner::GridConfig,
     encode: impl Fn(&T) -> String,
     decode: impl Fn(&JsonValue) -> Result<T, String>,
     run: impl Fn(usize) -> T,
-) -> Result<SerialGrid<T>, String> {
+) -> Result<SerialGrid<T>, JournalError> {
     use super::runner::RunOutcome;
 
     let mut resumed: Vec<Option<(u64, T)>> = (0..ids.len()).map(|_| None).collect();
@@ -336,11 +475,14 @@ pub fn run_serial_checkpointed<T>(
         let path = cfg
             .checkpoint
             .as_deref()
-            .ok_or("--resume requires --checkpoint PATH")?;
+            .ok_or_else(JournalError::resume_requires_checkpoint)?;
         for (i, slot) in load_resume(path, ids)?.into_iter().enumerate() {
             if let Some((micros, payload)) = slot {
-                let item =
-                    decode(&payload).map_err(|e| format!("{} cell {i}: {e}", path.display()))?;
+                let item = decode(&payload).map_err(|e| JournalError::BadPayload {
+                    path: path.to_path_buf(),
+                    cell: i,
+                    detail: e,
+                })?;
                 resumed[i] = Some((micros, item));
             }
         }
@@ -412,14 +554,15 @@ pub fn run_serial_checkpointed<T>(
 /// # Errors
 ///
 /// Same as [`run_serial_checkpointed`]: configuration or journal
-/// errors. Panicking cells are reported, not propagated.
+/// errors, typed as [`JournalError`]. Panicking cells are reported,
+/// not propagated.
 pub fn run_parallel_checkpointed<T: Send>(
     ids: &[String],
     cfg: &super::runner::GridConfig,
     encode: impl Fn(&T) -> String + Sync,
     decode: impl Fn(&JsonValue) -> Result<T, String>,
     run: impl Fn(usize) -> T + Sync,
-) -> Result<SerialGrid<T>, String> {
+) -> Result<SerialGrid<T>, JournalError> {
     use super::runner::RunOutcome;
     use std::sync::Mutex;
 
@@ -428,11 +571,14 @@ pub fn run_parallel_checkpointed<T: Send>(
         let path = cfg
             .checkpoint
             .as_deref()
-            .ok_or("--resume requires --checkpoint PATH")?;
+            .ok_or_else(JournalError::resume_requires_checkpoint)?;
         for (i, slot) in load_resume(path, ids)?.into_iter().enumerate() {
             if let Some((micros, payload)) = slot {
-                let item =
-                    decode(&payload).map_err(|e| format!("{} cell {i}: {e}", path.display()))?;
+                let item = decode(&payload).map_err(|e| JournalError::BadPayload {
+                    path: path.to_path_buf(),
+                    cell: i,
+                    detail: e,
+                })?;
                 resumed[i] = Some((micros, item));
             }
         }
@@ -458,8 +604,13 @@ pub fn run_parallel_checkpointed<T: Send>(
                     let line = encode_record(i, &ids[i], micros, &encode(&item));
                     // A journal append failure must not fail the cell —
                     // the result is in hand; the cell simply re-runs on
-                    // a future resume.
-                    if let Err(e) = journal.lock().expect("journal lock").append_line(&line) {
+                    // a future resume. A poisoned lock only means a
+                    // sibling cell panicked mid-append; the writer is
+                    // line-atomic, so recovering it is safe.
+                    let mut writer = journal
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if let Err(e) = writer.append_line(&line) {
                         eprintln!(
                             "warning: checkpoint append failed for cell {i} (`{}`): {e}",
                             ids[i]
@@ -541,7 +692,7 @@ mod tests {
     fn table_round_trips_through_payload() {
         let mut t = Table::new("E1", "A \"quoted\" title", &["n", "value"]);
         t.push_row(vec!["3".to_string(), "x,y\nz".to_string()]);
-        let payload = table_payload(&t);
+        let payload = table_payload(&t).expect("tables serialize");
         assert!(!payload.contains('\n'), "payload must stay single-line");
         let parsed = JsonValue::parse(&payload).expect("payload parses");
         assert_eq!(table_from_payload(&parsed).expect("rebuilds"), t);
@@ -577,11 +728,13 @@ mod tests {
 
         // An id mismatch is a hard error, not a silent recompute.
         let wrong = vec!["x".to_string(), "b".to_string()];
-        assert!(load_resume(&path, &wrong)
-            .unwrap_err()
-            .contains("different grid"));
+        let err = load_resume(&path, &wrong).unwrap_err();
+        assert!(matches!(err, JournalError::ForeignJournal { .. }));
+        assert!(err.to_string().contains("different grid"));
         // So is an out-of-range index.
-        assert!(load_resume(&path, &[]).unwrap_err().contains("outside"));
+        let err = load_resume(&path, &[]).unwrap_err();
+        assert!(matches!(err, JournalError::ForeignJournal { .. }));
+        assert!(err.to_string().contains("outside"));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -640,9 +793,14 @@ mod tests {
         std::fs::write(&path, format!("{good}\n")).unwrap();
         assert_eq!(lint_journal(&path).expect("clean journal"), 1);
         std::fs::write(&path, format!("{good}\n{{\"v\":1,\"ind")).unwrap();
-        assert!(lint_journal(&path).unwrap_err().contains("truncated"));
+        let err = lint_journal(&path).unwrap_err();
+        assert!(matches!(err, JournalError::TruncatedTail { bytes: 11, .. }));
+        assert!(err.to_string().contains("truncated"));
         std::fs::write(&path, "garbage\n").unwrap();
-        assert!(lint_journal(&path).is_err());
+        assert!(matches!(
+            lint_journal(&path).unwrap_err(),
+            JournalError::BadRecord { line: 1, .. }
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -9,6 +9,7 @@ mod figures;
 mod lemmas;
 pub mod linalg_scaling;
 pub mod modp_scaling;
+pub mod net;
 pub mod runner;
 pub mod scale;
 pub mod search;

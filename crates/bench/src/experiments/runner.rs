@@ -302,11 +302,15 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 ///
 /// # Errors
 ///
-/// Returns a description of a configuration or journal error: `resume`
-/// without `checkpoint`, an unreadable/undecodable journal, or a
-/// journal that belongs to a different grid. A *panicking cell* is not
-/// an error — it is a [`RunOutcome::Failed`] report.
-pub fn run_cells_checked(cells: &[Cell], cfg: &GridConfig) -> Result<Vec<CellReport>, String> {
+/// Returns a typed [`checkpoint::JournalError`] for a configuration or
+/// journal problem: `resume` without `checkpoint`, an
+/// unreadable/undecodable journal, or a journal that belongs to a
+/// different grid. A *panicking cell* is not an error — it is a
+/// [`RunOutcome::Failed`] report.
+pub fn run_cells_checked(
+    cells: &[Cell],
+    cfg: &GridConfig,
+) -> Result<Vec<CellReport>, checkpoint::JournalError> {
     // Replay the journal (if resuming) into per-cell tables up front,
     // so payload corruption surfaces before any work starts.
     let mut resumed: Vec<Option<(u64, Table)>> = (0..cells.len()).map(|_| None).collect();
@@ -314,12 +318,17 @@ pub fn run_cells_checked(cells: &[Cell], cfg: &GridConfig) -> Result<Vec<CellRep
         let path = cfg
             .checkpoint
             .as_deref()
-            .ok_or("--resume requires --checkpoint PATH")?;
+            .ok_or_else(checkpoint::JournalError::resume_requires_checkpoint)?;
         let ids: Vec<String> = cells.iter().map(|c| c.id.to_string()).collect();
         for (i, slot) in checkpoint::load_resume(path, &ids)?.into_iter().enumerate() {
             if let Some((micros, payload)) = slot {
-                let table = checkpoint::table_from_payload(&payload)
-                    .map_err(|e| format!("{} cell {i}: {e}", path.display()))?;
+                let table = checkpoint::table_from_payload(&payload).map_err(|e| {
+                    checkpoint::JournalError::BadPayload {
+                        path: path.to_path_buf(),
+                        cell: i,
+                        detail: e,
+                    }
+                })?;
                 resumed[i] = Some((micros, table));
             }
         }
@@ -346,17 +355,29 @@ pub fn run_cells_checked(cells: &[Cell], cfg: &GridConfig) -> Result<Vec<CellRep
         match result {
             Ok(table) => {
                 if let Some(journal) = &journal {
-                    let line = checkpoint::encode_record(
-                        i,
-                        cell.id,
-                        micros,
-                        &checkpoint::table_payload(&table),
-                    );
-                    // A journal append failure (disk full, …) must not
-                    // fail the cell — the result is in hand; the cell
-                    // simply re-runs on a future resume.
-                    if let Err(e) = journal.lock().expect("journal lock").append_line(&line) {
-                        eprintln!("warning: checkpoint append failed for cell {i} (`{}`): {e}", cell.id);
+                    // A journal failure (unserializable table, disk
+                    // full, …) must not fail the cell — the result is
+                    // in hand; the cell simply re-runs on a future
+                    // resume. A poisoned lock only means a sibling
+                    // cell panicked mid-append; the writer is
+                    // line-atomic, so recovering it is safe.
+                    match checkpoint::table_payload(&table) {
+                        Ok(payload) => {
+                            let line = checkpoint::encode_record(i, cell.id, micros, &payload);
+                            let mut writer = journal
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            if let Err(e) = writer.append_line(&line) {
+                                eprintln!(
+                                    "warning: checkpoint append failed for cell {i} (`{}`): {e}",
+                                    cell.id
+                                );
+                            }
+                        }
+                        Err(e) => eprintln!(
+                            "warning: cell {i} (`{}`) not checkpointed: {e}",
+                            cell.id
+                        ),
                     }
                 }
                 CellReport {
@@ -570,9 +591,9 @@ mod tests {
             resume: true,
             ..GridConfig::default()
         };
-        assert!(run_cells_checked(&cells, &cfg)
-            .unwrap_err()
-            .contains("--resume requires --checkpoint"));
+        let err = run_cells_checked(&cells, &cfg).unwrap_err();
+        assert!(matches!(err, checkpoint::JournalError::Config { .. }));
+        assert!(err.to_string().contains("--resume requires --checkpoint"));
     }
 
     #[test]

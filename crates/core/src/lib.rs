@@ -44,6 +44,7 @@ pub mod baselines;
 pub mod bounds;
 pub mod cost;
 pub mod experiment;
+pub mod transport;
 pub mod verdict;
 
 /// Structured round tracing, re-exported from [`anonet_trace`]: implement

@@ -73,6 +73,7 @@ use anonet_multigraph::LabelSet;
 use anonet_multigraph::system_k::GeneralSystem;
 use anonet_multigraph::transform;
 use anonet_multigraph::DblMultigraph;
+use anonet_multigraph::{HistoryArena, RoundColumns};
 use anonet_trace::{NullSink, RoundEvent, TraceSink};
 
 pub use anonet_multigraph::faults::{
@@ -127,30 +128,83 @@ pub fn kernel_verdict_with_sink<S: TraceSink>(
     }
 }
 
-fn kernel_guarded<S: TraceSink>(
-    faulted: &FaultedExecution,
-    max_rounds: u32,
-    plan: &FaultPlan,
-    sink: &mut S,
-) -> Verdict {
-    let mut leader = WatchedLeader::new();
-    let mut state_size = 0u64;
-    let mut decided: Option<(u64, u32)> = None;
-    for (r, round) in faulted.execution.rounds.iter().enumerate() {
-        let r32 = r as u32;
+/// The guarded kernel runner as an **incremental session**: the exact
+/// loop body of [`kernel_verdict`]'s watchdog arm, factored out so that
+/// rounds can arrive one at a time from any transport — the in-memory
+/// [`FaultedExecution`] here, a [`RoundSource`](crate::transport::RoundSource)
+/// over real sockets in `anonet-net`.
+///
+/// Feed each observed round to [`step`](GuardedKernelSession::step); a
+/// `Some(verdict)` return is terminal (a watchdog fired and the
+/// violation event was already emitted). When the stream ends, close
+/// with [`finish`](GuardedKernelSession::finish). Driving a session this
+/// way over an execution's rounds is byte-for-byte the old inline loop —
+/// the empty-plan trace-identity tests pin it.
+pub struct GuardedKernelSession {
+    leader: WatchedLeader,
+    state_size: u64,
+    decided: Option<(u64, u32)>,
+    round: u32,
+}
+
+impl Default for GuardedKernelSession {
+    fn default() -> GuardedKernelSession {
+        GuardedKernelSession::new()
+    }
+}
+
+impl GuardedKernelSession {
+    /// A fresh session: a [`WatchedLeader`] before its first round.
+    pub fn new() -> GuardedKernelSession {
+        GuardedKernelSession {
+            leader: WatchedLeader::new(),
+            state_size: 0,
+            decided: None,
+            round: 0,
+        }
+    }
+
+    /// Rounds ingested so far.
+    pub fn rounds_seen(&self) -> u32 {
+        self.round
+    }
+
+    /// The provisional decision, if one was reached (still being
+    /// confirmed until the stream ends).
+    pub fn decision(&self) -> Option<(u64, u32)> {
+        self.decided
+    }
+
+    /// The leader's current candidate interval.
+    pub fn candidates(&self) -> Option<(i64, i64)> {
+        self.leader.candidates()
+    }
+
+    /// Ingests the next observed round. Returns `Some(verdict)` when a
+    /// watchdog fires — terminal, the violation event has been emitted
+    /// and flushed — and `None` to continue.
+    pub fn step<S: TraceSink>(
+        &mut self,
+        arena: &HistoryArena,
+        round: &RoundColumns,
+        plan: &FaultPlan,
+        sink: &mut S,
+    ) -> Option<Verdict> {
+        let r32 = self.round;
+        self.round += 1;
         if plan.has_restart_at(r32) {
-            leader.restart();
+            self.leader.restart();
         }
         // Confirmation is budgeted: past the solver's column budget the
         // remaining post-decision rounds keep only the allocation-free
         // watchdogs (growing the O(3^level) system to a distant horizon
         // would cost gigabytes).
-        let screened = if decided.is_some() && !leader.within_confirm_budget() {
-            leader
-                .confirm_screen(&faulted.execution.arena, round, r)
+        let screened = if self.decided.is_some() && !self.leader.within_confirm_budget() {
+            self.leader
+                .confirm_screen(arena, round, r32 as usize)
                 .map(|()| None)
         } else {
-            leader.ingest(&faulted.execution.arena, round).map(Some)
+            self.leader.ingest(arena, round).map(Some)
         };
         match screened {
             Err(v) => {
@@ -160,40 +214,73 @@ fn kernel_guarded<S: TraceSink>(
                 }
                 sink.record(&ev);
                 sink.flush();
-                return Verdict::ModelViolation {
+                Some(Verdict::ModelViolation {
                     kind: v.kind,
                     round: v.round,
-                };
+                })
             }
             // Trace emission stops at the decision round; the
             // confirmation rounds that follow are silent so that
             // empty-plan traces match the plain algorithm exactly.
-            Ok(Some(wr)) if decided.is_none() => {
-                state_size = state_size.saturating_add(level_state_growth(r32));
+            Ok(Some(wr)) if self.decided.is_none() => {
+                self.state_size = self.state_size.saturating_add(level_state_growth(r32));
                 let mut ev = RoundEvent::new(r32)
                     .candidates(wr.range.0, wr.range.1)
                     .candidate_count(wr.solution_count)
                     .kernel_dim(wr.kernel_dim)
-                    .state_size(state_size);
+                    .state_size(self.state_size);
                 if let Some(f) = plan.labels_at(r32) {
                     ev = ev.fault(&f);
                 }
                 sink.record(&ev);
                 if let Some(count) = wr.decision {
-                    decided = Some((count, r32 + 1));
+                    self.decided = Some((count, r32 + 1));
                 }
+                None
             }
-            Ok(_) => {}
+            Ok(_) => None,
         }
     }
-    sink.flush();
-    match decided {
-        Some((count, rounds)) => Verdict::Correct { count, rounds },
-        None => Verdict::Undecided {
-            rounds: max_rounds,
-            candidates: leader.candidates(),
-        },
+
+    /// Closes the stream after `max_rounds` were available: the
+    /// confirmed decision or a decision-less horizon.
+    pub fn finish<S: TraceSink>(self, max_rounds: u32, sink: &mut S) -> Verdict {
+        sink.flush();
+        match self.decided {
+            Some((count, rounds)) => Verdict::Correct { count, rounds },
+            None => Verdict::Undecided {
+                rounds: max_rounds,
+                candidates: self.leader.candidates(),
+            },
+        }
     }
+
+    /// Closes the stream **early** (the transport failed — timeout,
+    /// closed connection): always [`Verdict::Undecided`], never an
+    /// unconfirmed count. Fail-closed even when a provisional decision
+    /// exists, because the remaining confirmation rounds never arrived.
+    pub fn interrupt<S: TraceSink>(self, sink: &mut S) -> Verdict {
+        sink.flush();
+        Verdict::Undecided {
+            rounds: self.round,
+            candidates: self.leader.candidates(),
+        }
+    }
+}
+
+fn kernel_guarded<S: TraceSink>(
+    faulted: &FaultedExecution,
+    max_rounds: u32,
+    plan: &FaultPlan,
+    sink: &mut S,
+) -> Verdict {
+    let mut session = GuardedKernelSession::new();
+    for round in &faulted.execution.rounds {
+        if let Some(v) = session.step(&faulted.execution.arena, round, plan, sink) {
+            return v;
+        }
+    }
+    session.finish(max_rounds, sink)
 }
 
 fn kernel_unguarded<S: TraceSink>(
@@ -323,97 +410,152 @@ fn history_tree_violation(e: &HistoryTreeError) -> ViolationKind {
     }
 }
 
-fn history_tree_guarded<S: TraceSink>(
-    faulted: &FaultedExecution,
-    max_rounds: u32,
-    plan: &FaultPlan,
-    sink: &mut S,
-) -> Verdict {
-    let arena = &faulted.execution.arena;
-    let mut leader = HistoryTreeLeader::new();
-    let mut prev_spine: Option<u64> = None;
-    let mut prev_raw: Option<(i64, i64)> = None;
-    let mut decided: Option<(u64, u32)> = None;
-    for (r, round) in faulted.execution.rounds.iter().enumerate() {
-        let r32 = r as u32;
+/// The guarded history-tree runner as an **incremental session** — the
+/// exact loop body of [`history_tree_verdict`]'s watchdog arm, factored
+/// out for round-at-a-time transports the same way as
+/// [`GuardedKernelSession`]. Same protocol: [`step`](Self::step) until
+/// it returns a terminal verdict, then [`finish`](Self::finish) (stream
+/// complete) or [`interrupt`](Self::interrupt) (transport failure,
+/// fail-closed to [`Verdict::Undecided`]).
+pub struct GuardedHistoryTreeSession {
+    leader: HistoryTreeLeader,
+    prev_spine: Option<u64>,
+    prev_raw: Option<(i64, i64)>,
+    decided: Option<(u64, u32)>,
+    round: u32,
+}
+
+impl Default for GuardedHistoryTreeSession {
+    fn default() -> GuardedHistoryTreeSession {
+        GuardedHistoryTreeSession::new()
+    }
+}
+
+impl GuardedHistoryTreeSession {
+    /// A fresh session: a [`HistoryTreeLeader`] before its first round.
+    pub fn new() -> GuardedHistoryTreeSession {
+        GuardedHistoryTreeSession {
+            leader: HistoryTreeLeader::new(),
+            prev_spine: None,
+            prev_raw: None,
+            decided: None,
+            round: 0,
+        }
+    }
+
+    /// Rounds ingested so far.
+    pub fn rounds_seen(&self) -> u32 {
+        self.round
+    }
+
+    /// The provisional decision, if one was reached.
+    pub fn decision(&self) -> Option<(u64, u32)> {
+        self.decided
+    }
+
+    /// The leader's current candidate interval.
+    pub fn candidates(&self) -> Option<(i64, i64)> {
+        self.leader.candidates()
+    }
+
+    /// Ingests the next observed round. Returns `Some(verdict)` when a
+    /// screen fires — terminal, violation event emitted and flushed —
+    /// and `None` to continue.
+    pub fn step<S: TraceSink>(
+        &mut self,
+        arena: &HistoryArena,
+        round: &RoundColumns,
+        plan: &FaultPlan,
+        sink: &mut S,
+    ) -> Option<Verdict> {
+        let r32 = self.round;
+        self.round += 1;
         if plan.has_restart_at(r32) {
             // State loss: the fresh leader expects round-0 histories, so
             // any further delivery fails the integrity screen below.
-            leader = HistoryTreeLeader::new();
-            prev_spine = None;
-            prev_raw = None;
+            self.leader = HistoryTreeLeader::new();
+            self.prev_spine = None;
+            self.prev_raw = None;
         }
-        if decided.is_some() {
+        if self.decided.is_some() {
             // Post-decision confirmation screen: the spine is dead, so
             // beyond well-formedness the only thing left to watch is a
             // full-spine history coming back from the grave.
             if round.is_empty() {
-                return violation_verdict(ViolationKind::Connectivity, r32, plan, sink);
+                return Some(violation_verdict(ViolationKind::Connectivity, r32, plan, sink));
             }
             for d in round.iter() {
-                let well_formed = arena.history_len(d.state) == r
+                let well_formed = arena.history_len(d.state) == r32 as usize
                     && arena.is_ternary(d.state)
                     && (d.label == 1 || d.label == 2);
                 if !well_formed {
-                    return violation_verdict(ViolationKind::DeliveryIntegrity, r32, plan, sink);
+                    return Some(violation_verdict(
+                        ViolationKind::DeliveryIntegrity,
+                        r32,
+                        plan,
+                        sink,
+                    ));
                 }
                 let resurrected = arena
                     .masks(d.state)
                     .iter()
                     .all(|&mask| mask == LabelSet::L12.mask());
                 if resurrected {
-                    return violation_verdict(
+                    return Some(violation_verdict(
                         ViolationKind::CensusConservation,
                         r32,
                         plan,
                         sink,
-                    );
+                    ));
                 }
             }
-            continue;
+            return None;
         }
         // In-model every live node delivers at least one message per
         // round; an empty round would otherwise read as spine death.
         if round.is_empty() {
-            return violation_verdict(ViolationKind::Connectivity, r32, plan, sink);
+            return Some(violation_verdict(ViolationKind::Connectivity, r32, plan, sink));
         }
-        match leader.ingest(arena, round) {
-            Err(e) => {
-                return violation_verdict(history_tree_violation(&e), r32, plan, sink);
-            }
+        match self.leader.ingest(arena, round) {
+            Err(e) => Some(violation_verdict(history_tree_violation(&e), r32, plan, sink)),
             Ok(step) => {
                 // In-model d_r = g_r + g_{r+1} is non-increasing; growth
                 // means deliveries were forged or replayed.
-                let spine = leader.spine_deliveries();
-                if prev_spine.is_some_and(|p| spine > p) {
-                    return violation_verdict(ViolationKind::CensusConservation, r32, plan, sink);
+                let spine = self.leader.spine_deliveries();
+                if self.prev_spine.is_some_and(|p| spine > p) {
+                    return Some(violation_verdict(
+                        ViolationKind::CensusConservation,
+                        r32,
+                        plan,
+                        sink,
+                    ));
                 }
-                prev_spine = Some(spine);
+                self.prev_spine = Some(spine);
                 // In-model the raw per-round intervals nest (the spine
                 // telescope only ever tightens); a raw interval escaping
                 // its predecessor witnesses an out-of-model census even
                 // while the running intersection stays non-empty —
                 // the same screen the kernel's watcher applies to its
                 // per-level population ranges.
-                if let (Some((plo, phi)), Some((lo, hi))) = (prev_raw, leader.raw_candidates()) {
+                if let (Some((plo, phi)), Some((lo, hi))) =
+                    (self.prev_raw, self.leader.raw_candidates())
+                {
                     if lo < plo || hi > phi {
-                        return violation_verdict(
+                        return Some(violation_verdict(
                             ViolationKind::CensusConservation,
                             r32,
                             plan,
                             sink,
-                        );
+                        ));
                     }
                 }
-                prev_raw = leader.raw_candidates();
-                let (lo, hi) = leader
-                    .candidates()
-                    .unwrap_or((0, i64::MAX));
+                self.prev_raw = self.leader.raw_candidates();
+                let (lo, hi) = self.leader.candidates().unwrap_or((0, i64::MAX));
                 let mut ev = RoundEvent::new(r32)
                     .deliveries(round.len() as u64)
                     .candidates(lo, hi)
                     .candidate_count((hi - lo + 1) as u64)
-                    .state_size(leader.classes())
+                    .state_size(self.leader.classes())
                     .spine(spine);
                 if let Some(f) = plan.labels_at(r32) {
                     ev = ev.fault(&f);
@@ -422,26 +564,57 @@ fn history_tree_guarded<S: TraceSink>(
                 if let Some(count) = step {
                     if count == 0 {
                         // A non-empty round cannot come from zero nodes.
-                        return violation_verdict(
+                        return Some(violation_verdict(
                             ViolationKind::CensusConservation,
                             r32,
                             plan,
                             sink,
-                        );
+                        ));
                     }
-                    decided = Some((count, r32 + 1));
+                    self.decided = Some((count, r32 + 1));
                 }
+                None
             }
         }
     }
-    sink.flush();
-    match decided {
-        Some((count, rounds)) => Verdict::Correct { count, rounds },
-        None => Verdict::Undecided {
-            rounds: max_rounds,
-            candidates: leader.candidates(),
-        },
+
+    /// Closes the stream after `max_rounds` were available: the
+    /// confirmed decision or a decision-less horizon.
+    pub fn finish<S: TraceSink>(self, max_rounds: u32, sink: &mut S) -> Verdict {
+        sink.flush();
+        match self.decided {
+            Some((count, rounds)) => Verdict::Correct { count, rounds },
+            None => Verdict::Undecided {
+                rounds: max_rounds,
+                candidates: self.leader.candidates(),
+            },
+        }
     }
+
+    /// Closes the stream **early** (transport failure): always
+    /// [`Verdict::Undecided`], never an unconfirmed count.
+    pub fn interrupt<S: TraceSink>(self, sink: &mut S) -> Verdict {
+        sink.flush();
+        Verdict::Undecided {
+            rounds: self.round,
+            candidates: self.leader.candidates(),
+        }
+    }
+}
+
+fn history_tree_guarded<S: TraceSink>(
+    faulted: &FaultedExecution,
+    max_rounds: u32,
+    plan: &FaultPlan,
+    sink: &mut S,
+) -> Verdict {
+    let mut session = GuardedHistoryTreeSession::new();
+    for round in &faulted.execution.rounds {
+        if let Some(v) = session.step(&faulted.execution.arena, round, plan, sink) {
+            return v;
+        }
+    }
+    session.finish(max_rounds, sink)
 }
 
 fn history_tree_unguarded<S: TraceSink>(

@@ -61,6 +61,7 @@ pub mod soa;
 pub mod system;
 pub mod system_k;
 pub mod transform;
+pub mod wire;
 
 pub use adversary::{AdversaryError, TwinBuilder, TwinError, TwinPair};
 pub use census::{Census, CensusError};
@@ -74,6 +75,7 @@ pub use leader::{LeaderState, ObservationError, Observations, ObservationStream}
 pub use multigraph::{DblError, DblMultigraph};
 pub use mutate::{AdversarySchedule, ScheduleError, MAX_HORIZON};
 pub use soa::{RoundColumns, RoundEngine};
+pub use wire::{project_wire_plan, CopyOverride, WirePlan};
 
 /// Structured round tracing ([`TraceSink`](anonet_trace::TraceSink),
 /// [`RoundEvent`](anonet_trace::RoundEvent), the JSONL sinks), re-exported

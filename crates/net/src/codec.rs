@@ -1,0 +1,434 @@
+//! The wire format: length-prefixed frames and the four-message
+//! protocol (`Hello`/`Welcome` handshake, `RoundData` deliveries,
+//! `Ack` barrier releases).
+//!
+//! # Framing
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! ┌────────────┬──────────────────────────────┐
+//! │ u32 BE len │ payload (len bytes)          │
+//! └────────────┴──────────────────────────────┘
+//! ```
+//!
+//! `len` counts payload bytes only and is capped at [`MAX_FRAME`]; a
+//! larger announcement is rejected *before* allocating
+//! ([`NetError::FrameTooLarge`]). A stream that ends mid-payload is a
+//! typed [`NetError::TruncatedFrame`], never a panic.
+//!
+//! # Payloads
+//!
+//! The first payload byte is a message tag; multi-byte integers are
+//! big-endian:
+//!
+//! | tag | message | fields |
+//! |---|---|---|
+//! | 1 | `Hello` | magic `b"ANET"`, `version: u16`, `peer: u32`, `rounds: u32` |
+//! | 2 | `Welcome` | magic `b"ANET"`, `version: u16` |
+//! | 3 | `RoundData` | `round: u32`, `peer: u32`, `history_len: u32`, history masks (`u8` each), `label_count: u8`, labels (`u8` each) |
+//! | 4 | `Ack` | `round: u32` |
+//!
+//! A `RoundData` frame is one peer's complete contribution to one
+//! round: its state history (the label-set mask of every previous
+//! round, oldest first — exactly the `(label, history)` pair content of
+//! the paper's deliveries) and the labels of its current edges, one
+//! delivery per listed label. The fault proxy rewrites only the label
+//! list (dropping or repeating entries), never the history.
+
+use crate::error::NetError;
+use std::io::{Read, Write};
+
+/// Protocol version carried in the handshake; a mismatch is a typed
+/// [`NetError::VersionMismatch`] before any round data flows.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Magic bytes opening `Hello` and `Welcome` payloads.
+pub const MAGIC: [u8; 4] = *b"ANET";
+
+/// Upper bound on a frame's payload length. A round frame is
+/// `13 + history_len + labels` bytes, so this admits histories of ~10^6
+/// rounds while keeping a corrupt length prefix from exhausting memory.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// One decoded protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Peer → leader: opens the connection.
+    Hello {
+        /// The peer's protocol version.
+        version: u16,
+        /// The peer's node index.
+        peer: u32,
+        /// Rounds the peer intends to play.
+        rounds: u32,
+    },
+    /// Leader → peer: accepts the connection.
+    Welcome {
+        /// The leader's protocol version.
+        version: u16,
+    },
+    /// Peer → leader: one round's deliveries.
+    RoundData {
+        /// The synchronous round index.
+        round: u32,
+        /// The sending peer's node index.
+        peer: u32,
+        /// The peer's history: one label-set mask per previous round,
+        /// oldest first (`history.len()` = `round` for a well-formed
+        /// in-model peer).
+        history: Vec<u8>,
+        /// One delivery per entry: the edge label (1 or 2).
+        labels: Vec<u8>,
+    },
+    /// Leader → peer: the round barrier released; the peer may send the
+    /// next round.
+    Ack {
+        /// The acknowledged round.
+        round: u32,
+    },
+}
+
+/// Serializes `msg` into a framed byte vector (prefix included).
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16);
+    match msg {
+        Message::Hello {
+            version,
+            peer,
+            rounds,
+        } => {
+            payload.push(1);
+            payload.extend_from_slice(&MAGIC);
+            payload.extend_from_slice(&version.to_be_bytes());
+            payload.extend_from_slice(&peer.to_be_bytes());
+            payload.extend_from_slice(&rounds.to_be_bytes());
+        }
+        Message::Welcome { version } => {
+            payload.push(2);
+            payload.extend_from_slice(&MAGIC);
+            payload.extend_from_slice(&version.to_be_bytes());
+        }
+        Message::RoundData {
+            round,
+            peer,
+            history,
+            labels,
+        } => {
+            payload.push(3);
+            payload.extend_from_slice(&round.to_be_bytes());
+            payload.extend_from_slice(&peer.to_be_bytes());
+            payload.extend_from_slice(&(history.len() as u32).to_be_bytes());
+            payload.extend_from_slice(history);
+            payload.push(labels.len() as u8);
+            payload.extend_from_slice(labels);
+        }
+        Message::Ack { round } => {
+            payload.push(4);
+            payload.extend_from_slice(&round.to_be_bytes());
+        }
+    }
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Writes one framed message to `w`.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> Result<(), NetError> {
+    w.write_all(&encode(msg))
+        .map_err(|e| NetError::io("write frame", e))?;
+    w.flush().map_err(|e| NetError::io("flush frame", e))
+}
+
+/// Reads one framed message from `r`.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer
+/// closed between messages — how a crash presents); a mid-frame EOF is
+/// [`NetError::TruncatedFrame`]. An `io::ErrorKind::WouldBlock` /
+/// `TimedOut` read error surfaces as [`NetError::Io`] with context
+/// `"read frame"` — callers with a deadline treat it as their timeout.
+pub fn read_message<R: Read>(r: &mut R) -> Result<Option<Message>, NetError> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(r, &mut prefix)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Partial(got) => {
+            return Err(NetError::TruncatedFrame { expected: 4, got })
+        }
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(NetError::FrameTooLarge { len });
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::Eof => {
+            return Err(NetError::TruncatedFrame {
+                expected: len,
+                got: 0,
+            })
+        }
+        ReadOutcome::Partial(got) => {
+            return Err(NetError::TruncatedFrame {
+                expected: len,
+                got,
+            })
+        }
+    }
+    decode(&payload).map(Some)
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+    Partial(usize),
+}
+
+/// Fills `buf` from `r`, distinguishing clean EOF (no bytes read) from
+/// a truncated read (some bytes, then EOF).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, NetError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial(filled)
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::io("read frame", e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Decodes one payload (without its length prefix).
+pub fn decode(payload: &[u8]) -> Result<Message, NetError> {
+    let mut cur = Cursor { buf: payload, at: 0 };
+    let tag = cur.u8("tag")?;
+    let msg = match tag {
+        1 => {
+            cur.magic()?;
+            Message::Hello {
+                version: cur.u16("version")?,
+                peer: cur.u32("peer")?,
+                rounds: cur.u32("rounds")?,
+            }
+        }
+        2 => {
+            cur.magic()?;
+            Message::Welcome {
+                version: cur.u16("version")?,
+            }
+        }
+        3 => {
+            let round = cur.u32("round")?;
+            let peer = cur.u32("peer")?;
+            let history_len = cur.u32("history_len")? as usize;
+            let history = cur.bytes(history_len, "history")?.to_vec();
+            for &mask in &history {
+                if mask == 0 || mask > 0b11 {
+                    return Err(NetError::BadFrame {
+                        detail: format!("history mask {mask} is not a k=2 label set"),
+                    });
+                }
+            }
+            let label_count = cur.u8("label_count")? as usize;
+            let labels = cur.bytes(label_count, "labels")?.to_vec();
+            for &label in &labels {
+                if label != 1 && label != 2 {
+                    return Err(NetError::BadFrame {
+                        detail: format!("label {label} is not a k=2 edge label"),
+                    });
+                }
+            }
+            Message::RoundData {
+                round,
+                peer,
+                history,
+                labels,
+            }
+        }
+        4 => Message::Ack {
+            round: cur.u32("round")?,
+        },
+        other => {
+            return Err(NetError::BadFrame {
+                detail: format!("unknown message tag {other}"),
+            })
+        }
+    };
+    if cur.at != payload.len() {
+        return Err(NetError::BadFrame {
+            detail: format!("{} trailing bytes after message", payload.len() - cur.at),
+        });
+    }
+    Ok(msg)
+}
+
+/// Bounds-checked payload reader: every short read is a typed
+/// [`NetError::BadFrame`] naming the missing field.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn bytes(&mut self, n: usize, field: &str) -> Result<&[u8], NetError> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let out = &self.buf[self.at..end];
+                self.at = end;
+                Ok(out)
+            }
+            None => Err(NetError::BadFrame {
+                detail: format!("payload ends inside field `{field}`"),
+            }),
+        }
+    }
+
+    fn u8(&mut self, field: &str) -> Result<u8, NetError> {
+        Ok(self.bytes(1, field)?[0])
+    }
+
+    fn u16(&mut self, field: &str) -> Result<u16, NetError> {
+        let b = self.bytes(2, field)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, field: &str) -> Result<u32, NetError> {
+        let b = self.bytes(4, field)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn magic(&mut self) -> Result<(), NetError> {
+        let b = self.bytes(4, "magic")?;
+        if b != MAGIC {
+            return Err(NetError::BadFrame {
+                detail: format!("bad magic {b:?}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trips(msg: Message) {
+        let frame = encode(&msg);
+        let mut r = &frame[..];
+        let decoded = read_message(&mut r).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert!(r.is_empty(), "frame fully consumed");
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        round_trips(Message::Hello {
+            version: PROTOCOL_VERSION,
+            peer: 7,
+            rounds: 12,
+        });
+        round_trips(Message::Welcome {
+            version: PROTOCOL_VERSION,
+        });
+        round_trips(Message::RoundData {
+            round: 3,
+            peer: 2,
+            history: vec![1, 3, 2],
+            labels: vec![1, 2],
+        });
+        round_trips(Message::RoundData {
+            round: 0,
+            peer: 0,
+            history: vec![],
+            labels: vec![],
+        });
+        round_trips(Message::Ack { round: 9 });
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_an_error() {
+        let mut r: &[u8] = &[];
+        assert!(read_message(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors() {
+        // Cut inside the length prefix.
+        let frame = encode(&Message::Ack { round: 4 });
+        let mut r = &frame[..2];
+        assert!(matches!(
+            read_message(&mut r),
+            Err(NetError::TruncatedFrame { expected: 4, .. })
+        ));
+        // Cut inside the payload.
+        let mut r = &frame[..frame.len() - 1];
+        assert!(matches!(
+            read_message(&mut r),
+            Err(NetError::TruncatedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut r = &frame[..];
+        assert!(matches!(
+            read_message(&mut r),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_payloads_are_bad_frames() {
+        // Unknown tag.
+        assert!(matches!(
+            decode(&[9]),
+            Err(NetError::BadFrame { .. })
+        ));
+        // Bad magic in a hello.
+        let mut p = vec![1];
+        p.extend_from_slice(b"XXXX");
+        p.extend_from_slice(&[0, 1, 0, 0, 0, 0, 0, 0, 0, 5]);
+        assert!(matches!(decode(&p), Err(NetError::BadFrame { .. })));
+        // History mask outside k=2.
+        let msg = Message::RoundData {
+            round: 1,
+            peer: 0,
+            history: vec![1],
+            labels: vec![1],
+        };
+        let mut frame = encode(&msg);
+        // history byte sits at offset 4 (prefix) + 13 (tag..history_len).
+        frame[4 + 13] = 7;
+        let mut r = &frame[..];
+        assert!(matches!(
+            read_message(&mut r),
+            Err(NetError::BadFrame { .. })
+        ));
+        // Truncated field inside the payload (history_len promises more).
+        let msg = Message::RoundData {
+            round: 1,
+            peer: 0,
+            history: vec![1, 2],
+            labels: vec![],
+        };
+        let frame = encode(&msg);
+        let payload = &frame[4..frame.len() - 1];
+        assert!(matches!(decode(payload), Err(NetError::BadFrame { .. })));
+        // Trailing garbage after a well-formed message.
+        let mut p = encode(&Message::Ack { round: 1 })[4..].to_vec();
+        p.push(0);
+        assert!(matches!(decode(&p), Err(NetError::BadFrame { .. })));
+    }
+}

@@ -1,0 +1,188 @@
+//! The typed error surface of the socketed runtime.
+//!
+//! Nothing in this crate panics on I/O: every socket and codec failure
+//! is a [`NetError`], and the transport boundary maps them onto
+//! [`TransportError`](anonet_core::transport::TransportError) so the
+//! guarded sessions fail closed to
+//! [`Verdict::Undecided`](anonet_core::verdict::Verdict) instead of
+//! hanging or reporting an unconfirmed count.
+
+use anonet_core::transport::TransportError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong on the wire, typed.
+#[derive(Debug)]
+pub enum NetError {
+    /// An OS-level socket failure (connect, read, write, accept),
+    /// tagged with what the runtime was doing at the time.
+    Io {
+        /// The operation that failed (e.g. `"connect"`, `"read frame"`).
+        context: &'static str,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// The connection closed mid-frame: the length prefix promised more
+    /// bytes than the stream delivered.
+    TruncatedFrame {
+        /// Bytes the prefix promised.
+        expected: usize,
+        /// Bytes actually read before EOF.
+        got: usize,
+    },
+    /// A frame announced a payload larger than [`MAX_FRAME`] — a
+    /// corrupt prefix or a hostile peer; reading it would let one frame
+    /// exhaust memory.
+    ///
+    /// [`MAX_FRAME`]: crate::codec::MAX_FRAME
+    FrameTooLarge {
+        /// The announced payload length.
+        len: usize,
+    },
+    /// A frame decoded to no known message (bad tag, bad label mask,
+    /// inconsistent field lengths).
+    BadFrame {
+        /// What was malformed.
+        detail: String,
+    },
+    /// The peer spoke a different protocol version than ours.
+    VersionMismatch {
+        /// Our [`PROTOCOL_VERSION`](crate::codec::PROTOCOL_VERSION).
+        ours: u16,
+        /// The version the peer announced.
+        theirs: u16,
+    },
+    /// The handshake did not complete: wrong message kind, or the
+    /// connection dropped before `Hello`/`Welcome` was exchanged.
+    HandshakeFailed {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The listener did not receive the expected number of peer
+    /// connections within its accept deadline.
+    AcceptTimeout {
+        /// Peers expected to connect.
+        expected: usize,
+        /// Peers that actually completed a handshake in time.
+        got: usize,
+    },
+    /// A round barrier's deadline budget elapsed with live peers still
+    /// silent — the hung-peer case. The orchestrator reaps the
+    /// stragglers and the leader fails closed to `Undecided`.
+    RoundTimeout {
+        /// The round whose barrier timed out.
+        round: u32,
+        /// Peers that never reported the round.
+        missing: Vec<u32>,
+    },
+    /// A peer exhausted its retransmission budget waiting for the
+    /// leader's acknowledgement.
+    RetriesExhausted {
+        /// The round the peer was trying to deliver.
+        round: u32,
+        /// Send attempts made (1 original + retries).
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io { context, source } => write!(f, "{context}: {source}"),
+            NetError::TruncatedFrame { expected, got } => {
+                write!(f, "truncated frame: expected {expected} payload bytes, got {got}")
+            }
+            NetError::FrameTooLarge { len } => {
+                write!(f, "frame announces {len} payload bytes, over the frame limit")
+            }
+            NetError::BadFrame { detail } => write!(f, "bad frame: {detail}"),
+            NetError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer announced {theirs}")
+            }
+            NetError::HandshakeFailed { detail } => write!(f, "handshake failed: {detail}"),
+            NetError::AcceptTimeout { expected, got } => {
+                write!(f, "accept deadline elapsed with {got}/{expected} peers connected")
+            }
+            NetError::RoundTimeout { round, missing } => {
+                write!(f, "round {round} barrier timed out; silent peers: {missing:?}")
+            }
+            NetError::RetriesExhausted { round, attempts } => {
+                write!(f, "no ack for round {round} after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl NetError {
+    /// Wraps an [`io::Error`] with the operation it interrupted.
+    pub fn io(context: &'static str, source: io::Error) -> NetError {
+        NetError::Io { context, source }
+    }
+
+    /// The round this error is anchored to, when it has one.
+    pub fn round(&self) -> Option<u32> {
+        match self {
+            NetError::RoundTimeout { round, .. } | NetError::RetriesExhausted { round, .. } => {
+                Some(*round)
+            }
+            _ => None,
+        }
+    }
+
+    /// Projects the error onto the transport boundary, anchored at
+    /// `round`: deadline failures become
+    /// [`TransportError::Timeout`] (→ `Undecided`), everything else a
+    /// typed [`TransportError::Protocol`] breach.
+    pub fn to_transport(&self, round: u32) -> TransportError {
+        match self {
+            NetError::RoundTimeout { round, .. } => TransportError::Timeout { round: *round },
+            NetError::RetriesExhausted { round, .. } => TransportError::Timeout { round: *round },
+            other => TransportError::Protocol {
+                round,
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = NetError::TruncatedFrame {
+            expected: 40,
+            got: 7,
+        };
+        assert_eq!(e.to_string(), "truncated frame: expected 40 payload bytes, got 7");
+        let e = NetError::RoundTimeout {
+            round: 3,
+            missing: vec![5],
+        };
+        assert_eq!(e.to_string(), "round 3 barrier timed out; silent peers: [5]");
+        assert_eq!(e.round(), Some(3));
+    }
+
+    #[test]
+    fn timeouts_project_to_transport_timeouts() {
+        let e = NetError::RoundTimeout {
+            round: 2,
+            missing: vec![],
+        };
+        assert_eq!(e.to_transport(9), TransportError::Timeout { round: 2 });
+        let e = NetError::BadFrame {
+            detail: "tag 9".to_string(),
+        };
+        assert!(matches!(e.to_transport(4), TransportError::Protocol { round: 4, .. }));
+    }
+}

@@ -1,0 +1,598 @@
+//! The leader's side of the wire: a peer store over accepted
+//! connections and a synchronous, fault-tolerant **round barrier** that
+//! implements [`RoundSource`], so the guarded counting sessions of
+//! `anonet-core` run over real sockets unchanged.
+//!
+//! # Barrier state machine
+//!
+//! For each round `r` the barrier is in one of three states per peer:
+//!
+//! ```text
+//!            RoundData(r)                 all reported / deadline
+//! PENDING ────────────────▶ REPORTED ──────────────────────────▶ ACKED
+//!    │  EOF                                                       │
+//!    ▼                                                            ▼
+//! CRASHED (stays crashed; contributes nothing from round r on)  next round
+//! ```
+//!
+//! * every read carries a deadline — a silent live peer past the
+//!   round's budget fails the barrier with a typed
+//!   [`NetError::RoundTimeout`] and the run degrades to
+//!   [`Verdict::Undecided`](anonet_core::verdict::Verdict) through
+//!   [`TransportError::Timeout`];
+//! * an EOF is **churn**, not an error: the peer is marked crashed from
+//!   this round on, mirroring
+//!   [`FaultKind::CrashNodes`](anonet_core::verdict::FaultKind) — the
+//!   watchdog layer, not the transport, decides what a shrinking
+//!   population means;
+//! * retransmitted `RoundData` dedups **first-wins** per `(peer,
+//!   round)`; duplicates of already-acked rounds are re-acked so a peer
+//!   whose ack was delayed converges instead of exhausting its budget;
+//! * delivered histories are interned into the leader's own
+//!   [`HistoryArena`] and each completed round is canonically sorted,
+//!   so the assembled [`RoundColumns`] are byte-compatible with the
+//!   in-memory simulator's — the invariant the cross-validation harness
+//!   pins.
+
+use crate::codec::{read_message, write_message, Message, PROTOCOL_VERSION};
+use crate::error::NetError;
+use crate::timing::Timing;
+use anonet_core::transport::{RoundSource, TransportError};
+use anonet_multigraph::{HistoryArena, LabelSet, RoundColumns};
+use std::collections::HashSet;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Granularity of cancellable blocking: reader threads and the accept
+/// loop wake at least this often to check deadlines and the shutdown
+/// flag.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// What a reader thread tells the barrier.
+enum Event {
+    /// A decoded frame from connection `conn`.
+    Frame { conn: usize, msg: Message },
+    /// Clean EOF: the peer severed its connection (churn).
+    Eof { conn: usize },
+    /// The connection broke the protocol (bad frame, truncated frame).
+    Bad { conn: usize, error: NetError },
+}
+
+/// The lifecycle of one stored peer connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerStatus {
+    /// Connected and expected to report every round.
+    Active,
+    /// Severed its connection; contributes nothing from `round` on.
+    Crashed {
+        /// The first round the peer did not complete.
+        round: u32,
+    },
+    /// Broke the protocol; excluded and recorded.
+    Faulted {
+        /// Display form of the breach.
+        error: String,
+    },
+}
+
+/// One accepted, handshaken peer connection.
+struct PeerSlot {
+    /// The peer's self-declared node index (from `Hello`).
+    peer: u32,
+    /// Write half for acks (reader thread owns a clone for reads).
+    writer: TcpStream,
+    status: PeerStatus,
+    reader: Option<JoinHandle<()>>,
+}
+
+/// Aggregate statistics of a socketed run, for reports and trace
+/// facets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LeaderStats {
+    /// Retransmitted `(peer, round)` frames deduplicated first-wins.
+    pub duplicates_dropped: u64,
+    /// Peers that severed their connection, with the first round they
+    /// missed.
+    pub crashed: Vec<(u32, u32)>,
+    /// Peers that were still silent when a round barrier timed out.
+    pub timed_out: Vec<u32>,
+}
+
+/// Wire-level accounting of one round barrier, for trace facets
+/// (`connections` / `retransmits` / `net` on
+/// [`RoundEvent`](anonet_trace::RoundEvent)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundNet {
+    /// The round this barrier assembled (or failed).
+    pub round: u32,
+    /// Peer connections that were live when the barrier opened.
+    pub connections: u64,
+    /// Retransmitted frames deduplicated first-wins during this
+    /// barrier.
+    pub retransmits: u64,
+    /// Wire events observed (e.g. `"churn(peer 2)"`,
+    /// `"timeout(missing [5])"`), `+`-joined; `None` on clean rounds.
+    pub label: Option<String>,
+}
+
+/// The leader's socket runtime: peer store + round barrier.
+///
+/// Construction ([`SocketLeader::accept_peers`]) owns the full accept +
+/// handshake phase; afterwards [`next_round`](RoundSource::next_round)
+/// drives the barrier. Always [`shutdown`](SocketLeader::shutdown) (or
+/// drop) when done — it severs every socket and reaps every reader
+/// thread, bounded by the poll tick.
+pub struct SocketLeader {
+    arena: HistoryArena,
+    slots: Vec<PeerSlot>,
+    rx: Receiver<Event>,
+    shutdown: Arc<AtomicBool>,
+    rounds: u32,
+    round: u32,
+    timing: Timing,
+    stats: LeaderStats,
+    net_rounds: Vec<RoundNet>,
+    last_error: Option<NetError>,
+    finished: bool,
+}
+
+impl SocketLeader {
+    /// Accepts `peers` connections on `listener`, completing a
+    /// versioned handshake with each, within the accept deadline.
+    ///
+    /// Fails typed ([`NetError::AcceptTimeout`]) if the roster does not
+    /// fill in time — a peer that never connects must not wedge the
+    /// orchestrator any more than a hung one.
+    pub fn accept_peers(
+        listener: TcpListener,
+        peers: usize,
+        rounds: u32,
+        timing: Timing,
+    ) -> Result<SocketLeader, NetError> {
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::io("set listener nonblocking", e))?;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut slots: Vec<PeerSlot> = Vec::with_capacity(peers);
+        let deadline = Instant::now() + timing.accept_deadline;
+        while slots.len() < peers {
+            if Instant::now() >= deadline {
+                let leader = SocketLeader::assemble(slots, rx, shutdown, rounds, timing);
+                let err = NetError::AcceptTimeout {
+                    expected: peers,
+                    got: leader.slots.len(),
+                };
+                leader.shutdown_now();
+                return Err(err);
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let slot = handshake(stream, rounds, &timing, slots.len(), &tx, &shutdown)?;
+                    if slots.iter().any(|s| s.peer == slot.peer) {
+                        let err = NetError::HandshakeFailed {
+                            detail: format!("duplicate peer id {}", slot.peer),
+                        };
+                        let leader = SocketLeader::assemble(slots, rx, shutdown, rounds, timing);
+                        leader.shutdown_now();
+                        return Err(err);
+                    }
+                    slots.push(slot);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => {
+                    let leader = SocketLeader::assemble(slots, rx, shutdown, rounds, timing);
+                    leader.shutdown_now();
+                    return Err(NetError::io("accept", e));
+                }
+            }
+        }
+        Ok(SocketLeader::assemble(slots, rx, shutdown, rounds, timing))
+    }
+
+    fn assemble(
+        slots: Vec<PeerSlot>,
+        rx: Receiver<Event>,
+        shutdown: Arc<AtomicBool>,
+        rounds: u32,
+        timing: Timing,
+    ) -> SocketLeader {
+        SocketLeader {
+            arena: HistoryArena::new(),
+            slots,
+            rx,
+            shutdown,
+            rounds,
+            round: 0,
+            timing,
+            stats: LeaderStats::default(),
+            net_rounds: Vec::new(),
+            last_error: None,
+            finished: false,
+        }
+    }
+
+    /// The number of stored peer connections.
+    pub fn peers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Aggregate run statistics so far.
+    pub fn stats(&self) -> &LeaderStats {
+        &self.stats
+    }
+
+    /// The last wire-level failure, if any — the typed counterpart of
+    /// the `TransportError` the barrier surfaced to the session.
+    pub fn last_error(&self) -> Option<&NetError> {
+        self.last_error.as_ref()
+    }
+
+    /// Per-round wire accounting, one entry per barrier that ran
+    /// (including a failed final one) — the source of the
+    /// `connections`/`retransmits`/`net` trace facets.
+    pub fn net_rounds(&self) -> &[RoundNet] {
+        &self.net_rounds
+    }
+
+    /// Severs every peer socket and reaps every reader thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown_now(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for slot in &mut self.slots {
+            let _ = slot.writer.shutdown(Shutdown::Both);
+        }
+        for slot in &mut self.slots {
+            if let Some(handle) = slot.reader.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Runs one round barrier: collects `RoundData(round)` from every
+    /// active peer (detecting churn, deduplicating retransmissions),
+    /// assembles the canonical delivery columns, and releases the
+    /// barrier with acks.
+    fn barrier(&mut self, round: u32) -> Result<RoundColumns, NetError> {
+        let mut net = RoundNet {
+            round,
+            connections: 0,
+            retransmits: 0,
+            label: None,
+        };
+        let result = self.barrier_inner(round, &mut net);
+        self.net_rounds.push(net);
+        result
+    }
+
+    /// [`barrier`](SocketLeader::barrier) with its wire accounting
+    /// threaded out-of-band, so every exit path (including errors)
+    /// leaves a complete [`RoundNet`] record.
+    fn barrier_inner(
+        &mut self,
+        round: u32,
+        net: &mut RoundNet,
+    ) -> Result<RoundColumns, NetError> {
+        let deadline = Instant::now() + self.timing.round_deadline;
+        let mut pending: HashSet<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.status == PeerStatus::Active)
+            .map(|(i, _)| i)
+            .collect();
+        net.connections = pending.len() as u64;
+        let mut reported: Vec<Option<(Vec<u8>, Vec<u8>)>> = vec![None; self.slots.len()];
+        while !pending.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                let missing: Vec<u32> = pending.iter().map(|&i| self.slots[i].peer).collect();
+                self.stats.timed_out.extend(missing.iter().copied());
+                push_label(net, &format!("timeout(missing {missing:?})"));
+                return Err(NetError::RoundTimeout { round, missing });
+            }
+            let wait = (deadline - now).min(POLL_TICK);
+            let event = match self.rx.recv_timeout(wait) {
+                Ok(ev) => ev,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // All reader threads gone: every remaining pending
+                    // peer is dead churn.
+                    for &i in &pending {
+                        self.mark_crashed(i, round);
+                    }
+                    pending.clear();
+                    continue;
+                }
+            };
+            match event {
+                Event::Frame {
+                    conn,
+                    msg:
+                        Message::RoundData {
+                            round: rr,
+                            peer,
+                            history,
+                            labels,
+                        },
+                } => {
+                    if peer != self.slots[conn].peer {
+                        return Err(NetError::BadFrame {
+                            detail: format!(
+                                "connection of peer {} sent RoundData for peer {peer}",
+                                self.slots[conn].peer
+                            ),
+                        });
+                    }
+                    if rr < round {
+                        // A retransmission of an already-acked round:
+                        // its ack was slow, re-release it.
+                        self.stats.duplicates_dropped += 1;
+                        net.retransmits += 1;
+                        self.ack(conn, rr);
+                    } else if rr == round {
+                        if reported[conn].is_some() {
+                            // First-wins dedup of same-round
+                            // retransmissions.
+                            self.stats.duplicates_dropped += 1;
+                            net.retransmits += 1;
+                        } else if self.slots[conn].status == PeerStatus::Active {
+                            reported[conn] = Some((history, labels));
+                            pending.remove(&conn);
+                        }
+                    } else {
+                        // The barrier protocol makes a future round
+                        // impossible without our ack.
+                        return Err(NetError::BadFrame {
+                            detail: format!(
+                                "peer {peer} sent round {rr} before round {round} was released"
+                            ),
+                        });
+                    }
+                }
+                Event::Frame { conn, msg } => {
+                    return Err(NetError::BadFrame {
+                        detail: format!(
+                            "peer {} sent {msg:?} mid-run",
+                            self.slots[conn].peer
+                        ),
+                    });
+                }
+                Event::Eof { conn } => {
+                    // Churn: the peer is gone from this round on. Its
+                    // earlier reports (including this round's, if it
+                    // arrived before the close) stand.
+                    if self.slots[conn].status == PeerStatus::Active {
+                        push_label(net, &format!("churn(peer {})", self.slots[conn].peer));
+                    }
+                    if self.slots[conn].status == PeerStatus::Active
+                        && reported[conn].is_none()
+                    {
+                        self.mark_crashed(conn, round);
+                        pending.remove(&conn);
+                    } else if self.slots[conn].status == PeerStatus::Active {
+                        self.mark_crashed(conn, round + 1);
+                    }
+                }
+                Event::Bad { conn, error } => {
+                    let peer = self.slots[conn].peer;
+                    self.slots[conn].status = PeerStatus::Faulted {
+                        error: error.to_string(),
+                    };
+                    pending.remove(&conn);
+                    push_label(net, &format!("breach(peer {peer})"));
+                    return Err(NetError::BadFrame {
+                        detail: format!("peer {peer}: {error}"),
+                    });
+                }
+            }
+        }
+        // Assemble the canonical columns: intern each reporting peer's
+        // history, emit one delivery per label, sort canonically.
+        let mut cols = RoundColumns::new();
+        for (history, labels) in reported.iter().flatten() {
+            let mut id = HistoryArena::empty();
+            for &mask in history {
+                let set = LabelSet::from_mask(u32::from(mask), 2).map_err(|e| {
+                    NetError::BadFrame {
+                        detail: format!("undecodable history mask {mask}: {e}"),
+                    }
+                })?;
+                id = self.arena.child(id, set);
+            }
+            for &label in labels {
+                cols.push(label, id);
+            }
+        }
+        cols.canonical_sort(&self.arena);
+        // Release the barrier.
+        for conn in 0..self.slots.len() {
+            if self.slots[conn].status == PeerStatus::Active {
+                self.ack(conn, round);
+            }
+        }
+        Ok(cols)
+    }
+
+    fn mark_crashed(&mut self, conn: usize, round: u32) {
+        let peer = self.slots[conn].peer;
+        self.slots[conn].status = PeerStatus::Crashed { round };
+        self.stats.crashed.push((peer, round));
+    }
+
+    /// Sends `Ack { round }` to connection `conn`; a write failure is
+    /// churn (the peer will EOF imminently), not a run failure.
+    fn ack(&mut self, conn: usize, round: u32) {
+        let result = write_message(&mut self.slots[conn].writer, &Message::Ack { round });
+        if result.is_err() && self.slots[conn].status == PeerStatus::Active {
+            self.mark_crashed(conn, round + 1);
+        }
+    }
+}
+
+impl RoundSource for SocketLeader {
+    fn arena(&self) -> &HistoryArena {
+        &self.arena
+    }
+
+    fn next_round(&mut self) -> Result<Option<RoundColumns>, TransportError> {
+        if self.finished || self.round == self.rounds {
+            self.finished = true;
+            return Ok(None);
+        }
+        let round = self.round;
+        match self.barrier(round) {
+            Ok(cols) => {
+                self.round += 1;
+                Ok(Some(cols))
+            }
+            Err(e) => {
+                self.finished = true;
+                let t = e.to_transport(round);
+                self.last_error = Some(e);
+                Err(t)
+            }
+        }
+    }
+}
+
+impl Drop for SocketLeader {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Appends a wire-event label to a round's `net` facet, `+`-joining
+/// multiple events in observation order.
+fn push_label(net: &mut RoundNet, label: &str) {
+    match &mut net.label {
+        Some(existing) => {
+            existing.push('+');
+            existing.push_str(label);
+        }
+        None => net.label = Some(label.to_string()),
+    }
+}
+
+/// Completes the `Hello`/`Welcome` exchange on a fresh connection and
+/// spawns its reader thread.
+fn handshake(
+    stream: TcpStream,
+    rounds: u32,
+    timing: &Timing,
+    conn: usize,
+    tx: &Sender<Event>,
+    shutdown: &Arc<AtomicBool>,
+) -> Result<PeerSlot, NetError> {
+    stream.set_nodelay(true).map_err(|e| NetError::io("set nodelay", e))?;
+    stream
+        .set_read_timeout(Some(timing.handshake_deadline))
+        .map_err(|e| NetError::io("set read timeout", e))?;
+    let mut s = stream;
+    let peer = match read_message(&mut s) {
+        Ok(Some(Message::Hello {
+            version,
+            peer,
+            rounds: peer_rounds,
+        })) => {
+            if version != PROTOCOL_VERSION {
+                return Err(NetError::VersionMismatch {
+                    ours: PROTOCOL_VERSION,
+                    theirs: version,
+                });
+            }
+            if peer_rounds != rounds {
+                return Err(NetError::HandshakeFailed {
+                    detail: format!(
+                        "peer {peer} plans {peer_rounds} rounds, leader runs {rounds}"
+                    ),
+                });
+            }
+            peer
+        }
+        Ok(Some(other)) => {
+            return Err(NetError::HandshakeFailed {
+                detail: format!("expected Hello, got {other:?}"),
+            })
+        }
+        Ok(None) => {
+            return Err(NetError::HandshakeFailed {
+                detail: "peer closed during handshake".to_string(),
+            })
+        }
+        Err(e) => {
+            return Err(NetError::HandshakeFailed {
+                detail: format!("while reading Hello: {e}"),
+            })
+        }
+    };
+    write_message(
+        &mut s,
+        &Message::Welcome {
+            version: PROTOCOL_VERSION,
+        },
+    )?;
+    let reader_stream = s.try_clone().map_err(|e| NetError::io("clone stream", e))?;
+    let tx = tx.clone();
+    let shutdown = Arc::clone(shutdown);
+    let reader = thread::Builder::new()
+        .name(format!("anonet-leader-reader-{peer}"))
+        .spawn(move || reader_loop(reader_stream, conn, tx, shutdown))
+        .map_err(|e| NetError::io("spawn reader", e))?;
+    Ok(PeerSlot {
+        peer,
+        writer: s,
+        status: PeerStatus::Active,
+        reader: Some(reader),
+    })
+}
+
+/// Decodes frames off one connection until EOF, a protocol breach, or
+/// shutdown. Every read carries the poll-tick deadline so the thread is
+/// reapable.
+fn reader_loop(mut stream: TcpStream, conn: usize, tx: Sender<Event>, shutdown: Arc<AtomicBool>) {
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        let _ = tx.send(Event::Eof { conn });
+        return;
+    }
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_message(&mut stream) {
+            Ok(Some(msg)) => {
+                if tx.send(Event::Frame { conn, msg }).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => {
+                let _ = tx.send(Event::Eof { conn });
+                return;
+            }
+            Err(NetError::Io { source, .. })
+                if matches!(
+                    source.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(NetError::Io { .. }) => {
+                // Reset / aborted transport: same churn as a clean EOF.
+                let _ = tx.send(Event::Eof { conn });
+                return;
+            }
+            Err(error) => {
+                let _ = tx.send(Event::Bad { conn, error });
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! `anonet-net` — the socketed peer runtime: anonymous dynamic-network
+//! counting over real TCP, with deadlines, retries, and fail-closed
+//! verdicts.
+//!
+//! The simulator crates establish *what* a correct guarded leader
+//! computes; this crate establishes that the same computation survives
+//! a real transport. Each node of the `M(DBL)_2` execution becomes a
+//! peer process-alike (a thread with its own socket) that knows only
+//! its own per-round label sets; the leader assembles rounds from
+//! framed deliveries behind a synchronous barrier and feeds them to the
+//! unchanged guarded sessions of `anonet-core`.
+//!
+//! The safety contract is the repo's usual one, extended to the wire:
+//! **no failure mode may produce a wrong count.** Slow peers are
+//! retried, silent peers are timed out, crashed peers are churn for the
+//! watchdogs to judge — and every one of those paths terminates in
+//! [`Verdict::Correct`](anonet_core::verdict::Verdict) with the true
+//! count or a fail-closed
+//! [`Undecided`](anonet_core::verdict::Verdict::Undecided) /
+//! [`ModelViolation`](anonet_core::verdict::Verdict::ModelViolation),
+//! never a panic, never a hang, never a fabricated count.
+//!
+//! Module map (one hop per layer):
+//!
+//! * [`codec`] — length-prefixed frames, the four-message protocol;
+//! * [`error`] — [`NetError`], the typed failure surface, and its
+//!   projection onto the transport boundary;
+//! * [`timing`] — every deadline and the retransmission backoff policy;
+//! * [`peer`] — the peer daemon (send, await ack, retransmit);
+//! * [`leader`] — the peer store and the round barrier
+//!   ([`SocketLeader`] implements
+//!   [`RoundSource`](anonet_core::transport::RoundSource));
+//! * [`proxy`] — the wire-level fault proxy projecting a
+//!   [`WirePlan`](anonet_multigraph::wire::WirePlan) onto socket
+//!   behaviour;
+//! * [`run`] — the loopback orchestrator and the socket-vs-simulator
+//!   cross-validation harness.
+//!
+//! The runtime is deliberately `std`-only (`std::net` + threads): the
+//! workspace is offline and the protocol is four message kinds over a
+//! barrier — an async runtime would buy nothing but a dependency.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod leader;
+pub mod peer;
+pub mod proxy;
+pub mod run;
+pub mod timing;
+
+pub use codec::{Message, MAX_FRAME, PROTOCOL_VERSION};
+pub use error::NetError;
+pub use leader::{LeaderStats, PeerStatus, RoundNet, SocketLeader};
+pub use peer::{run_peer, spawn_peer, PeerConfig, PeerOutcome, PeerStats};
+pub use proxy::{spawn_proxy, FaultProxy, ProxySpec};
+pub use run::{
+    cross_validate, run_socketed, run_socketed_traced, CrossValidation, SocketConfig,
+    SocketReport,
+};
+pub use timing::Timing;

@@ -1,0 +1,285 @@
+//! The peer daemon: one anonymous node of the synchronous network,
+//! speaking the framed protocol over a real TCP connection.
+//!
+//! A peer knows only its own connectivity schedule (its label set per
+//! round — see
+//! [`wire::peer_rows`](anonet_multigraph::wire::peer_rows)), never the
+//! population; the anonymity boundary of the paper survives the move to
+//! sockets. Per round it sends one
+//! [`RoundData`](crate::codec::Message::RoundData) frame — its history
+//! so far plus its current edge labels — then blocks on the leader's
+//! [`Ack`](crate::codec::Message::Ack) barrier release, retransmitting
+//! with exponential backoff and deterministic jitter when the ack is
+//! slow, and giving up with a typed error when the budget is exhausted.
+//!
+//! Fault instrumentation (driven by the projected
+//! [`WirePlan`](anonet_multigraph::wire::WirePlan) and the churn tests):
+//!
+//! * **crash at `r`** — the peer severs its connection before sending
+//!   round `r`, exactly the rounds-delivered semantics of
+//!   [`FaultKind::CrashNodes`](anonet_core::verdict::FaultKind);
+//! * **hang at `r`** — the peer keeps the socket open but goes silent,
+//!   the failure mode only a deadline (never the model) can detect.
+
+use crate::codec::{read_message, write_message, Message, PROTOCOL_VERSION};
+use crate::error::NetError;
+use crate::timing::Timing;
+use anonet_multigraph::LabelSet;
+use std::io::ErrorKind;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+/// One peer's full configuration.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// The node index (carried in `Hello` and every `RoundData`).
+    pub peer: u32,
+    /// The label set the peer plays each round.
+    pub rows: Vec<LabelSet>,
+    /// Sever the connection before sending this round (crash fault).
+    pub crash_at: Option<u32>,
+    /// Go silent at this round without closing (hung-peer fault).
+    pub hang_at: Option<u32>,
+    /// Deadlines and retry policy.
+    pub timing: Timing,
+}
+
+/// How a peer's run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerOutcome {
+    /// Played every round and saw every ack.
+    Completed,
+    /// Severed its connection at the scheduled crash round.
+    Crashed {
+        /// The round before which the socket closed.
+        round: u32,
+    },
+    /// Went silent at the scheduled hang round, then exited.
+    Hung {
+        /// The round at which the peer stopped responding.
+        round: u32,
+    },
+    /// An unscheduled failure (leader gone, retries exhausted, protocol
+    /// breach), carried as its printable form so stats stay `Eq`.
+    Failed {
+        /// Display form of the underlying [`NetError`].
+        error: String,
+    },
+}
+
+/// What one peer did, returned from [`run_peer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerStats {
+    /// The node index.
+    pub peer: u32,
+    /// `RoundData` frames for *distinct* rounds that were sent.
+    pub rounds_sent: u32,
+    /// Retransmissions beyond each round's first send.
+    pub retransmits: u32,
+    /// How the run ended.
+    pub outcome: PeerOutcome,
+}
+
+/// Runs one peer to completion against the leader (or proxy) at `addr`.
+///
+/// Never panics and never blocks unboundedly: connect, handshake and
+/// every frame read carry deadlines from [`Timing`], and all failures
+/// fold into [`PeerOutcome::Failed`].
+pub fn run_peer(addr: SocketAddr, cfg: PeerConfig) -> PeerStats {
+    let mut stats = PeerStats {
+        peer: cfg.peer,
+        rounds_sent: 0,
+        retransmits: 0,
+        outcome: PeerOutcome::Completed,
+    };
+    let mut stream = match connect(addr, &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            stats.outcome = PeerOutcome::Failed {
+                error: e.to_string(),
+            };
+            return stats;
+        }
+    };
+    let mut history: Vec<u8> = Vec::with_capacity(cfg.rows.len());
+    for r in 0..cfg.rows.len() as u32 {
+        if cfg.crash_at == Some(r) {
+            let _ = stream.shutdown(Shutdown::Both);
+            stats.outcome = PeerOutcome::Crashed { round: r };
+            return stats;
+        }
+        if cfg.hang_at == Some(r) {
+            // Keep the socket open and say nothing: the only failure
+            // mode the leader cannot distinguish from a slow peer
+            // except by deadline.
+            thread::sleep(cfg.timing.hang_for);
+            stats.outcome = PeerOutcome::Hung { round: r };
+            return stats;
+        }
+        let frame = Message::RoundData {
+            round: r,
+            peer: cfg.peer,
+            history: history.clone(),
+            labels: cfg.rows[r as usize].iter().collect(),
+        };
+        match deliver_round(&mut stream, &frame, r, &cfg, &mut stats.retransmits) {
+            Ok(()) => stats.rounds_sent += 1,
+            Err(e) => {
+                stats.outcome = PeerOutcome::Failed {
+                    error: e.to_string(),
+                };
+                return stats;
+            }
+        }
+        let mask = cfg.rows[r as usize].mask();
+        history.push(mask as u8);
+    }
+    stats
+}
+
+/// Connects and completes the versioned handshake.
+fn connect(addr: SocketAddr, cfg: &PeerConfig) -> Result<TcpStream, NetError> {
+    let stream = TcpStream::connect_timeout(&addr, cfg.timing.accept_deadline)
+        .map_err(|e| NetError::io("connect", e))?;
+    stream.set_nodelay(true).map_err(|e| NetError::io("set nodelay", e))?;
+    stream
+        .set_read_timeout(Some(cfg.timing.handshake_deadline))
+        .map_err(|e| NetError::io("set read timeout", e))?;
+    let mut s = stream;
+    write_message(
+        &mut s,
+        &Message::Hello {
+            version: PROTOCOL_VERSION,
+            peer: cfg.peer,
+            rounds: cfg.rows.len() as u32,
+        },
+    )?;
+    match read_message(&mut s)? {
+        Some(Message::Welcome { version }) if version == PROTOCOL_VERSION => Ok(s),
+        Some(Message::Welcome { version }) => Err(NetError::VersionMismatch {
+            ours: PROTOCOL_VERSION,
+            theirs: version,
+        }),
+        Some(other) => Err(NetError::HandshakeFailed {
+            detail: format!("expected Welcome, got {other:?}"),
+        }),
+        None => Err(NetError::HandshakeFailed {
+            detail: "leader closed during handshake".to_string(),
+        }),
+    }
+}
+
+/// Sends `frame` and waits for its ack, retransmitting with exponential
+/// backoff + jitter until the attempt budget is spent.
+fn deliver_round(
+    stream: &mut TcpStream,
+    frame: &Message,
+    round: u32,
+    cfg: &PeerConfig,
+    retransmits: &mut u32,
+) -> Result<(), NetError> {
+    stream
+        .set_read_timeout(Some(cfg.timing.ack_deadline))
+        .map_err(|e| NetError::io("set read timeout", e))?;
+    for attempt in 1..=cfg.timing.max_attempts {
+        if attempt > 1 {
+            *retransmits += 1;
+            thread::sleep(cfg.timing.backoff(cfg.peer, round, attempt - 1));
+        }
+        write_message(stream, frame)?;
+        match await_ack(stream, round)? {
+            true => return Ok(()),
+            false => continue, // ack deadline elapsed: retransmit
+        }
+    }
+    Err(NetError::RetriesExhausted {
+        round,
+        attempts: cfg.timing.max_attempts,
+    })
+}
+
+/// Reads until `Ack { round }` arrives (`Ok(true)`), the per-attempt
+/// deadline elapses (`Ok(false)`), or the connection fails.
+fn await_ack(stream: &mut TcpStream, round: u32) -> Result<bool, NetError> {
+    loop {
+        match read_message(stream) {
+            Ok(Some(Message::Ack { round: acked })) if acked == round => return Ok(true),
+            // A re-ack of an earlier round (the leader saw a duplicate
+            // we no longer care about): keep reading within the
+            // deadline.
+            Ok(Some(Message::Ack { .. })) => continue,
+            Ok(Some(other)) => {
+                return Err(NetError::BadFrame {
+                    detail: format!("expected Ack, got {other:?}"),
+                })
+            }
+            Ok(None) => {
+                return Err(NetError::io(
+                    "await ack",
+                    std::io::Error::new(ErrorKind::UnexpectedEof, "leader closed connection"),
+                ))
+            }
+            Err(NetError::Io { source, .. })
+                if matches!(source.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+            {
+                return Ok(false)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Spawns [`run_peer`] on a named thread and returns its handle.
+pub fn spawn_peer(addr: SocketAddr, cfg: PeerConfig) -> thread::JoinHandle<PeerStats> {
+    let name = format!("anonet-peer-{}", cfg.peer);
+    thread::Builder::new()
+        .name(name)
+        .spawn(move || run_peer(addr, cfg))
+        .expect("spawning a named thread only fails on OS resource exhaustion")
+}
+
+/// The worst-case wall clock one peer can spend on a single round
+/// before failing typed — the bound the orchestrator's reap step and
+/// the smoke gate's wall-clock ceiling are budgeted against.
+pub fn round_budget(timing: &Timing) -> Duration {
+    let mut total = Duration::ZERO;
+    for attempt in 1..=timing.max_attempts {
+        total += timing.ack_deadline;
+        if attempt > 1 {
+            total += timing.backoff(u32::MAX, u32::MAX, attempt - 1);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreachable_leader_is_a_typed_failure() {
+        // Port 1 on loopback: nothing listens there; connect fails fast.
+        let cfg = PeerConfig {
+            peer: 0,
+            rows: vec![LabelSet::L12],
+            crash_at: None,
+            hang_at: None,
+            timing: Timing {
+                accept_deadline: Duration::from_millis(200),
+                ..Timing::fast()
+            },
+        };
+        let stats = run_peer("127.0.0.1:1".parse().unwrap(), cfg);
+        assert!(matches!(stats.outcome, PeerOutcome::Failed { .. }), "{stats:?}");
+        assert_eq!(stats.rounds_sent, 0);
+    }
+
+    #[test]
+    fn round_budget_bounds_the_retry_loop() {
+        let t = Timing::fast();
+        let b = round_budget(&t);
+        assert!(b >= t.ack_deadline * t.max_attempts);
+        assert!(b < Duration::from_secs(5), "fast policy fails fast: {b:?}");
+    }
+}

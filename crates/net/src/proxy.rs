@@ -1,0 +1,289 @@
+//! The wire-level fault proxy: a per-peer man-in-the-middle that
+//! projects a [`WirePlan`](anonet_multigraph::wire::WirePlan) onto real
+//! socket behaviour.
+//!
+//! Each proxy sits between one peer and the leader on loopback and
+//! rewrites the peer's `RoundData` frames according to the plan's copy
+//! counts:
+//!
+//! | plan semantics            | wire behaviour                                   |
+//! |---------------------------|--------------------------------------------------|
+//! | drop (copies = 0)         | the label is removed from the frame              |
+//! | duplicate (copies ≥ 2)    | the label is repeated `copies` times             |
+//! | disconnect (all zero)     | an **empty** `RoundData` is forwarded — the      |
+//! |                           | barrier completes and the leader's connectivity  |
+//! |                           | watchdog trips, exactly as in the simulator      |
+//! | delay                     | the frame is held for the configured duration    |
+//! | crash                     | not the proxy's job — the peer itself severs     |
+//!
+//! Everything else (handshake upstream, acks downstream) is forwarded
+//! verbatim, and an EOF on either side is propagated to the other, so
+//! churn detection sees exactly what it would without the proxy in the
+//! path.
+
+use crate::codec::{read_message, write_message, Message};
+use crate::error::NetError;
+use crate::timing::Timing;
+use anonet_multigraph::CopyOverride;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Read-timeout granularity for the proxy's cancellable pumps.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// Configuration of one per-peer proxy.
+#[derive(Debug, Clone)]
+pub struct ProxySpec {
+    /// The peer whose connection this proxy carries.
+    pub peer: u32,
+    /// This peer's copy-count overrides from the projected plan
+    /// (entries whose `peer` differs are ignored).
+    pub overrides: Vec<CopyOverride>,
+    /// Held-frame delay applied to each upstream `RoundData`.
+    pub delay: Duration,
+    /// Deadlines (accept/connect budgets come from here).
+    pub timing: Timing,
+}
+
+/// A running fault proxy. Connect the peer to [`addr`](FaultProxy::addr)
+/// instead of the leader; call [`shutdown`](FaultProxy::shutdown) (or
+/// drop) to reap it.
+pub struct FaultProxy {
+    /// The loopback address the peer should dial.
+    pub addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    rewritten: Arc<AtomicU64>,
+}
+
+impl FaultProxy {
+    /// `RoundData` frames whose label multiset the proxy changed.
+    pub fn rewritten_frames(&self) -> u64 {
+        self.rewritten.load(Ordering::SeqCst)
+    }
+
+    /// Stops the pumps and joins the proxy thread (bounded: every
+    /// blocking operation inside polls the shutdown flag).
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Binds a loopback listener for one peer and spawns the proxy thread
+/// that will splice its connection through to `leader_addr`, rewriting
+/// frames per `spec`.
+pub fn spawn_proxy(leader_addr: SocketAddr, spec: ProxySpec) -> Result<FaultProxy, NetError> {
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| NetError::io("bind proxy", e))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| NetError::io("proxy local addr", e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| NetError::io("set proxy nonblocking", e))?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let rewritten = Arc::new(AtomicU64::new(0));
+    let flag = Arc::clone(&shutdown);
+    let counter = Arc::clone(&rewritten);
+    let handle = thread::Builder::new()
+        .name(format!("anonet-proxy-{}", spec.peer))
+        .spawn(move || proxy_main(listener, leader_addr, spec, flag, counter))
+        .map_err(|e| NetError::io("spawn proxy", e))?;
+    Ok(FaultProxy {
+        addr,
+        handle: Some(handle),
+        shutdown,
+        rewritten,
+    })
+}
+
+fn proxy_main(
+    listener: TcpListener,
+    leader_addr: SocketAddr,
+    spec: ProxySpec,
+    shutdown: Arc<AtomicBool>,
+    rewritten: Arc<AtomicU64>,
+) {
+    // Accept the one peer this proxy exists for, within the deadline.
+    let deadline = Instant::now() + spec.timing.accept_deadline;
+    let peer_side = loop {
+        if shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => break stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => return,
+        }
+    };
+    let Ok(leader_side) =
+        TcpStream::connect_timeout(&leader_addr, spec.timing.accept_deadline)
+    else {
+        let _ = peer_side.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = peer_side.set_nodelay(true);
+    let _ = leader_side.set_nodelay(true);
+    let (Ok(peer_read), Ok(leader_read)) = (peer_side.try_clone(), leader_side.try_clone())
+    else {
+        let _ = peer_side.shutdown(Shutdown::Both);
+        let _ = leader_side.shutdown(Shutdown::Both);
+        return;
+    };
+    // Downstream pump (leader → peer): verbatim.
+    let down_flag = Arc::clone(&shutdown);
+    let downstream = thread::Builder::new()
+        .name(format!("anonet-proxy-{}-down", spec.peer))
+        .spawn(move || pump_verbatim(leader_read, peer_side, down_flag));
+    // Upstream pump (peer → leader): rewrite RoundData per the plan.
+    let copies: HashMap<(u32, u8), u32> = spec
+        .overrides
+        .iter()
+        .filter(|o| o.peer == spec.peer)
+        .map(|o| ((o.round, o.label), o.copies))
+        .collect();
+    pump_rewriting(peer_read, leader_side, &copies, spec.delay, &shutdown, &rewritten);
+    if let Ok(handle) = downstream {
+        let _ = handle.join();
+    }
+}
+
+/// Forwards decoded frames unchanged until EOF, error, or shutdown;
+/// propagates the close to the write side.
+fn pump_verbatim(mut from: TcpStream, mut to: TcpStream, shutdown: Arc<AtomicBool>) {
+    if from.set_read_timeout(Some(POLL_TICK)).is_err() {
+        let _ = to.shutdown(Shutdown::Both);
+        return;
+    }
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_message(&mut from) {
+            Ok(Some(msg)) => {
+                if write_message(&mut to, &msg).is_err() {
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Ok(None) => {
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+            Err(NetError::Io { source, .. })
+                if matches!(
+                    source.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => {
+                // A breach in transit: sever both directions and let
+                // churn detection take over — the proxy never invents
+                // frames.
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+/// Forwards frames upstream, rewriting each `RoundData`'s label
+/// multiset per the plan's copy counts and applying the held-frame
+/// delay.
+fn pump_rewriting(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    copies: &HashMap<(u32, u8), u32>,
+    delay: Duration,
+    shutdown: &Arc<AtomicBool>,
+    rewritten: &Arc<AtomicU64>,
+) {
+    if from.set_read_timeout(Some(POLL_TICK)).is_err() {
+        let _ = to.shutdown(Shutdown::Both);
+        return;
+    }
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let msg = match read_message(&mut from) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => {
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+            Err(NetError::Io { source, .. })
+                if matches!(
+                    source.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => {
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let msg = match msg {
+            Message::RoundData {
+                round,
+                peer,
+                history,
+                labels,
+            } => {
+                let mut out: Vec<u8> = Vec::with_capacity(labels.len());
+                for &label in &labels {
+                    let n = copies.get(&(round, label)).copied().unwrap_or(1);
+                    for _ in 0..n {
+                        out.push(label);
+                    }
+                }
+                if out.len() > u8::MAX as usize {
+                    // A rewrite past the codec's label-count field
+                    // would corrupt the frame; sever instead.
+                    let _ = from.shutdown(Shutdown::Both);
+                    let _ = to.shutdown(Shutdown::Both);
+                    return;
+                }
+                if out != labels {
+                    rewritten.fetch_add(1, Ordering::SeqCst);
+                }
+                if !delay.is_zero() {
+                    thread::sleep(delay);
+                }
+                Message::RoundData {
+                    round,
+                    peer,
+                    history,
+                    labels: out,
+                }
+            }
+            other => other,
+        };
+        if write_message(&mut to, &msg).is_err() {
+            let _ = from.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+}

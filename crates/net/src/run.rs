@@ -1,0 +1,263 @@
+//! The loopback orchestrator: spawns a full socketed run — leader,
+//! peers, and fault proxies — and the cross-validation harness that
+//! pins its verdict to the in-memory oracle's.
+//!
+//! The pipeline for one cell:
+//!
+//! 1. [`project_wire_plan`] turns the [`FaultPlan`] into per-peer socket
+//!    behaviour (crash rounds for the peers, copy-count overrides for
+//!    the proxies);
+//! 2. peers that the plan touches dial a [`FaultProxy`]; clean peers
+//!    dial the leader directly;
+//! 3. the leader accepts the roster, then
+//!    [`run_source_verdict`] drives the guarded counting session over
+//!    the [`SocketLeader`] round barrier;
+//! 4. everything is reaped under deadlines — a hung or crashed
+//!    participant can delay the run by at most its timing budget, never
+//!    wedge it.
+//!
+//! [`cross_validate`] then demands the socketed verdict equal the
+//! simulator's (`kernel_verdict` / `history_tree_verdict` with
+//! watchdogs) for the same plan — the end-to-end guarantee that moving
+//! from memory to TCP changed the transport and nothing else.
+
+use crate::error::NetError;
+use crate::leader::{LeaderStats, SocketLeader};
+use crate::peer::{spawn_peer, PeerConfig, PeerStats};
+use crate::proxy::{spawn_proxy, FaultProxy, ProxySpec};
+use crate::timing::Timing;
+use anonet_core::transport::{run_source_verdict_with_sink, TransportAlgorithm};
+use anonet_core::verdict::{history_tree_verdict, kernel_verdict, FaultPlan, Verdict};
+use anonet_multigraph::wire::{peer_rows, project_wire_plan};
+use anonet_multigraph::DblMultigraph;
+use anonet_trace::{MemorySink, RoundEvent, TraceSink};
+use std::net::TcpListener;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Knobs of one socketed run beyond the fault plan itself.
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// Deadline and retry policy for every participant.
+    pub timing: Timing,
+    /// Held-frame delay the proxies apply to each upstream `RoundData`
+    /// (also forces every peer through a proxy when nonzero).
+    pub delay: Duration,
+    /// Deliberately hang `(peer, round)`: the peer goes silent with its
+    /// socket open — must surface as a typed
+    /// [`NetError::RoundTimeout`], never a wedge. Outside the fault
+    /// model, so [`cross_validate`] rejects configs that set it.
+    pub hang_peer: Option<(u32, u32)>,
+    /// Route every peer through a proxy even where the plan is clean
+    /// (exercises the proxy's verbatim path).
+    pub force_proxies: bool,
+}
+
+impl Default for SocketConfig {
+    fn default() -> SocketConfig {
+        SocketConfig {
+            timing: Timing::fast(),
+            delay: Duration::ZERO,
+            hang_peer: None,
+            force_proxies: false,
+        }
+    }
+}
+
+/// Everything a socketed run produced.
+#[derive(Debug, Clone)]
+pub struct SocketReport {
+    /// The guarded session's verdict, driven over the socket barrier.
+    pub verdict: Verdict,
+    /// The leader's wire-level failure, if the run degraded (display
+    /// form of the typed [`NetError`]).
+    pub net_error: Option<String>,
+    /// Per-peer outcomes and retransmission counts. Peers still in
+    /// flight when the leader reached a verdict early report failed
+    /// post-verdict sends — that is shutdown, not malfunction.
+    pub peers: Vec<PeerStats>,
+    /// The leader's churn/timeout/duplicate accounting.
+    pub leader: LeaderStats,
+    /// `RoundData` frames whose label multiset a proxy rewrote.
+    pub rewritten_frames: u64,
+}
+
+/// One socketed vs in-memory comparison from [`cross_validate`].
+#[derive(Debug, Clone)]
+pub struct CrossValidation {
+    /// The in-memory oracle's verdict (watchdogs on).
+    pub oracle: Verdict,
+    /// The full socketed run.
+    pub report: SocketReport,
+}
+
+impl CrossValidation {
+    /// True when the socketed verdict equals the oracle's exactly.
+    pub fn verdicts_match(&self) -> bool {
+        self.report.verdict == self.oracle
+    }
+}
+
+/// Runs `alg` over `rounds` rounds of `m` on real loopback sockets,
+/// with `plan` projected onto the wire.
+///
+/// Returns `Err` only for infrastructure failures that precluded a run
+/// (could not bind, roster never assembled); once the barrier starts,
+/// every wire failure folds into the verdict (fail-closed `Undecided`
+/// or a watchdog violation) and the typed error rides along in
+/// [`SocketReport::net_error`].
+pub fn run_socketed(
+    alg: TransportAlgorithm,
+    m: &DblMultigraph,
+    rounds: u32,
+    plan: &FaultPlan,
+    cfg: &SocketConfig,
+) -> Result<SocketReport, NetError> {
+    run_socketed_traced(alg, m, rounds, plan, cfg).map(|(report, _)| report)
+}
+
+/// [`run_socketed`], additionally returning the guarded session's round
+/// trace with the wire-level facets merged in: each event carries the
+/// barrier's live-`connections` count, the `retransmits` it
+/// deduplicated, and a `net` label for churn/timeout/breach events
+/// observed that round.
+pub fn run_socketed_traced(
+    alg: TransportAlgorithm,
+    m: &DblMultigraph,
+    rounds: u32,
+    plan: &FaultPlan,
+    cfg: &SocketConfig,
+) -> Result<(SocketReport, Vec<RoundEvent>), NetError> {
+    let n = m.nodes();
+    let wire = project_wire_plan(m, rounds, plan);
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| NetError::io("bind leader", e))?;
+    let leader_addr = listener
+        .local_addr()
+        .map_err(|e| NetError::io("leader local addr", e))?;
+
+    let mut proxies: Vec<FaultProxy> = Vec::new();
+    let mut peers: Vec<JoinHandle<PeerStats>> = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        let proxied = cfg.force_proxies
+            || !cfg.delay.is_zero()
+            || !wire.peer_overrides(i).is_empty();
+        let dial = if proxied {
+            let proxy = spawn_proxy(
+                leader_addr,
+                ProxySpec {
+                    peer: i,
+                    overrides: wire.peer_overrides(i),
+                    delay: cfg.delay,
+                    timing: cfg.timing,
+                },
+            )?;
+            let addr = proxy.addr;
+            proxies.push(proxy);
+            addr
+        } else {
+            leader_addr
+        };
+        peers.push(spawn_peer(
+            dial,
+            PeerConfig {
+                peer: i,
+                rows: peer_rows(m, i as usize, rounds),
+                crash_at: wire.crash_round[i as usize],
+                hang_at: cfg
+                    .hang_peer
+                    .and_then(|(p, r)| (p == i).then_some(r)),
+                timing: cfg.timing,
+            },
+        ));
+    }
+
+    let mut leader = match SocketLeader::accept_peers(listener, n, rounds, cfg.timing) {
+        Ok(leader) => leader,
+        Err(e) => {
+            // Roster never assembled: reap everything (bounded by the
+            // participants' own deadlines) and surface the typed error.
+            reap(peers, proxies);
+            return Err(e);
+        }
+    };
+    let mut sink = MemorySink::new();
+    let verdict = run_source_verdict_with_sink(alg, &mut leader, rounds, plan, &mut sink);
+    sink.flush();
+    let net_error = leader.last_error().map(ToString::to_string);
+    let leader_stats = leader.stats().clone();
+    // Merge the barrier's wire accounting into the session's trace:
+    // events and RoundNet records share absolute round numbers.
+    let mut events = sink.into_events();
+    for event in &mut events {
+        if let Some(rn) = leader
+            .net_rounds()
+            .iter()
+            .find(|rn| rn.round == event.round)
+        {
+            event.connections = Some(rn.connections);
+            event.retransmits = Some(rn.retransmits);
+            event.net.clone_from(&rn.label);
+        }
+    }
+    leader.shutdown_now();
+
+    let peer_stats: Vec<PeerStats> = peers
+        .into_iter()
+        .map(|h| h.join().expect("peer threads fold failures into PeerStats"))
+        .collect();
+    let mut rewritten_frames = 0;
+    for proxy in proxies {
+        rewritten_frames += proxy.rewritten_frames();
+        proxy.shutdown();
+    }
+    Ok((
+        SocketReport {
+            verdict,
+            net_error,
+            peers: peer_stats,
+            leader: leader_stats,
+            rewritten_frames,
+        },
+        events,
+    ))
+}
+
+/// Joins leftover participants after an aborted run, ignoring their
+/// outcomes.
+fn reap(peers: Vec<JoinHandle<PeerStats>>, proxies: Vec<FaultProxy>) {
+    // Dropping the proxies first severs their splices, unblocking
+    // peers mid-handshake.
+    drop(proxies);
+    for handle in peers {
+        let _ = handle.join();
+    }
+}
+
+/// Runs the same `(algorithm, multigraph, rounds, plan)` cell both over
+/// sockets and through the in-memory simulator (watchdogs on) and
+/// returns the pair of verdicts for comparison.
+///
+/// Rejects configs with hang injection: a hung peer is outside the
+/// fault model, so the oracle has no matching semantics and the
+/// comparison would be vacuous.
+pub fn cross_validate(
+    alg: TransportAlgorithm,
+    m: &DblMultigraph,
+    rounds: u32,
+    plan: &FaultPlan,
+    cfg: &SocketConfig,
+) -> Result<CrossValidation, NetError> {
+    if cfg.hang_peer.is_some() {
+        return Err(NetError::BadFrame {
+            detail: "cross_validate cannot compare a hang-injected run against the oracle"
+                .to_string(),
+        });
+    }
+    let report = run_socketed(alg, m, rounds, plan, cfg)?;
+    let oracle = match alg {
+        TransportAlgorithm::Kernel => kernel_verdict(m, rounds, plan, true),
+        TransportAlgorithm::HistoryTree => history_tree_verdict(m, rounds, plan, true),
+    };
+    Ok(CrossValidation { oracle, report })
+}

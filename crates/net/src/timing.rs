@@ -1,0 +1,109 @@
+//! Deadline, retry and backoff policy shared by both ends of the wire.
+//!
+//! Every blocking operation in the runtime — accept, handshake, frame
+//! read, ack wait — carries a deadline from this struct, which is what
+//! makes the global watchdog possible: no hung peer can wedge the
+//! orchestrator, because nothing waits forever.
+
+use std::time::Duration;
+
+/// The runtime's timing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// How long the leader's listener waits for the full peer roster to
+    /// connect and complete handshakes.
+    pub accept_deadline: Duration,
+    /// Per-connection budget for the `Hello`/`Welcome` exchange.
+    pub handshake_deadline: Duration,
+    /// The leader's per-round barrier budget: live peers silent past it
+    /// are stragglers and the round fails with
+    /// [`NetError::RoundTimeout`](crate::NetError::RoundTimeout).
+    pub round_deadline: Duration,
+    /// A peer's per-attempt wait for the leader's `Ack` before
+    /// retransmitting.
+    pub ack_deadline: Duration,
+    /// Send attempts per round (1 original + retries) before the peer
+    /// gives up with
+    /// [`NetError::RetriesExhausted`](crate::NetError::RetriesExhausted).
+    pub max_attempts: u32,
+    /// Base of the exponential backoff between retransmissions
+    /// (attempt `i` sleeps `base · 2^(i-1)` plus jitter).
+    pub backoff_base: Duration,
+    /// How long a deliberately hung peer stays silent (socket open, no
+    /// frames) before exiting — test instrumentation; must exceed
+    /// `round_deadline` for the hang to be observed as a timeout.
+    pub hang_for: Duration,
+}
+
+impl Default for Timing {
+    fn default() -> Timing {
+        Timing {
+            accept_deadline: Duration::from_secs(10),
+            handshake_deadline: Duration::from_secs(2),
+            round_deadline: Duration::from_secs(5),
+            ack_deadline: Duration::from_millis(200),
+            max_attempts: 5,
+            backoff_base: Duration::from_millis(10),
+            hang_for: Duration::from_secs(8),
+        }
+    }
+}
+
+impl Timing {
+    /// A tightened policy for loopback tests and smoke gates: deadlines
+    /// short enough that a deliberately hung peer converts to a typed
+    /// timeout in well under a second.
+    pub fn fast() -> Timing {
+        Timing {
+            accept_deadline: Duration::from_secs(5),
+            handshake_deadline: Duration::from_secs(2),
+            round_deadline: Duration::from_millis(400),
+            ack_deadline: Duration::from_millis(100),
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(5),
+            hang_for: Duration::from_millis(900),
+        }
+    }
+
+    /// The backoff before retransmission attempt `attempt` (1-based
+    /// counting of *retries*): exponential in the attempt plus a
+    /// deterministic jitter derived from `(peer, round, attempt)`, so
+    /// retry storms desynchronize without introducing nondeterminism
+    /// into replayable runs.
+    pub fn backoff(&self, peer: u32, round: u32, attempt: u32) -> Duration {
+        let base = self.backoff_base.saturating_mul(1u32 << attempt.min(6));
+        let jitter_ns = splitmix(
+            (u64::from(peer) << 40) ^ (u64::from(round) << 8) ^ u64::from(attempt),
+        ) % (self.backoff_base.as_nanos().max(1) as u64);
+        base + Duration::from_nanos(jitter_ns)
+    }
+}
+
+/// SplitMix64 — the same deterministic mixer the fault layer's seeded
+/// plans use, reimplemented locally to keep the crate std-only.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let t = Timing::default();
+        assert_eq!(t.backoff(3, 1, 2), t.backoff(3, 1, 2));
+        assert!(t.backoff(0, 0, 3) > t.backoff(0, 0, 1));
+        // Jitter separates identical attempts of different peers.
+        assert_ne!(t.backoff(1, 0, 1), t.backoff(2, 0, 1));
+    }
+
+    #[test]
+    fn fast_policy_observes_hangs_as_timeouts() {
+        let t = Timing::fast();
+        assert!(t.hang_for > t.round_deadline);
+    }
+}

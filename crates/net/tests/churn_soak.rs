@@ -1,0 +1,142 @@
+//! Churn soak: the E22a silent-wrong corpus and crash/restart plans,
+//! replayed **at the socket layer**.
+//!
+//! The archived E22a schedules are the repo's most adversarial
+//! artifacts: unguarded, they made the leader output a *wrong count
+//! silently*. Replaying them over real TCP — peer crashes as severed
+//! connections, dropped deliveries as proxy rewrites — the guarded
+//! socketed runtime must do exactly what the guarded simulator does:
+//! end `Correct` with the true count, `Undecided`, or a detected
+//! `ModelViolation`. Zero silent-wrong outcomes, on the wire.
+
+use anonet_core::transport::TransportAlgorithm;
+use anonet_core::verdict::{FaultPlan, Verdict};
+use anonet_multigraph::corpus::ArchivedSchedule;
+use anonet_multigraph::TwinBuilder;
+use anonet_net::{cross_validate, run_socketed, SocketConfig};
+use std::path::{Path, PathBuf};
+
+fn silent_wrong_corpus() -> Vec<(PathBuf, ArchivedSchedule)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("the workspace corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("e22a-silent-wrong") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "the E22a representatives are committed");
+    files
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).expect("readable corpus file");
+            let entry = ArchivedSchedule::parse(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            (path, entry)
+        })
+        .collect()
+}
+
+#[test]
+fn e22_silent_wrong_plans_cannot_fool_the_socketed_runtime() {
+    for (path, entry) in silent_wrong_corpus() {
+        assert_eq!(entry.algorithm, "kernel", "{}", path.display());
+        let m = entry.schedule.multigraph().expect("archived rounds are valid");
+        let n = entry.schedule.nodes() as u64;
+        let cv = cross_validate(
+            TransportAlgorithm::Kernel,
+            &m,
+            entry.schedule.horizon(),
+            entry.schedule.plan(),
+            &SocketConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // The guarded socketed verdict equals the guarded oracle's...
+        assert!(
+            cv.verdicts_match(),
+            "{}: socketed {:?} != oracle {:?}",
+            path.display(),
+            cv.report.verdict,
+            cv.oracle
+        );
+        // ...and is never the archived silent-wrong count.
+        if let Verdict::Correct { count, .. } = cv.report.verdict {
+            assert_eq!(
+                count,
+                n,
+                "{}: the socketed runtime reproduced a silent-wrong count",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_restart_churn_stays_safe_on_the_wire() {
+    // A peer crashes mid-run and the leader restarts a round later —
+    // the worst honest churn the fault model describes. Both algorithms
+    // must match their oracle and never output a wrong count.
+    let pair = TwinBuilder::new().build(9).unwrap();
+    let horizon = pair.horizon + 4;
+    let plan = FaultPlan::new().crash_nodes(2, 1).leader_restart(3);
+    for alg in [TransportAlgorithm::Kernel, TransportAlgorithm::HistoryTree] {
+        let cv = cross_validate(alg, &pair.smaller, horizon, &plan, &SocketConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        assert!(
+            cv.verdicts_match(),
+            "{}: socketed {:?} != oracle {:?}",
+            alg.name(),
+            cv.report.verdict,
+            cv.oracle
+        );
+        if let Verdict::Correct { count, .. } = cv.report.verdict {
+            assert_eq!(count, 9, "{}: wrong count under churn", alg.name());
+        }
+    }
+}
+
+#[test]
+fn repeated_churn_rounds_never_wedge_or_miscount() {
+    // Soak: several distinct crash patterns back to back on one
+    // process, each a fresh loopback cluster — exercising listener
+    // reuse, thread reaping, and the crash-round edge cases (round 0
+    // acts at 1; multiple peers crashing the same round).
+    let pair = TwinBuilder::new().build(5).unwrap();
+    let horizon = pair.horizon + 4;
+    // `expect_churn` is false where an earlier fault ends the run
+    // before the crash round (violation verdicts terminate the barrier
+    // early, so the severed socket is never observed).
+    let plans = [
+        (FaultPlan::new().crash_nodes(0, 1), true),
+        (FaultPlan::new().crash_nodes(1, 2), true),
+        (FaultPlan::new().crash_nodes(1, 1).crash_nodes(3, 1), true),
+        (
+            FaultPlan::new().crash_nodes(2, 1).drop_deliveries(1, 3, 0),
+            false,
+        ),
+    ];
+    for (i, (plan, expect_churn)) in plans.iter().enumerate() {
+        let report = run_socketed(
+            TransportAlgorithm::Kernel,
+            &pair.smaller,
+            horizon,
+            plan,
+            &SocketConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("soak cell {i}: {e}"));
+        if let Verdict::Correct { count, .. } = report.verdict {
+            assert_eq!(count, 5, "soak cell {i}: wrong count");
+        }
+        // Crashed peers really did present as churn to the leader
+        // (unless an earlier fault verdict ended the run first).
+        if *expect_churn {
+            assert!(
+                !report.leader.crashed.is_empty(),
+                "soak cell {i}: no churn observed for {plan:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The tentpole acceptance gate: a socketed run over real loopback TCP
+//! must reach **exactly** the verdict the in-memory simulator reaches
+//! for the same `(algorithm, multigraph, rounds, plan)` cell — clean or
+//! faulted, with the fault plan projected onto wire behaviour (peer
+//! crashes, proxy drops/duplicates/severs).
+
+use anonet_core::transport::TransportAlgorithm;
+use anonet_core::verdict::{FaultPlan, Verdict};
+use anonet_multigraph::TwinBuilder;
+use anonet_net::{cross_validate, SocketConfig};
+use std::time::Duration;
+
+fn fault_plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("clean", FaultPlan::new()),
+        ("drop", FaultPlan::new().drop_deliveries(1, 4, 0)),
+        ("duplicate", FaultPlan::new().duplicate_deliveries(2, 3, 1)),
+        ("disconnect", FaultPlan::new().disconnect(2)),
+        ("crash", FaultPlan::new().crash_nodes(1, 2)),
+        ("restart", FaultPlan::new().leader_restart(2)),
+        (
+            "stacked",
+            FaultPlan::new()
+                .drop_deliveries(1, 3, 1)
+                .crash_nodes(2, 1)
+                .leader_restart(3),
+        ),
+    ]
+}
+
+#[test]
+fn socketed_verdicts_match_the_oracle_on_n4() {
+    let pair = TwinBuilder::new().build(4).unwrap();
+    let horizon = pair.horizon + 4;
+    for (name, plan) in fault_plans() {
+        for alg in [TransportAlgorithm::Kernel, TransportAlgorithm::HistoryTree] {
+            let cv = cross_validate(alg, &pair.smaller, horizon, &plan, &SocketConfig::default())
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", alg.name()));
+            assert!(
+                cv.verdicts_match(),
+                "{name}/{}: socketed {:?} != oracle {:?} (net_error: {:?})",
+                alg.name(),
+                cv.report.verdict,
+                cv.oracle,
+                cv.report.net_error,
+            );
+        }
+    }
+}
+
+#[test]
+fn socketed_verdicts_match_the_oracle_on_n13() {
+    let pair = TwinBuilder::new().build(13).unwrap();
+    let horizon = pair.horizon + 4;
+    for (name, plan) in [
+        ("clean", FaultPlan::new()),
+        ("drop", FaultPlan::new().drop_deliveries(1, 4, 0)),
+        ("duplicate", FaultPlan::new().duplicate_deliveries(1, 3, 0)),
+    ] {
+        let cv = cross_validate(
+            TransportAlgorithm::Kernel,
+            &pair.smaller,
+            horizon,
+            &plan,
+            &SocketConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            cv.verdicts_match(),
+            "{name}: socketed {:?} != oracle {:?}",
+            cv.report.verdict,
+            cv.oracle,
+        );
+    }
+}
+
+#[test]
+fn a_clean_run_decides_the_true_count_over_sockets() {
+    let pair = TwinBuilder::new().build(4).unwrap();
+    let horizon = pair.horizon + 4;
+    let cv = cross_validate(
+        TransportAlgorithm::Kernel,
+        &pair.smaller,
+        horizon,
+        &FaultPlan::new(),
+        &SocketConfig::default(),
+    )
+    .unwrap();
+    match cv.report.verdict {
+        Verdict::Correct { count, .. } => assert_eq!(count, 4),
+        ref v => panic!("clean n=4 must decide over sockets, got {v}"),
+    }
+    assert!(cv.report.net_error.is_none(), "{:?}", cv.report.net_error);
+    assert_eq!(cv.report.rewritten_frames, 0, "no proxies on a clean run");
+    assert!(cv
+        .report
+        .peers
+        .iter()
+        .all(|p| p.outcome == anonet_net::PeerOutcome::Completed));
+}
+
+#[test]
+fn the_proxy_verbatim_path_is_transparent() {
+    // Forcing every peer through a proxy with an empty plan must change
+    // nothing: same verdict, zero rewritten frames.
+    let pair = TwinBuilder::new().build(4).unwrap();
+    let horizon = pair.horizon + 4;
+    let cfg = SocketConfig {
+        force_proxies: true,
+        ..SocketConfig::default()
+    };
+    let cv = cross_validate(
+        TransportAlgorithm::Kernel,
+        &pair.smaller,
+        horizon,
+        &FaultPlan::new(),
+        &cfg,
+    )
+    .unwrap();
+    assert!(cv.verdicts_match(), "{:?} != {:?}", cv.report.verdict, cv.oracle);
+    assert_eq!(cv.report.rewritten_frames, 0);
+}
+
+#[test]
+fn delayed_frames_change_latency_not_the_verdict() {
+    // A per-frame hold well inside the round deadline exercises the
+    // retransmission path (acks arrive late) without altering content.
+    let pair = TwinBuilder::new().build(4).unwrap();
+    let horizon = pair.horizon + 4;
+    let cfg = SocketConfig {
+        delay: Duration::from_millis(30),
+        ..SocketConfig::default()
+    };
+    let cv = cross_validate(
+        TransportAlgorithm::Kernel,
+        &pair.smaller,
+        horizon,
+        &FaultPlan::new(),
+        &cfg,
+    )
+    .unwrap();
+    assert!(cv.verdicts_match(), "{:?} != {:?}", cv.report.verdict, cv.oracle);
+}
+
+#[test]
+fn faulted_runs_actually_rewrite_frames_on_the_wire() {
+    // The drop plan must be enforced by the proxy layer, not by the
+    // peers quietly self-censoring: at least one frame is rewritten.
+    let pair = TwinBuilder::new().build(13).unwrap();
+    let horizon = pair.horizon + 4;
+    let plan = FaultPlan::new().drop_deliveries(1, 4, 0);
+    let cv = cross_validate(
+        TransportAlgorithm::Kernel,
+        &pair.smaller,
+        horizon,
+        &plan,
+        &SocketConfig::default(),
+    )
+    .unwrap();
+    assert!(cv.verdicts_match());
+    assert!(
+        cv.report.rewritten_frames > 0,
+        "a drop plan that rewrites nothing is not being projected"
+    );
+}
+
+#[test]
+fn traced_runs_carry_wire_facets_that_round_trip_through_jsonl() {
+    // The traced entry point must annotate every session round with the
+    // barrier's wire accounting — live connections, deduplicated
+    // retransmits — and mark churn rounds with a `net` label, all of
+    // which survives the JSONL round trip byte-for-byte.
+    use anonet_net::run_socketed_traced;
+    use anonet_trace::{JsonlSink, RoundEvent, TraceSink};
+
+    let pair = TwinBuilder::new().build(5).unwrap();
+    let horizon = pair.horizon + 4;
+    let plan = FaultPlan::new().crash_nodes(1, 2);
+    let (report, events) = run_socketed_traced(
+        TransportAlgorithm::Kernel,
+        &pair.smaller,
+        horizon,
+        &plan,
+        &SocketConfig::default(),
+    )
+    .unwrap();
+    if let Verdict::Correct { count, .. } = report.verdict {
+        assert_eq!(count, 5, "wrong count under churn");
+    }
+    assert!(!events.is_empty(), "a completed run records round events");
+    for event in &events {
+        assert!(
+            event.connections.is_some(),
+            "round {}: no connections facet",
+            event.round
+        );
+        assert!(
+            event.retransmits.is_some(),
+            "round {}: no retransmits facet",
+            event.round
+        );
+    }
+    // The crash round is visible as churn in the trace itself.
+    assert!(
+        events.iter().any(|e| e
+            .net
+            .as_deref()
+            .is_some_and(|l| l.contains("churn"))),
+        "no churn label recorded for a crash plan: {events:?}"
+    );
+    // And the facets survive serialization.
+    let mut sink = JsonlSink::new(Vec::new());
+    for event in &events {
+        sink.record(event);
+    }
+    let bytes = sink.finish().unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+    let parsed: Vec<RoundEvent> = text
+        .lines()
+        .map(|l| RoundEvent::from_json_line(l).unwrap())
+        .collect();
+    assert_eq!(parsed, events, "JSONL round trip altered the wire facets");
+}

@@ -1,0 +1,68 @@
+//! Property: for *any* small multigraph and *any* in-model fault plan,
+//! the socketed runtime's verdict equals the in-memory oracle's.
+//!
+//! This is the socket-layer extension of the pure projection property
+//! in `anonet-multigraph`'s `wire_proptests` (same delivered multiset):
+//! here the plan actually rides the wire — peer crashes are severed
+//! connections, drops and duplicates are proxy rewrites — and the whole
+//! guarded pipeline must still agree with `simulate_with_faults` +
+//! guarded session on every drawn case. Case count is modest because
+//! each case spins up a real loopback cluster.
+
+use anonet_core::transport::TransportAlgorithm;
+use anonet_core::verdict::FaultPlan;
+use anonet_multigraph::{DblMultigraph, LabelSet};
+use anonet_net::{cross_validate, SocketConfig};
+use proptest::prelude::*;
+
+fn arb_labelset() -> impl Strategy<Value = LabelSet> {
+    prop_oneof![
+        Just(LabelSet::L1),
+        Just(LabelSet::L2),
+        Just(LabelSet::L12),
+    ]
+}
+
+fn arb_multigraph() -> impl Strategy<Value = DblMultigraph> {
+    (1usize..6, 1usize..4).prop_flat_map(|(nodes, rounds)| {
+        proptest::collection::vec(
+            proptest::collection::vec(arb_labelset(), nodes),
+            rounds,
+        )
+        .prop_map(|rounds| DblMultigraph::new(2, rounds).expect("non-empty rounds"))
+    })
+}
+
+fn arb_case() -> impl Strategy<Value = (DblMultigraph, u32, FaultPlan)> {
+    (arb_multigraph(), 2u32..6, any::<u64>(), 0u32..4).prop_map(
+        |(m, horizon, seed, faults)| {
+            let plan = FaultPlan::seeded(seed, horizon, faults);
+            (m, horizon, plan)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_seeded_plan_rides_the_wire_without_changing_the_verdict(
+        (m, rounds, plan) in arb_case()
+    ) {
+        let cv = cross_validate(
+            TransportAlgorithm::Kernel,
+            &m,
+            rounds,
+            &plan,
+            &SocketConfig::default(),
+        ).expect("the cluster assembles");
+        prop_assert!(
+            cv.verdicts_match(),
+            "socketed {:?} != oracle {:?} for plan {:?} (net_error {:?})",
+            cv.report.verdict,
+            cv.oracle,
+            plan,
+            cv.report.net_error,
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The global watchdog contract: no participant failure — a hung peer,
+//! a missing peer, a mid-handshake disconnect, a garbage frame — may
+//! wedge the orchestrator or produce anything but a typed error and a
+//! fail-closed verdict, all within the timing budget.
+
+use anonet_core::transport::{RoundSource, TransportAlgorithm, TransportError};
+use anonet_core::verdict::{FaultPlan, Verdict};
+use anonet_multigraph::TwinBuilder;
+use anonet_net::codec::{read_message, write_message, Message, PROTOCOL_VERSION};
+use anonet_net::{run_socketed, NetError, SocketConfig, SocketLeader, Timing};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+#[test]
+fn a_hung_peer_times_out_typed_and_fails_closed() {
+    let pair = TwinBuilder::new().build(4).unwrap();
+    let horizon = pair.horizon + 4;
+    let cfg = SocketConfig {
+        hang_peer: Some((2, 1)),
+        ..SocketConfig::default()
+    };
+    let started = Instant::now();
+    let report = run_socketed(
+        TransportAlgorithm::Kernel,
+        &pair.smaller,
+        horizon,
+        &FaultPlan::new(),
+        &cfg,
+    )
+    .unwrap();
+    let elapsed = started.elapsed();
+    // Fail-closed: never a count when the barrier broke.
+    assert!(
+        matches!(report.verdict, Verdict::Undecided { .. }),
+        "hung peer must yield Undecided, got {:?}",
+        report.verdict
+    );
+    // Typed: the round timeout names the round and the silent peer.
+    let err = report.net_error.as_deref().expect("a typed net error");
+    assert!(
+        err.contains("round 1 barrier timed out") && err.contains("2"),
+        "unexpected error: {err}"
+    );
+    assert_eq!(report.leader.timed_out, vec![2]);
+    // Bounded: the whole run (including reaping the hung peer thread)
+    // finishes within a small multiple of the deadline budget, not the
+    // test harness timeout.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "watchdog took {elapsed:?}"
+    );
+}
+
+#[test]
+fn a_missing_peer_is_a_typed_accept_timeout() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let timing = Timing {
+        accept_deadline: Duration::from_millis(200),
+        ..Timing::fast()
+    };
+    let started = Instant::now();
+    let err = SocketLeader::accept_peers(listener, 2, 4, timing)
+        .err()
+        .expect("an empty roster must not assemble");
+    assert!(
+        matches!(err, NetError::AcceptTimeout { expected: 2, got: 0 }),
+        "{err}"
+    );
+    assert!(started.elapsed() < Duration::from_secs(5));
+}
+
+#[test]
+fn a_mid_handshake_disconnect_is_a_typed_failure() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        // Half a Hello: a length prefix promising more than we send.
+        s.write_all(&[0, 0, 0, 15, 1]).unwrap();
+        // Dropping the stream closes it mid-frame.
+    });
+    let err = SocketLeader::accept_peers(listener, 1, 4, Timing::fast())
+        .err()
+        .expect("a torn handshake must not assemble");
+    client.join().unwrap();
+    assert!(
+        matches!(err, NetError::HandshakeFailed { .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("truncated frame"), "{err}");
+}
+
+#[test]
+fn a_version_mismatch_is_rejected_before_any_round_data() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = write_message(
+            &mut s,
+            &Message::Hello {
+                version: PROTOCOL_VERSION + 1,
+                peer: 0,
+                rounds: 4,
+            },
+        );
+        // Hold the socket open so the failure is the version check, not
+        // a race with our close.
+        std::thread::sleep(Duration::from_millis(300));
+    });
+    let err = SocketLeader::accept_peers(listener, 1, 4, Timing::fast())
+        .err()
+        .expect("a future protocol version must be rejected");
+    client.join().unwrap();
+    assert!(
+        matches!(
+            err,
+            NetError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn garbage_frames_mid_run_interrupt_the_barrier_typed() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write_message(
+            &mut s,
+            &Message::Hello {
+                version: PROTOCOL_VERSION,
+                peer: 0,
+                rounds: 4,
+            },
+        )
+        .unwrap();
+        let welcome = read_message(&mut s).unwrap();
+        assert!(matches!(welcome, Some(Message::Welcome { .. })));
+        // A frame with an unknown tag, well inside the size limit.
+        s.write_all(&[0, 0, 0, 1, 9]).unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+    });
+    let mut leader = SocketLeader::accept_peers(listener, 1, 4, Timing::fast()).unwrap();
+    let err = leader
+        .next_round()
+        .expect_err("a garbage frame must fail the barrier");
+    assert!(
+        matches!(err, TransportError::Protocol { round: 0, .. }),
+        "{err}"
+    );
+    client.join().unwrap();
+}

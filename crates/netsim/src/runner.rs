@@ -171,8 +171,11 @@ impl<N: DynamicNetwork> Simulator<N> {
 
     /// Like [`Simulator::run_traced`], additionally emitting one
     /// [`RoundEvent`] per executed round to `sink` (with the absolute
-    /// round index, the delivery count, the maximum inbox size and the
-    /// leader's inbox size). The sink is flushed before returning, so a
+    /// round index, the delivery count, the maximum inbox size, the
+    /// leader's inbox size, and the round's live `connections` — the
+    /// edge count of that round's graph, the same facet the socketed
+    /// runtime uses for its barrier's live-connection count). The sink
+    /// is flushed before returning, so a
     /// [`JsonlSink`](anonet_trace::JsonlSink) stream is complete when
     /// this call returns.
     ///
@@ -190,8 +193,10 @@ impl<N: DynamicNetwork> Simulator<N> {
     /// let mut sink = MemorySink::new();
     /// let (report, _) = sim.run_with_sink(&mut procs, 10, &mut sink);
     /// assert_eq!(sink.events().len() as u32, report.rounds);
-    /// // Each event mirrors the RoundStats of the same round.
+    /// // Each event mirrors the RoundStats of the same round, plus the
+    /// // round's live edge count in the `connections` facet.
     /// assert_eq!(sink.events()[0].deliveries, Some(8));
+    /// assert_eq!(sink.events()[0].connections, Some(4));
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     ///
@@ -278,7 +283,8 @@ impl<N: DynamicNetwork> Simulator<N> {
                 &RoundEvent::new(round)
                     .deliveries(round_deliveries)
                     .max_inbox(max_inbox as u64)
-                    .leader_inbox(graph.degree(0) as u64),
+                    .leader_inbox(graph.degree(0) as u64)
+                    .connections(graph.size() as u64),
             );
 
             if let Some(out) = procs[0].output() {
@@ -486,7 +492,8 @@ impl<N: DynamicNetwork> Simulator<N> {
                 &RoundEvent::new(round)
                     .deliveries(round_deliveries)
                     .max_inbox(max_inbox as u64)
-                    .leader_inbox(graph.degree(0) as u64),
+                    .leader_inbox(graph.degree(0) as u64)
+                    .connections(graph.size() as u64),
             );
 
             if let Some(out) = procs[0].output() {

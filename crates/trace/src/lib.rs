@@ -116,6 +116,17 @@ pub struct RoundEvent {
     /// leader, whose alternating spine sums decide the count the round
     /// this drops to zero. Absent for the solver-based algorithms.
     pub spine: Option<u64>,
+    /// Peer connections that were live when this round's barrier
+    /// assembled; set by the socketed runtime (`anonet-net`), absent on
+    /// in-memory runs.
+    pub connections: Option<u64>,
+    /// Retransmitted frames the round barrier deduplicated (first-wins)
+    /// while assembling this round; set by the socketed runtime.
+    pub retransmits: Option<u64>,
+    /// A label for wire-level events observed this round (e.g.
+    /// `"churn(peer 2)"`, `"timeout(missing [5])"`); set by the
+    /// socketed runtime, absent on clean rounds and in-memory runs.
+    pub net: Option<String>,
 }
 
 impl RoundEvent {
@@ -226,6 +237,27 @@ impl RoundEvent {
         self
     }
 
+    /// Sets the live-connection count at barrier assembly.
+    #[must_use]
+    pub fn connections(mut self, n: u64) -> RoundEvent {
+        self.connections = Some(n);
+        self
+    }
+
+    /// Sets the deduplicated-retransmission count.
+    #[must_use]
+    pub fn retransmits(mut self, n: u64) -> RoundEvent {
+        self.retransmits = Some(n);
+        self
+    }
+
+    /// Sets the wire-level event label.
+    #[must_use]
+    pub fn net(mut self, label: impl Into<String>) -> RoundEvent {
+        self.net = Some(label.into());
+        self
+    }
+
     /// Renders the event as one compact JSON object (no trailing
     /// newline). Unset facets are omitted; field order is fixed, so equal
     /// events render to identical lines.
@@ -262,6 +294,9 @@ impl RoundEvent {
         // New facets append here so every pre-existing event keeps its
         // exact byte form (unset facets are omitted).
         num(&mut s, "spine", self.spine.map(i128::from));
+        num(&mut s, "connections", self.connections.map(i128::from));
+        num(&mut s, "retransmits", self.retransmits.map(i128::from));
+        string_field(&mut s, "net", self.net.as_deref());
         s.push('}');
         s
     }
@@ -298,7 +333,7 @@ impl RoundEvent {
                 .ok_or_else(|| TraceParseError::new(line, "expected ':'"))?;
             if matches!(
                 key,
-                "adversary" | "fault" | "violation" | "coverage" | "certification"
+                "adversary" | "fault" | "violation" | "coverage" | "certification" | "net"
             ) {
                 let body = after_key
                     .strip_prefix('"')
@@ -309,6 +344,7 @@ impl RoundEvent {
                     "fault" => event.fault = Some(value),
                     "coverage" => event.coverage = Some(value),
                     "certification" => event.certification = Some(value),
+                    "net" => event.net = Some(value),
                     _ => event.violation = Some(value),
                 }
                 rest = &body[end + 1..];
@@ -335,6 +371,8 @@ impl RoundEvent {
                 "state_size" => event.state_size = Some(n as u64),
                 "fitness" => event.fitness = Some(n as u64),
                 "spine" => event.spine = Some(n as u64),
+                "connections" => event.connections = Some(n as u64),
+                "retransmits" => event.retransmits = Some(n as u64),
                 other => {
                     return Err(TraceParseError::new(
                         line,
@@ -699,6 +737,32 @@ mod tests {
         // …while unset spine is omitted, keeping solver-algorithm traces
         // byte-identical to their pre-history-tree form.
         assert!(!sample().to_json_line().contains("spine"));
+    }
+
+    #[test]
+    fn json_roundtrip_net_facets() {
+        let e = RoundEvent::new(2)
+            .deliveries(8)
+            .connections(5)
+            .retransmits(3)
+            .net("churn(peer 2)");
+        let line = e.to_json_line();
+        assert_eq!(
+            line,
+            r#"{"round":2,"deliveries":8,"connections":5,"retransmits":3,"net":"churn(peer 2)"}"#
+        );
+        assert_eq!(RoundEvent::from_json_line(&line).unwrap(), e);
+        // A timeout label with brackets survives the escape round trip.
+        let t = RoundEvent::new(3).net("timeout(missing [5, 7])");
+        assert_eq!(RoundEvent::from_json_line(&t.to_json_line()).unwrap(), t);
+        // Unset net facets are omitted, keeping in-memory traces
+        // byte-identical to their pre-socket form.
+        let plain = sample().to_json_line();
+        assert!(
+            !plain.contains("connections")
+                && !plain.contains("retransmits")
+                && !plain.contains("\"net\"")
+        );
     }
 
     #[test]

@@ -131,6 +131,20 @@ if [[ $fast -eq 0 ]]; then
 fi
 
 if [[ $fast -eq 0 ]]; then
+    echo "==> socketed runtime gate (exp_net --smoke: loopback TCP vs in-memory oracle)"
+    cargo build --release -p anonet-bench --quiet
+    # Every cell spawns a real loopback cluster (>= 8 peer threads plus
+    # fault proxies) and asserts in-process that the socketed verdict
+    # equals the in-memory oracle's for every fault-plan family, that
+    # drop/duplicate plans really rewrite frames on the wire, that the
+    # archived E22a silent-wrong schedules cannot extract a wrong count
+    # over TCP, and that a hung peer surfaces as a typed RoundTimeout
+    # inside its deadline budget. The hard timeout is the meta-watchdog:
+    # a wedged barrier fails the check instead of hanging CI.
+    timeout 300 target/release/exp_net --smoke >/dev/null
+fi
+
+if [[ $fast -eq 0 ]]; then
     echo "==> adversary-search gate (exp_search --smoke: every archive replays its verdict)"
     cargo build --release -p anonet-bench --quiet
     # Bounded iteration budget (24 mutants/campaign); each run replays
